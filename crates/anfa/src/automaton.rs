@@ -1,0 +1,406 @@
+use std::fmt;
+use std::sync::Arc;
+
+/// State index within one [`Anfa`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StateId(pub(crate) u32);
+
+impl StateId {
+    /// Numeric index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstruct from an index.
+    pub fn from_index(i: usize) -> Self {
+        StateId(u32::try_from(i).expect("ANFA larger than u32::MAX states"))
+    }
+}
+
+impl fmt::Debug for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// Transition alphabet: ε, an element label, the `str` (text) symbol, or the
+/// wildcard used to evaluate the fragment-`X` `//` axis.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Trans {
+    /// ε-transition (no tree movement).
+    Eps,
+    /// Move to a child element with this tag.
+    Label(Arc<str>),
+    /// Move to a text child (the paper's `str` transition).
+    Text,
+    /// Move to any child (element or text). Not produced by `XR`
+    /// constructions; used for `//`.
+    Any,
+}
+
+/// A state annotation `θ(s)` — the qualifier gating passage through a state.
+/// Sub-queries (`ν` entries) are owned inline.
+#[derive(Clone, Debug)]
+pub enum Annot {
+    /// `X` — the sub-automaton has a nonempty result at the node.
+    Exists(Box<Anfa>),
+    /// `X/text() = 'c'` — some text node reached by the sub-automaton
+    /// carries `c` (the sub-automaton includes the text transition).
+    ExistsValue(Box<Anfa>, String),
+    /// `position() = k` — the node is the k-th among its same-label
+    /// siblings.
+    Position(usize),
+    /// `¬q`.
+    Not(Box<Annot>),
+    /// `q1 ∧ q2`.
+    And(Box<Annot>, Box<Annot>),
+    /// `q1 ∨ q2`.
+    Or(Box<Annot>, Box<Annot>),
+}
+
+/// Error from [`Anfa::from_query`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BuildError {
+    /// A `position()` qualifier was attached to a path that is not a single
+    /// label/text step; its automaton semantics would diverge from `XR`
+    /// (DESIGN.md §3).
+    PositionOnComplexPath(String),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::PositionOnComplexPath(p) => write!(
+                f,
+                "position() qualifier on non-step path {p:?} is not supported in automaton form"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+#[derive(Clone, Debug, Default)]
+pub(crate) struct State {
+    pub(crate) transitions: Vec<(Trans, StateId)>,
+    pub(crate) is_final: bool,
+    pub(crate) annot: Option<Annot>,
+}
+
+/// An annotated NFA. See the crate docs for the relation to the paper's
+/// `(M, ν)` pair.
+#[derive(Clone, Debug)]
+pub struct Anfa {
+    pub(crate) states: Vec<State>,
+    pub(crate) start: StateId,
+}
+
+impl Anfa {
+    /// An automaton with a single (non-final) start state and nothing else.
+    pub fn new() -> Self {
+        Anfa {
+            states: vec![State::default()],
+            start: StateId(0),
+        }
+    }
+
+    /// The `Fail` automaton: one start state, no transitions, no finals.
+    pub fn fail() -> Self {
+        Anfa::new()
+    }
+
+    /// Case (a): the ε query — start state is final.
+    pub fn empty_query() -> Self {
+        let mut a = Anfa::new();
+        a.set_final(a.start, true);
+        a
+    }
+
+    /// Case (b): a single label step.
+    pub fn label(l: impl Into<Arc<str>>) -> Self {
+        let mut a = Anfa::new();
+        let f = a.add_state();
+        a.add_transition(a.start, Trans::Label(l.into()), f);
+        a.set_final(f, true);
+        a
+    }
+
+    /// A single `text()` step.
+    pub fn text() -> Self {
+        let mut a = Anfa::new();
+        let f = a.add_state();
+        a.add_transition(a.start, Trans::Text, f);
+        a.set_final(f, true);
+        a
+    }
+
+    /// The descendant-or-self automaton (wildcard self-loop).
+    pub fn desc_or_self() -> Self {
+        let mut a = Anfa::new();
+        a.set_final(a.start, true);
+        a.add_transition(a.start, Trans::Any, a.start);
+        a
+    }
+
+    /// The start state.
+    pub fn start(&self) -> StateId {
+        self.start
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Number of transitions.
+    pub fn transition_count(&self) -> usize {
+        self.states.iter().map(|s| s.transitions.len()).sum()
+    }
+
+    /// Total size including sub-automata in annotations — the `|Tr(Q)|`
+    /// measured against Theorem 4.3(b)'s bound.
+    pub fn size(&self) -> usize {
+        let mut n = self.states.len() + self.transition_count();
+        for s in &self.states {
+            if let Some(a) = &s.annot {
+                n += annot_size(a);
+            }
+        }
+        n
+    }
+
+    /// Add a fresh state.
+    pub fn add_state(&mut self) -> StateId {
+        let id = StateId::from_index(self.states.len());
+        self.states.push(State::default());
+        id
+    }
+
+    /// Add a transition.
+    pub fn add_transition(&mut self, from: StateId, t: Trans, to: StateId) {
+        self.states[from.index()].transitions.push((t, to));
+    }
+
+    /// Mark or unmark a final state.
+    pub fn set_final(&mut self, s: StateId, f: bool) {
+        self.states[s.index()].is_final = f;
+    }
+
+    /// Is `s` final?
+    pub fn is_final(&self, s: StateId) -> bool {
+        self.states[s.index()].is_final
+    }
+
+    /// All final states.
+    pub fn finals(&self) -> Vec<StateId> {
+        (0..self.states.len())
+            .map(StateId::from_index)
+            .filter(|&s| self.states[s.index()].is_final)
+            .collect()
+    }
+
+    /// The annotation of `s`, if any.
+    pub fn annot(&self, s: StateId) -> Option<&Annot> {
+        self.states[s.index()].annot.as_ref()
+    }
+
+    /// Attach an annotation to `s`, conjoining with an existing one.
+    pub fn annotate(&mut self, s: StateId, a: Annot) {
+        let slot = &mut self.states[s.index()].annot;
+        *slot = Some(match slot.take() {
+            None => a,
+            Some(old) => Annot::And(Box::new(old), Box::new(a)),
+        });
+    }
+
+    /// Annotate every final state (the paper's case (d) for `p[q]`).
+    pub fn annotate_finals(&mut self, a: &Annot) {
+        for s in self.finals() {
+            self.annotate(s, a.clone());
+        }
+    }
+
+    /// Copy all states of `other` into `self`, returning the offset to add
+    /// to `other`'s state ids. Final flags and annotations are preserved;
+    /// the caller wires up the imports.
+    pub fn import(&mut self, other: &Anfa) -> u32 {
+        let offset = self.states.len() as u32;
+        for st in &other.states {
+            let mut ns = st.clone();
+            for (_, to) in &mut ns.transitions {
+                to.0 += offset;
+            }
+            self.states.push(ns);
+        }
+        offset
+    }
+
+    /// `self ∪ other`: fresh start with ε to both.
+    pub fn union(&self, other: &Anfa) -> Anfa {
+        let mut out = Anfa::new();
+        let o1 = out.import(self);
+        let o2 = out.import(other);
+        out.add_transition(out.start, Trans::Eps, StateId(self.start.0 + o1));
+        out.add_transition(out.start, Trans::Eps, StateId(other.start.0 + o2));
+        out
+    }
+
+    /// `self / other`: ε from `self`'s finals to `other`'s start; `self`'s
+    /// finals are cleared (their annotations keep gating passage).
+    pub fn concat(&self, other: &Anfa) -> Anfa {
+        let mut out = self.clone();
+        let o2 = out.import(other);
+        let other_start = StateId(other.start.0 + o2);
+        for f in self.finals() {
+            out.set_final(f, false);
+            out.add_transition(f, Trans::Eps, other_start);
+        }
+        // `import` copied `other`'s final flags — they are the new finals.
+        out
+    }
+
+    /// `self*`: fresh start/final hub with ε-cycles through the body.
+    pub fn star(&self) -> Anfa {
+        let mut out = Anfa::new();
+        let o = out.import(self);
+        let hub = out.start;
+        out.set_final(hub, true);
+        out.add_transition(hub, Trans::Eps, StateId(self.start.0 + o));
+        for f in self.finals() {
+            let f = StateId(f.0 + o);
+            out.set_final(f, false);
+            out.add_transition(f, Trans::Eps, hub);
+        }
+        out
+    }
+
+    /// Iterate transitions of a state.
+    pub fn transitions(&self, s: StateId) -> &[(Trans, StateId)] {
+        &self.states[s.index()].transitions
+    }
+}
+
+impl Default for Anfa {
+    fn default() -> Self {
+        Anfa::new()
+    }
+}
+
+fn annot_size(a: &Annot) -> usize {
+    match a {
+        Annot::Exists(m) => 1 + m.size(),
+        Annot::ExistsValue(m, _) => 1 + m.size(),
+        Annot::Position(_) => 1,
+        Annot::Not(x) => 1 + annot_size(x),
+        Annot::And(x, y) | Annot::Or(x, y) => 1 + annot_size(x) + annot_size(y),
+    }
+}
+
+impl fmt::Display for Anfa {
+    /// A diagnostic dump: one line per state.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, st) in self.states.iter().enumerate() {
+            let id = StateId::from_index(i);
+            write!(
+                f,
+                "{}{}{:?}",
+                if id == self.start { ">" } else { " " },
+                if st.is_final { "*" } else { " " },
+                id
+            )?;
+            if st.annot.is_some() {
+                write!(f, " [θ]")?;
+            }
+            for (t, to) in &st.transitions {
+                match t {
+                    Trans::Eps => write!(f, " --ε--> {to:?}")?,
+                    Trans::Label(l) => write!(f, " --{l}--> {to:?}")?,
+                    Trans::Text => write!(f, " --str--> {to:?}")?,
+                    Trans::Any => write!(f, " --any--> {to:?}")?,
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_automata_shapes() {
+        let e = Anfa::empty_query();
+        assert_eq!(e.state_count(), 1);
+        assert!(e.is_final(e.start()));
+
+        let l = Anfa::label("A");
+        assert_eq!(l.state_count(), 2);
+        assert_eq!(l.finals().len(), 1);
+        assert!(!l.is_final(l.start()));
+
+        let f = Anfa::fail();
+        assert!(f.finals().is_empty());
+
+        let t = Anfa::text();
+        assert!(matches!(t.transitions(t.start())[0].0, Trans::Text));
+    }
+
+    #[test]
+    fn union_concat_star_counts() {
+        let a = Anfa::label("A");
+        let b = Anfa::label("B");
+        let u = a.union(&b);
+        assert_eq!(u.state_count(), 5);
+        assert_eq!(u.finals().len(), 2);
+
+        let c = a.concat(&b);
+        assert_eq!(c.state_count(), 4);
+        assert_eq!(c.finals().len(), 1);
+        // a's old final is no longer final.
+        assert!(!c.is_final(StateId(1)));
+
+        let s = a.star();
+        assert_eq!(s.finals().len(), 1);
+        assert!(s.is_final(s.start()));
+    }
+
+    #[test]
+    fn annotate_conjoins() {
+        let mut a = Anfa::label("A");
+        let f = a.finals()[0];
+        a.annotate(f, Annot::Position(1));
+        a.annotate(f, Annot::Position(2));
+        assert!(matches!(a.annot(f), Some(Annot::And(_, _))));
+    }
+
+    #[test]
+    fn size_includes_sub_automata() {
+        let mut a = Anfa::label("A");
+        let base = a.size();
+        let f = a.finals()[0];
+        a.annotate(f, Annot::Exists(Box::new(Anfa::label("B"))));
+        assert!(a.size() > base + Anfa::label("B").size() - 1);
+    }
+
+    #[test]
+    fn import_offsets_targets() {
+        let mut a = Anfa::label("A");
+        let b = Anfa::label("B");
+        let off = a.import(&b);
+        assert_eq!(off, 2);
+        // b's transition must point at offset ids.
+        let (_, to) = &a.transitions(StateId(off))[0];
+        assert_eq!(*to, StateId(off + 1));
+    }
+
+    #[test]
+    fn display_dump_mentions_all_states() {
+        let a = Anfa::label("A").union(&Anfa::text());
+        let dump = a.to_string();
+        assert_eq!(dump.lines().count(), a.state_count());
+        assert!(dump.contains("--A-->"));
+        assert!(dump.contains("--str-->"));
+    }
+}

@@ -1,0 +1,144 @@
+//! Construction of the ANFA `M_Q` from an `XR` query — the cases (a)–(i) of
+//! §4.4.
+
+use xse_rxpath::{Qualifier, XrQuery};
+
+use crate::{Anfa, Annot, BuildError};
+
+impl Anfa {
+    /// Build the ANFA representing `q` (cases (a)–(d) for paths, (e)–(i)
+    /// for qualifiers).
+    ///
+    /// # Errors
+    /// `position()` qualifiers are accepted only on single label/text steps
+    /// (all the paper's constructions need); see [`BuildError`].
+    pub fn from_query(q: &XrQuery) -> Result<Anfa, BuildError> {
+        Ok(match q {
+            // (a) ε
+            XrQuery::Empty => Anfa::empty_query(),
+            // (b) a label B
+            XrQuery::Label(l) => Anfa::label(l.clone()),
+            // p/text(): "a special case of Q1/Q2 in which Q2 is represented
+            // by an ANFA with a single transition defined by str".
+            XrQuery::Text => Anfa::text(),
+            XrQuery::DescOrSelf => Anfa::desc_or_self(),
+            // (c) union / concatenation / Kleene closure.
+            XrQuery::Union(a, b) => Anfa::from_query(a)?.union(&Anfa::from_query(b)?),
+            XrQuery::Seq(a, b) => Anfa::from_query(a)?.concat(&Anfa::from_query(b)?),
+            XrQuery::Star(p) => Anfa::from_query(p)?.star(),
+            // (d) p[q]: annotate the final states of M_p with the qualifier.
+            XrQuery::Qualified(p, q) => {
+                if let Qualifier::Position(_) = q {
+                    if !matches!(**p, XrQuery::Label(_) | XrQuery::Text) {
+                        return Err(BuildError::PositionOnComplexPath(p.to_string()));
+                    }
+                }
+                let mut m = Anfa::from_query(p)?;
+                let a = annot_of(q)?;
+                if let Some(a) = a {
+                    m.annotate_finals(&a);
+                }
+                m
+            }
+        })
+    }
+}
+
+/// Cases (e)–(i): translate a qualifier into an annotation. `True` becomes
+/// `None` (no gate).
+fn annot_of(q: &Qualifier) -> Result<Option<Annot>, BuildError> {
+    Ok(Some(match q {
+        Qualifier::True => return Ok(None),
+        // (e) q is p.
+        Qualifier::Path(p) => Annot::Exists(Box::new(Anfa::from_query(p)?)),
+        // (f) q is p/text() = c. The stored query includes the text() tail.
+        Qualifier::TextEq(p, c) => Annot::ExistsValue(Box::new(Anfa::from_query(p)?), c.clone()),
+        // (g) position() = k.
+        Qualifier::Position(k) => Annot::Position(*k),
+        // (h) ¬q. ¬true is unsatisfiable: gate on the Fail automaton.
+        Qualifier::Not(inner) => match annot_of(inner)? {
+            None => Annot::Exists(Box::new(Anfa::fail())),
+            Some(a) => Annot::Not(Box::new(a)),
+        },
+        // (i) conjunction / disjunction.
+        Qualifier::And(a, b) => match (annot_of(a)?, annot_of(b)?) {
+            (None, None) => return Ok(None),
+            (Some(x), None) | (None, Some(x)) => x,
+            (Some(x), Some(y)) => Annot::And(Box::new(x), Box::new(y)),
+        },
+        Qualifier::Or(a, b) => match (annot_of(a)?, annot_of(b)?) {
+            // true ∨ q ≡ true.
+            (None, _) | (_, None) => return Ok(None),
+            (Some(x), Some(y)) => Annot::Or(Box::new(x), Box::new(y)),
+        },
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xse_rxpath::parse_query;
+
+    fn build(s: &str) -> Anfa {
+        Anfa::from_query(&parse_query(s).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn label_chain_builds_linear_automaton() {
+        let m = build("a/b/c");
+        assert_eq!(m.state_count(), 6);
+        assert_eq!(m.finals().len(), 1);
+    }
+
+    #[test]
+    fn union_and_star_build() {
+        let m = build("(a | b)*");
+        assert!(m.is_final(m.start()));
+        assert!(m.state_count() >= 6);
+    }
+
+    #[test]
+    fn qualifier_annotates_finals() {
+        let m = build("a[b/c]");
+        let f = m.finals()[0];
+        assert!(matches!(m.annot(f), Some(Annot::Exists(_))));
+    }
+
+    #[test]
+    fn true_qualifier_is_no_gate() {
+        let m = build("a[true]");
+        let f = m.finals()[0];
+        assert!(m.annot(f).is_none());
+    }
+
+    #[test]
+    fn position_on_label_ok_on_complex_rejected() {
+        assert!(Anfa::from_query(&parse_query("a[position() = 2]").unwrap()).is_ok());
+        let e = Anfa::from_query(&parse_query("(a/b)[position() = 2]").unwrap()).unwrap_err();
+        assert!(matches!(e, BuildError::PositionOnComplexPath(_)));
+    }
+
+    #[test]
+    fn nested_qualifiers_conjoin() {
+        let m = build("a[b][c]");
+        let f = m.finals()[0];
+        assert!(matches!(m.annot(f), Some(Annot::And(_, _))));
+    }
+
+    #[test]
+    fn text_eq_and_boolean_annotations() {
+        let m = build("a[text() = 'x' and not b or position() = 1]");
+        let f = m.finals()[0];
+        assert!(matches!(m.annot(f), Some(Annot::Or(_, _))));
+    }
+
+    #[test]
+    fn example_4_7_automaton_size() {
+        // Figure 6's query: the body automaton plus one Exists sub-ANFA.
+        let m = build(
+            "courses/current/course[basic/cno/text() = 'CS331']/(category/mandatory/regular/required/prereq/course)*",
+        );
+        assert!(m.finals().len() >= 1);
+        assert!(m.size() > 20);
+    }
+}

@@ -1,0 +1,193 @@
+//! Direct evaluation of ANFAs on XML trees.
+//!
+//! The paper notes that ANFAs can be evaluated directly "following the
+//! semantics of `XR` query evaluation" (citing the algorithms later
+//! published as Fan et al., ICDE 2007). We implement the natural product
+//! search: explore reachable `(state, node)` pairs; a pair is admitted only
+//! if the state's annotation holds at the node; results are the nodes paired
+//! with final states, in document order.
+
+use std::collections::HashSet;
+
+use xse_xmltree::{NodeId, XmlTree};
+
+use crate::{Anfa, Annot, StateId, Trans};
+
+impl Anfa {
+    /// Evaluate at context node `ctx` of `tree`; results in document order.
+    pub fn eval(&self, tree: &XmlTree, ctx: NodeId) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = Vec::new();
+        let mut seen: HashSet<(StateId, NodeId)> = HashSet::new();
+        let mut work: Vec<(StateId, NodeId)> = Vec::new();
+        self.admit(tree, self.start, ctx, &mut seen, &mut work);
+        let mut hits: HashSet<NodeId> = HashSet::new();
+        while let Some((s, n)) = work.pop() {
+            if self.is_final(s) {
+                hits.insert(n);
+            }
+            for (t, to) in self.transitions(s) {
+                match t {
+                    Trans::Eps => self.admit(tree, *to, n, &mut seen, &mut work),
+                    Trans::Label(l) => {
+                        for c in tree.children_with_tag(n, l) {
+                            self.admit(tree, *to, c, &mut seen, &mut work);
+                        }
+                    }
+                    Trans::Text => {
+                        for &c in tree.children(n) {
+                            if tree.is_text(c) {
+                                self.admit(tree, *to, c, &mut seen, &mut work);
+                            }
+                        }
+                    }
+                    Trans::Any => {
+                        for &c in tree.children(n) {
+                            self.admit(tree, *to, c, &mut seen, &mut work);
+                        }
+                    }
+                }
+            }
+        }
+        out.extend(hits);
+        // Document order: preorder rank.
+        let mut rank = vec![0u32; tree.len()];
+        for (i, id) in tree.preorder().enumerate() {
+            rank[id.index()] = i as u32;
+        }
+        out.sort_by_key(|id| rank[id.index()]);
+        out
+    }
+
+    /// Evaluate at the root.
+    pub fn eval_root(&self, tree: &XmlTree) -> Vec<NodeId> {
+        self.eval(tree, tree.root())
+    }
+
+    /// Push `(s, n)` if new and the state's annotation admits `n`.
+    fn admit(
+        &self,
+        tree: &XmlTree,
+        s: StateId,
+        n: NodeId,
+        seen: &mut HashSet<(StateId, NodeId)>,
+        work: &mut Vec<(StateId, NodeId)>,
+    ) {
+        if seen.contains(&(s, n)) {
+            return;
+        }
+        if let Some(a) = self.annot(s) {
+            if !holds(a, tree, n) {
+                // Do not mark as seen: annotations are node-dependent but
+                // deterministic, so caching the failure would also be sound;
+                // we skip the insert to keep `seen` small.
+                return;
+            }
+        }
+        seen.insert((s, n));
+        work.push((s, n));
+    }
+}
+
+fn holds(a: &Annot, tree: &XmlTree, n: NodeId) -> bool {
+    match a {
+        Annot::Exists(m) => !m.eval(tree, n).is_empty(),
+        Annot::ExistsValue(m, c) => m
+            .eval(tree, n)
+            .iter()
+            .any(|&id| tree.text_value(id) == Some(c)),
+        Annot::Position(k) => tree.position_among_same_label(n) == *k,
+        Annot::Not(x) => !holds(x, tree, n),
+        Annot::And(x, y) => holds(x, tree, n) && holds(y, tree, n),
+        Annot::Or(x, y) => holds(x, tree, n) || holds(y, tree, n),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Anfa;
+    use xse_rxpath::parse_query;
+    use xse_xmltree::parse_xml;
+
+    /// ANFA evaluation must agree with the direct XR evaluator on queries
+    /// whose positions sit on label steps.
+    fn agree(xml: &str, queries: &[&str]) {
+        let tree = parse_xml(xml).unwrap();
+        for q in queries {
+            let parsed = parse_query(q).unwrap();
+            let direct = parsed.eval(&tree);
+            let via_anfa = Anfa::from_query(&parsed).unwrap().eval_root(&tree);
+            assert_eq!(direct, via_anfa, "query {q} disagrees");
+        }
+    }
+
+    #[test]
+    fn agrees_with_direct_evaluation_on_school_doc() {
+        agree(
+            "<db>\
+               <class><cno>CS240</cno><type><regular/></type></class>\
+               <class><cno>CS331</cno><type><project/></type></class>\
+               <class><cno>CS550</cno><type><regular/></type></class>\
+             </db>",
+            &[
+                ".",
+                "class",
+                "class/cno",
+                "class/cno/text()",
+                "class[cno/text() = 'CS331']",
+                "class[type/regular]/cno",
+                "class[position() = 2]",
+                "class[not type/project]",
+                "class[type/regular and cno/text() = 'CS240']/cno",
+                "class | class/cno",
+                "class[true]",
+            ],
+        );
+    }
+
+    #[test]
+    fn agrees_on_recursive_star_queries() {
+        agree(
+            "<r><A><B><A><B><A/></B><C/></A></B><C/></A></r>",
+            &[
+                "A/(B/A)*",
+                "(A/B)*",
+                "A/(B/A)*/C",
+                "A/(B[position() = 1]/A)*",
+                ".*",
+                "(A | B | C)*",
+            ],
+        );
+    }
+
+    #[test]
+    fn agrees_on_descendant_or_self() {
+        agree(
+            "<r><A><B/><C><B/></C></A></r>",
+            &[".//B", "A//B", ".//.", "A//."],
+        );
+    }
+
+    #[test]
+    fn fail_automaton_returns_nothing() {
+        let tree = parse_xml("<r><a/></r>").unwrap();
+        assert!(Anfa::fail().eval_root(&tree).is_empty());
+    }
+
+    #[test]
+    fn results_are_doc_ordered_and_deduped() {
+        let tree = parse_xml("<r><a/><b/><a/></r>").unwrap();
+        let m = Anfa::from_query(&parse_query("a | a | (a | b)").unwrap()).unwrap();
+        let r = m.eval_root(&tree);
+        assert_eq!(r.len(), 3);
+        assert!(r.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn not_true_is_false() {
+        let tree = parse_xml("<r><a/></r>").unwrap();
+        let m = Anfa::from_query(&parse_query("a[not true]").unwrap()).unwrap();
+        assert!(m.eval_root(&tree).is_empty());
+        let m = Anfa::from_query(&parse_query("a[not not true]").unwrap()).unwrap();
+        assert_eq!(m.eval_root(&tree).len(), 1);
+    }
+}

@@ -1,0 +1,38 @@
+//! Annotated nondeterministic finite automata (ANFA) — §4.4 of
+//! Fan & Bohannon.
+//!
+//! An ANFA `M_Q = (M, ν)` represents a regular XPath query: `M` is an NFA
+//! over element labels extended with a partial mapping `θ` from states to
+//! qualifiers, and `ν` maps qualifier names to the sub-ANFAs implementing
+//! them. Keeping translated queries in automaton form is what makes the
+//! paper's query translation run in low polynomial time — explicit `XR`
+//! output is worst-case exponential (it subsumes NFA → regular-expression
+//! conversion, EXPTIME-complete per Ehrenfeucht & Zeiger).
+//!
+//! Representation notes:
+//!
+//! * the name table `ν` is implicit: a state's annotation owns its
+//!   sub-automata directly ([`Annot`]);
+//! * a state's annotation gates *passage*: a run may occupy state `s` at
+//!   node `n` only if `θ(s)` holds at `n` — this subsumes the paper's
+//!   "annotate the final states of `p` with `[q]`" for `p[q]`, and keeps
+//!   working when those states later get outgoing ε-edges during
+//!   concatenation;
+//! * `position() = k` annotations are only attached to states entered by a
+//!   single label/text transition (which is all the paper's constructions
+//!   produce); there they coincide with "k-th same-label sibling", the
+//!   semantics [`Anfa::eval`] implements. [`build`](Anfa::from_query)
+//!   rejects position qualifiers on other path shapes rather than silently
+//!   mistranslating them (see DESIGN.md §3).
+//!
+//! The [`Fail`](Anfa::fail) automaton, useless-state removal
+//! ([`Anfa::prune`]) and the state-elimination translation back to `XR`
+//! ([`Anfa::to_query`]) complete the toolkit.
+
+mod automaton;
+mod build;
+mod eval;
+mod prune;
+mod to_xr;
+
+pub use automaton::{Anfa, Annot, BuildError, StateId, Trans};

@@ -1,0 +1,202 @@
+//! State elimination: converting an ANFA back to an explicit `XR` query.
+//!
+//! §4.4 observes this translation "subsumes the translation of finite-state
+//! automata to regular expressions, an EXPTIME-complete problem" — so this
+//! is strictly a debugging/presentation facility (and a differential-testing
+//! oracle: the extracted query must evaluate like the automaton). The
+//! algorithm is classic GNFA elimination with `XR` expressions as edge
+//! weights; state annotations are folded into qualifiers on their incoming
+//! edges first.
+
+use std::collections::BTreeMap;
+
+use xse_rxpath::{Qualifier, XrQuery};
+
+use crate::{Anfa, Annot, Trans};
+
+impl Anfa {
+    /// Extract an equivalent `XR` query. Returns `None` for the `Fail`
+    /// automaton (no query of the grammar denotes the constant-empty
+    /// result on every tree... other than ones with fresh labels; callers
+    /// treat `None` as "empty result").
+    pub fn to_query(&self) -> Option<XrQuery> {
+        let mut m = self.clone();
+        m.prune();
+        if m.is_fail() {
+            return None;
+        }
+
+        // GNFA edges: (from, to) -> XrQuery weight. Node usize::MAX-1 is the
+        // fresh start, usize::MAX the fresh final.
+        const S: usize = usize::MAX - 1;
+        const F: usize = usize::MAX;
+        let mut edges: BTreeMap<(usize, usize), XrQuery> = BTreeMap::new();
+        let add = |edges: &mut BTreeMap<(usize, usize), XrQuery>,
+                       from: usize,
+                       to: usize,
+                       q: XrQuery| {
+            edges
+                .entry((from, to))
+                .and_modify(|e| *e = e.clone().or(q.clone()))
+                .or_insert(q);
+        };
+
+        for (i, st) in m.states.iter().enumerate() {
+            for (t, to) in &st.transitions {
+                let mut q = match t {
+                    Trans::Eps => XrQuery::Empty,
+                    Trans::Label(l) => XrQuery::Label(l.clone()),
+                    Trans::Text => XrQuery::Text,
+                    Trans::Any => XrQuery::DescOrSelf, // over-approximation of one any-step
+                };
+                // Fold the *target* state's annotation into the edge.
+                if let Some(a) = m.states[to.index()].annot.as_ref() {
+                    q = q.with(annot_to_qualifier(a)?);
+                }
+                add(&mut edges, i, to.index(), q);
+            }
+            if st.is_final {
+                add(&mut edges, i, F, XrQuery::Empty);
+            }
+        }
+        {
+            let mut q0 = XrQuery::Empty;
+            if let Some(a) = m.states[m.start.index()].annot.as_ref() {
+                q0 = q0.with(annot_to_qualifier(a)?);
+            }
+            add(&mut edges, S, m.start.index(), q0);
+        }
+
+        // Eliminate internal states, cheapest (in-degree × out-degree) first.
+        let mut remaining: Vec<usize> = (0..m.states.len()).collect();
+        while !remaining.is_empty() {
+            let (idx, &x) = remaining
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &x)| {
+                    let indeg = edges.keys().filter(|(_, t)| *t == x).count();
+                    let outdeg = edges.keys().filter(|(f, _)| *f == x).count();
+                    indeg * outdeg
+                })
+                .unwrap();
+            remaining.swap_remove(idx);
+
+            let self_loop = edges.remove(&(x, x));
+            let ins: Vec<(usize, XrQuery)> = edges
+                .iter()
+                .filter(|((_, t), _)| *t == x)
+                .map(|((f, _), q)| (*f, q.clone()))
+                .collect();
+            let outs: Vec<(usize, XrQuery)> = edges
+                .iter()
+                .filter(|((f, _), _)| *f == x)
+                .map(|((_, t), q)| (*t, q.clone()))
+                .collect();
+            edges.retain(|(f, t), _| *f != x && *t != x);
+            for (from, p) in &ins {
+                for (to, s) in &outs {
+                    let mut q = p.clone();
+                    if let Some(l) = &self_loop {
+                        q = q.then(l.clone().star());
+                    }
+                    q = q.then(s.clone());
+                    add(&mut edges, *from, *to, q);
+                }
+            }
+        }
+        edges.remove(&(S, F))
+    }
+}
+
+/// Render an annotation as an `XR` qualifier. `None` (propagated as `?`)
+/// when a sub-automaton is `Fail` *under a `Not`* — handled by the caller
+/// via the `Exists(Fail)`-style encodings below, so the only true failure
+/// mode is an unconvertible nested automaton, which cannot happen (recursion
+/// bottoms out at `Position`).
+fn annot_to_qualifier(a: &Annot) -> Option<Qualifier> {
+    Some(match a {
+        Annot::Exists(m) => match m.to_query() {
+            Some(q) => Qualifier::Path(Box::new(q)),
+            // Exists(Fail) ≡ false ≡ ¬true.
+            None => Qualifier::Not(Box::new(Qualifier::True)),
+        },
+        Annot::ExistsValue(m, c) => match m.to_query() {
+            Some(q) => Qualifier::TextEq(Box::new(q), c.clone()),
+            None => Qualifier::Not(Box::new(Qualifier::True)),
+        },
+        Annot::Position(k) => Qualifier::Position(*k),
+        Annot::Not(x) => Qualifier::Not(Box::new(annot_to_qualifier(x)?)),
+        Annot::And(x, y) => Qualifier::And(
+            Box::new(annot_to_qualifier(x)?),
+            Box::new(annot_to_qualifier(y)?),
+        ),
+        Annot::Or(x, y) => Qualifier::Or(
+            Box::new(annot_to_qualifier(x)?),
+            Box::new(annot_to_qualifier(y)?),
+        ),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Anfa;
+    use xse_rxpath::parse_query;
+    use xse_xmltree::parse_xml;
+
+    /// Roundtrip: query → ANFA → query, compare evaluation results.
+    fn roundtrip_agrees(xml: &str, queries: &[&str]) {
+        let tree = parse_xml(xml).unwrap();
+        for q in queries {
+            let parsed = parse_query(q).unwrap();
+            let m = Anfa::from_query(&parsed).unwrap();
+            let extracted = m
+                .to_query()
+                .unwrap_or_else(|| panic!("{q} extracted as Fail"));
+            let direct = parsed.eval(&tree);
+            let via_extracted = extracted.eval(&tree);
+            assert_eq!(
+                direct, via_extracted,
+                "query {q} reprinted as {extracted} disagrees"
+            );
+        }
+    }
+
+    #[test]
+    fn roundtrips_path_queries() {
+        roundtrip_agrees(
+            "<db>\
+               <class><cno>CS240</cno><type><regular/></type></class>\
+               <class><cno>CS331</cno><type><project/></type></class>\
+             </db>",
+            &[
+                "class",
+                "class/cno/text()",
+                "class[cno/text() = 'CS331']",
+                "class[type/regular]/cno",
+                "class[position() = 2]",
+                "class | class/cno",
+            ],
+        );
+    }
+
+    #[test]
+    fn roundtrips_star_queries() {
+        roundtrip_agrees(
+            "<r><A><B><A><B><A/></B><C/></A></B><C/></A></r>",
+            &["A/(B/A)*", "(A/B)*", "A/(B/A)*/C", "(A | B | C)*"],
+        );
+    }
+
+    #[test]
+    fn fail_extracts_to_none() {
+        assert!(Anfa::fail().to_query().is_none());
+    }
+
+    #[test]
+    fn extraction_of_single_label_is_small() {
+        let m = Anfa::from_query(&parse_query("a/b").unwrap()).unwrap();
+        let q = m.to_query().unwrap();
+        // ε-padding may remain but evaluation already checked; size sanity:
+        assert!(q.size() <= 8, "got {q} of size {}", q.size());
+    }
+}

@@ -1,0 +1,27 @@
+//! ABL-1 micro-slice: prefix-free search with and without the reachability
+//! index pruning.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xse_discovery::{find_embedding, DiscoveryConfig};
+use xse_workloads::corpus;
+use xse_workloads::noise::{noised_copy, NoiseConfig};
+use xse_workloads::simgen::exact;
+
+fn bench(c: &mut Criterion) {
+    let src = corpus::auction_like();
+    let copy = noised_copy(&src, NoiseConfig::level(0.4), 29);
+    let att = exact(&src, &copy);
+    let mut g = c.benchmark_group("ablation_pfp");
+    g.sample_size(10);
+    for (name, disable) in [("with-pruning", false), ("no-pruning", true)] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &disable, |b, &disable| {
+            let mut cfg = DiscoveryConfig::default();
+            cfg.pfp.disable_reach_pruning = disable;
+            b.iter(|| find_embedding(&src, &copy.target, &att, &cfg).is_some())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! EXP-C micro-slice: discovery runtime vs. schema size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xse_discovery::{find_embedding, DiscoveryConfig};
+use xse_workloads::noise::{noised_copy, NoiseConfig};
+use xse_workloads::scale::random_schema;
+use xse_workloads::simgen::exact;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("discovery_scale");
+    g.sample_size(10);
+    for n in [20usize, 60, 120] {
+        let src = random_schema(n, n as u64);
+        let copy = noised_copy(&src, NoiseConfig::level(0.25), 17);
+        let att = exact(&src, &copy);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let cfg = DiscoveryConfig { restarts: 8, ..DiscoveryConfig::default() };
+            b.iter(|| find_embedding(&src, &copy.target, &att, &cfg).is_some())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! FIG-T micro-slice: InstMap and inverse wall time vs. document size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use xse_bench::fixtures;
+use xse_dtd::{GenConfig, InstanceGenerator};
+
+fn bench(c: &mut Criterion) {
+    let (s0, s) = fixtures::fig1_pair();
+    let e = fixtures::fig1_embedding(&s0, &s);
+    let mut g = c.benchmark_group("instance_map");
+    g.sample_size(20);
+    for n in [500usize, 2_000, 8_000] {
+        let gen = InstanceGenerator::new(
+            &s0,
+            GenConfig { max_nodes: n, star_mean: 3.0, ..GenConfig::default() },
+        );
+        let t1 = gen.generate(n as u64);
+        let out = e.apply(&t1).unwrap();
+        g.throughput(Throughput::Elements(t1.len() as u64));
+        g.bench_with_input(BenchmarkId::new("apply", t1.len()), &t1, |b, t1| {
+            b.iter(|| e.apply(t1).unwrap().tree.len())
+        });
+        g.bench_with_input(BenchmarkId::new("invert", out.tree.len()), &out.tree, |b, t2| {
+            b.iter(|| e.invert(t2).unwrap().len())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

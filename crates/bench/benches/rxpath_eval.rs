@@ -1,0 +1,37 @@
+//! Substrate microbench: XR evaluation (direct vs. ANFA) on a generated
+//! school document.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xse_anfa::Anfa;
+use xse_dtd::{GenConfig, InstanceGenerator};
+use xse_rxpath::parse_query;
+use xse_workloads::corpus;
+
+fn bench(c: &mut Criterion) {
+    let d = corpus::fig1_class();
+    let gen = InstanceGenerator::new(
+        &d,
+        GenConfig { max_nodes: 5_000, star_mean: 3.0, ..GenConfig::default() },
+    );
+    let t = gen.generate(1);
+    let queries = [
+        ("path", "class/cno/text()"),
+        ("qualified", "class[type/regular]/cno"),
+        ("star", "class/(type/regular/prereq/class)*/cno"),
+    ];
+    let mut g = c.benchmark_group("rxpath_eval");
+    for (name, q) in queries {
+        let parsed = parse_query(q).unwrap();
+        let anfa = Anfa::from_query(&parsed).unwrap();
+        g.bench_with_input(BenchmarkId::new("direct", name), &parsed, |b, q| {
+            b.iter(|| q.eval(&t).len())
+        });
+        g.bench_with_input(BenchmarkId::new("anfa", name), &anfa, |b, m| {
+            b.iter(|| m.eval_root(&t).len())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! TAB-2 micro-slice: query translation time on the Figure 1 embedding.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xse_bench::fixtures;
+use xse_rxpath::parse_query;
+
+fn bench(c: &mut Criterion) {
+    let (s0, s) = fixtures::fig1_pair();
+    let e = fixtures::fig1_embedding(&s0, &s);
+    let queries = [
+        ("step", "class"),
+        ("path", "class/type/regular/prereq"),
+        ("qualified", "class[cno/text() = 'CS331']/title"),
+        ("example-4-8", "class[cno/text() = 'CS331']/(type/regular/prereq/class)*"),
+        ("union-star", "(class/type/regular/prereq/class)* | class/cno"),
+    ];
+    let mut g = c.benchmark_group("translate");
+    for (name, q) in queries {
+        let parsed = parse_query(q).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(name), &parsed, |b, parsed| {
+            b.iter(|| e.translate(parsed).unwrap().size())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! TAB-4 micro-slice: generated XSLT vs. the direct algorithms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xse_bench::fixtures;
+use xse_dtd::{GenConfig, InstanceGenerator};
+use xse_xslt::{apply_stylesheet, generate_forward, generate_inverse};
+
+fn bench(c: &mut Criterion) {
+    let (s0, s) = fixtures::fig1_pair();
+    let e = fixtures::fig1_embedding(&s0, &s);
+    let fwd = generate_forward(&e);
+    let inv = generate_inverse(&e);
+    let gen = InstanceGenerator::new(
+        &s0,
+        GenConfig { max_nodes: 2_000, star_mean: 3.0, ..GenConfig::default() },
+    );
+    let t1 = gen.generate(42);
+    let t2 = e.apply(&t1).unwrap().tree;
+    let mut g = c.benchmark_group("xslt_apply");
+    g.sample_size(20);
+    g.bench_with_input(BenchmarkId::new("forward", t1.len()), &t1, |b, t1| {
+        b.iter(|| apply_stylesheet(&fwd, t1, None).unwrap().len())
+    });
+    g.bench_with_input(BenchmarkId::new("inverse", t2.len()), &t2, |b, t2| {
+        b.iter(|| apply_stylesheet(&inv, t2, None).unwrap().len())
+    });
+    g.bench_with_input(BenchmarkId::new("direct-apply", t1.len()), &t1, |b, t1| {
+        b.iter(|| e.apply(t1).unwrap().tree.len())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

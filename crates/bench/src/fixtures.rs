@@ -1,0 +1,72 @@
+//! Shared fixtures: the paper's Figure 1 embedding (Example 4.2) built
+//! explicitly, for the experiments that need a fixed hand-written embedding
+//! rather than a discovered one.
+
+use xse_core::{Embedding, PathMapping, TypeMapping};
+use xse_dtd::Dtd;
+use xse_workloads::corpus;
+
+/// The Figure 1 source (class DTD `S0`) and target (school DTD `S`).
+pub fn fig1_pair() -> (Dtd, Dtd) {
+    (corpus::fig1_class(), corpus::fig1_school())
+}
+
+/// The Example 4.2 embedding `σ1 : S0 → S`.
+pub fn fig1_embedding<'a>(s0: &'a Dtd, s: &'a Dtd) -> Embedding<'a> {
+    let lambda = TypeMapping::by_name_pairs(
+        s0,
+        s,
+        &[("db", "school"), ("class", "course"), ("type", "category")],
+    )
+    .expect("Figure 1 names");
+    let mut paths = PathMapping::new(s0);
+    paths
+        .edge(s0, "db", "class", "courses/current/course")
+        .edge(s0, "class", "cno", "basic/cno")
+        .edge(s0, "class", "title", "basic/class2/semester[position() = 1]/title")
+        .edge(s0, "class", "type", "category")
+        .edge(s0, "type", "regular", "mandatory/regular")
+        .edge(s0, "type", "project", "advanced/project")
+        .edge(s0, "regular", "prereq", "required/prereq")
+        .edge(s0, "prereq", "class", "course")
+        .text_edge(s0, "cno", "text()")
+        .text_edge(s0, "title", "text()")
+        .text_edge(s0, "project", "text()");
+    Embedding::new(s0, s, lambda, paths).expect("Example 4.2 is valid")
+}
+
+/// The Example 4.9 embedding `σ2 : S1 → S` (student DTD into the school).
+pub fn fig1_student_embedding<'a>(s1: &'a Dtd, s: &'a Dtd) -> Embedding<'a> {
+    let lambda = TypeMapping::by_name_pairs(
+        s1,
+        s,
+        &[("sdb", "school"), ("taking", "taking"), ("cno", "cno2")],
+    )
+    .expect("Figure 1 names");
+    let mut paths = PathMapping::new(s1);
+    paths
+        .edge(s1, "sdb", "student", "students/student")
+        .edge(s1, "student", "ssn", "ssn")
+        .edge(s1, "student", "name", "name")
+        .edge(s1, "student", "taking", "taking")
+        .edge(s1, "taking", "cno", "cno2")
+        .text_edge(s1, "ssn", "text()")
+        .text_edge(s1, "name", "text()")
+        .text_edge(s1, "cno", "text()");
+    Embedding::new(s1, s, lambda, paths).expect("Example 4.9 is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_fig1_embeddings_validate() {
+        let (s0, s) = fig1_pair();
+        let e1 = fig1_embedding(&s0, &s);
+        assert!(e1.size() > 10);
+        let s1 = corpus::fig1_student();
+        let e2 = fig1_student_embedding(&s1, &s);
+        assert!(e2.size() > 5);
+    }
+}

@@ -1,0 +1,14 @@
+//! Experiment implementations shared by the `report` binary (which prints
+//! every table and figure of EXPERIMENTS.md) and the Criterion benches.
+
+pub mod experiments;
+pub mod fixtures;
+
+/// Format a fraction as a percentage string.
+pub fn pct(hits: usize, total: usize) -> String {
+    if total == 0 {
+        "n/a".to_string()
+    } else {
+        format!("{:.0}%", 100.0 * hits as f64 / total as f64)
+    }
+}

@@ -1,0 +1,479 @@
+//! The [`Embedding`] type: a validated schema embedding `σ = (λ, path)`.
+
+use xse_dtd::{Dtd, EdgeTarget, SchemaGraph, TypeId};
+use xse_rxpath::XrPath;
+use xse_xmltree::{IdMap, XmlTree};
+
+use crate::resolve::{resolve_path, ResolvedPath};
+use crate::{SchemaEmbeddingError, SimilarityMatrix};
+
+/// The type mapping `λ : E1 → E2` (total; `λ(r1) = r2`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TypeMapping {
+    /// `map[a.index()]` is `λ(a)`.
+    pub map: Vec<TypeId>,
+}
+
+impl TypeMapping {
+    /// Build from a function over source types.
+    pub fn from_fn(source: &Dtd, f: impl Fn(TypeId) -> TypeId) -> Self {
+        TypeMapping {
+            map: source.types().map(f).collect(),
+        }
+    }
+
+    /// Map every source type to the target type with the same tag.
+    ///
+    /// # Errors
+    /// Returns the offending source tag when the target lacks it.
+    pub fn by_same_name(source: &Dtd, target: &Dtd) -> Result<Self, String> {
+        let mut map = Vec::with_capacity(source.type_count());
+        for a in source.types() {
+            match target.type_id(source.name(a)) {
+                Some(b) => map.push(b),
+                None => return Err(source.name(a).to_string()),
+            }
+        }
+        Ok(TypeMapping { map })
+    }
+
+    /// Build from `(source tag, target tag)` pairs; tags not listed map by
+    /// identical name.
+    pub fn by_name_pairs(
+        source: &Dtd,
+        target: &Dtd,
+        pairs: &[(&str, &str)],
+    ) -> Result<Self, String> {
+        let mut map = Vec::with_capacity(source.type_count());
+        for a in source.types() {
+            let name = source.name(a);
+            let tgt_name = pairs
+                .iter()
+                .find(|(s, _)| *s == name)
+                .map(|(_, t)| *t)
+                .unwrap_or(name);
+            match target.type_id(tgt_name) {
+                Some(b) => map.push(b),
+                None => return Err(tgt_name.to_string()),
+            }
+        }
+        Ok(TypeMapping { map })
+    }
+
+    /// `λ(a)`.
+    pub fn get(&self, a: TypeId) -> TypeId {
+        self.map[a.index()]
+    }
+}
+
+/// The path function: one `XR` path per source schema-graph edge, indexed by
+/// `(source type, edge slot)` in the order of
+/// [`SchemaGraph::edges_from`].
+#[derive(Clone, Debug, Default)]
+pub struct PathMapping {
+    /// `paths[a.index()][slot]`.
+    pub paths: Vec<Vec<XrPath>>,
+}
+
+impl PathMapping {
+    /// Start an empty mapping sized for `source` (every slot must be filled
+    /// before building an [`Embedding`]).
+    pub fn new(source: &Dtd) -> Self {
+        let graph = SchemaGraph::new(source);
+        PathMapping {
+            paths: source
+                .types()
+                .map(|t| vec![XrPath::new(Vec::new()); graph.edges_from(t).len()])
+                .collect(),
+        }
+    }
+
+    /// Set the path of edge `slot` of type `a`.
+    pub fn set(&mut self, a: TypeId, slot: usize, path: XrPath) {
+        self.paths[a.index()][slot] = path;
+    }
+
+    /// Set the path of the edge from `parent` to its child named `child`
+    /// (first matching slot; use [`PathMapping::set`] for repeated
+    /// concatenation children). The path is parsed from `XR` syntax.
+    ///
+    /// # Panics
+    /// Panics on unknown names or unparsable paths — this is the
+    /// literal-embedding construction API used by examples and tests.
+    pub fn edge(&mut self, source: &Dtd, parent: &str, child: &str, path: &str) -> &mut Self {
+        let a = source
+            .type_id(parent)
+            .unwrap_or_else(|| panic!("unknown source type {parent:?}"));
+        let graph = SchemaGraph::new(source);
+        let slot = graph
+            .edges_from(a)
+            .iter()
+            .position(|e| match e.target {
+                EdgeTarget::Type(t) => source.name(t) == child,
+                EdgeTarget::Str => child == "str",
+            })
+            .unwrap_or_else(|| panic!("{parent:?} has no child {child:?}"));
+        self.paths[a.index()][slot] = XrPath::parse(path).unwrap_or_else(|e| panic!("{e}"));
+        self
+    }
+
+    /// Set the `str` edge of a `A → str` type.
+    pub fn text_edge(&mut self, source: &Dtd, parent: &str, path: &str) -> &mut Self {
+        self.edge(source, parent, "str", path)
+    }
+
+    /// The path at `(a, slot)`.
+    pub fn get(&self, a: TypeId, slot: usize) -> &XrPath {
+        &self.paths[a.index()][slot]
+    }
+}
+
+/// The output of the instance mapping `σd`: the target document and the
+/// node id mapping `idM` from target ids back to source ids.
+#[derive(Clone, Debug)]
+pub struct MappingOutput {
+    /// `σd(T)` — conforms to the target DTD (Theorem 4.1).
+    pub tree: XmlTree,
+    /// `idM : dom(σd(T)) → dom(T)` (partial; injective).
+    pub idmap: IdMap,
+}
+
+/// A validated schema embedding `σ : S1 → S2`.
+///
+///
+/// Construction ([`Embedding::new`]) checks the §4.1 validity conditions and
+/// canonicalizes positions (DESIGN.md §3); every later operation can then
+/// assume a well-formed mapping.
+pub struct Embedding<'a> {
+    pub(crate) source: &'a Dtd,
+    pub(crate) target: &'a Dtd,
+    pub(crate) src_graph: SchemaGraph,
+    #[allow(dead_code)] // kept: handy for future extensions and debugging
+    pub(crate) tgt_graph: SchemaGraph,
+    pub(crate) lambda: TypeMapping,
+    /// Resolved, normalized paths per `(source type, edge slot)`.
+    pub(crate) resolved: Vec<Vec<ResolvedPath>>,
+}
+
+impl<'a> std::fmt::Debug for Embedding<'a> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Embedding({} -> {}, |σ| = {})",
+            self.source.name(self.source.root()),
+            self.target.name(self.target.root()),
+            self.size()
+        )
+    }
+}
+
+impl<'a> Embedding<'a> {
+    /// Validate `(λ, path)` and build the embedding.
+    pub fn new(
+        source: &'a Dtd,
+        target: &'a Dtd,
+        lambda: TypeMapping,
+        paths: PathMapping,
+    ) -> Result<Self, SchemaEmbeddingError> {
+        if lambda.map.len() != source.type_count() {
+            return Err(SchemaEmbeddingError::ArityMismatch {
+                ty: "λ".into(),
+                expected: source.type_count(),
+                got: lambda.map.len(),
+            });
+        }
+        if lambda.get(source.root()) != target.root() {
+            return Err(SchemaEmbeddingError::RootNotMappedToRoot);
+        }
+        if !source.is_consistent() {
+            return Err(SchemaEmbeddingError::InconsistentDtd { which: "source" });
+        }
+        if !target.is_consistent() {
+            return Err(SchemaEmbeddingError::InconsistentDtd { which: "target" });
+        }
+        let src_graph = SchemaGraph::new(source);
+        let tgt_graph = SchemaGraph::new(target);
+        let mut resolved: Vec<Vec<ResolvedPath>> = Vec::with_capacity(source.type_count());
+        for a in source.types() {
+            let edges = src_graph.edges_from(a);
+            let given = paths
+                .paths
+                .get(a.index())
+                .map(Vec::as_slice)
+                .unwrap_or(&[]);
+            if given.len() != edges.len() {
+                return Err(SchemaEmbeddingError::ArityMismatch {
+                    ty: source.name(a).to_string(),
+                    expected: edges.len(),
+                    got: given.len(),
+                });
+            }
+            let origin = lambda.get(a);
+            let mut per_type = Vec::with_capacity(edges.len());
+            for (edge, p) in edges.iter().zip(given.iter()) {
+                let mut rp = resolve_path(target, &tgt_graph, origin, p)?;
+                crate::validity::normalize_and_check_edge(
+                    source, target, &lambda, edge, p, &mut rp,
+                )?;
+                per_type.push(rp);
+            }
+            crate::validity::check_prefix_free(source, target, a, &per_type)?;
+            resolved.push(per_type);
+        }
+        // Disjunction distinguishability (needs all paths resolved).
+        let plans = target.mindef_plans();
+        for a in source.types() {
+            crate::validity::check_disjunction_distinguishability(
+                source,
+                target,
+                a,
+                &resolved[a.index()],
+                &plans,
+            )?;
+        }
+        Ok(Embedding {
+            source,
+            target,
+            src_graph,
+            tgt_graph,
+            lambda,
+            resolved,
+        })
+    }
+
+    /// Validate against a similarity matrix: `att(A, λ(A)) > 0` for all `A`
+    /// (λ-validity, §4.1).
+    pub fn check_similarity(&self, att: &SimilarityMatrix) -> Result<(), SchemaEmbeddingError> {
+        for a in self.source.types() {
+            if att.get(a, self.lambda.get(a)) <= 0.0 {
+                return Err(SchemaEmbeddingError::SimilarityZero {
+                    source: self.source.name(a).to_string(),
+                    target: self.target.name(self.lambda.get(a)).to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The source DTD `S1`.
+    pub fn source(&self) -> &Dtd {
+        self.source
+    }
+
+    /// The target DTD `S2`.
+    pub fn target(&self) -> &Dtd {
+        self.target
+    }
+
+    /// `λ(a)`.
+    pub fn lambda(&self, a: TypeId) -> TypeId {
+        self.lambda.get(a)
+    }
+
+    /// The resolved path of edge `slot` of source type `a`.
+    pub fn path(&self, a: TypeId, slot: usize) -> &ResolvedPath {
+        &self.resolved[a.index()][slot]
+    }
+
+    /// All resolved paths of source type `a`, in edge-slot order.
+    pub fn paths_of(&self, a: TypeId) -> &[ResolvedPath] {
+        &self.resolved[a.index()]
+    }
+
+    /// `|σ|`: total number of path steps across all edges — the measure in
+    /// Theorem 4.3's bounds.
+    pub fn size(&self) -> usize {
+        self.resolved
+            .iter()
+            .flat_map(|v| v.iter())
+            .map(ResolvedPath::len)
+            .sum()
+    }
+
+    /// Pretty-print the embedding in the paper's `λ(..) / path(..)` notation.
+    pub fn describe(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for a in self.source.types() {
+            let _ = writeln!(
+                out,
+                "λ({}) = {}",
+                self.source.name(a),
+                self.target.name(self.lambda.get(a))
+            );
+        }
+        for a in self.source.types() {
+            for (edge, rp) in self
+                .src_graph
+                .edges_from(a)
+                .iter()
+                .zip(self.resolved[a.index()].iter())
+            {
+                let child = match edge.target {
+                    EdgeTarget::Type(t) => self.source.name(t).to_string(),
+                    EdgeTarget::Str => "str".to_string(),
+                };
+                let _ = writeln!(
+                    out,
+                    "path({}, {}) = {}",
+                    self.source.name(a),
+                    child,
+                    rp.display(self.target)
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use xse_dtd::Dtd;
+
+    /// A compact valid embedding used across the crate's tests: the target
+    /// wraps each source region one or two levels deeper and adds a padding
+    /// leaf, so the fixture exercises chain prefixes, a star crossing with
+    /// a suffix, mindef completion and text edges.
+    ///
+    /// S1: r → a, b;  a → str;  b → c*;  c → str
+    /// S2: r → x, y;  x → a, pad;  a → str;  pad → str;
+    ///     y → w;  w → c2*;  c2 → c;  c → str
+    pub(crate) fn wrap() -> (Dtd, Dtd) {
+        let s1 = Dtd::builder("r")
+            .concat("r", &["a", "b"])
+            .str_type("a")
+            .star("b", "c")
+            .str_type("c")
+            .build()
+            .unwrap();
+        let s2 = Dtd::builder("r")
+            .concat("r", &["x", "y"])
+            .concat("x", &["a", "pad"])
+            .str_type("a")
+            .str_type("pad")
+            .concat("y", &["w"])
+            .star("w", "c2")
+            .concat("c2", &["c"])
+            .str_type("c")
+            .build()
+            .unwrap();
+        (s1, s2)
+    }
+
+    pub(crate) fn wrap_embedding(s1: &Dtd, s2: &Dtd) -> (TypeMapping, PathMapping) {
+        let lambda = TypeMapping::by_name_pairs(s1, s2, &[("b", "w")]).unwrap();
+        let mut paths = PathMapping::new(s1);
+        paths
+            .edge(s1, "r", "a", "x/a")
+            .edge(s1, "r", "b", "y/w")
+            .edge(s1, "b", "c", "c2/c")
+            .text_edge(s1, "a", "text()")
+            .text_edge(s1, "c", "text()");
+        (lambda, paths)
+    }
+
+    #[test]
+    fn wrap_embedding_is_valid() {
+        let (s1, s2) = wrap();
+        let (lambda, paths) = wrap_embedding(&s1, &s2);
+        let e = Embedding::new(&s1, &s2, lambda, paths).unwrap();
+        assert_eq!(e.size(), 2 + 2 + 2 + 1 + 1);
+        let desc = e.describe();
+        assert!(desc.contains("λ(b) = w"), "{desc}");
+        assert!(
+            desc.contains("path(r, a) = x[position() = 1]/a[position() = 1]"),
+            "{desc}"
+        );
+        assert!(desc.contains("path(b, c) = c2/c[position() = 1]"), "{desc}");
+    }
+
+    #[test]
+    fn root_must_map_to_root() {
+        let (s1, s2) = wrap();
+        let w2 = s2.type_id("w").unwrap();
+        let lambda = TypeMapping::from_fn(&s1, |_| w2);
+        let (_, paths) = wrap_embedding(&s1, &s2);
+        let e = Embedding::new(&s1, &s2, lambda, paths).unwrap_err();
+        assert_eq!(e, SchemaEmbeddingError::RootNotMappedToRoot);
+    }
+
+    #[test]
+    fn missing_paths_are_an_arity_error() {
+        let (s1, s2) = wrap();
+        let (lambda, _) = wrap_embedding(&s1, &s2);
+        let e = Embedding::new(&s1, &s2, lambda, PathMapping::default()).unwrap_err();
+        assert!(matches!(e, SchemaEmbeddingError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn similarity_validation() {
+        let (s1, s2) = wrap();
+        let (lambda, paths) = wrap_embedding(&s1, &s2);
+        let e = Embedding::new(&s1, &s2, lambda, paths).unwrap();
+        let att = SimilarityMatrix::permissive(&s1, &s2);
+        e.check_similarity(&att).unwrap();
+        let mut att = SimilarityMatrix::permissive(&s1, &s2);
+        att.set(s1.type_id("b").unwrap(), s2.type_id("w").unwrap(), 0.0);
+        assert!(matches!(
+            e.check_similarity(&att),
+            Err(SchemaEmbeddingError::SimilarityZero { .. })
+        ));
+    }
+
+    #[test]
+    fn by_same_name_and_pairs() {
+        let (s1, _) = wrap();
+        let t = Dtd::builder("r")
+            .concat("r", &["a", "b", "c", "X"])
+            .empty("a")
+            .empty("b")
+            .empty("c")
+            .empty("X")
+            .build()
+            .unwrap();
+        let m = TypeMapping::by_same_name(&s1, &t).unwrap();
+        assert_eq!(m.get(s1.type_id("b").unwrap()), t.type_id("b").unwrap());
+        let m = TypeMapping::by_name_pairs(&s1, &t, &[("b", "X")]).unwrap();
+        assert_eq!(m.get(s1.type_id("b").unwrap()), t.type_id("X").unwrap());
+        assert!(TypeMapping::by_name_pairs(&s1, &t, &[("b", "nope")]).is_err());
+    }
+
+    #[test]
+    fn paper_example_2_1_is_not_an_embedding() {
+        // The Figure 2 mapping of §2/§3 (path(A,B)=A, path(A,C)=A/A) is a
+        // handcrafted invertible mapping, *not* a §4.1 schema embedding: it
+        // violates the prefix-free condition. Validation must reject it.
+        let s1 = Dtd::builder("r")
+            .concat("r", &["A"])
+            .concat("A", &["B", "C"])
+            .disjunction_opt("B", &["A"])
+            .empty("C")
+            .build()
+            .unwrap();
+        let s2 = Dtd::builder("r")
+            .concat("r", &["A"])
+            .disjunction_opt("A", &["A"])
+            .build()
+            .unwrap();
+        let a2 = s2.type_id("A").unwrap();
+        let lambda = TypeMapping::from_fn(&s1, |t| if t == s1.root() { s2.root() } else { a2 });
+        let mut paths = PathMapping::new(&s1);
+        paths
+            .edge(&s1, "r", "A", "A")
+            .edge(&s1, "A", "B", "A")
+            .edge(&s1, "A", "C", "A/A")
+            .edge(&s1, "B", "A", "A/A");
+        let e = Embedding::new(&s1, &s2, lambda, paths).unwrap_err();
+        // Rejected on the first violated condition: the AND edge (A, B)
+        // maps onto an OR path (the target A-chain is all dashed edges);
+        // had kinds matched, the prefix-free check would fire instead.
+        assert!(
+            matches!(
+                e,
+                SchemaEmbeddingError::PathKind { .. } | SchemaEmbeddingError::PrefixConflict { .. }
+            ),
+            "{e}"
+        );
+    }
+}

@@ -1,0 +1,318 @@
+//! Algorithm `InstMap` (Figure 5): the instance-level mapping `σd`.
+//!
+//! `σd(T1)` is built top-down: start from the target root (the image of the
+//! source root), repeatedly take a hot node `h` — the image of some source
+//! node `v` — and replace it with the production fragment of `v`, whose hot
+//! leaves enqueue `v`'s children. Every source node enters the worklist
+//! exactly once, so the construction is linear in `|T1| + |T2|`. The node id
+//! mapping `idM` is recorded as fragments are materialized (line 6 of the
+//! paper's listing), for both element images and copied text nodes.
+
+use xse_dtd::Production;
+use xse_xmltree::{IdMap, NodeId, XmlTree};
+
+use crate::pfrag::{materialize, Fragment, HotLeaf, Terminal};
+use crate::{Embedding, MappingOutput, SchemaEmbeddingError};
+
+impl<'a> Embedding<'a> {
+    /// Apply `σd` to a source document. The input is validated against the
+    /// source DTD first; the output is guaranteed to conform to the target
+    /// DTD (Theorem 4.1 — and `debug_assert`ed in tests via
+    /// [`crate::preserve`]).
+    pub fn apply(&self, t1: &XmlTree) -> Result<MappingOutput, SchemaEmbeddingError> {
+        self.source
+            .validate(t1)
+            .map_err(SchemaEmbeddingError::SourceInvalid)?;
+        let plans = self.target.mindef_plans();
+
+        let mut t2 = XmlTree::new(self.target.name(self.target.root()));
+        let mut idmap = IdMap::new();
+        idmap.insert(t2.root(), t1.root());
+
+        // Worklist of hot nodes: (source node, its target image, source type).
+        let mut work: Vec<HotLeaf> = vec![HotLeaf {
+            target: t2.root(),
+            src: t1.root(),
+            src_type: self.source.root(),
+        }];
+        let mut hot_buf: Vec<HotLeaf> = Vec::new();
+        let mut text_buf: Vec<crate::pfrag::TextCopy> = Vec::new();
+
+        while let Some(h) = work.pop() {
+            let fragment = self.fragment_of(t1, h.src, h.src_type);
+            materialize(
+                fragment,
+                self.target,
+                &plans,
+                &mut t2,
+                h.target,
+                &mut hot_buf,
+                &mut text_buf,
+            );
+            for leaf in hot_buf.drain(..) {
+                idmap.insert(leaf.target, leaf.src);
+                work.push(leaf);
+            }
+            for tc in text_buf.drain(..) {
+                if let Some(src) = tc.src {
+                    idmap.insert(tc.target, src);
+                }
+            }
+        }
+        Ok(MappingOutput { tree: t2, idmap })
+    }
+
+    /// Assemble the (uncompleted) fragment of source node `v` of type `a`.
+    fn fragment_of(&self, t1: &XmlTree, v: NodeId, a: xse_dtd::TypeId) -> Fragment {
+        let mut frag = Fragment::new(self.lambda.get(a));
+        let paths = self.paths_of(a);
+        match self.source.production(a) {
+            Production::Empty => {}
+            Production::Str => {
+                let text_node = t1.children(v)[0];
+                let value = t1.text_value(text_node).unwrap_or_default().to_string();
+                frag.add_chain(
+                    &paths[0],
+                    Terminal::Text {
+                        value,
+                        src: Some(text_node),
+                    },
+                );
+            }
+            Production::Concat(cs) => {
+                for (slot, (&child, &cty)) in t1.children(v).iter().zip(cs.iter()).enumerate() {
+                    frag.add_chain(
+                        &paths[slot],
+                        Terminal::Hot {
+                            src: child,
+                            src_type: cty,
+                        },
+                    );
+                }
+            }
+            Production::Disjunction { alts, .. } => {
+                if let Some(&child) = t1.children(v).first() {
+                    let tag = t1.tag(child).expect("validated: element child");
+                    let slot = alts
+                        .iter()
+                        .position(|&alt| self.source.name(alt) == tag)
+                        .expect("validated: child is an alternative");
+                    frag.add_chain(
+                        &paths[slot],
+                        Terminal::Hot {
+                            src: child,
+                            src_type: alts[slot],
+                        },
+                    );
+                }
+            }
+            Production::Star(b) => {
+                let terminals: Vec<Terminal> = t1
+                    .children(v)
+                    .iter()
+                    .map(|&c| Terminal::Hot {
+                        src: c,
+                        src_type: *b,
+                    })
+                    .collect();
+                frag.add_star_chains(&paths[0], terminals);
+            }
+        }
+        frag
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use crate::embedding::tests::{wrap, wrap_embedding};
+    use crate::{Embedding, PathMapping, TypeMapping};
+    use xse_dtd::Dtd;
+    use xse_xmltree::parse_xml;
+
+    fn wrap_emb<'x>(s1: &'x Dtd, s2: &'x Dtd) -> Embedding<'x> {
+        let (lambda, paths) = wrap_embedding(s1, s2);
+        Embedding::new(s1, s2, lambda, paths).unwrap()
+    }
+
+    #[test]
+    fn wrap_mapping_builds_expected_tree() {
+        let (s1, s2) = wrap();
+        let e = wrap_emb(&s1, &s2);
+        let t1 = parse_xml("<r><a>hi</a><b><c>1</c><c>2</c></b></r>").unwrap();
+        let out = e.apply(&t1).unwrap();
+        s2.validate(&out.tree).unwrap();
+        assert_eq!(
+            out.tree.to_xml(),
+            "<r><x><a>hi</a><pad>#s</pad></x><y><w><c2><c>1</c></c2><c2><c>2</c></c2></w></y></r>"
+        );
+        // idM covers every source node: r, a, b, two c's, three text nodes.
+        assert_eq!(out.idmap.len(), t1.len());
+    }
+
+    #[test]
+    fn wrap_mapping_with_empty_star() {
+        let (s1, s2) = wrap();
+        let e = wrap_emb(&s1, &s2);
+        let t1 = parse_xml("<r><a>z</a><b/></r>").unwrap();
+        let out = e.apply(&t1).unwrap();
+        s2.validate(&out.tree).unwrap();
+        assert_eq!(
+            out.tree.to_xml(),
+            "<r><x><a>z</a><pad>#s</pad></x><y><w/></y></r>"
+        );
+    }
+
+    #[test]
+    fn rejects_nonconforming_input() {
+        let (s1, s2) = wrap();
+        let e = wrap_emb(&s1, &s2);
+        let bad = parse_xml("<r><b/><a>z</a></r>").unwrap();
+        assert!(matches!(
+            e.apply(&bad),
+            Err(crate::SchemaEmbeddingError::SourceInvalid(_))
+        ));
+    }
+
+    /// Example 4.2 / 4.4: the class DTD S0 into the school DTD S.
+    pub(crate) fn fig1() -> (Dtd, Dtd) {
+        let s0 = Dtd::builder("db")
+            .star("db", "class")
+            .concat("class", &["cno", "title", "type"])
+            .str_type("cno")
+            .str_type("title")
+            .disjunction("type", &["regular", "project"])
+            .concat("regular", &["prereq"])
+            .star("prereq", "class")
+            .str_type("project")
+            .build()
+            .unwrap();
+        let s = Dtd::builder("school")
+            .concat("school", &["courses", "students"])
+            .concat("courses", &["history", "current"])
+            .star("history", "course")
+            .star("current", "course")
+            .concat("course", &["basic", "category"])
+            .concat("basic", &["cno", "credit", "class"])
+            .str_type("cno")
+            .str_type("credit")
+            .star("class", "semester")
+            .concat("semester", &["title", "year", "term", "instructor"])
+            .str_type("title")
+            .str_type("year")
+            .str_type("term")
+            .str_type("instructor")
+            .disjunction("category", &["mandatory", "advanced"])
+            .disjunction("mandatory", &["regular", "lab"])
+            .concat("advanced", &["project"])
+            .str_type("project")
+            .concat("regular", &["required"])
+            .star("required", "prereq")
+            .star("prereq", "course")
+            .str_type("lab")
+            .concat("students", &["student"])
+            .concat("student", &["ssn"])
+            .str_type("ssn")
+            .build()
+            .unwrap();
+        (s0, s)
+    }
+
+    pub(crate) fn fig1_embedding<'x>(s0: &'x Dtd, s: &'x Dtd) -> Embedding<'x> {
+        let lambda = TypeMapping::by_name_pairs(
+            s0,
+            s,
+            &[("db", "school"), ("class", "course"), ("type", "category")],
+        )
+        .unwrap();
+        let mut paths = PathMapping::new(s0);
+        paths
+            .edge(s0, "db", "class", "courses/current/course")
+            .edge(s0, "class", "cno", "basic/cno")
+            .edge(s0, "class", "title", "basic/class/semester[position() = 1]/title")
+            .edge(s0, "class", "type", "category")
+            .edge(s0, "type", "regular", "mandatory/regular")
+            .edge(s0, "type", "project", "advanced/project")
+            .edge(s0, "regular", "prereq", "required/prereq")
+            .edge(s0, "prereq", "class", "course")
+            .text_edge(s0, "cno", "text()")
+            .text_edge(s0, "title", "text()")
+            .text_edge(s0, "project", "text()");
+        Embedding::new(s0, s, lambda, paths).unwrap()
+    }
+
+    #[test]
+    fn example_4_4_school_mapping() {
+        let (s0, s) = fig1();
+        let e = fig1_embedding(&s0, &s);
+        let t1 = parse_xml(
+            "<db>\
+               <class><cno>CS331</cno><title>DB</title><type><regular><prereq>\
+                  <class><cno>CS240</cno><title>Algo</title><type><project>p1</project></type></class>\
+               </prereq></regular></type></class>\
+             </db>",
+        )
+        .unwrap();
+        let out = e.apply(&t1).unwrap();
+        s.validate(&out.tree).unwrap();
+        let xml = out.tree.to_xml();
+        // Structure from Example 4.4: history gets its minimum default
+        // (empty), current carries the course; basic has cno hot, credit
+        // default, single semester with title hot and defaults for the rest.
+        assert!(xml.starts_with("<school><courses><history/><current><course>"));
+        assert!(xml.contains("<basic><cno>CS331</cno><credit>#s</credit><class><semester><title>DB</title><year>#s</year><term>#s</term><instructor>#s</instructor></semester></class></basic>"));
+        assert!(xml.contains("<category><mandatory><regular><required><prereq><course>"));
+        assert!(xml.contains("<cno>CS240</cno>"));
+        assert!(xml.contains("<advanced><project>p1</project></advanced>"));
+        // The unmapped students subtree is a minimum default instance.
+        assert!(xml.ends_with("<students><student><ssn>#s</ssn></student></students></school>"));
+    }
+
+    #[test]
+    fn star_with_zero_children_still_emits_prefix() {
+        let (s0, s) = fig1();
+        let e = fig1_embedding(&s0, &s);
+        let t1 = parse_xml("<db/>").unwrap();
+        let out = e.apply(&t1).unwrap();
+        s.validate(&out.tree).unwrap();
+        // courses/current must exist (prefix of the star path) but hold no
+        // course children.
+        assert!(out
+            .tree
+            .to_xml()
+            .starts_with("<school><courses><history/><current/></courses>"));
+    }
+
+    #[test]
+    fn star_children_keep_order() {
+        let (s0, s) = fig1();
+        let e = fig1_embedding(&s0, &s);
+        let t1 = parse_xml(
+            "<db>\
+               <class><cno>A1</cno><title>t</title><type><project>x</project></type></class>\
+               <class><cno>B2</cno><title>t</title><type><project>y</project></type></class>\
+               <class><cno>C3</cno><title>t</title><type><project>z</project></type></class>\
+             </db>",
+        )
+        .unwrap();
+        let out = e.apply(&t1).unwrap();
+        let xml = out.tree.to_xml();
+        let a = xml.find("A1").unwrap();
+        let b = xml.find("B2").unwrap();
+        let c = xml.find("C3").unwrap();
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn injectivity_of_idmap() {
+        // idM is a bijection between mapped nodes; IdMap::insert enforces
+        // this with panics — surviving apply() is the assertion.
+        let (s0, s) = fig1();
+        let e = fig1_embedding(&s0, &s);
+        let t1 = parse_xml(
+            "<db><class><cno>X</cno><title>t</title><type><project>p</project></type></class></db>",
+        )
+        .unwrap();
+        let out = e.apply(&t1).unwrap();
+        assert_eq!(out.idmap.len(), t1.len(), "every source node is mapped");
+    }
+}

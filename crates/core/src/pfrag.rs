@@ -1,0 +1,314 @@
+//! Production fragments (§4.2).
+//!
+//! The production fragment `pfrag_A(v)` is the target-side subtree a single
+//! source node `v` of type `A` expands to: the chains of its edge paths,
+//! merged on their longest common prefixes, completed with minimum default
+//! instances for required-but-unmapped target structure, and ordered by the
+//! canonical positions. Its "hot" leaves are where `v`'s children continue
+//! the expansion (Figure 4 shows the fragment of a `class` node).
+//!
+//! The same machinery builds *static* fragments — the fragment shape a
+//! disjunction alternative produces regardless of the instance — used by
+//! the distinguishability validity check (DESIGN.md §3): a disjunction
+//! alternative must not be navigable inside the fragment some *other*
+//! alternative (or the empty alternative) produces, otherwise minimum
+//! default padding could alias a choice and break invertibility.
+
+use xse_dtd::{Dtd, MindefPlan, Production, TypeId};
+use xse_xmltree::{NodeId, XmlTree};
+
+use crate::resolve::{ResolvedPath, ResolvedStep};
+
+/// What sits at the end of a chain.
+#[derive(Clone, Debug)]
+pub(crate) enum Terminal {
+    /// A hot leaf: the image of source node `src` (of source type
+    /// `src_type`), to be expanded by the next `InstMap` round.
+    Hot { src: NodeId, src_type: TypeId },
+    /// A text value (the end of a `str` edge chain); `src` is the source
+    /// text node (absent in static fragments).
+    Text { value: String, src: Option<NodeId> },
+    /// An opaque placeholder standing for "arbitrary instance content"
+    /// in static fragments.
+    Opaque,
+}
+
+/// One node of a fragment under construction.
+#[derive(Debug)]
+pub(crate) struct FragNode {
+    pub(crate) ty: TypeId,
+    /// Edge slot in the parent's target production.
+    pub(crate) slot: usize,
+    /// Canonical position among same-label siblings.
+    pub(crate) pos: usize,
+    pub(crate) children: Vec<FragNode>,
+    pub(crate) terminal: Option<Terminal>,
+}
+
+/// The fragment of one source node: a root (the already-materialized target
+/// image of the source node) plus merged chains.
+#[derive(Debug)]
+pub(crate) struct Fragment {
+    pub(crate) root_ty: TypeId,
+    pub(crate) children: Vec<FragNode>,
+    /// Terminal of a `text()`-only `str` path (the value lives directly
+    /// under the fragment root).
+    pub(crate) root_text: Option<Terminal>,
+}
+
+impl Fragment {
+    pub(crate) fn new(root_ty: TypeId) -> Self {
+        Fragment {
+            root_ty,
+            children: Vec::new(),
+            root_text: None,
+        }
+    }
+
+    /// Add a single chain (concat / disjunction / str edges), merging on the
+    /// longest existing prefix.
+    pub(crate) fn add_chain(&mut self, path: &ResolvedPath, terminal: Terminal) {
+        if path.steps.is_empty() {
+            debug_assert!(path.text_tail, "validated paths are nonempty");
+            debug_assert!(self.root_text.is_none());
+            self.root_text = Some(terminal);
+            return;
+        }
+        add_chain_at(&mut self.children, &path.steps, terminal);
+    }
+
+    /// Add a star edge's chains: the shared prefix up to the multiplicity
+    /// step, then one chain per repetition (positions `1..=n`).
+    pub(crate) fn add_star_chains(&mut self, path: &ResolvedPath, terminals: Vec<Terminal>) {
+        let mult = path
+            .first_star_step()
+            .expect("validated star path has a star step");
+        // Merge the shared prefix (also when there are zero repetitions —
+        // the §4.3 prefix template emits it unconditionally).
+        let mut level = &mut self.children;
+        for step in &path.steps[..mult] {
+            level = step_into(level, step);
+        }
+        let mult_step = &path.steps[mult];
+        let suffix = &path.steps[mult + 1..];
+        for (i, term) in terminals.into_iter().enumerate() {
+            let mut node = FragNode {
+                ty: mult_step.ty,
+                slot: mult_step.slot,
+                pos: i + 1,
+                children: Vec::new(),
+                terminal: None,
+            };
+            if suffix.is_empty() {
+                node.terminal = Some(term);
+            } else {
+                add_chain_at(&mut node.children, suffix, term);
+            }
+            level.push(node);
+        }
+    }
+}
+
+/// Descend into (or create) the child for `step`, returning its child list.
+fn step_into<'f>(level: &'f mut Vec<FragNode>, step: &ResolvedStep) -> &'f mut Vec<FragNode> {
+    let pos = step
+        .pos
+        .expect("normalized non-multiplicity steps carry positions");
+    let idx = match level
+        .iter()
+        .position(|n| n.slot == step.slot && n.pos == pos && n.ty == step.ty)
+    {
+        Some(i) => i,
+        None => {
+            level.push(FragNode {
+                ty: step.ty,
+                slot: step.slot,
+                pos,
+                children: Vec::new(),
+                terminal: None,
+            });
+            level.len() - 1
+        }
+    };
+    &mut level[idx].children
+}
+
+fn add_chain_at(level: &mut Vec<FragNode>, steps: &[ResolvedStep], terminal: Terminal) {
+    debug_assert!(!steps.is_empty());
+    let mut level = level;
+    for (i, step) in steps.iter().enumerate() {
+        if i + 1 == steps.len() {
+            let pos = step.pos.expect("normalized steps carry positions");
+            level.push(FragNode {
+                ty: step.ty,
+                slot: step.slot,
+                pos,
+                children: Vec::new(),
+                terminal: Some(terminal),
+            });
+            return;
+        }
+        level = step_into(level, step);
+    }
+}
+
+/// Hot leaves produced while materializing a fragment.
+pub(crate) struct HotLeaf {
+    pub(crate) target: NodeId,
+    pub(crate) src: NodeId,
+    pub(crate) src_type: TypeId,
+}
+
+/// Text copies produced while materializing (target text node ↦ source text
+/// node), recorded into `idM` so `text()` query results map back.
+pub(crate) struct TextCopy {
+    pub(crate) target: NodeId,
+    pub(crate) src: Option<NodeId>,
+}
+
+/// Materialize `fragment` under the existing node `at` of `tree`:
+/// mindef-complete every non-hot node, order children canonically, emit hot
+/// leaves and text copies.
+pub(crate) fn materialize(
+    fragment: Fragment,
+    target: &Dtd,
+    plans: &[MindefPlan],
+    tree: &mut XmlTree,
+    at: NodeId,
+    hot: &mut Vec<HotLeaf>,
+    texts: &mut Vec<TextCopy>,
+) {
+    if matches!(target.production(fragment.root_ty), Production::Str) {
+        debug_assert!(fragment.children.is_empty());
+        match fragment.root_text {
+            Some(Terminal::Text { value, src }) => {
+                let t = tree.add_text(at, value);
+                texts.push(TextCopy { target: t, src });
+            }
+            Some(other) => unreachable!("str root with terminal {other:?}"),
+            None => {
+                // λ(A) needs text but A has no str edge: default value.
+                tree.add_text(at, xse_dtd::DEFAULT_STRING);
+            }
+        }
+        return;
+    }
+    debug_assert!(fragment.root_text.is_none());
+    materialize_children(
+        fragment.children,
+        fragment.root_ty,
+        target,
+        plans,
+        tree,
+        at,
+        hot,
+        texts,
+    );
+}
+
+/// Complete-and-emit the children of a non-hot fragment node of type `ty`
+/// at tree node `at`.
+#[allow(clippy::too_many_arguments)]
+fn materialize_children(
+    mut frag_children: Vec<FragNode>,
+    ty: TypeId,
+    target: &Dtd,
+    plans: &[MindefPlan],
+    tree: &mut XmlTree,
+    at: NodeId,
+    hot: &mut Vec<HotLeaf>,
+    texts: &mut Vec<TextCopy>,
+) {
+    match target.production(ty) {
+        Production::Str => {
+            // Only reachable for nodes with no chains through them (chains
+            // cannot traverse a str-typed node); required text gets the
+            // default value.
+            debug_assert!(frag_children.is_empty());
+            tree.add_text(at, xse_dtd::DEFAULT_STRING);
+        }
+        Production::Empty => {
+            debug_assert!(frag_children.is_empty());
+        }
+        Production::Concat(cs) => {
+            // One child per slot; missing slots filled with mindef.
+            frag_children.sort_by_key(|c| c.slot);
+            let mut iter = frag_children.into_iter().peekable();
+            for (slot, &cty) in cs.iter().enumerate() {
+                if iter.peek().is_some_and(|c| c.slot == slot) {
+                    let child = iter.next().unwrap();
+                    emit(child, target, plans, tree, at, hot, texts);
+                } else {
+                    target.mindef_into(plans, cty, tree, at);
+                }
+            }
+            debug_assert!(iter.next().is_none(), "chain slot outside production");
+        }
+        Production::Disjunction { allows_empty, .. } => match frag_children.len() {
+            0 => {
+                if !allows_empty {
+                    match &plans[ty.index()] {
+                        MindefPlan::OneChild(c) => {
+                            target.mindef_into(plans, *c, tree, at);
+                        }
+                        other => unreachable!("disjunction plan {other:?}"),
+                    }
+                }
+            }
+            1 => {
+                let child = frag_children.into_iter().next().unwrap();
+                emit(child, target, plans, tree, at, hot, texts);
+            }
+            n => unreachable!("{n} chains under one OR node — validation is broken"),
+        },
+        Production::Star(b) => {
+            // Children carry positions; fill gaps below the max with mindef.
+            frag_children.sort_by_key(|c| c.pos);
+            let mut next_pos = 1;
+            for child in frag_children {
+                debug_assert!(child.pos >= next_pos, "duplicate star positions");
+                while next_pos < child.pos {
+                    target.mindef_into(plans, *b, tree, at);
+                    next_pos += 1;
+                }
+                emit(child, target, plans, tree, at, hot, texts);
+                next_pos += 1;
+            }
+        }
+    }
+}
+
+fn emit(
+    node: FragNode,
+    target: &Dtd,
+    plans: &[MindefPlan],
+    tree: &mut XmlTree,
+    at: NodeId,
+    hot: &mut Vec<HotLeaf>,
+    texts: &mut Vec<TextCopy>,
+) {
+    let id = tree.add_element(at, target.name(node.ty));
+    match node.terminal {
+        Some(Terminal::Hot { src, src_type }) => {
+            debug_assert!(node.children.is_empty(), "hot leaves have no chains");
+            hot.push(HotLeaf {
+                target: id,
+                src,
+                src_type,
+            });
+        }
+        Some(Terminal::Opaque) => {
+            // Unknown instance content: left empty. Used only by the static
+            // distinguishability check, where navigation can never descend
+            // into it (prefix-freeness).
+        }
+        Some(Terminal::Text { value, src }) => {
+            debug_assert!(matches!(target.production(node.ty), Production::Str));
+            let t = tree.add_text(id, value);
+            texts.push(TextCopy { target: t, src });
+        }
+        None => {
+            materialize_children(node.children, node.ty, target, plans, tree, id, hot, texts);
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Executable checkers for the paper's guarantees — the assertions behind
+//! the property-test suites and the TAB-3 experiment.
+//!
+//! * **type safety** (Theorem 4.1): `σd(T) ∈ I(S2)`;
+//! * **injectivity** (Theorem 4.1): `idM` is a bijection between mapped
+//!   nodes (enforced structurally by [`IdMap`]) covering all of `dom(T)`;
+//! * **invertibility** (Theorem 4.3a): `σd⁻¹(σd(T)) = T`;
+//! * **query preservation** (Theorem 4.3b): `Q(T) = idM(Tr(Q)(σd(T)))`.
+//!
+//! [`IdMap`]: xse_xmltree::IdMap
+
+use xse_rxpath::XrQuery;
+use xse_xmltree::XmlTree;
+
+use crate::Embedding;
+
+/// Outcome of one preservation check; `Err` carries a human-readable
+/// explanation of the first violation.
+pub type Check = Result<(), String>;
+
+/// Theorem 4.1 (type safety): map `t1` and validate the output against the
+/// target DTD.
+pub fn check_type_safety(e: &Embedding<'_>, t1: &XmlTree) -> Check {
+    let out = e.apply(t1).map_err(|x| x.to_string())?;
+    e.target()
+        .validate(&out.tree)
+        .map_err(|x| format!("σd(T) does not conform to S2: {x}"))
+}
+
+/// Theorem 4.1 (injectivity): every source node has exactly one image.
+pub fn check_injectivity(e: &Embedding<'_>, t1: &XmlTree) -> Check {
+    let out = e.apply(t1).map_err(|x| x.to_string())?;
+    // IdMap::insert already panics on duplicates; here we check totality.
+    if out.idmap.len() != t1.len() {
+        return Err(format!(
+            "idM covers {} of {} source nodes",
+            out.idmap.len(),
+            t1.len()
+        ));
+    }
+    for id in t1.preorder() {
+        if out.idmap.target_of(id).is_none() {
+            return Err(format!("source node {id} has no image"));
+        }
+    }
+    Ok(())
+}
+
+/// Theorem 4.3(a) (invertibility): `σd⁻¹(σd(T)) = T`.
+pub fn check_roundtrip(e: &Embedding<'_>, t1: &XmlTree) -> Check {
+    let out = e.apply(t1).map_err(|x| x.to_string())?;
+    let back = e.invert(&out.tree).map_err(|x| x.to_string())?;
+    match back.first_difference(t1) {
+        None => Ok(()),
+        Some(d) => Err(format!("σd⁻¹(σd(T)) ≠ T: {d}")),
+    }
+}
+
+/// Theorem 4.3(b) (query preservation): `Q(T) = idM(Tr(Q)(σd(T)))`, with the
+/// additional strictness that translated queries must never match padding
+/// nodes (nodes outside `idM`'s domain).
+pub fn check_query_preservation(e: &Embedding<'_>, t1: &XmlTree, q: &XrQuery) -> Check {
+    let out = e.apply(t1).map_err(|x| x.to_string())?;
+    let tr = e.translate(q).map_err(|x| x.to_string())?;
+    let got = tr.eval(&out.tree);
+    let mut mapped: Vec<_> = out.idmap.map_result(got.iter().copied()).collect();
+    if mapped.len() != got.len() {
+        return Err(format!(
+            "Tr({q}) matched {} padding node(s)",
+            got.len() - mapped.len()
+        ));
+    }
+    mapped.sort();
+    let mut want = q.eval(t1);
+    want.sort();
+    if mapped != want {
+        return Err(format!(
+            "Tr({q}): idM(results) = {mapped:?} but Q(T) = {want:?}"
+        ));
+    }
+    Ok(())
+}
+
+/// Theorem 4.3(b) size bound: `|Tr(Q)| ≤ |Q| · |σ| · |S1|` (up to the
+/// constant hidden by O(·); we check against the literal product, which the
+/// construction in fact respects).
+pub fn check_translation_bound(e: &Embedding<'_>, q: &XrQuery) -> Check {
+    let tr = e.translate(q).map_err(|x| x.to_string())?;
+    let bound = q.size() * e.size().max(1) * e.source().type_count().max(1);
+    if tr.size() > bound {
+        return Err(format!(
+            "|Tr(Q)| = {} exceeds |Q|·|σ|·|S1| = {bound}",
+            tr.size()
+        ));
+    }
+    Ok(())
+}
+
+/// Run every checker on one instance and a batch of queries.
+pub fn check_all(e: &Embedding<'_>, t1: &XmlTree, queries: &[XrQuery]) -> Check {
+    check_type_safety(e, t1)?;
+    check_injectivity(e, t1)?;
+    check_roundtrip(e, t1)?;
+    for q in queries {
+        check_query_preservation(e, t1, q)?;
+        check_translation_bound(e, q)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embedding::tests::{wrap, wrap_embedding};
+    use crate::Embedding;
+    use xse_dtd::{GenConfig, InstanceGenerator};
+    use xse_rxpath::parse_query;
+    use xse_xmltree::parse_xml;
+
+    #[test]
+    fn all_guarantees_hold_on_generated_instances() {
+        let (s1, s2) = wrap();
+        let (lambda, paths) = wrap_embedding(&s1, &s2);
+        let e = Embedding::new(&s1, &s2, lambda, paths).unwrap();
+        let queries: Vec<_> = [
+            "a",
+            "b/c",
+            "b/c/text()",
+            "b/c[position() = 2]",
+            "a/text()",
+            "a | b/c",
+        ]
+        .iter()
+        .map(|s| parse_query(s).unwrap())
+        .collect();
+        let gen = InstanceGenerator::new(&s1, GenConfig::default());
+        for seed in 0..25 {
+            let t1 = gen.generate(seed);
+            check_all(&e, &t1, &queries).unwrap_or_else(|err| panic!("seed {seed}: {err}"));
+        }
+    }
+
+    #[test]
+    fn checkers_report_failures_readably() {
+        let (s1, s2) = wrap();
+        let (lambda, paths) = wrap_embedding(&s1, &s2);
+        let e = Embedding::new(&s1, &s2, lambda, paths).unwrap();
+        let bad = parse_xml("<r><b/><a>x</a></r>").unwrap();
+        let err = check_type_safety(&e, &bad).unwrap_err();
+        assert!(err.contains("source"), "{err}");
+    }
+}

@@ -1,0 +1,33 @@
+//! Embedding quality (§4.1): `qual(σ, att) = Σ_A att(A, λ(A))`.
+
+use crate::{Embedding, SimilarityMatrix};
+
+impl<'a> Embedding<'a> {
+    /// The paper's quality metric: the sum of `att(A, λ(A))` over all source
+    /// types. Higher is better; the maximum is `|E1|` (every type mapped to
+    /// a perfect match).
+    pub fn quality(&self, att: &SimilarityMatrix) -> f64 {
+        self.source
+            .types()
+            .map(|a| att.get(a, self.lambda.get(a)))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::embedding::tests::{wrap, wrap_embedding};
+    use crate::{Embedding, SimilarityMatrix};
+
+    #[test]
+    fn quality_sums_lambda_similarities() {
+        let (s1, s2) = wrap();
+        let (lambda, paths) = wrap_embedding(&s1, &s2);
+        let e = Embedding::new(&s1, &s2, lambda, paths).unwrap();
+        let att = SimilarityMatrix::permissive(&s1, &s2);
+        assert_eq!(e.quality(&att), 4.0, "four source types, all at 1.0");
+        let mut att = SimilarityMatrix::permissive(&s1, &s2);
+        att.set(s1.type_id("b").unwrap(), s2.type_id("w").unwrap(), 0.25);
+        assert!((e.quality(&att) - 3.25).abs() < 1e-12);
+    }
+}

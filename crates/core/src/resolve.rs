@@ -1,0 +1,507 @@
+//! Resolving `XR` paths against the target schema graph.
+//!
+//! A path mapping sends the edge `(A, B)` to a *label path* of `S2` — a
+//! sequence of schema-graph edges. [`ResolvedPath`] is that sequence plus
+//! canonical position annotations, and is the form every downstream
+//! algorithm (validity, `InstMap`, `σd⁻¹`, `Tr`) consumes.
+//!
+//! Canonical positions (DESIGN.md §3): a step entering the `k`-th occurrence
+//! of a repeated concatenation child carries `Some(k)`; a step into a
+//! disjunction child carries `Some(1)` (an OR node has exactly one child);
+//! a step crossing a STAR edge carries its explicit position if written,
+//! else `None` — `None` on a STAR step means "the whole repetition" and is
+//! only legal at the multiplicity point of a star source edge.
+
+use std::fmt;
+
+use xse_dtd::{Dtd, EdgeKind, EdgeTarget, Production, SchemaGraph, TypeId};
+use xse_rxpath::{PathStep, XrPath};
+
+use crate::SchemaEmbeddingError;
+
+/// The paper's path classification (§4.1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PathClass {
+    /// Only solid (AND/STAR) edges, no star edge.
+    And,
+    /// Solid edges with at least one STAR edge, no dashed edge
+    /// (every STAR path is also an AND path).
+    AndStar,
+    /// At least one dashed (OR) edge.
+    Or,
+}
+
+impl PathClass {
+    /// Is this an AND path (no dashed edges)?
+    pub fn is_and(self) -> bool {
+        matches!(self, PathClass::And | PathClass::AndStar)
+    }
+
+    /// Is this a STAR path (dashed-free with ≥ 1 star edge)?
+    pub fn is_star(self) -> bool {
+        matches!(self, PathClass::AndStar)
+    }
+
+    /// Is this an OR path?
+    pub fn is_or(self) -> bool {
+        matches!(self, PathClass::Or)
+    }
+}
+
+impl fmt::Display for PathClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathClass::And => write!(f, "an AND path"),
+            PathClass::AndStar => write!(f, "a STAR path"),
+            PathClass::Or => write!(f, "an OR path"),
+        }
+    }
+}
+
+/// One resolved step of a target label path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResolvedStep {
+    /// Type of the node the step arrives at.
+    pub ty: TypeId,
+    /// Kind of the schema edge taken.
+    pub kind: EdgeKind,
+    /// Edge slot in the parent's production (disambiguates repeated
+    /// concatenation children).
+    pub slot: usize,
+    /// Canonical instance position among same-label siblings; `None` only
+    /// on STAR steps ("all repetitions").
+    pub pos: Option<usize>,
+    /// Whether an automaton compilation of this step must emit a
+    /// `position()` check: repeated same-label concatenation children, or an
+    /// explicitly positioned STAR step. Unambiguous steps skip the check.
+    pub needs_pos_check: bool,
+}
+
+/// A resolved target label path with its origin type.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResolvedPath {
+    /// The type the path starts at (`λ(A)`).
+    pub origin: TypeId,
+    /// The element steps.
+    pub steps: Vec<ResolvedStep>,
+    /// Whether the path ends with `text()` (requires the last element type
+    /// to have a `str` production).
+    pub text_tail: bool,
+}
+
+impl ResolvedPath {
+    /// The type of the node the path ends at (ignoring a text tail);
+    /// `origin` when the path has no element steps.
+    pub fn endpoint(&self) -> TypeId {
+        self.steps.last().map_or(self.origin, |s| s.ty)
+    }
+
+    /// Classify per §4.1.
+    pub fn classify(&self) -> PathClass {
+        let mut star = false;
+        for s in &self.steps {
+            match s.kind {
+                EdgeKind::Or => return PathClass::Or,
+                EdgeKind::Star => star = true,
+                EdgeKind::And { .. } => {}
+            }
+        }
+        if star {
+            PathClass::AndStar
+        } else {
+            PathClass::And
+        }
+    }
+
+    /// Index of the first STAR step — the *multiplicity point* where a star
+    /// source edge's repetition lives (§4.3's `Ck/Ck+1` split).
+    pub fn first_star_step(&self) -> Option<usize> {
+        self.steps.iter().position(|s| s.kind.is_star())
+    }
+
+    /// Number of steps (text tail counts one).
+    pub fn len(&self) -> usize {
+        self.steps.len() + usize::from(self.text_tail)
+    }
+
+    /// `true` when there are no steps and no text tail.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty() && !self.text_tail
+    }
+
+    /// Do two sibling paths violate the prefix-free condition?
+    ///
+    /// `a` conflicts with `b` when every step of the shorter *overlaps* the
+    /// corresponding step of the longer (so the shorter path's instance
+    /// nodes are ancestors-or-equal of the longer's). Steps overlap when
+    /// they take edges to the same type and their position sets intersect —
+    /// a `None` STAR position covers every position (DESIGN.md §3 item 1).
+    /// Equal-length full overlap also conflicts (two edges mapped onto the
+    /// same node would break injectivity).
+    pub fn conflicts_with(&self, other: &ResolvedPath) -> bool {
+        let (short, long) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        // A text tail can only be the last component; if the shorter path
+        // ends in text() and the longer continues with element steps, the
+        // components differ there (text vs element) — no conflict — unless
+        // the longer also has exactly that shape.
+        for (i, s) in short.steps.iter().enumerate() {
+            let Some(l) = long.steps.get(i) else {
+                return false;
+            };
+            if !steps_overlap(s, l) {
+                return false;
+            }
+        }
+        if short.text_tail {
+            // Overlap only if the long path has a text tail right after the
+            // shared element steps — i.e. identical length.
+            return long.steps.len() == short.steps.len() && long.text_tail;
+        }
+        true
+    }
+
+    /// Render back to the `XR` path syntax, writing every canonical
+    /// position explicitly.
+    pub fn display(&self, dtd: &Dtd) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        for s in &self.steps {
+            match s.pos {
+                Some(k) => parts.push(format!("{}[position() = {k}]", dtd.name(s.ty))),
+                None => parts.push(dtd.name(s.ty).to_string()),
+            }
+        }
+        if self.text_tail {
+            parts.push("text()".to_string());
+        }
+        parts.join("/")
+    }
+}
+
+fn steps_overlap(a: &ResolvedStep, b: &ResolvedStep) -> bool {
+    if a.ty != b.ty || a.slot != b.slot {
+        return false;
+    }
+    match (a.pos, b.pos) {
+        (Some(x), Some(y)) => x == y,
+        // None occurs only on STAR steps and covers all positions.
+        _ => true,
+    }
+}
+
+/// Resolve a syntactic [`XrPath`] starting at `origin` in `target`,
+/// producing canonical positions. `source_desc` and `path` feed error
+/// messages only.
+pub fn resolve_path(
+    target: &Dtd,
+    graph: &SchemaGraph,
+    origin: TypeId,
+    path: &XrPath,
+) -> Result<ResolvedPath, SchemaEmbeddingError> {
+    let err = |reason: String| SchemaEmbeddingError::PathUnresolvable {
+        from: target.name(origin).to_string(),
+        path: path.to_string(),
+        reason,
+    };
+    let mut steps: Vec<ResolvedStep> = Vec::with_capacity(path.steps.len());
+    let mut cur = origin;
+    for (i, step) in path.steps.iter().enumerate() {
+        let resolved = resolve_step(target, graph, cur, step)
+            .map_err(|reason| err(format!("step {} ({}): {reason}", i + 1, step.label)))?;
+        cur = resolved.ty;
+        steps.push(resolved);
+    }
+    if path.text_tail && !matches!(target.production(cur), Production::Str) {
+        return Err(err(format!(
+            "text() requires {:?} to have a str production",
+            target.name(cur)
+        )));
+    }
+    Ok(ResolvedPath {
+        origin,
+        steps,
+        text_tail: path.text_tail,
+    })
+}
+
+fn resolve_step(
+    target: &Dtd,
+    graph: &SchemaGraph,
+    cur: TypeId,
+    step: &PathStep,
+) -> Result<ResolvedStep, String> {
+    // Find outgoing edges whose child type carries the step label.
+    let matching: Vec<_> = graph
+        .edges_from(cur)
+        .iter()
+        .filter(|e| match e.target {
+            EdgeTarget::Type(t) => target.name(t) == step.label.as_ref(),
+            EdgeTarget::Str => false,
+        })
+        .collect();
+    if matching.is_empty() {
+        return Err(format!(
+            "{:?} has no child labeled {:?}",
+            target.name(cur),
+            step.label.as_ref()
+        ));
+    }
+    match target.production(cur) {
+        Production::Concat(_) => {
+            // Repeated labels resolved by occurrence position.
+            let occ = step.pos.unwrap_or(1);
+            let edge = matching
+                .iter()
+                .find(|e| matches!(e.kind, EdgeKind::And { occurrence } if occurrence as usize == occ))
+                .ok_or_else(|| {
+                    format!(
+                        "no occurrence {occ} of {:?} under {:?}",
+                        step.label.as_ref(),
+                        target.name(cur)
+                    )
+                })?;
+            if matching.len() > 1 && step.pos.is_none() {
+                return Err(format!(
+                    "{:?} occurs {} times under {:?}; a position() qualifier is required",
+                    step.label.as_ref(),
+                    matching.len(),
+                    target.name(cur)
+                ));
+            }
+            let EdgeTarget::Type(ty) = edge.target else {
+                unreachable!()
+            };
+            Ok(ResolvedStep {
+                ty,
+                kind: edge.kind,
+                slot: edge.slot,
+                pos: Some(occ),
+                needs_pos_check: matching.len() > 1,
+            })
+        }
+        Production::Disjunction { .. } => {
+            let edge = matching[0];
+            if let Some(k) = step.pos {
+                if k != 1 {
+                    return Err(format!(
+                        "a disjunction node has exactly one child; position {k} is unsatisfiable"
+                    ));
+                }
+            }
+            let EdgeTarget::Type(ty) = edge.target else {
+                unreachable!()
+            };
+            Ok(ResolvedStep {
+                ty,
+                kind: EdgeKind::Or,
+                slot: edge.slot,
+                pos: Some(1),
+                needs_pos_check: false,
+            })
+        }
+        Production::Star(_) => {
+            let edge = matching[0];
+            let EdgeTarget::Type(ty) = edge.target else {
+                unreachable!()
+            };
+            Ok(ResolvedStep {
+                ty,
+                kind: EdgeKind::Star,
+                slot: 0,
+                pos: step.pos,
+                needs_pos_check: step.pos.is_some(),
+            })
+        }
+        Production::Str | Production::Empty => Err(format!(
+            "{:?} has no element children",
+            target.name(cur)
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xse_dtd::Dtd;
+    use xse_rxpath::XrPath;
+
+    /// Slimmed version of Figure 1(c)'s school DTD.
+    fn school() -> (Dtd, SchemaGraph) {
+        let d = Dtd::builder("school")
+            .concat("school", &["courses"])
+            .concat("courses", &["history", "current"])
+            .star("history", "course")
+            .star("current", "course")
+            .concat("course", &["basic", "category"])
+            .concat("basic", &["cno", "credit", "class"])
+            .str_type("cno")
+            .str_type("credit")
+            .star("class", "semester")
+            .concat("semester", &["title", "year"])
+            .str_type("title")
+            .str_type("year")
+            .disjunction("category", &["mandatory", "advanced"])
+            .disjunction("mandatory", &["regular", "lab"])
+            .concat("advanced", &["project"])
+            .str_type("project")
+            .concat("regular", &["required"])
+            .star("required", "prereq")
+            .star("prereq", "course")
+            .str_type("lab")
+            .build()
+            .unwrap();
+        let g = SchemaGraph::new(&d);
+        (d, g)
+    }
+
+    fn resolve(d: &Dtd, g: &SchemaGraph, from: &str, path: &str) -> ResolvedPath {
+        let origin = d.type_id(from).unwrap();
+        resolve_path(d, g, origin, &XrPath::parse(path).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn resolves_and_classifies_and_path() {
+        let (d, g) = school();
+        let p = resolve(&d, &g, "course", "basic/cno");
+        assert_eq!(p.classify(), PathClass::And);
+        assert_eq!(d.name(p.endpoint()), "cno");
+        assert_eq!(p.steps[0].pos, Some(1));
+        assert_eq!(p.steps[1].pos, Some(1));
+        assert!(p.first_star_step().is_none());
+    }
+
+    #[test]
+    fn resolves_star_path_example() {
+        // Paper: basic/class/semester is an AND path and a STAR path.
+        let (d, g) = school();
+        let p = resolve(&d, &g, "course", "basic/class/semester");
+        assert_eq!(p.classify(), PathClass::AndStar);
+        assert!(p.classify().is_and());
+        assert!(p.classify().is_star());
+        assert_eq!(p.first_star_step(), Some(2));
+        assert_eq!(p.steps[2].pos, None, "unpositioned star step");
+        let p = resolve(&d, &g, "course", "basic/class/semester[position() = 1]/title");
+        assert_eq!(p.steps[2].pos, Some(1));
+        assert_eq!(p.classify(), PathClass::AndStar);
+    }
+
+    #[test]
+    fn resolves_or_path_example() {
+        // Paper: mandatory/regular is an OR path.
+        let (d, g) = school();
+        let p = resolve(&d, &g, "category", "mandatory/regular");
+        assert_eq!(p.classify(), PathClass::Or);
+        assert!(p.classify().is_or());
+        assert_eq!(p.steps[1].pos, Some(1), "OR steps canonicalize to 1");
+    }
+
+    #[test]
+    fn resolves_text_tail() {
+        let (d, g) = school();
+        let p = resolve(&d, &g, "cno", "text()");
+        assert!(p.text_tail);
+        assert!(p.steps.is_empty());
+        assert_eq!(p.len(), 1);
+        assert_eq!(d.name(p.endpoint()), "cno");
+    }
+
+    #[test]
+    fn rejects_wrong_labels_and_text_on_non_str() {
+        let (d, g) = school();
+        let origin = d.type_id("course").unwrap();
+        let e = resolve_path(&d, &g, origin, &XrPath::parse("nothere").unwrap()).unwrap_err();
+        assert!(matches!(e, SchemaEmbeddingError::PathUnresolvable { .. }));
+        let e = resolve_path(&d, &g, origin, &XrPath::parse("basic/text()").unwrap()).unwrap_err();
+        assert!(e.to_string().contains("str production"), "{e}");
+    }
+
+    #[test]
+    fn repeated_concat_children_need_positions() {
+        let d = Dtd::builder("r")
+            .concat("r", &["a", "a"])
+            .empty("a")
+            .build()
+            .unwrap();
+        let g = SchemaGraph::new(&d);
+        let e = resolve_path(&d, &g, d.root(), &XrPath::parse("a").unwrap()).unwrap_err();
+        assert!(e.to_string().contains("position() qualifier is required"), "{e}");
+        let p = resolve_path(&d, &g, d.root(), &XrPath::parse("a[position() = 2]").unwrap())
+            .unwrap();
+        assert_eq!(p.steps[0].slot, 1);
+        assert_eq!(p.steps[0].pos, Some(2));
+        let e = resolve_path(&d, &g, d.root(), &XrPath::parse("a[position() = 3]").unwrap());
+        assert!(e.is_err());
+    }
+
+    #[test]
+    fn disjunction_position_must_be_one() {
+        let (d, g) = school();
+        let origin = d.type_id("category").unwrap();
+        let e = resolve_path(
+            &d,
+            &g,
+            origin,
+            &XrPath::parse("mandatory[position() = 2]").unwrap(),
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("unsatisfiable"), "{e}");
+    }
+
+    #[test]
+    fn conflict_detection_prefixes() {
+        let (d, g) = school();
+        let a = resolve(&d, &g, "course", "basic");
+        let b = resolve(&d, &g, "course", "basic/cno");
+        assert!(a.conflicts_with(&b), "basic is a prefix of basic/cno");
+        assert!(b.conflicts_with(&a));
+        let c = resolve(&d, &g, "course", "basic/credit");
+        assert!(!b.conflicts_with(&c), "diverging at the last step");
+        assert!(b.conflicts_with(&b), "identical paths conflict");
+    }
+
+    #[test]
+    fn star_none_position_covers_explicit_positions() {
+        let (d, g) = school();
+        // basic/class/semester (all repetitions) vs …[position()=1]/title.
+        let all = resolve(&d, &g, "course", "basic/class/semester");
+        let first = resolve(&d, &g, "course", "basic/class/semester[position() = 1]/title");
+        assert!(
+            all.conflicts_with(&first),
+            "unpositioned star step must cover position 1 (DESIGN.md §3)"
+        );
+        let second = resolve(&d, &g, "course", "basic/class/semester[position() = 2]/title");
+        assert!(!first.conflicts_with(&second), "distinct positions diverge");
+    }
+
+    #[test]
+    fn text_tail_conflicts_only_with_text_tail() {
+        let (d, g) = school();
+        let t = resolve(&d, &g, "cno", "text()");
+        assert!(t.conflicts_with(&t));
+        // A str-typed node has no element children, so there is no longer
+        // sibling path to diverge from; construct one on another schema:
+        let d2 = Dtd::builder("r")
+            .concat("r", &["a"])
+            .concat("a", &["b"])
+            .str_type("b")
+            .build()
+            .unwrap();
+        let g2 = SchemaGraph::new(&d2);
+        let short = resolve(&d2, &g2, "r", "a");
+        let long = resolve(&d2, &g2, "r", "a/b/text()");
+        assert!(short.conflicts_with(&long));
+    }
+
+    #[test]
+    fn display_writes_canonical_positions() {
+        let (d, g) = school();
+        let p = resolve(&d, &g, "course", "basic/class/semester[position() = 1]/title");
+        assert_eq!(
+            p.display(&d),
+            "basic[position() = 1]/class[position() = 1]/semester[position() = 1]/title[position() = 1]"
+        );
+    }
+}

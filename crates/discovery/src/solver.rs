@@ -1,0 +1,587 @@
+//! Assembling local embeddings into a global schema embedding (§5.1–5.2).
+//!
+//! The solver walks the source types in BFS order from the root. A type's
+//! λ-image is already fixed when it is reached (the root by definition,
+//! every other type by the parent that first mapped it); the *local
+//! embedding* step then chooses λ-images for the yet-unmapped children —
+//! candidate targets come from the similarity matrix, ordered per strategy —
+//! and solves the prefix-free path problem for the production's edges.
+//! Combinations are tried up to a budget; a full failure restarts the
+//! whole assembly with a fresh random order (the paper's restart loop).
+//!
+//! Every assembled candidate passes through [`Embedding::new`], so
+//! discovery never returns an invalid embedding.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+use xse_core::{Embedding, PathMapping, SchemaEmbeddingError, SimilarityMatrix, TypeMapping};
+use xse_dtd::{Dtd, Production, SchemaGraph, TypeId};
+
+use crate::index::ReachIndex;
+use crate::pfp::{self, PathReq, PfpConfig, ReqKind};
+use crate::wis::ConflictGraph;
+
+/// The three assembly heuristics evaluated in the paper's experiments.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Strategy {
+    /// Visit candidate targets in random (similarity-biased) order, with
+    /// restarts — the paper's best performer.
+    Random,
+    /// Candidates in decreasing `att` order ("start with better mappings").
+    QualityOrdered,
+    /// Generate a pool of local mappings, pick a consistent heavy subset
+    /// via weighted-independent-set, then repair by search.
+    IndependentSet,
+}
+
+/// Knobs for [`find_embedding`].
+#[derive(Clone, Debug)]
+pub struct DiscoveryConfig {
+    /// Assembly strategy.
+    pub strategy: Strategy,
+    /// RNG seed (results are deterministic per seed).
+    pub seed: u64,
+    /// Number of restart attempts.
+    pub restarts: usize,
+    /// λ-candidate combinations tried per source type before giving up on
+    /// an attempt.
+    pub max_combos: usize,
+    /// Prefix-free path search limits.
+    pub pfp: PfpConfig,
+    /// Pool size per source type for the Independent-Set strategy.
+    pub pool_per_type: usize,
+}
+
+impl Default for DiscoveryConfig {
+    fn default() -> Self {
+        DiscoveryConfig {
+            strategy: Strategy::Random,
+            seed: 0xE5CA_B05E,
+            restarts: 24,
+            max_combos: 64,
+            pfp: PfpConfig::default(),
+            pool_per_type: 6,
+        }
+    }
+}
+
+/// Counters reported by [`find_embedding_with_stats`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DiscoveryStats {
+    /// Restart attempts consumed.
+    pub attempts: usize,
+    /// Local-embedding (pfp) solves.
+    pub local_solves: usize,
+    /// Candidate embeddings rejected by final validation.
+    pub validation_rejects: usize,
+}
+
+/// Find a valid schema embedding `S1 → S2` w.r.t. `att`, or `None` if the
+/// heuristics fail (the problem is NP-complete, Theorem 5.1 — failure does
+/// not prove non-existence).
+pub fn find_embedding<'a>(
+    source: &'a Dtd,
+    target: &'a Dtd,
+    att: &SimilarityMatrix,
+    cfg: &DiscoveryConfig,
+) -> Option<Embedding<'a>> {
+    find_embedding_with_stats(source, target, att, cfg).0
+}
+
+/// [`find_embedding`] plus search counters (for the experiment harness).
+pub fn find_embedding_with_stats<'a>(
+    source: &'a Dtd,
+    target: &'a Dtd,
+    att: &SimilarityMatrix,
+    cfg: &DiscoveryConfig,
+) -> (Option<Embedding<'a>>, DiscoveryStats) {
+    let mut stats = DiscoveryStats::default();
+    if att.dims() != (source.type_count(), target.type_count()) {
+        return (None, stats);
+    }
+    let src_graph = SchemaGraph::new(source);
+    let tgt_graph = SchemaGraph::new(target);
+    let idx = ReachIndex::new(target, &tgt_graph);
+    let env = Env {
+        source,
+        target,
+        src_graph: &src_graph,
+        tgt_graph: &tgt_graph,
+        idx: &idx,
+        att,
+        cfg,
+    };
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Seed λ-assignments from the Independent-Set pool when requested.
+    let wis_seed = if cfg.strategy == Strategy::IndependentSet {
+        env.wis_lambda_seed(&mut rng, &mut stats)
+    } else {
+        None
+    };
+
+    for attempt in 0..cfg.restarts.max(1) {
+        stats.attempts = attempt + 1;
+        let seed_lambda = if attempt == 0 { wis_seed.as_deref() } else { None };
+        if let Some((lambda, paths)) = env.attempt(&mut rng, attempt, seed_lambda, &mut stats) {
+            match Embedding::new(source, target, lambda, paths) {
+                Ok(e) => {
+                    if e.check_similarity(att).is_ok() {
+                        return (Some(e), stats);
+                    }
+                    stats.validation_rejects += 1;
+                }
+                Err(SchemaEmbeddingError::AlternativeAliased { .. })
+                | Err(SchemaEmbeddingError::PrefixConflict { .. }) => {
+                    stats.validation_rejects += 1;
+                }
+                Err(_) => {
+                    stats.validation_rejects += 1;
+                }
+            }
+        }
+    }
+    (None, stats)
+}
+
+struct Env<'e> {
+    source: &'e Dtd,
+    target: &'e Dtd,
+    src_graph: &'e SchemaGraph,
+    tgt_graph: &'e SchemaGraph,
+    idx: &'e ReachIndex,
+    att: &'e SimilarityMatrix,
+    cfg: &'e DiscoveryConfig,
+}
+
+impl<'e> Env<'e> {
+    /// Source types in BFS order from the root (parents before children on
+    /// first contact; consistent DTDs have everything reachable).
+    fn bfs_order(&self) -> Vec<TypeId> {
+        let mut order = Vec::with_capacity(self.source.type_count());
+        let mut seen = vec![false; self.source.type_count()];
+        let mut queue = std::collections::VecDeque::from([self.source.root()]);
+        seen[self.source.root().index()] = true;
+        while let Some(t) = queue.pop_front() {
+            order.push(t);
+            for &c in self.source.production(t).children() {
+                if !seen[c.index()] {
+                    seen[c.index()] = true;
+                    queue.push_back(c);
+                }
+            }
+        }
+        order
+    }
+
+    /// One assembly attempt: assign λ and paths type by type.
+    fn attempt(
+        &self,
+        rng: &mut StdRng,
+        attempt: usize,
+        seed_lambda: Option<&[Option<TypeId>]>,
+        stats: &mut DiscoveryStats,
+    ) -> Option<(TypeMapping, PathMapping)> {
+        let n = self.source.type_count();
+        let mut lambda: Vec<Option<TypeId>> = match seed_lambda {
+            Some(s) => s.to_vec(),
+            None => vec![None; n],
+        };
+        lambda[self.source.root().index()] = Some(self.target.root());
+        let mut paths = PathMapping::new(self.source);
+
+        for a in self.bfs_order() {
+            let la = lambda[a.index()].expect("BFS order guarantees assignment");
+            if !self.solve_type(rng, attempt, a, la, &mut lambda, &mut paths, stats) {
+                return None;
+            }
+        }
+        let map: Vec<TypeId> = lambda.into_iter().map(Option::unwrap).collect();
+        Some((TypeMapping { map }, paths))
+    }
+
+    /// Choose λ for `a`'s unmapped children and prefix-free paths for its
+    /// edges.
+    #[allow(clippy::too_many_arguments)]
+    fn solve_type(
+        &self,
+        rng: &mut StdRng,
+        attempt: usize,
+        a: TypeId,
+        la: TypeId,
+        lambda: &mut [Option<TypeId>],
+        paths: &mut PathMapping,
+        stats: &mut DiscoveryStats,
+    ) -> bool {
+        let children: Vec<TypeId> = match self.source.production(a) {
+            Production::Str => {
+                // Single text requirement, no λ choice involved.
+                stats.local_solves += 1;
+                let reqs = [PathReq {
+                    endpoint: la, // ignored
+                    kind: ReqKind::Text,
+                }];
+                let solved = pfp::solve(
+                    self.target,
+                    self.tgt_graph,
+                    self.idx,
+                    la,
+                    &reqs,
+                    &self.cfg.pfp,
+                    Some(rng),
+                );
+                return match solved {
+                    Some(mut ps) => {
+                        paths.set(a, 0, ps.pop().unwrap());
+                        true
+                    }
+                    None => false,
+                };
+            }
+            Production::Empty => return true,
+            p => p.children().to_vec(),
+        };
+
+        // Distinct children needing a λ choice.
+        let mut unmapped: Vec<TypeId> = Vec::new();
+        for &c in &children {
+            if lambda[c.index()].is_none() && !unmapped.contains(&c) {
+                unmapped.push(c);
+            }
+        }
+        // Candidate lists per unmapped child, strategy-ordered.
+        let mut cand_lists: Vec<Vec<TypeId>> = Vec::with_capacity(unmapped.len());
+        for &c in &unmapped {
+            let mut cands: Vec<(TypeId, f64)> = self.att.candidates(c);
+            // Greedy assembly has no cross-type backtracking; restarts must
+            // therefore explore *different* orders. The first attempt of the
+            // deterministic strategies is pure; later restarts perturb the
+            // order with a quality-biased shuffle (the paper: "new random
+            // orderings can be used in an attempt to find additional local
+            // mappings").
+            let pure = matches!(
+                self.cfg.strategy,
+                Strategy::QualityOrdered | Strategy::IndependentSet
+            ) && attempt == 0;
+            if !pure {
+                let bias = match self.cfg.strategy {
+                    Strategy::Random => 0.25,
+                    _ => 1.0, // stay strongly quality-biased on restarts
+                };
+                let mut keyed: Vec<(f64, TypeId)> = cands
+                    .iter()
+                    .map(|&(t, w)| (rng.random::<f64>() * bias + w, t))
+                    .collect();
+                keyed.sort_by(|x, y| y.0.partial_cmp(&x.0).unwrap());
+                cands = keyed.into_iter().map(|(w, t)| (t, w)).collect();
+            }
+            if cands.is_empty() {
+                return false;
+            }
+            cand_lists.push(cands.into_iter().map(|(t, _)| t).collect());
+        }
+
+        // Iterate combinations in mixed-radix order up to the budget.
+        let mut combo = vec![0usize; unmapped.len()];
+        for _ in 0..self.cfg.max_combos.max(1) {
+            // Tentatively assign.
+            for (i, &c) in unmapped.iter().enumerate() {
+                lambda[c.index()] = Some(cand_lists[i][combo[i]]);
+            }
+            stats.local_solves += 1;
+            if let Some(solved) = self.try_paths(rng, a, la, lambda) {
+                for (slot, p) in solved.into_iter().enumerate() {
+                    paths.set(a, slot, p);
+                }
+                return true;
+            }
+            // Next combination (or give up when exhausted).
+            let mut i = 0;
+            loop {
+                if i == combo.len() {
+                    // Exhausted all combinations.
+                    for &c in &unmapped {
+                        lambda[c.index()] = None;
+                    }
+                    return false;
+                }
+                combo[i] += 1;
+                if combo[i] < cand_lists[i].len() {
+                    break;
+                }
+                combo[i] = 0;
+                i += 1;
+            }
+        }
+        for &c in &unmapped {
+            lambda[c.index()] = None;
+        }
+        false
+    }
+
+    /// Prefix-free path search for all edges of `a` under the current λ.
+    fn try_paths(
+        &self,
+        rng: &mut StdRng,
+        a: TypeId,
+        la: TypeId,
+        lambda: &[Option<TypeId>],
+    ) -> Option<Vec<xse_rxpath::XrPath>> {
+        let mut reqs: Vec<PathReq> = Vec::new();
+        match self.source.production(a) {
+            Production::Concat(cs) => {
+                for &c in cs {
+                    reqs.push(PathReq {
+                        endpoint: lambda[c.index()]?,
+                        kind: ReqKind::And,
+                    });
+                }
+            }
+            Production::Disjunction { alts, .. } => {
+                for &c in alts {
+                    reqs.push(PathReq {
+                        endpoint: lambda[c.index()]?,
+                        kind: ReqKind::Or,
+                    });
+                }
+            }
+            Production::Star(b) => {
+                reqs.push(PathReq {
+                    endpoint: lambda[b.index()]?,
+                    kind: ReqKind::Star,
+                });
+            }
+            Production::Str | Production::Empty => unreachable!("handled by solve_type"),
+        }
+        let _ = self.src_graph;
+        pfp::solve(
+            self.target,
+            self.tgt_graph,
+            self.idx,
+            la,
+            &reqs,
+            &self.cfg.pfp,
+            Some(rng),
+        )
+    }
+
+    /// Independent-Set seeding: a pool of (type, λ-choice) vertices weighted
+    /// by `att`, conflicts between different choices for the same type;
+    /// the heavy independent set fixes initial λ assignments.
+    fn wis_lambda_seed(
+        &self,
+        rng: &mut StdRng,
+        stats: &mut DiscoveryStats,
+    ) -> Option<Vec<Option<TypeId>>> {
+        let n = self.source.type_count();
+        let mut vertices: Vec<(TypeId, TypeId, f64)> = Vec::new();
+        for a in self.source.types() {
+            let mut cands = self.att.candidates(a);
+            cands.truncate(self.cfg.pool_per_type.max(1));
+            // Light shuffle so equal-weight pools vary across seeds.
+            cands.shuffle(rng);
+            for (b, w) in cands {
+                // Cheap feasibility filter: a candidate image must be able
+                // to host the production's edge kinds at all.
+                if self.plausible(a, b) {
+                    vertices.push((a, b, w));
+                }
+            }
+        }
+        stats.local_solves += vertices.len() / 4; // rough accounting
+        let mut g = ConflictGraph::new(vertices.iter().map(|v| v.2).collect());
+        for i in 0..vertices.len() {
+            for j in (i + 1)..vertices.len() {
+                let (a1, b1, _) = vertices[i];
+                let (a2, b2, _) = vertices[j];
+                // Same source type, different image: conflict.
+                if a1 == a2 && b1 != b2 {
+                    g.add_conflict(i, j);
+                }
+            }
+        }
+        let set = g.heavy_independent_set();
+        let mut lambda = vec![None; n];
+        for v in set {
+            let (a, b, _) = vertices[v];
+            lambda[a.index()] = Some(b);
+        }
+        lambda[self.source.root().index()] = Some(self.target.root());
+        Some(lambda)
+    }
+
+    /// Quick structural plausibility of mapping `a` onto `b`: the image
+    /// must offer the right kind of outgoing structure.
+    fn plausible(&self, a: TypeId, b: TypeId) -> bool {
+        match self.source.production(a) {
+            Production::Str => self.idx.str_solid[b.index()],
+            Production::Empty => true,
+            Production::Star(_) => self
+                .target
+                .types()
+                .any(|t| self.idx.solid_star.get(b, t)),
+            Production::Concat(_) => self.target.types().any(|t| self.idx.solid.get(b, t)),
+            Production::Disjunction { .. } => {
+                self.target.types().any(|t| self.idx.with_or.get(b, t))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xse_core::preserve;
+    use xse_dtd::{GenConfig, InstanceGenerator};
+
+    fn wrap_pair() -> (Dtd, Dtd) {
+        let s1 = Dtd::builder("r")
+            .concat("r", &["a", "b"])
+            .str_type("a")
+            .star("b", "c")
+            .str_type("c")
+            .build()
+            .unwrap();
+        let s2 = Dtd::builder("r")
+            .concat("r", &["x", "y"])
+            .concat("x", &["a", "pad"])
+            .str_type("a")
+            .str_type("pad")
+            .concat("y", &["w"])
+            .star("w", "c2")
+            .concat("c2", &["c"])
+            .str_type("c")
+            .build()
+            .unwrap();
+        (s1, s2)
+    }
+
+    #[test]
+    fn finds_wrap_embedding_with_every_strategy() {
+        let (s1, s2) = wrap_pair();
+        let att = SimilarityMatrix::permissive(&s1, &s2);
+        for strategy in [Strategy::Random, Strategy::QualityOrdered, Strategy::IndependentSet] {
+            let cfg = DiscoveryConfig {
+                strategy,
+                ..DiscoveryConfig::default()
+            };
+            let e = find_embedding(&s1, &s2, &att, &cfg)
+                .unwrap_or_else(|| panic!("{strategy:?} failed"));
+            // Discovered embeddings must preserve information end to end.
+            let gen = InstanceGenerator::new(&s1, GenConfig::default());
+            for seed in 0..5 {
+                let t1 = gen.generate(seed);
+                preserve::check_roundtrip(&e, &t1)
+                    .unwrap_or_else(|err| panic!("{strategy:?}: {err}"));
+            }
+        }
+    }
+
+    #[test]
+    fn identity_embedding_of_a_schema_into_itself() {
+        let (s1, _) = wrap_pair();
+        let att = SimilarityMatrix::by_name(&s1, &s1, 0.0);
+        let e = find_embedding(&s1, &s1, &att, &DiscoveryConfig::default()).unwrap();
+        for a in s1.types() {
+            assert_eq!(e.lambda(a), a, "identity λ expected under exact-name att");
+        }
+    }
+
+    #[test]
+    fn figure_1_school_embedding_is_discovered() {
+        let s0 = Dtd::builder("db")
+            .star("db", "class")
+            .concat("class", &["cno", "title", "type"])
+            .str_type("cno")
+            .str_type("title")
+            .disjunction("type", &["regular", "project"])
+            .concat("regular", &["prereq"])
+            .star("prereq", "class")
+            .str_type("project")
+            .build()
+            .unwrap();
+        let s = Dtd::builder("school")
+            .concat("school", &["courses"])
+            .concat("courses", &["history", "current"])
+            .star("history", "course")
+            .star("current", "course")
+            .concat("course", &["basic", "category"])
+            .concat("basic", &["cno", "credit", "class2"])
+            .str_type("cno")
+            .str_type("credit")
+            .star("class2", "semester")
+            .concat("semester", &["title", "year"])
+            .str_type("title")
+            .str_type("year")
+            .disjunction("category", &["mandatory", "advanced"])
+            .disjunction("mandatory", &["regular", "lab"])
+            .concat("advanced", &["project"])
+            .str_type("project")
+            .concat("regular", &["required"])
+            .star("required", "prereq")
+            .star("prereq", "course")
+            .str_type("lab")
+            .build()
+            .unwrap();
+        // Name-based matrix with the paper's cross-name pairs allowed.
+        let mut att = SimilarityMatrix::by_name(&s0, &s, 0.0);
+        att.set(s0.type_id("db").unwrap(), s.root(), 1.0);
+        att.set(s0.type_id("class").unwrap(), s.type_id("course").unwrap(), 1.0);
+        att.set(s0.type_id("type").unwrap(), s.type_id("category").unwrap(), 1.0);
+        let cfg = DiscoveryConfig {
+            restarts: 60,
+            ..DiscoveryConfig::default()
+        };
+        let (found, stats) = find_embedding_with_stats(&s0, &s, &att, &cfg);
+        let e = found.expect("the paper's Example 4.2 embedding exists");
+        assert!(stats.attempts >= 1);
+        // Verify it is information preserving on a sample.
+        let gen = InstanceGenerator::new(&s0, GenConfig { max_nodes: 300, ..GenConfig::default() });
+        for seed in 0..3 {
+            let t1 = gen.generate(seed);
+            preserve::check_roundtrip(&e, &t1).unwrap();
+        }
+    }
+
+    #[test]
+    fn unembeddable_pairs_return_none() {
+        // Source needs two prefix-free AND paths; target offers a single
+        // unary chain of disjunctions.
+        let s1 = Dtd::builder("r")
+            .concat("r", &["a", "b"])
+            .empty("a")
+            .empty("b")
+            .build()
+            .unwrap();
+        let s2 = Dtd::builder("r")
+            .disjunction_opt("r", &["x"])
+            .disjunction_opt("x", &["r2"])
+            .empty("r2")
+            .build()
+            .unwrap();
+        let att = SimilarityMatrix::permissive(&s1, &s2);
+        assert!(find_embedding(&s1, &s2, &att, &DiscoveryConfig::default()).is_none());
+    }
+
+    #[test]
+    fn zero_similarity_blocks_discovery() {
+        let (s1, s2) = wrap_pair();
+        let mut att = SimilarityMatrix::permissive(&s1, &s2);
+        for b in s2.types() {
+            att.set(s1.type_id("c").unwrap(), b, 0.0);
+        }
+        assert!(find_embedding(&s1, &s2, &att, &DiscoveryConfig::default()).is_none());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (s1, s2) = wrap_pair();
+        let att = SimilarityMatrix::permissive(&s1, &s2);
+        let cfg = DiscoveryConfig::default();
+        let a = find_embedding(&s1, &s2, &att, &cfg).unwrap().describe();
+        let b = find_embedding(&s1, &s2, &att, &cfg).unwrap().describe();
+        assert_eq!(a, b);
+    }
+}

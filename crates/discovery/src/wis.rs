@@ -1,0 +1,158 @@
+//! Weighted independent set heuristic.
+//!
+//! The third assembly strategy reduces `Assemble-Embedding` to maximum
+//! weighted independent set over a conflict graph of candidate local
+//! mappings. The paper plugs in the quadratic-over-a-sphere heuristic of
+//! Busygin et al. [2002]; we substitute greedy selection by
+//! weight/(degree+1) followed by 1-swap local search — the standard WIS
+//! workhorse — which serves the same role as a black-box WIS oracle.
+
+/// An undirected conflict graph with vertex weights.
+pub struct ConflictGraph {
+    weights: Vec<f64>,
+    adj: Vec<Vec<u32>>,
+}
+
+impl ConflictGraph {
+    /// Create a graph with the given vertex weights and no edges.
+    pub fn new(weights: Vec<f64>) -> Self {
+        let n = weights.len();
+        ConflictGraph {
+            weights,
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Add a conflict edge.
+    pub fn add_conflict(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        if !self.adj[a].contains(&(b as u32)) {
+            self.adj[a].push(b as u32);
+            self.adj[b].push(a as u32);
+        }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// `true` if there are no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Greedy + 1-swap local search for a heavy independent set. Returns
+    /// the selected vertex indices (sorted).
+    pub fn heavy_independent_set(&self) -> Vec<usize> {
+        let n = self.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            let ka = self.weights[a] / (self.adj[a].len() as f64 + 1.0);
+            let kb = self.weights[b] / (self.adj[b].len() as f64 + 1.0);
+            kb.partial_cmp(&ka).unwrap().then(a.cmp(&b))
+        });
+        let mut selected = vec![false; n];
+        let mut blocked = vec![0u32; n];
+        for &v in &order {
+            if blocked[v] == 0 {
+                selected[v] = true;
+                for &u in &self.adj[v] {
+                    blocked[u as usize] += 1;
+                }
+            }
+        }
+        // 1-swap improvement: replace a selected vertex by a non-selected
+        // neighbor whose weight exceeds the weight it blocks.
+        let mut improved = true;
+        while improved {
+            improved = false;
+            for v in 0..n {
+                if selected[v] || blocked[v] != 1 {
+                    continue;
+                }
+                // v is blocked by exactly one selected neighbor u.
+                let u = self.adj[v]
+                    .iter()
+                    .copied()
+                    .find(|&u| selected[u as usize])
+                    .unwrap() as usize;
+                if self.weights[v] > self.weights[u] {
+                    selected[u] = false;
+                    for &w in &self.adj[u] {
+                        blocked[w as usize] -= 1;
+                    }
+                    selected[v] = true;
+                    for &w in &self.adj[v] {
+                        blocked[w as usize] += 1;
+                    }
+                    improved = true;
+                }
+            }
+        }
+        (0..n).filter(|&v| selected[v]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph_selects_everything() {
+        let g = ConflictGraph::new(vec![1.0, 2.0, 3.0]);
+        assert_eq!(g.heavy_independent_set(), vec![0, 1, 2]);
+        assert!(!g.is_empty());
+        assert_eq!(g.len(), 3);
+    }
+
+    #[test]
+    fn triangle_selects_heaviest() {
+        let mut g = ConflictGraph::new(vec![1.0, 5.0, 2.0]);
+        g.add_conflict(0, 1);
+        g.add_conflict(1, 2);
+        g.add_conflict(0, 2);
+        assert_eq!(g.heavy_independent_set(), vec![1]);
+    }
+
+    #[test]
+    fn path_graph_prefers_endpoints() {
+        // 0 - 1 - 2 with weights 1, 1.5, 1: {0, 2} (total 2) beats {1}.
+        let mut g = ConflictGraph::new(vec![1.0, 1.5, 1.0]);
+        g.add_conflict(0, 1);
+        g.add_conflict(1, 2);
+        assert_eq!(g.heavy_independent_set(), vec![0, 2]);
+    }
+
+    #[test]
+    fn one_swap_improves_greedy() {
+        // Star: center weight 2 with three leaves of weight 1 each. Greedy
+        // by weight/(deg+1): center key 0.5, leaves 0.5 — order tie-breaks
+        // by index; leaves win if center is index 0? Center first → picks
+        // center (2) blocking leaves (total 2 < 3). Local search cannot fix
+        // a 1-swap of 3 leaves; verify at least no crash and independence.
+        let mut g = ConflictGraph::new(vec![2.0, 1.0, 1.0, 1.0]);
+        g.add_conflict(0, 1);
+        g.add_conflict(0, 2);
+        g.add_conflict(0, 3);
+        let s = g.heavy_independent_set();
+        for &a in &s {
+            for &b in &s {
+                assert!(a == b || !g.adj[a].contains(&(b as u32)));
+            }
+        }
+        let total: f64 = s.iter().map(|&v| g.weights[v]).sum();
+        assert!(total >= 2.0);
+    }
+
+    #[test]
+    fn duplicate_edges_ignored() {
+        let mut g = ConflictGraph::new(vec![1.0, 1.0]);
+        g.add_conflict(0, 1);
+        g.add_conflict(0, 1);
+        g.add_conflict(0, 0);
+        assert_eq!(g.adj[0].len(), 1);
+    }
+}

@@ -1,0 +1,284 @@
+//! Consistency: useless element types and their removal (§2.1).
+//!
+//! A DTD is *consistent* when every element type actually appears in some
+//! instance. A type is useless when it is **unproductive** (cannot derive any
+//! finite subtree — e.g. mutually recursive concatenations) or
+//! **unreachable** from the root. The paper removes useless types in
+//! `O(|S|²)` along the lines of the standard CFG construction; `I(S') = I(S)`
+//! is preserved because no instance ever touched a useless type.
+
+use std::collections::HashMap;
+
+use crate::types::TypeDef;
+use crate::{Dtd, Production, TypeId};
+
+impl Dtd {
+    /// Types that can derive a finite instance subtree (fixpoint
+    /// computation).
+    pub fn productive_types(&self) -> Vec<bool> {
+        let n = self.type_count();
+        let mut productive = vec![false; n];
+        loop {
+            let mut changed = false;
+            for t in self.types() {
+                if productive[t.index()] {
+                    continue;
+                }
+                let p = match self.production(t) {
+                    // A star can always be instantiated with zero children.
+                    Production::Str | Production::Empty | Production::Star(_) => true,
+                    Production::Concat(cs) => cs.iter().all(|c| productive[c.index()]),
+                    Production::Disjunction { alts, allows_empty } => {
+                        *allows_empty || alts.iter().any(|c| productive[c.index()])
+                    }
+                };
+                if p {
+                    productive[t.index()] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return productive;
+            }
+        }
+    }
+
+    /// Types reachable from the root **through instances**: a child is
+    /// instance-reachable only if the edge to it can actually be taken, i.e.
+    /// the child is productive (a star/disjunction never materializes an
+    /// unproductive child, and a concatenation with an unproductive child is
+    /// itself unproductive so nothing below it is reachable either).
+    fn instance_reachable(&self, productive: &[bool]) -> Vec<bool> {
+        let n = self.type_count();
+        let mut reach = vec![false; n];
+        if !productive[self.root.index()] {
+            return reach;
+        }
+        let mut stack = vec![self.root];
+        reach[self.root.index()] = true;
+        while let Some(t) = stack.pop() {
+            for &c in self.production(t).children() {
+                if productive[c.index()] && !reach[c.index()] {
+                    reach[c.index()] = true;
+                    stack.push(c);
+                }
+            }
+        }
+        reach
+    }
+
+    /// The useless types of this DTD: unproductive or unreachable. A
+    /// consistent DTD returns an empty list.
+    pub fn useless_types(&self) -> Vec<TypeId> {
+        let productive = self.productive_types();
+        let reach = self.instance_reachable(&productive);
+        self.types()
+            .filter(|t| !(productive[t.index()] && reach[t.index()]))
+            .collect()
+    }
+
+    /// `true` iff every type appears in some instance (and the root itself
+    /// is productive).
+    pub fn is_consistent(&self) -> bool {
+        self.useless_types().is_empty()
+    }
+
+    /// Remove all useless types, returning the consistent DTD `S'` with
+    /// `I(S') = I(S)` and the id remapping (old → new).
+    ///
+    /// Productions are rewritten: unproductive disjunction alternatives are
+    /// dropped; `B*` with unproductive `B` becomes `ε` (its only instances
+    /// had zero children anyway).
+    ///
+    /// # Errors
+    /// Returns `Err(())` when the root itself is unproductive — the DTD has
+    /// no instances at all and no consistent equivalent exists.
+    pub fn reduce(&self) -> Result<(Dtd, HashMap<TypeId, TypeId>), ()> {
+        let productive = self.productive_types();
+        if !productive[self.root.index()] {
+            return Err(());
+        }
+        let reach = self.instance_reachable(&productive);
+        let keep: Vec<TypeId> = self
+            .types()
+            .filter(|t| productive[t.index()] && reach[t.index()])
+            .collect();
+        let mut remap: HashMap<TypeId, TypeId> = HashMap::with_capacity(keep.len());
+        for (i, &t) in keep.iter().enumerate() {
+            remap.insert(t, TypeId::from_index(i));
+        }
+        let mut defs = Vec::with_capacity(keep.len());
+        for &t in &keep {
+            let prod = match self.production(t) {
+                Production::Str => Production::Str,
+                Production::Empty => Production::Empty,
+                Production::Concat(cs) => {
+                    // All children of a kept concatenation are productive
+                    // (otherwise the parent would be unproductive) and
+                    // reachable (through this very edge).
+                    Production::Concat(cs.iter().map(|c| remap[c]).collect())
+                }
+                Production::Disjunction { alts, allows_empty } => {
+                    let kept: Vec<TypeId> = alts
+                        .iter()
+                        .filter(|c| productive[c.index()])
+                        .map(|c| remap[c])
+                        .collect();
+                    if kept.is_empty() {
+                        // allows_empty must hold or the type were unproductive.
+                        Production::Empty
+                    } else {
+                        Production::Disjunction {
+                            alts: kept,
+                            allows_empty: *allows_empty,
+                        }
+                    }
+                }
+                Production::Star(b) => {
+                    if productive[b.index()] {
+                        Production::Star(remap[b])
+                    } else {
+                        Production::Empty
+                    }
+                }
+            };
+            defs.push(TypeDef {
+                name: self.name(t).to_string(),
+                prod,
+            });
+        }
+        let by_name = defs
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (d.name.clone(), TypeId::from_index(i)))
+            .collect();
+        Ok((
+            Dtd {
+                defs,
+                by_name,
+                root: remap[&self.root],
+            },
+            remap,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fully_consistent_dtd_reports_no_useless_types() {
+        let d = Dtd::builder("r")
+            .concat("r", &["a"])
+            .star("a", "b")
+            .str_type("b")
+            .build()
+            .unwrap();
+        assert!(d.is_consistent());
+        assert!(d.useless_types().is_empty());
+        let (r, map) = d.reduce().unwrap();
+        assert_eq!(r.type_count(), 3);
+        assert_eq!(map.len(), 3);
+    }
+
+    #[test]
+    fn mutual_concat_recursion_is_unproductive() {
+        // a → b, b → a: neither derives a finite tree.
+        let d = Dtd::builder("r")
+            .disjunction_opt("r", &["a"])
+            .concat("a", &["b"])
+            .concat("b", &["a"])
+            .build()
+            .unwrap();
+        let useless = d.useless_types();
+        let a = d.type_id("a").unwrap();
+        let b = d.type_id("b").unwrap();
+        assert!(useless.contains(&a) && useless.contains(&b));
+        let (red, _) = d.reduce().unwrap();
+        assert_eq!(red.type_count(), 1);
+        // The r → a+ε disjunction degrades to ε.
+        assert_eq!(red.production(red.root()), &Production::Empty);
+        assert!(red.is_consistent());
+    }
+
+    #[test]
+    fn star_of_unproductive_child_becomes_empty() {
+        let d = Dtd::builder("r")
+            .star("r", "a")
+            .concat("a", &["a"])
+            .build()
+            .unwrap();
+        let (red, _) = d.reduce().unwrap();
+        assert_eq!(red.type_count(), 1);
+        assert_eq!(red.production(red.root()), &Production::Empty);
+    }
+
+    #[test]
+    fn unreachable_types_are_dropped() {
+        let d = Dtd::builder("r")
+            .concat("r", &["a"])
+            .empty("a")
+            .str_type("orphan")
+            .build()
+            .unwrap();
+        assert!(!d.is_consistent());
+        let orphan = d.type_id("orphan").unwrap();
+        assert_eq!(d.useless_types(), vec![orphan]);
+        let (red, map) = d.reduce().unwrap();
+        assert_eq!(red.type_count(), 2);
+        assert!(red.type_id("orphan").is_none());
+        assert!(!map.contains_key(&orphan));
+        assert!(red.is_consistent());
+    }
+
+    #[test]
+    fn unproductive_root_is_an_error() {
+        let d = Dtd::builder("r").concat("r", &["r"]).build().unwrap();
+        assert!(d.reduce().is_err());
+        assert!(!d.is_consistent());
+    }
+
+    #[test]
+    fn disjunction_drops_only_unproductive_alternatives() {
+        let d = Dtd::builder("r")
+            .disjunction("r", &["good", "bad"])
+            .empty("good")
+            .concat("bad", &["bad"])
+            .build()
+            .unwrap();
+        let (red, _) = d.reduce().unwrap();
+        let good = red.type_id("good").unwrap();
+        assert_eq!(
+            red.production(red.root()),
+            &Production::Disjunction {
+                alts: vec![good],
+                allows_empty: false
+            }
+        );
+    }
+
+    #[test]
+    fn reachability_is_blocked_by_unproductive_intermediates() {
+        // r → a+ε; a → b; b → a. "b" is unreachable-in-instances even though
+        // graph-reachable, because "a" is unproductive.
+        let d = Dtd::builder("r")
+            .disjunction_opt("r", &["a"])
+            .concat("a", &["b"])
+            .str_type("b")
+            .build()
+            .unwrap();
+        // Here a IS productive (b is str): everything consistent.
+        assert!(d.is_consistent());
+
+        let d2 = Dtd::builder("r")
+            .disjunction_opt("r", &["a"])
+            .concat("a", &["a", "leaf"])
+            .str_type("leaf")
+            .build()
+            .unwrap();
+        // "a" unproductive ⇒ "leaf" unreachable through instances.
+        let useless = d2.useless_types();
+        assert_eq!(useless.len(), 2);
+    }
+}

@@ -1,0 +1,107 @@
+//! Rendering DTDs back to `<!ELEMENT …>` declarations and to the graph
+//! notation used in the paper's figures.
+
+use std::fmt;
+
+use crate::{Dtd, Production};
+
+impl fmt::Display for Dtd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for t in self.types() {
+            write!(f, "<!ELEMENT {} ", self.name(t))?;
+            match self.production(t) {
+                Production::Str => write!(f, "(#PCDATA)")?,
+                Production::Empty => write!(f, "EMPTY")?,
+                Production::Concat(cs) => {
+                    write!(f, "(")?;
+                    for (i, c) in cs.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ",")?;
+                        }
+                        write!(f, "{}", self.name(*c))?;
+                    }
+                    write!(f, ")")?;
+                }
+                Production::Disjunction { alts, allows_empty } => {
+                    write!(f, "(")?;
+                    for (i, c) in alts.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, "|")?;
+                        }
+                        write!(f, "{}", self.name(*c))?;
+                    }
+                    write!(f, ")")?;
+                    if *allows_empty {
+                        write!(f, "?")?;
+                    }
+                }
+                Production::Star(b) => write!(f, "({})*", self.name(*b))?,
+            }
+            writeln!(f, ">")?;
+        }
+        Ok(())
+    }
+}
+
+impl Dtd {
+    /// A compact single-type description, e.g. `class -> cno, title, type`,
+    /// in the paper's production notation.
+    pub fn production_string(&self, t: crate::TypeId) -> String {
+        let body = match self.production(t) {
+            Production::Str => "str".to_string(),
+            Production::Empty => "ε".to_string(),
+            Production::Concat(cs) => cs
+                .iter()
+                .map(|c| self.name(*c))
+                .collect::<Vec<_>>()
+                .join(", "),
+            Production::Disjunction { alts, allows_empty } => {
+                let mut s = alts
+                    .iter()
+                    .map(|c| self.name(*c))
+                    .collect::<Vec<_>>()
+                    .join(" + ");
+                if *allows_empty {
+                    s.push_str(" + ε");
+                }
+                s
+            }
+            Production::Star(b) => format!("{}*", self.name(*b)),
+        };
+        format!("{} -> {}", self.name(t), body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Dtd;
+
+    #[test]
+    fn display_emits_one_declaration_per_type() {
+        let d = Dtd::builder("r")
+            .concat("r", &["a", "b"])
+            .disjunction_opt("a", &["b"])
+            .star("b", "c")
+            .str_type("c")
+            .build()
+            .unwrap();
+        let s = d.to_string();
+        assert_eq!(s.lines().count(), 4);
+        assert!(s.contains("<!ELEMENT r (a,b)>"));
+        assert!(s.contains("<!ELEMENT a (b)?>"));
+        assert!(s.contains("<!ELEMENT b (c)*>"));
+        assert!(s.contains("<!ELEMENT c (#PCDATA)>"));
+    }
+
+    #[test]
+    fn production_string_uses_paper_notation() {
+        let d = Dtd::builder("r")
+            .disjunction_opt("r", &["a"])
+            .empty("a")
+            .build()
+            .unwrap();
+        assert_eq!(d.production_string(d.root()), "r -> a + ε");
+        let a = d.type_id("a").unwrap();
+        assert_eq!(d.production_string(a), "a -> ε");
+    }
+}

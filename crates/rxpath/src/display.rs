@@ -1,0 +1,142 @@
+//! Rendering queries in the ASCII concrete syntax accepted by the parser.
+
+use std::fmt;
+
+use crate::{Qualifier, XrQuery};
+
+/// Binding strength used to decide parenthesization.
+fn prec(q: &XrQuery) -> u8 {
+    match q {
+        XrQuery::Union(_, _) => 0,
+        XrQuery::Seq(_, _) => 1,
+        XrQuery::Star(_) | XrQuery::Qualified(_, _) => 2,
+        XrQuery::Empty | XrQuery::Label(_) | XrQuery::Text | XrQuery::DescOrSelf => 3,
+    }
+}
+
+fn write_child(f: &mut fmt::Formatter<'_>, child: &XrQuery, min: u8) -> fmt::Result {
+    if prec(child) < min {
+        write!(f, "({child})")
+    } else {
+        write!(f, "{child}")
+    }
+}
+
+impl fmt::Display for XrQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XrQuery::Empty => write!(f, "."),
+            XrQuery::Label(l) => write!(f, "{l}"),
+            XrQuery::Text => write!(f, "text()"),
+            XrQuery::DescOrSelf => write!(f, "desc-or-self()"),
+            XrQuery::Seq(a, b) => {
+                // p1//p2 prints with the double slash it parsed from.
+                if matches!(**b, XrQuery::Seq(ref x, _) if matches!(**x, XrQuery::DescOrSelf)) {
+                    let XrQuery::Seq(x, rest) = &**b else {
+                        unreachable!()
+                    };
+                    debug_assert!(matches!(**x, XrQuery::DescOrSelf));
+                    write_child(f, a, 1)?;
+                    write!(f, "//")?;
+                    return write_child(f, rest, 2);
+                }
+                if matches!(**b, XrQuery::DescOrSelf) {
+                    write_child(f, a, 1)?;
+                    return write!(f, "//.");
+                }
+                write_child(f, a, 1)?;
+                write!(f, "/")?;
+                write_child(f, b, 2)
+            }
+            XrQuery::Union(a, b) => {
+                write_child(f, a, 0)?;
+                write!(f, " | ")?;
+                write_child(f, b, 1)
+            }
+            XrQuery::Star(p) => {
+                write_child(f, p, 3)?;
+                write!(f, "*")
+            }
+            XrQuery::Qualified(p, q) => {
+                write_child(f, p, 2)?;
+                write!(f, "[{q}]")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Qualifier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Qualifier::True => write!(f, "true"),
+            Qualifier::Path(p) => write!(f, "{p}"),
+            Qualifier::TextEq(p, c) => write!(f, "{p} = '{c}'"),
+            Qualifier::Position(k) => write!(f, "position() = {k}"),
+            Qualifier::Not(q) => match **q {
+                Qualifier::And(_, _) | Qualifier::Or(_, _) => write!(f, "not({q})"),
+                _ => write!(f, "not {q}"),
+            },
+            Qualifier::And(a, b) => {
+                let wrap = |f: &mut fmt::Formatter<'_>, x: &Qualifier| match x {
+                    Qualifier::Or(_, _) => write!(f, "({x})"),
+                    _ => write!(f, "{x}"),
+                };
+                wrap(f, a)?;
+                write!(f, " and ")?;
+                wrap(f, b)
+            }
+            Qualifier::Or(a, b) => write!(f, "{a} or {b}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{parse_query, Qualifier, XrQuery};
+
+    fn roundtrip(s: &str) {
+        let q = parse_query(s).unwrap();
+        let printed = q.to_string();
+        let q2 = parse_query(&printed).unwrap_or_else(|e| {
+            panic!("reprint of {s:?} as {printed:?} does not parse: {e}")
+        });
+        assert_eq!(q, q2, "{s:?} -> {printed:?}");
+    }
+
+    #[test]
+    fn displays_basic_forms() {
+        assert_eq!(XrQuery::label("a").to_string(), "a");
+        assert_eq!(
+            XrQuery::label("a").then(XrQuery::Text).to_string(),
+            "a/text()"
+        );
+        assert_eq!(
+            XrQuery::label("a").or(XrQuery::label("b")).star().to_string(),
+            "(a | b)*"
+        );
+        assert_eq!(
+            XrQuery::label("a")
+                .with(Qualifier::Position(2))
+                .to_string(),
+            "a[position() = 2]"
+        );
+    }
+
+    #[test]
+    fn display_parses_back() {
+        for s in [
+            "a/b/c",
+            "(a/b)*",
+            "a[b/text() = 'x']/c",
+            "a[position() = 2 and not b]",
+            "a | b/c | d",
+            "courses/current/course[basic/cno/text() = 'CS331']/(category/mandatory/regular/required/prereq/course)*",
+            "a//b",
+            ".",
+            "a[true]",
+            "a[not(b or c)]",
+        ] {
+            roundtrip(s);
+        }
+    }
+}

@@ -1,0 +1,354 @@
+//! Set-based, document-ordered evaluation of `XR` queries on [`XmlTree`]s.
+//!
+//! `v[[p]]` — the paper's evaluation of `p` at context node `v` — is a set
+//! of node ids. We return them sorted in document order, which both matches
+//! the intuition of XPath node lists and makes `position()` well defined:
+//! `p[position() = k]` keeps, for each context node, the `k`-th node of the
+//! per-context result list of `p`.
+
+use std::collections::BTreeSet;
+
+use xse_xmltree::{NodeId, XmlTree};
+
+use crate::{Qualifier, XrQuery};
+
+/// Reusable evaluator holding the document-order ranks of one tree.
+pub struct Evaluator<'a> {
+    tree: &'a XmlTree,
+    /// rank[node.index()] = preorder position.
+    rank: Vec<u32>,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Prepare an evaluator for `tree` (O(|T|)).
+    pub fn new(tree: &'a XmlTree) -> Self {
+        let mut rank = vec![0u32; tree.len()];
+        for (i, id) in tree.preorder().enumerate() {
+            rank[id.index()] = i as u32;
+        }
+        Evaluator { tree, rank }
+    }
+
+    /// The tree this evaluator works on.
+    pub fn tree(&self) -> &'a XmlTree {
+        self.tree
+    }
+
+    /// Evaluate `q` at context node `ctx`; result in document order, no
+    /// duplicates.
+    pub fn eval(&self, q: &XrQuery, ctx: NodeId) -> Vec<NodeId> {
+        let mut set = self.eval_set(q, &BTreeSet::from([self.key(ctx)]));
+        let out: Vec<NodeId> = set.iter().map(|&(_, id)| id).collect();
+        set.clear();
+        out
+    }
+
+    /// Evaluate at the root (the paper's `p(T)`).
+    pub fn eval_root(&self, q: &XrQuery) -> Vec<NodeId> {
+        self.eval(q, self.tree.root())
+    }
+
+    fn key(&self, id: NodeId) -> (u32, NodeId) {
+        (self.rank[id.index()], id)
+    }
+
+    /// Core: evaluate `q` from every context in `ctxs` and union the
+    /// results. Contexts and results are doc-order keyed sets.
+    fn eval_set(&self, q: &XrQuery, ctxs: &BTreeSet<(u32, NodeId)>) -> BTreeSet<(u32, NodeId)> {
+        match q {
+            XrQuery::Empty => ctxs.clone(),
+            XrQuery::Label(l) => {
+                let mut out = BTreeSet::new();
+                for &(_, v) in ctxs {
+                    for c in self.tree.children_with_tag(v, l) {
+                        out.insert(self.key(c));
+                    }
+                }
+                out
+            }
+            XrQuery::Text => {
+                let mut out = BTreeSet::new();
+                for &(_, v) in ctxs {
+                    for &c in self.tree.children(v) {
+                        if self.tree.is_text(c) {
+                            out.insert(self.key(c));
+                        }
+                    }
+                }
+                out
+            }
+            XrQuery::DescOrSelf => {
+                let mut out = BTreeSet::new();
+                for &(_, v) in ctxs {
+                    for d in self.tree.descendants_or_self(v) {
+                        out.insert(self.key(d));
+                    }
+                }
+                out
+            }
+            XrQuery::Seq(a, b) => {
+                let mid = self.eval_set(a, ctxs);
+                self.eval_set(b, &mid)
+            }
+            XrQuery::Union(a, b) => {
+                let mut out = self.eval_set(a, ctxs);
+                out.extend(self.eval_set(b, ctxs));
+                out
+            }
+            XrQuery::Star(p) => {
+                // Fixpoint: closure of `p` steps, including zero steps.
+                let mut all = ctxs.clone();
+                let mut frontier = ctxs.clone();
+                while !frontier.is_empty() {
+                    let next = self.eval_set(p, &frontier);
+                    frontier = next.difference(&all).copied().collect();
+                    all.extend(frontier.iter().copied());
+                }
+                all
+            }
+            XrQuery::Qualified(p, q) => {
+                // Per-context filtering so position() is meaningful.
+                let mut out = BTreeSet::new();
+                for &ctx in ctxs {
+                    let res = self.eval_set(p, &BTreeSet::from([ctx]));
+                    let total = res.len();
+                    for (i, &key) in res.iter().enumerate() {
+                        if self.holds(q, key.1, i + 1, total) {
+                            out.insert(key);
+                        }
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Does qualifier `q` hold at node `n` with the given 1-based position
+    /// in its selection list?
+    fn holds(&self, q: &Qualifier, n: NodeId, pos: usize, total: usize) -> bool {
+        match q {
+            Qualifier::True => true,
+            Qualifier::Position(k) => pos == *k,
+            Qualifier::Path(p) => !self.eval(p, n).is_empty(),
+            Qualifier::TextEq(p, c) => self
+                .eval(p, n)
+                .iter()
+                .any(|&id| self.tree.text_value(id) == Some(c)),
+            Qualifier::Not(inner) => !self.holds(inner, n, pos, total),
+            Qualifier::And(a, b) => {
+                self.holds(a, n, pos, total) && self.holds(b, n, pos, total)
+            }
+            Qualifier::Or(a, b) => self.holds(a, n, pos, total) || self.holds(b, n, pos, total),
+        }
+    }
+}
+
+/// One-shot evaluation of `q` at `ctx` in `tree`.
+pub fn eval_at(tree: &XmlTree, q: &XrQuery, ctx: NodeId) -> Vec<NodeId> {
+    Evaluator::new(tree).eval(q, ctx)
+}
+
+/// One-shot evaluation at the root: the paper's `p(T)`.
+pub fn eval_at_root(tree: &XmlTree, q: &XrQuery) -> Vec<NodeId> {
+    Evaluator::new(tree).eval_root(q)
+}
+
+impl XrQuery {
+    /// Evaluate this query at the root of `tree`.
+    pub fn eval(&self, tree: &XmlTree) -> Vec<NodeId> {
+        eval_at_root(tree, self)
+    }
+
+    /// Evaluate and render results as strings: text nodes yield their
+    /// PCDATA value, elements yield their tag with the node id (a printable
+    /// stand-in for the paper's `generate-id()` discussion).
+    pub fn eval_strings(&self, tree: &XmlTree) -> Vec<String> {
+        self.eval(tree)
+            .into_iter()
+            .map(|id| match tree.text_value(id) {
+                Some(v) => v.to_string(),
+                None => format!("<{}>#{id}", tree.tag(id).unwrap_or("?")),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_query;
+    use xse_xmltree::parse_xml;
+
+    fn doc() -> XmlTree {
+        parse_xml(
+            "<db>\
+               <class><cno>CS240</cno><type><regular/></type></class>\
+               <class><cno>CS331</cno><type><project/></type></class>\
+               <class><cno>CS550</cno><type><regular/></type></class>\
+             </db>",
+        )
+        .unwrap()
+    }
+
+    fn eval(doc: &XmlTree, q: &str) -> Vec<NodeId> {
+        parse_query(q).unwrap().eval(doc)
+    }
+
+    fn tags(doc: &XmlTree, ids: &[NodeId]) -> Vec<String> {
+        ids.iter()
+            .map(|&i| doc.tag(i).unwrap_or("#text").to_string())
+            .collect()
+    }
+
+    #[test]
+    fn label_steps_select_children_in_doc_order() {
+        let d = doc();
+        let r = eval(&d, "class");
+        assert_eq!(r.len(), 3);
+        assert_eq!(tags(&d, &r), vec!["class"; 3]);
+        // Document order.
+        let order: Vec<usize> = r.iter().map(|i| i.index()).collect();
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(order, sorted);
+    }
+
+    #[test]
+    fn empty_path_is_self() {
+        let d = doc();
+        let r = eval(&d, ".");
+        assert_eq!(r, vec![d.root()]);
+    }
+
+    #[test]
+    fn seq_composes() {
+        let d = doc();
+        let r = eval(&d, "class/cno/text()");
+        let vals: Vec<_> = r.iter().map(|&i| d.text_value(i).unwrap()).collect();
+        assert_eq!(vals, vec!["CS240", "CS331", "CS550"]);
+    }
+
+    #[test]
+    fn union_dedups() {
+        let d = doc();
+        let r = eval(&d, "class | class");
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn position_is_per_context() {
+        let d = doc();
+        let r = eval(&d, "class[position() = 2]/cno/text()");
+        let vals: Vec<_> = r.iter().map(|&i| d.text_value(i).unwrap()).collect();
+        assert_eq!(vals, vec!["CS331"]);
+        // Each class has one cno, so position()=1 keeps all of them.
+        let r = eval(&d, "class/cno[position() = 1]");
+        assert_eq!(r.len(), 3);
+        let r = eval(&d, "class/cno[position() = 2]");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn path_qualifier_filters() {
+        let d = doc();
+        let r = eval(&d, "class[type/regular]/cno/text()");
+        let vals: Vec<_> = r.iter().map(|&i| d.text_value(i).unwrap()).collect();
+        assert_eq!(vals, vec!["CS240", "CS550"]);
+    }
+
+    #[test]
+    fn text_eq_qualifier() {
+        let d = doc();
+        let r = eval(&d, "class[cno/text() = 'CS331']");
+        assert_eq!(r.len(), 1);
+        let r = eval(&d, "class[cno/text() = 'CS999']");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn boolean_qualifiers() {
+        let d = doc();
+        assert_eq!(eval(&d, "class[not type/regular]").len(), 1);
+        assert_eq!(
+            eval(&d, "class[type/regular and cno/text() = 'CS240']").len(),
+            1
+        );
+        assert_eq!(
+            eval(&d, "class[type/project or cno/text() = 'CS240']").len(),
+            2
+        );
+        assert_eq!(eval(&d, "class[true]").len(), 3);
+    }
+
+    #[test]
+    fn star_closure_on_recursive_structure() {
+        let d = parse_xml("<r><A><B><A><B><A/></B><C/></A></B><C/></A></r>").unwrap();
+        // (A/B)* from the root's A... the paper's Fig-2 style chain.
+        let r = eval(&d, "A/(B/A)*");
+        assert_eq!(r.len(), 3, "A, A/B/A, A/B/A/B/A");
+        assert!(tags(&d, &r).iter().all(|t| t == "A"));
+        // Zero iterations included:
+        let r0 = eval(&d, "A/(B/A)*[position() = 1]");
+        assert_eq!(r0.len(), 1);
+    }
+
+    #[test]
+    fn star_terminates_on_cycles_of_results() {
+        // ε* must terminate immediately.
+        let d = doc();
+        let r = eval(&d, ".*");
+        assert_eq!(r, vec![d.root()]);
+    }
+
+    #[test]
+    fn descendant_or_self_axis() {
+        let d = doc();
+        let r = eval(&d, ".//cno");
+        assert_eq!(r.len(), 3);
+        let r = eval(&d, "class//regular");
+        assert_eq!(r.len(), 2);
+        // .//. is everything (queries are root-relative, so // needs a
+        // leading context step).
+        let all = eval(&d, ".//.");
+        assert_eq!(all.len(), d.len());
+    }
+
+    #[test]
+    fn eval_strings_renders_text_and_elements() {
+        let d = doc();
+        let q = parse_query("class/cno/text()").unwrap();
+        assert_eq!(q.eval_strings(&d), vec!["CS240", "CS331", "CS550"]);
+        let q = parse_query("class[position() = 1]/type").unwrap();
+        let s = q.eval_strings(&d);
+        assert_eq!(s.len(), 1);
+        assert!(s[0].starts_with("<type>#"));
+    }
+
+    #[test]
+    fn evaluator_reuse_matches_one_shot() {
+        let d = doc();
+        let ev = Evaluator::new(&d);
+        let q = parse_query("class[type/regular]/cno").unwrap();
+        assert_eq!(ev.eval_root(&q), eval_at_root(&d, &q));
+        assert_eq!(ev.tree().len(), d.len());
+    }
+
+    #[test]
+    fn qualifier_inside_star_body() {
+        let d = parse_xml("<r><A><B><A><B/><C/></A></B><C/></A></r>").unwrap();
+        let r = eval(&d, "A/(B[position() = 1]/A)*");
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn deep_chain_probe() {
+        // 2k-deep chain: Star must be iterative enough (frontier-based).
+        let mut t = XmlTree::new("r");
+        let mut cur = t.root();
+        for _ in 0..2000 {
+            cur = t.add_element(cur, "A");
+        }
+        let r = eval(&t, "A*");
+        assert_eq!(r.len(), 2001); // root + 2000 A's (zero-step includes root)
+    }
+}

@@ -1,0 +1,552 @@
+//! Recursive-descent parser for the `XR` concrete syntax.
+//!
+//! Accepted spellings (paper / ASCII):
+//!
+//! * empty path: `ε` or `.`
+//! * union: `∪` or `|`
+//! * qualifier connectives: `¬ ∧ ∨` or `not/! and/&& or/||`
+//! * `text()`, `position() = k`, string literals in `'…'` or `"…"`
+//! * Kleene star as a postfix `*` on a step or parenthesized group
+//! * `//` — the descendant-or-self axis of the fragment `X`.
+
+use std::fmt;
+
+use crate::{Qualifier, XrQuery};
+
+/// Parse error with byte offset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryParseError {
+    /// Byte offset into the input.
+    pub at: usize,
+    /// Description of the problem.
+    pub msg: String,
+}
+
+impl fmt::Display for QueryParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "query parse error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for QueryParseError {}
+
+/// Parse an `XR` (or fragment-`X`) query.
+pub fn parse_query(input: &str) -> Result<XrQuery, QueryParseError> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.union()?;
+    if p.pos != p.tokens.len() {
+        return Err(QueryParseError {
+            at: p.offset(),
+            msg: format!("unexpected trailing {:?}", p.tokens[p.pos].1),
+        });
+    }
+    Ok(q)
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Tok {
+    Name(String),
+    Str(String),
+    Num(usize),
+    Slash,
+    DSlash,
+    Pipe,
+    Star,
+    LBrack,
+    RBrack,
+    LParen,
+    RParen,
+    Eq,
+    Dot,
+    NotOp,
+    AndOp,
+    OrOp,
+}
+
+fn lex(input: &str) -> Result<Vec<(usize, Tok)>, QueryParseError> {
+    let mut out = Vec::new();
+    let mut chars = input.char_indices().peekable();
+    while let Some(&(at, c)) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '/' => {
+                chars.next();
+                if chars.peek().is_some_and(|&(_, c)| c == '/') {
+                    chars.next();
+                    out.push((at, Tok::DSlash));
+                } else {
+                    out.push((at, Tok::Slash));
+                }
+            }
+            '|' => {
+                chars.next();
+                if chars.peek().is_some_and(|&(_, c)| c == '|') {
+                    chars.next();
+                    out.push((at, Tok::OrOp));
+                } else {
+                    out.push((at, Tok::Pipe));
+                }
+            }
+            '&' => {
+                chars.next();
+                if chars.peek().is_some_and(|&(_, c)| c == '&') {
+                    chars.next();
+                    out.push((at, Tok::AndOp));
+                } else {
+                    return Err(QueryParseError {
+                        at,
+                        msg: "single '&' (use '&&' or 'and')".into(),
+                    });
+                }
+            }
+            '∪' => {
+                chars.next();
+                out.push((at, Tok::Pipe));
+            }
+            '¬' | '!' => {
+                chars.next();
+                out.push((at, Tok::NotOp));
+            }
+            '∧' => {
+                chars.next();
+                out.push((at, Tok::AndOp));
+            }
+            '∨' => {
+                chars.next();
+                out.push((at, Tok::OrOp));
+            }
+            'ε' | '.' => {
+                chars.next();
+                out.push((at, Tok::Dot));
+            }
+            '*' => {
+                chars.next();
+                out.push((at, Tok::Star));
+            }
+            '[' => {
+                chars.next();
+                out.push((at, Tok::LBrack));
+            }
+            ']' => {
+                chars.next();
+                out.push((at, Tok::RBrack));
+            }
+            '(' => {
+                chars.next();
+                out.push((at, Tok::LParen));
+            }
+            ')' => {
+                chars.next();
+                out.push((at, Tok::RParen));
+            }
+            '=' => {
+                chars.next();
+                out.push((at, Tok::Eq));
+            }
+            '\'' | '"' => {
+                let quote = c;
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some((_, c)) if c == quote => break,
+                        Some((_, c)) => s.push(c),
+                        None => {
+                            return Err(QueryParseError {
+                                at,
+                                msg: "unterminated string literal".into(),
+                            })
+                        }
+                    }
+                }
+                out.push((at, Tok::Str(s)));
+            }
+            c if c.is_ascii_digit() => {
+                let mut n = 0usize;
+                while let Some(&(_, c)) = chars.peek() {
+                    if let Some(d) = c.to_digit(10) {
+                        n = n * 10 + d as usize;
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push((at, Tok::Num(n)));
+            }
+            c if c.is_alphanumeric() || c == '_' || c == '#' => {
+                let mut s = String::new();
+                while let Some(&(_, c)) = chars.peek() {
+                    if c.is_alphanumeric() || matches!(c, '_' | '-' | ':' | '#') {
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push((at, Tok::Name(s)));
+            }
+            other => {
+                return Err(QueryParseError {
+                    at,
+                    msg: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<(usize, Tok)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn offset(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map_or(0, |t| t.0)
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, QueryParseError> {
+        Err(QueryParseError {
+            at: self.offset(),
+            msg: msg.into(),
+        })
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|t| &t.1)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos + 1).map(|t| &t.1)
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: Tok) -> Result<(), QueryParseError> {
+        if self.eat(&t) {
+            Ok(())
+        } else {
+            self.err(format!("expected {t:?}, found {:?}", self.peek()))
+        }
+    }
+
+    fn name_is(&self, s: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Name(n)) if n == s)
+    }
+
+    /// union := seq ('|' seq)*
+    fn union(&mut self) -> Result<XrQuery, QueryParseError> {
+        let mut q = self.seq()?;
+        while self.eat(&Tok::Pipe) {
+            q = q.or(self.seq()?);
+        }
+        Ok(q)
+    }
+
+    /// seq := postfix (('/' | '//') postfix)*
+    fn seq(&mut self) -> Result<XrQuery, QueryParseError> {
+        let mut q = self.postfix()?;
+        loop {
+            if self.eat(&Tok::Slash) {
+                q = q.then(self.postfix()?);
+            } else if self.eat(&Tok::DSlash) {
+                q = q.then(XrQuery::DescOrSelf).then(self.postfix()?);
+            } else {
+                return Ok(q);
+            }
+        }
+    }
+
+    /// postfix := atom ('*' | '[' qual ']')*
+    fn postfix(&mut self) -> Result<XrQuery, QueryParseError> {
+        let mut q = self.atom()?;
+        loop {
+            if self.eat(&Tok::Star) {
+                q = q.star();
+            } else if self.eat(&Tok::LBrack) {
+                let qual = self.qualifier()?;
+                self.expect(Tok::RBrack)?;
+                q = q.with(qual);
+            } else {
+                return Ok(q);
+            }
+        }
+    }
+
+    /// atom := '.' | name | 'text()' | '(' union ')'
+    fn atom(&mut self) -> Result<XrQuery, QueryParseError> {
+        if self.eat(&Tok::Dot) {
+            return Ok(XrQuery::Empty);
+        }
+        if self.eat(&Tok::LParen) {
+            let q = self.union()?;
+            self.expect(Tok::RParen)?;
+            return Ok(q);
+        }
+        match self.peek().cloned() {
+            Some(Tok::Name(n)) => {
+                // `text()` / `desc-or-self()` step?
+                if self.peek2() == Some(&Tok::LParen) {
+                    if n == "text" {
+                        self.pos += 2;
+                        self.expect(Tok::RParen)?;
+                        return Ok(XrQuery::Text);
+                    }
+                    if n == "desc-or-self" {
+                        self.pos += 2;
+                        self.expect(Tok::RParen)?;
+                        return Ok(XrQuery::DescOrSelf);
+                    }
+                }
+                self.pos += 1;
+                Ok(XrQuery::label(&n))
+            }
+            other => self.err(format!("expected a path step, found {other:?}")),
+        }
+    }
+
+    /// qual := andq (('or') andq)*
+    fn qualifier(&mut self) -> Result<Qualifier, QueryParseError> {
+        let mut q = self.and_q()?;
+        loop {
+            if self.eat(&Tok::OrOp) || self.eat_word("or") {
+                q = Qualifier::Or(Box::new(q), Box::new(self.and_q()?));
+            } else {
+                return Ok(q);
+            }
+        }
+    }
+
+    fn eat_word(&mut self, w: &str) -> bool {
+        if self.name_is(w) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn and_q(&mut self) -> Result<Qualifier, QueryParseError> {
+        let mut q = self.not_q()?;
+        loop {
+            if self.eat(&Tok::AndOp) || self.eat_word("and") {
+                q = Qualifier::And(Box::new(q), Box::new(self.not_q()?));
+            } else {
+                return Ok(q);
+            }
+        }
+    }
+
+    fn not_q(&mut self) -> Result<Qualifier, QueryParseError> {
+        if self.eat(&Tok::NotOp) || self.eat_word("not") {
+            return Ok(Qualifier::Not(Box::new(self.not_q()?)));
+        }
+        self.prim_q()
+    }
+
+    fn prim_q(&mut self) -> Result<Qualifier, QueryParseError> {
+        // `true` standing alone.
+        if self.name_is("true") {
+            let next_continues_path = matches!(
+                self.peek2(),
+                Some(Tok::Slash | Tok::DSlash | Tok::LBrack | Tok::Star | Tok::Eq | Tok::Pipe)
+            );
+            if !next_continues_path {
+                self.pos += 1;
+                return Ok(Qualifier::True);
+            }
+        }
+        // `position() = k`.
+        if self.name_is("position") && self.peek2() == Some(&Tok::LParen) {
+            self.pos += 2;
+            self.expect(Tok::RParen)?;
+            self.expect(Tok::Eq)?;
+            match self.peek().cloned() {
+                Some(Tok::Num(k)) => {
+                    self.pos += 1;
+                    if k == 0 {
+                        return self.err("position() is 1-based");
+                    }
+                    return Ok(Qualifier::Position(k));
+                }
+                other => return self.err(format!("expected a number, found {other:?}")),
+            }
+        }
+        // Try a path (possibly ending `= 'c'`); backtrack to a parenthesized
+        // qualifier if that fails.
+        let save = self.pos;
+        match self.union() {
+            Ok(p) => {
+                if self.eat(&Tok::Eq) {
+                    match self.peek().cloned() {
+                        Some(Tok::Str(c)) => {
+                            self.pos += 1;
+                            return Ok(Qualifier::TextEq(Box::new(p), c));
+                        }
+                        other => {
+                            return self.err(format!("expected a string literal, found {other:?}"))
+                        }
+                    }
+                }
+                Ok(Qualifier::Path(Box::new(p)))
+            }
+            Err(path_err) => {
+                self.pos = save;
+                if self.eat(&Tok::LParen) {
+                    let q = self.qualifier()?;
+                    self.expect(Tok::RParen)?;
+                    return Ok(q);
+                }
+                Err(path_err)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_paths() {
+        assert_eq!(parse_query("a").unwrap(), XrQuery::label("a"));
+        assert_eq!(
+            parse_query("a/b").unwrap(),
+            XrQuery::label("a").then(XrQuery::label("b"))
+        );
+        assert_eq!(parse_query(".").unwrap(), XrQuery::Empty);
+        assert_eq!(parse_query("ε").unwrap(), XrQuery::Empty);
+        assert_eq!(
+            parse_query("a/text()").unwrap(),
+            XrQuery::label("a").then(XrQuery::Text)
+        );
+    }
+
+    #[test]
+    fn union_and_precedence() {
+        // a | b/c == a | (b/c)
+        let q = parse_query("a | b/c").unwrap();
+        assert_eq!(
+            q,
+            XrQuery::label("a").or(XrQuery::label("b").then(XrQuery::label("c")))
+        );
+        assert_eq!(parse_query("a ∪ b").unwrap(), parse_query("a | b").unwrap());
+    }
+
+    #[test]
+    fn star_binds_to_atom_or_group() {
+        let q = parse_query("a*").unwrap();
+        assert_eq!(q, XrQuery::label("a").star());
+        let q = parse_query("(a/b)*").unwrap();
+        assert_eq!(q, XrQuery::label("a").then(XrQuery::label("b")).star());
+        // a/b* = a/(b*)
+        let q = parse_query("a/b*").unwrap();
+        assert_eq!(q, XrQuery::label("a").then(XrQuery::label("b").star()));
+    }
+
+    #[test]
+    fn qualifiers() {
+        let q = parse_query("a[b]").unwrap();
+        assert_eq!(
+            q,
+            XrQuery::label("a").with(Qualifier::Path(Box::new(XrQuery::label("b"))))
+        );
+        let q = parse_query("a[position() = 3]").unwrap();
+        assert_eq!(q, XrQuery::label("a").with(Qualifier::Position(3)));
+        let q = parse_query("a[text() = 'CS331']").unwrap();
+        assert_eq!(
+            q,
+            XrQuery::label("a").with(Qualifier::TextEq(Box::new(XrQuery::Text), "CS331".into()))
+        );
+        let q = parse_query("a[true]").unwrap();
+        assert_eq!(q, XrQuery::label("a").with(Qualifier::True));
+    }
+
+    #[test]
+    fn boolean_connectives_and_unicode() {
+        let q1 = parse_query("a[not b and c or d]").unwrap();
+        let q2 = parse_query("a[((¬b) ∧ c) ∨ d]").unwrap();
+        assert_eq!(q1, q2);
+        // Precedence: or < and < not.
+        let XrQuery::Qualified(_, q) = q1 else {
+            panic!()
+        };
+        assert!(matches!(q, Qualifier::Or(_, _)));
+    }
+
+    #[test]
+    fn parenthesized_qualifier_backtracks() {
+        let q = parse_query("a[(b or c)]").unwrap();
+        let XrQuery::Qualified(_, q) = q else { panic!() };
+        assert!(matches!(q, Qualifier::Or(_, _)));
+        // While (b | c) stays a path union.
+        let q = parse_query("a[(b | c)]").unwrap();
+        let XrQuery::Qualified(_, q) = q else { panic!() };
+        assert!(matches!(q, Qualifier::Path(_)));
+    }
+
+    #[test]
+    fn example_4_7_query_parses() {
+        let q = parse_query(
+            "courses/current/course[basic/cno/text() = 'CS331']/(category/mandatory/regular/required/prereq/course)*",
+        )
+        .unwrap();
+        assert!(q.uses_star());
+        assert!(q.size() > 10);
+    }
+
+    #[test]
+    fn descendant_or_self() {
+        let q = parse_query("a//b").unwrap();
+        assert_eq!(
+            q,
+            XrQuery::label("a")
+                .then(XrQuery::DescOrSelf)
+                .then(XrQuery::label("b"))
+        );
+        assert!(q.in_fragment_x());
+        let q = parse_query("//b").err();
+        assert!(q.is_some(), "leading // unsupported (queries are root-relative)");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_query("").is_err());
+        assert!(parse_query("a/").is_err());
+        assert!(parse_query("a[").is_err());
+        assert!(parse_query("a]").is_err());
+        assert!(parse_query("a[position() = 0]").is_err());
+        assert!(parse_query("a[text() = unquoted]").is_err());
+        assert!(parse_query("a & b").is_err());
+        assert!(parse_query("a b").is_err());
+    }
+
+    #[test]
+    fn text_and_position_can_be_labels_elsewhere() {
+        // "text" and "position" without parentheses are ordinary labels.
+        assert_eq!(parse_query("text").unwrap(), XrQuery::label("text"));
+        assert_eq!(
+            parse_query("position").unwrap(),
+            XrQuery::label("position")
+        );
+        // A label literally named "true" still works as a step.
+        assert_eq!(
+            parse_query("true/b").unwrap(),
+            XrQuery::label("true").then(XrQuery::label("b"))
+        );
+    }
+}

@@ -1,0 +1,280 @@
+//! The schema corpus: Figure 1 plus benchmark-shaped DTDs.
+//!
+//! Shapes (fan-out, recursion, mix of concatenation / disjunction / star /
+//! PCDATA) mirror well-known public DTDs at the sizes the paper reports
+//! ("schemas up to a few hundred nodes"); see DESIGN.md §2 for why this
+//! substitution preserves the experiments' meaning.
+
+use xse_dtd::Dtd;
+
+/// The paper's Figure 1(a): the class DTD `S0`.
+pub fn fig1_class() -> Dtd {
+    Dtd::parse(
+        "<!ELEMENT db (class)*>\
+         <!ELEMENT class (cno, title, type)>\
+         <!ELEMENT cno (#PCDATA)>\
+         <!ELEMENT title (#PCDATA)>\
+         <!ELEMENT type (regular | project)>\
+         <!ELEMENT regular (prereq)>\
+         <!ELEMENT prereq (class)*>\
+         <!ELEMENT project (#PCDATA)>",
+    )
+    .expect("static corpus schema")
+}
+
+/// The paper's Figure 1(b): the student DTD `S1`.
+pub fn fig1_student() -> Dtd {
+    Dtd::parse(
+        "<!ELEMENT sdb (student)*>\
+         <!ELEMENT student (ssn, name, taking)>\
+         <!ELEMENT ssn (#PCDATA)>\
+         <!ELEMENT name (#PCDATA)>\
+         <!ELEMENT taking (cno)*>\
+         <!ELEMENT cno (#PCDATA)>",
+    )
+    .expect("static corpus schema")
+}
+
+/// The paper's Figure 1(c): the school DTD `S` (target of Examples 4.2 and
+/// 4.9). `class2` stands in for the inner `class` tag — our DTDs keep tag
+/// names unique per type, as the paper's normal form does.
+pub fn fig1_school() -> Dtd {
+    Dtd::parse(
+        "<!ELEMENT school (courses, students)>\
+         <!ELEMENT courses (history, current)>\
+         <!ELEMENT history (course)*>\
+         <!ELEMENT current (course)*>\
+         <!ELEMENT course (basic, category)>\
+         <!ELEMENT basic (cno, credit, class2)>\
+         <!ELEMENT cno (#PCDATA)>\
+         <!ELEMENT credit (#PCDATA)>\
+         <!ELEMENT class2 (semester)*>\
+         <!ELEMENT semester (title, year, term, instructor)>\
+         <!ELEMENT title (#PCDATA)>\
+         <!ELEMENT year (#PCDATA)>\
+         <!ELEMENT term (#PCDATA)>\
+         <!ELEMENT instructor (#PCDATA)>\
+         <!ELEMENT category (mandatory | advanced)>\
+         <!ELEMENT mandatory (regular | lab)>\
+         <!ELEMENT advanced (project)>\
+         <!ELEMENT project (#PCDATA)>\
+         <!ELEMENT regular (required)>\
+         <!ELEMENT required (prereq)*>\
+         <!ELEMENT prereq (course)*>\
+         <!ELEMENT lab (#PCDATA)>\
+         <!ELEMENT students (student)*>\
+         <!ELEMENT student (ssn, name, gpa, taking)>\
+         <!ELEMENT ssn (#PCDATA)>\
+         <!ELEMENT name (#PCDATA)>\
+         <!ELEMENT gpa (#PCDATA)>\
+         <!ELEMENT taking (cno2)*>\
+         <!ELEMENT cno2 (#PCDATA)>",
+    )
+    .expect("static corpus schema")
+}
+
+/// A DBLP-shaped bibliography DTD.
+pub fn dblp_like() -> Dtd {
+    Dtd::parse(
+        "<!ELEMENT dblp (entry)*>\
+         <!ELEMENT entry (article | inproceedings | book)>\
+         <!ELEMENT article (authors, atitle, journal, volume, ayear, pages)>\
+         <!ELEMENT inproceedings (iauthors, ititle, booktitle, iyear, ipages)>\
+         <!ELEMENT book (bauthors, btitle, publisher, byear, isbn)>\
+         <!ELEMENT authors (author)*>\
+         <!ELEMENT iauthors (author)*>\
+         <!ELEMENT bauthors (author)*>\
+         <!ELEMENT author (#PCDATA)>\
+         <!ELEMENT atitle (#PCDATA)>\
+         <!ELEMENT ititle (#PCDATA)>\
+         <!ELEMENT btitle (#PCDATA)>\
+         <!ELEMENT journal (#PCDATA)>\
+         <!ELEMENT booktitle (#PCDATA)>\
+         <!ELEMENT publisher (#PCDATA)>\
+         <!ELEMENT volume (#PCDATA)>\
+         <!ELEMENT ayear (#PCDATA)>\
+         <!ELEMENT iyear (#PCDATA)>\
+         <!ELEMENT byear (#PCDATA)>\
+         <!ELEMENT pages (#PCDATA)>\
+         <!ELEMENT ipages (#PCDATA)>\
+         <!ELEMENT isbn (#PCDATA)>",
+    )
+    .expect("static corpus schema")
+}
+
+/// An XMark-shaped auction-site DTD (recursive item descriptions).
+pub fn auction_like() -> Dtd {
+    Dtd::parse(
+        "<!ELEMENT site (regions, people, open_auctions)>\
+         <!ELEMENT regions (africa, asia, europe)>\
+         <!ELEMENT africa (item)*>\
+         <!ELEMENT asia (item)*>\
+         <!ELEMENT europe (item)*>\
+         <!ELEMENT item (iname, location, quantity, description)>\
+         <!ELEMENT iname (#PCDATA)>\
+         <!ELEMENT location (#PCDATA)>\
+         <!ELEMENT quantity (#PCDATA)>\
+         <!ELEMENT description (text | parlist)>\
+         <!ELEMENT text (#PCDATA)>\
+         <!ELEMENT parlist (listitem)*>\
+         <!ELEMENT listitem (description)>\
+         <!ELEMENT people (person)*>\
+         <!ELEMENT person (pname, emailaddress, profile)>\
+         <!ELEMENT pname (#PCDATA)>\
+         <!ELEMENT emailaddress (#PCDATA)>\
+         <!ELEMENT profile (interest)*>\
+         <!ELEMENT interest (#PCDATA)>\
+         <!ELEMENT open_auctions (open_auction)*>\
+         <!ELEMENT open_auction (initial, bidder, itemref, seller)>\
+         <!ELEMENT initial (#PCDATA)>\
+         <!ELEMENT bidder (increase)*>\
+         <!ELEMENT increase (#PCDATA)>\
+         <!ELEMENT itemref (#PCDATA)>\
+         <!ELEMENT seller (#PCDATA)>",
+    )
+    .expect("static corpus schema")
+}
+
+/// A Mondial-shaped geography DTD.
+pub fn mondial_like() -> Dtd {
+    Dtd::parse(
+        "<!ELEMENT mondial (country)*>\
+         <!ELEMENT country (cname, capital, population, province_list, memberships)>\
+         <!ELEMENT cname (#PCDATA)>\
+         <!ELEMENT capital (#PCDATA)>\
+         <!ELEMENT population (#PCDATA)>\
+         <!ELEMENT province_list (province)*>\
+         <!ELEMENT province (prname, parea, city_list)>\
+         <!ELEMENT prname (#PCDATA)>\
+         <!ELEMENT parea (#PCDATA)>\
+         <!ELEMENT city_list (city)*>\
+         <!ELEMENT city (ctname, cpop, located_at)>\
+         <!ELEMENT ctname (#PCDATA)>\
+         <!ELEMENT cpop (#PCDATA)>\
+         <!ELEMENT located_at (river | sea | lake | nowhere)>\
+         <!ELEMENT river (#PCDATA)>\
+         <!ELEMENT sea (#PCDATA)>\
+         <!ELEMENT lake (#PCDATA)>\
+         <!ELEMENT nowhere EMPTY>\
+         <!ELEMENT memberships (org)*>\
+         <!ELEMENT org (#PCDATA)>",
+    )
+    .expect("static corpus schema")
+}
+
+/// A TPC-H-shaped orders DTD.
+pub fn orders_like() -> Dtd {
+    Dtd::parse(
+        "<!ELEMENT tpcd (customer)*>\
+         <!ELEMENT customer (custkey, cust_name, nation, orders)>\
+         <!ELEMENT custkey (#PCDATA)>\
+         <!ELEMENT cust_name (#PCDATA)>\
+         <!ELEMENT nation (#PCDATA)>\
+         <!ELEMENT orders (order)*>\
+         <!ELEMENT order (orderkey, orderstatus, totalprice, lineitems)>\
+         <!ELEMENT orderkey (#PCDATA)>\
+         <!ELEMENT orderstatus (open | shipped | closed)>\
+         <!ELEMENT open EMPTY>\
+         <!ELEMENT shipped EMPTY>\
+         <!ELEMENT closed EMPTY>\
+         <!ELEMENT totalprice (#PCDATA)>\
+         <!ELEMENT lineitems (lineitem)*>\
+         <!ELEMENT lineitem (partkey, lquantity, extendedprice, discount)>\
+         <!ELEMENT partkey (#PCDATA)>\
+         <!ELEMENT lquantity (#PCDATA)>\
+         <!ELEMENT extendedprice (#PCDATA)>\
+         <!ELEMENT discount (#PCDATA)>",
+    )
+    .expect("static corpus schema")
+}
+
+/// A GedML-shaped genealogy DTD (mutually recursive families/individuals).
+pub fn genealogy_like() -> Dtd {
+    Dtd::parse(
+        "<!ELEMENT ged (indi)*>\
+         <!ELEMENT indi (gname, sex, birth, fams)>\
+         <!ELEMENT gname (#PCDATA)>\
+         <!ELEMENT sex (male | female)>\
+         <!ELEMENT male EMPTY>\
+         <!ELEMENT female EMPTY>\
+         <!ELEMENT birth (date, place)>\
+         <!ELEMENT date (#PCDATA)>\
+         <!ELEMENT place (#PCDATA)>\
+         <!ELEMENT fams (fam)*>\
+         <!ELEMENT fam (marriage, children)>\
+         <!ELEMENT marriage (date2)>\
+         <!ELEMENT date2 (#PCDATA)>\
+         <!ELEMENT children (indi)*>",
+    )
+    .expect("static corpus schema")
+}
+
+/// A news-feed DTD.
+pub fn news_like() -> Dtd {
+    Dtd::parse(
+        "<!ELEMENT feed (channel)*>\
+         <!ELEMENT channel (chtitle, lang, article_list)>\
+         <!ELEMENT chtitle (#PCDATA)>\
+         <!ELEMENT lang (#PCDATA)>\
+         <!ELEMENT article_list (news_item)*>\
+         <!ELEMENT news_item (headline, byline, body, media)>\
+         <!ELEMENT headline (#PCDATA)>\
+         <!ELEMENT byline (#PCDATA)>\
+         <!ELEMENT body (para)*>\
+         <!ELEMENT para (#PCDATA)>\
+         <!ELEMENT media (photo | video | none)>\
+         <!ELEMENT photo (#PCDATA)>\
+         <!ELEMENT video (#PCDATA)>\
+         <!ELEMENT none EMPTY>",
+    )
+    .expect("static corpus schema")
+}
+
+/// The full named corpus used by TAB-1 and the accuracy experiments.
+pub fn corpus() -> Vec<(&'static str, Dtd)> {
+    vec![
+        ("fig1-class", fig1_class()),
+        ("fig1-student", fig1_student()),
+        ("dblp", dblp_like()),
+        ("auction", auction_like()),
+        ("mondial", mondial_like()),
+        ("orders", orders_like()),
+        ("genealogy", genealogy_like()),
+        ("news", news_like()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_corpus_schemas_are_consistent() {
+        for (name, d) in corpus() {
+            assert!(d.is_consistent(), "{name} has useless types");
+            assert!(d.type_count() >= 6, "{name} too small");
+        }
+        assert!(fig1_school().is_consistent());
+    }
+
+    #[test]
+    fn fig1_shapes_match_the_paper() {
+        let s0 = fig1_class();
+        assert!(s0.is_recursive(), "class/prereq recursion");
+        let s = fig1_school();
+        assert!(s.is_recursive(), "course/prereq recursion");
+        assert!(s.type_count() > s0.type_count(), "target more general");
+        let s1 = fig1_student();
+        assert!(!s1.is_recursive());
+    }
+
+    #[test]
+    fn corpus_instances_generate_and_validate() {
+        use xse_dtd::{GenConfig, InstanceGenerator};
+        for (name, d) in corpus() {
+            let gen = InstanceGenerator::new(&d, GenConfig { max_nodes: 500, ..GenConfig::default() });
+            let t = gen.generate(1);
+            d.validate(&t).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Workloads for the experiment suite.
+//!
+//! The VLDB'05 evaluation maps "schemas taken from real-life and benchmark
+//! sources to copies of these schemas with varying amounts of introduced
+//! noise". This crate provides the substitute described in DESIGN.md §2:
+//!
+//! * [`corpus`] — benchmark-shaped DTDs (the paper's Figure 1 schemas, plus
+//!   DBLP / XMark / Mondial / TPC-H / GedML / news lookalikes);
+//! * [`scale`] — parametric schema families for size sweeps;
+//! * [`noise`] — structural noise: wrap edges into paths, rename tags, add
+//!   extra target structure — every transform preserves embeddability of
+//!   the original schema into the noised copy, so ground truth is known;
+//! * [`simgen`] — similarity matrices with controlled accuracy/ambiguity;
+//! * [`querygen`] — schema-aware random `XR` queries for the translation
+//!   experiments.
+
+pub mod corpus;
+pub mod noise;
+pub mod querygen;
+pub mod scale;
+pub mod simgen;

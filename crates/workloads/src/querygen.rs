@@ -1,0 +1,188 @@
+//! Schema-aware random `XR` queries (TAB-2: translation size/time sweeps).
+//!
+//! Queries follow the source schema's labels so they are satisfiable on
+//! typical instances, and keep `position()` on label steps so they sit in
+//! the translatable fragment (DESIGN.md §3 item 3).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use xse_dtd::{Dtd, Production, TypeId};
+use xse_rxpath::{Qualifier, XrQuery};
+
+/// Query-generation knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct QueryConfig {
+    /// Maximum path depth.
+    pub max_depth: usize,
+    /// Probability of attaching a qualifier to a step.
+    pub qualifier_p: f64,
+    /// Probability of a union at the top level.
+    pub union_p: f64,
+    /// Probability of wrapping a schema cycle in a Kleene star when one is
+    /// available.
+    pub star_p: f64,
+}
+
+impl Default for QueryConfig {
+    fn default() -> Self {
+        QueryConfig {
+            max_depth: 5,
+            qualifier_p: 0.3,
+            union_p: 0.25,
+            star_p: 0.3,
+        }
+    }
+}
+
+/// Generate `count` random queries rooted at the schema root.
+pub fn random_queries(dtd: &Dtd, cfg: QueryConfig, seed: u64, count: usize) -> Vec<XrQuery> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count).map(|_| random_query(dtd, cfg, &mut rng)).collect()
+}
+
+fn random_query(dtd: &Dtd, cfg: QueryConfig, rng: &mut StdRng) -> XrQuery {
+    let q = random_path(dtd, cfg, dtd.root(), cfg.max_depth, rng);
+    if rng.random_bool(cfg.union_p) {
+        q.or(random_path(dtd, cfg, dtd.root(), cfg.max_depth, rng))
+    } else {
+        q
+    }
+}
+
+fn element_children(dtd: &Dtd, t: TypeId) -> Vec<TypeId> {
+    dtd.production(t).children().to_vec()
+}
+
+fn random_path(
+    dtd: &Dtd,
+    cfg: QueryConfig,
+    from: TypeId,
+    depth: usize,
+    rng: &mut StdRng,
+) -> XrQuery {
+    let mut q = XrQuery::Empty;
+    let mut cur = from;
+    let mut visited_on_path = vec![from];
+    for _ in 0..depth {
+        let children = element_children(dtd, cur);
+        if children.is_empty() {
+            // PCDATA leaf: sometimes descend into text().
+            if matches!(dtd.production(cur), Production::Str) && rng.random_bool(0.5) {
+                q = q.then(XrQuery::Text);
+            }
+            break;
+        }
+        let child = children[rng.random_range(0..children.len())];
+        let mut step = XrQuery::label(dtd.name(child));
+        if rng.random_bool(cfg.qualifier_p) {
+            step = step.with(random_qualifier(dtd, cfg, cur, child, rng));
+        }
+        // Star a cycle when the step returns to a type already on the path.
+        if visited_on_path.contains(&child) && rng.random_bool(cfg.star_p) {
+            q = q.then(q_cycle(dtd, &visited_on_path, child));
+            break;
+        }
+        visited_on_path.push(child);
+        q = q.then(step);
+        cur = child;
+    }
+    if matches!(q, XrQuery::Empty) {
+        // Ensure nonempty queries: at least one step or self.
+        q = XrQuery::Empty;
+    }
+    q
+}
+
+/// Build `(l1/l2/…/lk)*` for the detected cycle back to `to`.
+fn q_cycle(dtd: &Dtd, path: &[TypeId], to: TypeId) -> XrQuery {
+    let start = path.iter().position(|&t| t == to).unwrap_or(0);
+    let cycle: Vec<XrQuery> = path[start + 1..]
+        .iter()
+        .chain(std::iter::once(&to))
+        .map(|&t| XrQuery::label(dtd.name(t)))
+        .collect();
+    if cycle.is_empty() {
+        XrQuery::Empty
+    } else {
+        XrQuery::seq_all(cycle).star()
+    }
+}
+
+fn random_qualifier(
+    dtd: &Dtd,
+    _cfg: QueryConfig,
+    parent: TypeId,
+    child: TypeId,
+    rng: &mut StdRng,
+) -> Qualifier {
+    let grandchildren = element_children(dtd, child);
+    match rng.random_range(0..4) {
+        // position() — on label steps only (translatable fragment).
+        0 if matches!(dtd.production(parent), Production::Star(_)) => {
+            Qualifier::Position(rng.random_range(1..4))
+        }
+        1 if !grandchildren.is_empty() => {
+            let g = grandchildren[rng.random_range(0..grandchildren.len())];
+            Qualifier::Path(Box::new(XrQuery::label(dtd.name(g))))
+        }
+        2 if matches!(dtd.production(child), Production::Str) => Qualifier::TextEq(
+            Box::new(XrQuery::Text),
+            format!("v{}", rng.random_range(0..50)),
+        ),
+        3 if !grandchildren.is_empty() => {
+            let g = grandchildren[rng.random_range(0..grandchildren.len())];
+            Qualifier::Not(Box::new(Qualifier::Path(Box::new(XrQuery::label(
+                dtd.name(g),
+            )))))
+        }
+        _ => Qualifier::True,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus;
+
+    #[test]
+    fn queries_parse_print_roundtrip() {
+        let d = corpus::fig1_class();
+        for q in random_queries(&d, QueryConfig::default(), 11, 40) {
+            let printed = q.to_string();
+            let reparsed = xse_rxpath::parse_query(&printed)
+                .unwrap_or_else(|e| panic!("{printed}: {e}"));
+            assert_eq!(q, reparsed, "{printed}");
+        }
+    }
+
+    #[test]
+    fn queries_often_match_generated_instances() {
+        use xse_dtd::{GenConfig, InstanceGenerator};
+        let d = corpus::fig1_class();
+        let gen = InstanceGenerator::new(&d, GenConfig { star_mean: 3.0, ..GenConfig::default() });
+        let t = gen.generate(5);
+        let queries = random_queries(&d, QueryConfig::default(), 3, 60);
+        let nonempty = queries.iter().filter(|q| !q.eval(&t).is_empty()).count();
+        assert!(
+            nonempty >= queries.len() / 4,
+            "only {nonempty}/{} queries matched",
+            queries.len()
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let d = corpus::dblp_like();
+        let a = random_queries(&d, QueryConfig::default(), 7, 10);
+        let b = random_queries(&d, QueryConfig::default(), 7, 10);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn recursive_schemas_produce_star_queries() {
+        let d = corpus::fig1_class();
+        let qs = random_queries(&d, QueryConfig { max_depth: 8, star_p: 1.0, ..QueryConfig::default() }, 2, 200);
+        assert!(qs.iter().any(|q| q.uses_star()), "no starred query in 200 draws");
+    }
+}

@@ -1,0 +1,118 @@
+//! Parametric schema families for size sweeps (EXP-C: "running time vs.
+//! schema size, 10–400 types").
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use xse_dtd::Dtd;
+
+/// A random **consistent** DTD with exactly `n` element types.
+///
+/// Construction: a random spanning tree over the types fixes reachability
+/// (every type has a parent among earlier types); each node's production is
+/// then derived from its tree children — concatenations and disjunctions
+/// for wide nodes, stars for unary ones, PCDATA/EMPTY leaves — plus
+/// or-guarded back-edges (`X → ancestor + ε`) for recursion, which keeps
+/// every type productive by construction.
+pub fn random_schema(n: usize, seed: u64) -> Dtd {
+    assert!(n >= 3, "need at least root, inner, leaf");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let names: Vec<String> = (0..n).map(|i| format!("e{i}")).collect();
+
+    // Random spanning tree; parents biased toward recent nodes for
+    // realistic depth.
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for i in 1..n {
+        let lo = i.saturating_sub(8);
+        let parent = rng.random_range(lo..i);
+        children[parent].push(i);
+    }
+
+    let mut b = Dtd::builder(names[0].clone());
+    for i in 0..n {
+        let kids = &children[i];
+        b = match kids.len() {
+            0 => {
+                // Leaf: PCDATA, EMPTY, or an or-guarded recursive hook.
+                match rng.random_range(0..10) {
+                    0..=6 => b.str_type(&names[i]),
+                    7..=8 => b.empty(&names[i]),
+                    _ => {
+                        let back = rng.random_range(0..i.max(1));
+                        b.disjunction_opt(&names[i], &[&names[back]])
+                    }
+                }
+            }
+            1 => {
+                let c = names[kids[0]].clone();
+                match rng.random_range(0..10) {
+                    0..=4 => b.star(&names[i], &c),
+                    5..=7 => b.concat(&names[i], &[&c]),
+                    _ => b.disjunction_opt(&names[i], &[&c]),
+                }
+            }
+            _ => {
+                let refs: Vec<&str> = kids.iter().map(|&k| names[k].as_str()).collect();
+                if rng.random_bool(0.75) {
+                    b.concat(&names[i], &refs)
+                } else if rng.random_bool(0.4) {
+                    b.disjunction_opt(&names[i], &refs)
+                } else {
+                    b.disjunction(&names[i], &refs)
+                }
+            }
+        };
+    }
+    let d = b.build().expect("generated schema is well-formed");
+    debug_assert!(d.is_consistent(), "spanning tree guarantees consistency");
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_schemas_are_consistent_at_all_sizes() {
+        for n in [3, 10, 50, 200, 400] {
+            let d = random_schema(n, 7);
+            assert_eq!(d.type_count(), n);
+            assert!(d.is_consistent(), "size {n} has useless types");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(
+            random_schema(40, 9).to_string(),
+            random_schema(40, 9).to_string()
+        );
+        assert_ne!(
+            random_schema(40, 9).to_string(),
+            random_schema(40, 10).to_string()
+        );
+    }
+
+    #[test]
+    fn schemas_generate_instances() {
+        use xse_dtd::{GenConfig, InstanceGenerator};
+        for seed in 0..5 {
+            let d = random_schema(60, seed);
+            let gen = InstanceGenerator::new(
+                &d,
+                GenConfig {
+                    max_nodes: 400,
+                    ..GenConfig::default()
+                },
+            );
+            let t = gen.generate(0);
+            d.validate(&t).unwrap();
+        }
+    }
+
+    #[test]
+    fn some_generated_schemas_are_recursive() {
+        let recursive = (0..20).filter(|&s| random_schema(80, s).is_recursive()).count();
+        assert!(recursive >= 5, "only {recursive}/20 recursive");
+    }
+}

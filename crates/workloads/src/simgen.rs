@@ -1,0 +1,140 @@
+//! Similarity-matrix generators with controlled accuracy and ambiguity —
+//! the `att` noise knobs of the VLDB'05 experiments.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use xse_core::SimilarityMatrix;
+use xse_dtd::Dtd;
+
+use crate::noise::NoisedCopy;
+
+/// The unambiguous ground-truth matrix: `att(A, truth(A)) = 1`, 0 elsewhere
+/// ("when the semantic correspondences are unique, it is easy to identify
+/// local embeddings", §5.2).
+pub fn exact(source: &Dtd, copy: &NoisedCopy) -> SimilarityMatrix {
+    let mut m = SimilarityMatrix::zero(source.type_count(), copy.target.type_count());
+    for a in source.types() {
+        if let Some(b) = copy
+            .truth
+            .get(source.name(a))
+            .and_then(|n| copy.target.type_id(n))
+        {
+            m.set(a, b, 1.0);
+        }
+    }
+    m
+}
+
+/// Knobs for [`ambiguous`].
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// Probability that the true pair receives the row's best score.
+    pub accuracy: f64,
+    /// Expected number of spurious positive entries per source type.
+    pub ambiguity: f64,
+}
+
+/// A noisy matrix: the true pair scores high with probability `accuracy`
+/// (otherwise it is demoted below a random competitor), and around
+/// `ambiguity` random wrong pairs per row receive mid-range scores.
+pub fn ambiguous(
+    source: &Dtd,
+    copy: &NoisedCopy,
+    cfg: SimConfig,
+    seed: u64,
+) -> SimilarityMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tgt = &copy.target;
+    let mut m = SimilarityMatrix::zero(source.type_count(), tgt.type_count());
+    let tgt_ids: Vec<_> = tgt.types().collect();
+    for a in source.types() {
+        let truth = copy
+            .truth
+            .get(source.name(a))
+            .and_then(|n| tgt.type_id(n));
+        // Spurious candidates.
+        let spurious = {
+            // Poisson-ish: floor + Bernoulli remainder.
+            let base = cfg.ambiguity.floor() as usize;
+            base + usize::from(rng.random_bool(cfg.ambiguity.fract().clamp(0.0, 1.0)))
+        };
+        for _ in 0..spurious {
+            let b = tgt_ids[rng.random_range(0..tgt_ids.len())];
+            if Some(b) != truth {
+                m.set(a, b, rng.random_range(0.3..0.9));
+            }
+        }
+        if let Some(b) = truth {
+            if rng.random_bool(cfg.accuracy.clamp(0.0, 1.0)) {
+                m.set(a, b, rng.random_range(0.9..1.0));
+            } else {
+                // Demoted truth: still positive (the embedding exists) but
+                // outranked by a spurious competitor.
+                m.set(a, b, rng.random_range(0.1..0.3));
+                let b2 = tgt_ids[rng.random_range(0..tgt_ids.len())];
+                if Some(b2) != truth {
+                    m.set(a, b2, rng.random_range(0.9..1.0));
+                }
+            }
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus;
+    use crate::noise::{noised_copy, NoiseConfig};
+
+    #[test]
+    fn exact_matrix_has_one_candidate_per_row() {
+        let src = corpus::fig1_class();
+        let copy = noised_copy(&src, NoiseConfig::level(0.3), 5);
+        let m = exact(&src, &copy);
+        for a in src.types() {
+            assert_eq!(m.ambiguity(a), 1, "row {}", src.name(a));
+            assert_eq!(m.candidates(a)[0].1, 1.0);
+        }
+    }
+
+    #[test]
+    fn ambiguity_knob_adds_candidates() {
+        let src = corpus::dblp_like();
+        let copy = noised_copy(&src, NoiseConfig::level(0.2), 5);
+        let low = ambiguous(&src, &copy, SimConfig { accuracy: 1.0, ambiguity: 0.0 }, 9);
+        let high = ambiguous(&src, &copy, SimConfig { accuracy: 1.0, ambiguity: 5.0 }, 9);
+        let low_avg: f64 = src.types().map(|a| low.ambiguity(a) as f64).sum::<f64>()
+            / src.type_count() as f64;
+        let high_avg: f64 = src.types().map(|a| high.ambiguity(a) as f64).sum::<f64>()
+            / src.type_count() as f64;
+        assert!(high_avg > low_avg + 1.0, "{low_avg} vs {high_avg}");
+    }
+
+    #[test]
+    fn truth_stays_positive_even_when_demoted() {
+        let src = corpus::news_like();
+        let copy = noised_copy(&src, NoiseConfig::level(0.2), 5);
+        let m = ambiguous(&src, &copy, SimConfig { accuracy: 0.0, ambiguity: 2.0 }, 9);
+        for a in src.types() {
+            let truth = copy.truth[src.name(a)].clone();
+            let b = copy.target.type_id(&truth).unwrap();
+            assert!(m.get(a, b) > 0.0, "truth must stay admissible");
+        }
+    }
+
+    #[test]
+    fn generators_are_seed_deterministic() {
+        let src = corpus::orders_like();
+        let copy = noised_copy(&src, NoiseConfig::level(0.2), 5);
+        let cfg = SimConfig { accuracy: 0.7, ambiguity: 2.0 };
+        let a = ambiguous(&src, &copy, cfg, 33);
+        let b = ambiguous(&src, &copy, cfg, 33);
+        for s in src.types() {
+            for t in copy.target.types() {
+                assert_eq!(a.get(s, t), b.get(s, t));
+            }
+        }
+    }
+}

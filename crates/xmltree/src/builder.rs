@@ -1,0 +1,107 @@
+use crate::{NodeId, XmlTree};
+
+/// A cursor-style builder for constructing documents in tests and examples.
+///
+/// ```
+/// use xse_xmltree::TreeBuilder;
+/// let tree = TreeBuilder::new("db")
+///     .open("class")
+///     .leaf_text("cno", "CS331")
+///     .open("type")
+///     .elem("regular")
+///     .close()
+///     .close()
+///     .build();
+/// assert_eq!(
+///     tree.to_xml(),
+///     "<db><class><cno>CS331</cno><type><regular/></type></class></db>"
+/// );
+/// ```
+pub struct TreeBuilder {
+    tree: XmlTree,
+    stack: Vec<NodeId>,
+}
+
+impl TreeBuilder {
+    /// Start a document with the given root tag; the cursor is the root.
+    pub fn new(root_tag: &str) -> Self {
+        let tree = XmlTree::new(root_tag);
+        let root = tree.root();
+        TreeBuilder {
+            tree,
+            stack: vec![root],
+        }
+    }
+
+    fn cursor(&self) -> NodeId {
+        *self.stack.last().expect("builder cursor underflow")
+    }
+
+    /// Append an element child and move the cursor into it.
+    pub fn open(mut self, tag: &str) -> Self {
+        let id = self.tree.add_element(self.cursor(), tag);
+        self.stack.push(id);
+        self
+    }
+
+    /// Append an empty element child, leaving the cursor in place.
+    pub fn elem(mut self, tag: &str) -> Self {
+        self.tree.add_element(self.cursor(), tag);
+        self
+    }
+
+    /// Append a text child, leaving the cursor in place.
+    pub fn text(mut self, value: &str) -> Self {
+        self.tree.add_text(self.cursor(), value);
+        self
+    }
+
+    /// Shorthand for `open(tag).text(value).close()`.
+    pub fn leaf_text(self, tag: &str, value: &str) -> Self {
+        self.open(tag).text(value).close()
+    }
+
+    /// Move the cursor back to the parent element.
+    ///
+    /// # Panics
+    /// Panics when called at the root.
+    pub fn close(mut self) -> Self {
+        assert!(self.stack.len() > 1, "close() called at the root");
+        self.stack.pop();
+        self
+    }
+
+    /// Finish, returning the tree. Any elements still open are implicitly
+    /// closed.
+    pub fn build(self) -> XmlTree {
+        self.tree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_nested_structure() {
+        let t = TreeBuilder::new("r")
+            .open("a")
+            .text("x")
+            .close()
+            .elem("b")
+            .build();
+        assert_eq!(t.to_xml(), "<r><a>x</a><b/></r>");
+    }
+
+    #[test]
+    fn unclosed_elements_are_fine() {
+        let t = TreeBuilder::new("r").open("a").open("b").build();
+        assert_eq!(t.to_xml(), "<r><a><b/></a></r>");
+    }
+
+    #[test]
+    #[should_panic(expected = "close() called at the root")]
+    fn close_at_root_panics() {
+        let _ = TreeBuilder::new("r").close();
+    }
+}

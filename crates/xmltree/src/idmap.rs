@@ -1,0 +1,147 @@
+use std::collections::HashMap;
+
+use crate::NodeId;
+
+/// The paper's (partial) node id mapping `idM()`.
+///
+/// An instance mapping `σd : I(S1) → I(S2)` is accompanied by a mapping that
+/// sends node ids of the *target* document `σd(T)` back to the ids of the
+/// *source* nodes they were copied from; it is the identity on string values.
+/// Query preservation w.r.t. regular XPath is stated through this mapping:
+/// `Q(T) = idM(Tr(Q)(σd(T)))`.
+///
+/// The map is partial: target nodes fabricated by the mapping (minimum
+/// default instances, intermediate path nodes) have no source preimage.
+#[derive(Clone, Debug, Default)]
+pub struct IdMap {
+    fwd: HashMap<NodeId, NodeId>,
+    rev: HashMap<NodeId, NodeId>,
+}
+
+impl IdMap {
+    /// An empty id mapping.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that target node `tgt` was copied from source node `src`.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is already mapped — `σd` is injective
+    /// (Theorem 4.1), so a bijection between mapped nodes is an invariant.
+    pub fn insert(&mut self, tgt: NodeId, src: NodeId) {
+        let old = self.fwd.insert(tgt, src);
+        assert!(old.is_none(), "idM: target node {tgt:?} mapped twice");
+        let old = self.rev.insert(src, tgt);
+        assert!(old.is_none(), "idM: source node {src:?} mapped twice");
+    }
+
+    /// `idM(tgt)`: the source node `tgt` was copied from, if any.
+    pub fn source_of(&self, tgt: NodeId) -> Option<NodeId> {
+        self.fwd.get(&tgt).copied()
+    }
+
+    /// The target node a source node was copied to, if any (the inverse
+    /// direction, useful when checking injectivity).
+    pub fn target_of(&self, src: NodeId) -> Option<NodeId> {
+        self.rev.get(&src).copied()
+    }
+
+    /// Number of mapped pairs.
+    pub fn len(&self) -> usize {
+        self.fwd.len()
+    }
+
+    /// `true` iff no pair is mapped.
+    pub fn is_empty(&self) -> bool {
+        self.fwd.is_empty()
+    }
+
+    /// Apply `idM` to a set of target ids, dropping unmapped ones — exactly
+    /// how the paper recovers `Q(T)` from `Tr(Q)(σd(T))`.
+    pub fn map_result<'a>(
+        &'a self,
+        ids: impl IntoIterator<Item = NodeId> + 'a,
+    ) -> impl Iterator<Item = NodeId> + 'a {
+        ids.into_iter().filter_map(move |id| self.source_of(id))
+    }
+
+    /// Iterate over `(target, source)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.fwd.iter().map(|(&t, &s)| (t, s))
+    }
+
+    /// Compose with another id mapping: if `self : dom(T2) → dom(T1)` and
+    /// `earlier : dom(T1) → dom(T0)`, the result maps `dom(T2) → dom(T0)`.
+    /// Pairs whose intermediate node is unmapped in `earlier` are dropped
+    /// (the composition is partial, like its factors).
+    pub fn compose(&self, earlier: &IdMap) -> IdMap {
+        let mut out = IdMap::new();
+        for (t, mid) in self.iter() {
+            if let Some(s) = earlier.source_of(mid) {
+                out.insert(t, s);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn roundtrips_both_directions() {
+        let mut m = IdMap::new();
+        m.insert(n(10), n(1));
+        m.insert(n(11), n(2));
+        assert_eq!(m.source_of(n(10)), Some(n(1)));
+        assert_eq!(m.target_of(n(2)), Some(n(11)));
+        assert_eq!(m.source_of(n(12)), None);
+        assert_eq!(m.len(), 2);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "mapped twice")]
+    fn rejects_double_target() {
+        let mut m = IdMap::new();
+        m.insert(n(10), n(1));
+        m.insert(n(10), n(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "mapped twice")]
+    fn rejects_double_source() {
+        let mut m = IdMap::new();
+        m.insert(n(10), n(1));
+        m.insert(n(11), n(1));
+    }
+
+    #[test]
+    fn map_result_filters_unmapped() {
+        let mut m = IdMap::new();
+        m.insert(n(10), n(1));
+        let out: Vec<_> = m.map_result(vec![n(10), n(99)]).collect();
+        assert_eq!(out, vec![n(1)]);
+    }
+
+    #[test]
+    fn composition_is_partial() {
+        // T2 -> T1
+        let mut later = IdMap::new();
+        later.insert(n(20), n(10));
+        later.insert(n(21), n(11));
+        // T1 -> T0, but n(11) has no preimage recorded.
+        let mut earlier = IdMap::new();
+        earlier.insert(n(10), n(0));
+        let c = later.compose(&earlier);
+        assert_eq!(c.source_of(n(20)), Some(n(0)));
+        assert_eq!(c.source_of(n(21)), None);
+        assert_eq!(c.len(), 1);
+    }
+}

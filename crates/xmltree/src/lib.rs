@@ -1,0 +1,32 @@
+//! Ordered, node-labeled XML document trees.
+//!
+//! This crate implements the XML instance model of Section 2.1 of
+//! Fan & Bohannon, *Information Preserving XML Schema Embedding* (VLDB 2005 /
+//! TODS 2008):
+//!
+//! * an XML instance is an **ordered tree** whose nodes are either *elements*
+//!   (labeled with an element-type tag) or *text nodes* (carrying a `PCDATA`
+//!   string value and always leaves);
+//! * every node carries a **stable node id** drawn from the countably
+//!   infinite id universe `U`; the set of ids of a tree `T` is `dom(T)`;
+//! * two trees are **equal** (`T1 = T2`) when they are isomorphic by an
+//!   isomorphism that is the identity on string values — i.e. same shape,
+//!   same tags, same text, ids ignored;
+//! * instance mappings `σd : I(S1) → I(S2)` come with a partial **id
+//!   mapping** `idM()` from `dom(σd(T))` back to `dom(T)` ([`IdMap`]).
+//!
+//! Trees are stored in an arena ([`XmlTree`]) indexed by [`NodeId`]; node ids
+//! are never reused within a tree, so they behave like the paper's abstract
+//! ids while remaining cheap dense indexes.
+
+mod builder;
+mod idmap;
+mod node;
+mod parse;
+mod serialize;
+
+pub use builder::TreeBuilder;
+pub use idmap::IdMap;
+pub use node::{Node, NodeId, NodeKind, XmlTree};
+pub use parse::{parse_xml, ParseError};
+pub use serialize::escape_text;

@@ -1,0 +1,569 @@
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifier of a node within one [`XmlTree`].
+///
+/// Ids are dense indexes into the tree's arena. They are stable for the
+/// lifetime of the tree — removing is not supported, so an id handed out once
+/// stays valid — which makes them a faithful stand-in for the paper's
+/// abstract node ids in `dom(T)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The numeric index of this id in its tree's arena.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstruct an id from an arena index (use only with indexes obtained
+    /// from [`NodeId::index`] on the same tree).
+    pub fn from_index(i: usize) -> Self {
+        NodeId(u32::try_from(i).expect("tree larger than u32::MAX nodes"))
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// What a node is: an element with a tag, or a text (PCDATA) leaf.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum NodeKind {
+    /// An element node labeled with an element-type tag. Tags are shared
+    /// `Arc<str>`s so that the many nodes of a large document do not each
+    /// own a copy of their tag.
+    Element(Arc<str>),
+    /// A text node carrying a string (PCDATA) value. Always a leaf.
+    Text(String),
+}
+
+/// One node of an [`XmlTree`].
+#[derive(Clone, Debug)]
+pub struct Node {
+    pub(crate) kind: NodeKind,
+    pub(crate) parent: Option<NodeId>,
+    pub(crate) children: Vec<NodeId>,
+}
+
+impl Node {
+    /// The node's kind (element or text).
+    pub fn kind(&self) -> &NodeKind {
+        &self.kind
+    }
+
+    /// The parent id, or `None` for the root.
+    pub fn parent(&self) -> Option<NodeId> {
+        self.parent
+    }
+
+    /// The ordered children.
+    pub fn children(&self) -> &[NodeId] {
+        &self.children
+    }
+}
+
+/// An ordered, node-labeled XML tree with stable node ids.
+///
+/// The tree always has a root element (created by [`XmlTree::new`]). Nodes
+/// are appended with [`XmlTree::add_element`] / [`XmlTree::add_text`] and are
+/// never removed, so every [`NodeId`] stays valid.
+#[derive(Clone, Debug)]
+pub struct XmlTree {
+    nodes: Vec<Node>,
+    root: NodeId,
+}
+
+impl XmlTree {
+    /// Create a tree whose root element is labeled `root_tag`.
+    pub fn new(root_tag: impl Into<Arc<str>>) -> Self {
+        let root = Node {
+            kind: NodeKind::Element(root_tag.into()),
+            parent: None,
+            children: Vec::new(),
+        };
+        XmlTree {
+            nodes: vec![root],
+            root: NodeId(0),
+        }
+    }
+
+    /// The root node id.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Number of nodes in the tree (elements and text nodes), i.e. `|dom(T)|`.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` iff the tree consists of just the root element.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1 && self.nodes[0].children.is_empty()
+    }
+
+    /// Access a node.
+    ///
+    /// # Panics
+    /// Panics if `id` does not belong to this tree.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Append a new element labeled `tag` as the last child of `parent`.
+    pub fn add_element(&mut self, parent: NodeId, tag: impl Into<Arc<str>>) -> NodeId {
+        self.push_node(parent, NodeKind::Element(tag.into()))
+    }
+
+    /// Append a new text node with string `value` as the last child of
+    /// `parent`.
+    pub fn add_text(&mut self, parent: NodeId, value: impl Into<String>) -> NodeId {
+        self.push_node(parent, NodeKind::Text(value.into()))
+    }
+
+    /// Insert a new element labeled `tag` as the `pos`-th (0-based) child of
+    /// `parent`, shifting later siblings right.
+    pub fn insert_element(
+        &mut self,
+        parent: NodeId,
+        pos: usize,
+        tag: impl Into<Arc<str>>,
+    ) -> NodeId {
+        let id = NodeId::from_index(self.nodes.len());
+        self.nodes.push(Node {
+            kind: NodeKind::Element(tag.into()),
+            parent: Some(parent),
+            children: Vec::new(),
+        });
+        let siblings = &mut self.nodes[parent.index()].children;
+        let pos = pos.min(siblings.len());
+        siblings.insert(pos, id);
+        id
+    }
+
+    fn push_node(&mut self, parent: NodeId, kind: NodeKind) -> NodeId {
+        let id = NodeId::from_index(self.nodes.len());
+        self.nodes.push(Node {
+            kind,
+            parent: Some(parent),
+            children: Vec::new(),
+        });
+        self.nodes[parent.index()].children.push(id);
+        id
+    }
+
+    /// Reorder the children of `parent` to the given permutation of its
+    /// current child list.
+    ///
+    /// # Panics
+    /// Panics if `order` is not a permutation of the current children.
+    pub fn reorder_children(&mut self, parent: NodeId, order: &[NodeId]) {
+        let current = &self.nodes[parent.index()].children;
+        assert_eq!(current.len(), order.len(), "reorder: wrong arity");
+        let mut sorted_a: Vec<NodeId> = current.clone();
+        let mut sorted_b: Vec<NodeId> = order.to_vec();
+        sorted_a.sort_unstable();
+        sorted_b.sort_unstable();
+        assert_eq!(sorted_a, sorted_b, "reorder: not a permutation");
+        self.nodes[parent.index()].children = order.to_vec();
+    }
+
+    /// The element tag of `id`, or `None` for a text node.
+    pub fn tag(&self, id: NodeId) -> Option<&str> {
+        match &self.node(id).kind {
+            NodeKind::Element(t) => Some(t),
+            NodeKind::Text(_) => None,
+        }
+    }
+
+    /// The string value of `id`, or `None` for an element node.
+    pub fn text_value(&self, id: NodeId) -> Option<&str> {
+        match &self.node(id).kind {
+            NodeKind::Element(_) => None,
+            NodeKind::Text(v) => Some(v),
+        }
+    }
+
+    /// `true` iff `id` is a text node.
+    pub fn is_text(&self, id: NodeId) -> bool {
+        matches!(self.node(id).kind, NodeKind::Text(_))
+    }
+
+    /// The ordered children of `id`.
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        &self.node(id).children
+    }
+
+    /// The parent of `id` (`None` for the root).
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.node(id).parent
+    }
+
+    /// The element children of `id` with tag `tag`, in document order.
+    pub fn children_with_tag<'a>(
+        &'a self,
+        id: NodeId,
+        tag: &'a str,
+    ) -> impl Iterator<Item = NodeId> + 'a {
+        self.children(id)
+            .iter()
+            .copied()
+            .filter(move |&c| self.tag(c) == Some(tag))
+    }
+
+    /// 1-based position of `id` among its same-tag siblings (the paper's
+    /// `position()` for a step labeled with `id`'s tag). The root has
+    /// position 1. Text nodes are counted among text siblings.
+    pub fn position_among_same_label(&self, id: NodeId) -> usize {
+        let Some(p) = self.parent(id) else { return 1 };
+        let me = &self.node(id).kind;
+        let mut pos = 0;
+        for &c in self.children(p) {
+            let same = match (&self.node(c).kind, me) {
+                (NodeKind::Element(a), NodeKind::Element(b)) => a == b,
+                (NodeKind::Text(_), NodeKind::Text(_)) => true,
+                _ => false,
+            };
+            if same {
+                pos += 1;
+            }
+            if c == id {
+                return pos;
+            }
+        }
+        unreachable!("node not found among its parent's children")
+    }
+
+    /// Depth of `id` (root is 0).
+    pub fn depth(&self, id: NodeId) -> usize {
+        let mut d = 0;
+        let mut cur = id;
+        while let Some(p) = self.parent(cur) {
+            d += 1;
+            cur = p;
+        }
+        d
+    }
+
+    /// Preorder (document-order) traversal of the subtree rooted at `id`.
+    pub fn descendants_or_self(&self, id: NodeId) -> Preorder<'_> {
+        Preorder {
+            tree: self,
+            stack: vec![id],
+        }
+    }
+
+    /// Preorder traversal of the whole document.
+    pub fn preorder(&self) -> Preorder<'_> {
+        self.descendants_or_self(self.root)
+    }
+
+    /// Number of nodes in the subtree rooted at `id`.
+    pub fn subtree_size(&self, id: NodeId) -> usize {
+        self.descendants_or_self(id).count()
+    }
+
+    /// The tags on the path from the root to `id`, inclusive (text node
+    /// rendered as `#text`).
+    pub fn label_path(&self, id: NodeId) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            out.push(match &self.node(c).kind {
+                NodeKind::Element(t) => t.to_string(),
+                NodeKind::Text(_) => "#text".to_string(),
+            });
+            cur = self.parent(c);
+        }
+        out.reverse();
+        out
+    }
+
+    /// Paper equality: `T1 = T2` iff they are isomorphic by an isomorphism
+    /// that is the identity on string values (same shape, tags and text —
+    /// node ids are ignored).
+    pub fn equals(&self, other: &XmlTree) -> bool {
+        self.subtree_equals(self.root, other, other.root)
+    }
+
+    /// Paper equality of two subtrees (`n1 = n2` in the paper's notation).
+    pub fn subtree_equals(&self, a: NodeId, other: &XmlTree, b: NodeId) -> bool {
+        // Iterative to survive very deep documents.
+        let mut stack = vec![(a, b)];
+        while let Some((a, b)) = stack.pop() {
+            let (na, nb) = (self.node(a), other.node(b));
+            match (&na.kind, &nb.kind) {
+                (NodeKind::Text(x), NodeKind::Text(y)) => {
+                    if x != y {
+                        return false;
+                    }
+                }
+                (NodeKind::Element(x), NodeKind::Element(y)) => {
+                    if x != y || na.children.len() != nb.children.len() {
+                        return false;
+                    }
+                    stack.extend(na.children.iter().copied().zip(nb.children.iter().copied()));
+                }
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    /// First point where `self` and `other` differ, as a human-readable
+    /// description, or `None` if the trees are equal. Useful in test
+    /// diagnostics.
+    pub fn first_difference(&self, other: &XmlTree) -> Option<String> {
+        self.diff_at(self.root, other, other.root)
+    }
+
+    fn diff_at(&self, a: NodeId, other: &XmlTree, b: NodeId) -> Option<String> {
+        let here = || self.label_path(a).join("/");
+        let (na, nb) = (self.node(a), other.node(b));
+        match (&na.kind, &nb.kind) {
+            (NodeKind::Text(x), NodeKind::Text(y)) => {
+                if x != y {
+                    return Some(format!("at {}: text {:?} vs {:?}", here(), x, y));
+                }
+            }
+            (NodeKind::Element(x), NodeKind::Element(y)) => {
+                if x != y {
+                    return Some(format!("at {}: tag {:?} vs {:?}", here(), x, y));
+                }
+                if na.children.len() != nb.children.len() {
+                    return Some(format!(
+                        "at {}: arity {} vs {}",
+                        here(),
+                        na.children.len(),
+                        nb.children.len()
+                    ));
+                }
+                for (&ca, &cb) in na.children.iter().zip(nb.children.iter()) {
+                    if let Some(d) = self.diff_at(ca, other, cb) {
+                        return Some(d);
+                    }
+                }
+            }
+            (NodeKind::Text(_), NodeKind::Element(t)) => {
+                return Some(format!("at {}: text vs element <{}>", here(), t))
+            }
+            (NodeKind::Element(t), NodeKind::Text(_)) => {
+                return Some(format!("at {}: element <{}> vs text", here(), t))
+            }
+        }
+        None
+    }
+
+    /// Count of element nodes with each tag, for quick workload statistics.
+    pub fn tag_histogram(&self) -> std::collections::BTreeMap<String, usize> {
+        let mut h = std::collections::BTreeMap::new();
+        for (_, node) in self.iter() {
+            if let NodeKind::Element(t) = &node.kind {
+                *h.entry(t.to_string()).or_insert(0) += 1;
+            }
+        }
+        h
+    }
+
+    /// Iterate over `(id, node)` pairs in arena (allocation) order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &Node)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId::from_index(i), n))
+    }
+}
+
+/// Document-order traversal handed out by [`XmlTree::preorder`].
+pub struct Preorder<'a> {
+    tree: &'a XmlTree,
+    stack: Vec<NodeId>,
+}
+
+impl<'a> Iterator for Preorder<'a> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.stack.pop()?;
+        let children = self.tree.children(id);
+        self.stack.extend(children.iter().rev().copied());
+        Some(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn school() -> (XmlTree, NodeId, NodeId) {
+        let mut t = XmlTree::new("db");
+        let class = t.add_element(t.root(), "class");
+        let cno = t.add_element(class, "cno");
+        t.add_text(cno, "CS331");
+        (t, class, cno)
+    }
+
+    #[test]
+    fn root_has_no_parent_and_depth_zero() {
+        let t = XmlTree::new("r");
+        assert_eq!(t.parent(t.root()), None);
+        assert_eq!(t.depth(t.root()), 0);
+        assert_eq!(t.tag(t.root()), Some("r"));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn add_children_preserves_order() {
+        let mut t = XmlTree::new("r");
+        let a = t.add_element(t.root(), "a");
+        let b = t.add_element(t.root(), "b");
+        let c = t.add_element(t.root(), "a");
+        assert_eq!(t.children(t.root()), &[a, b, c]);
+        assert_eq!(t.len(), 4);
+        assert!(!t.is_empty());
+        let with_a: Vec<_> = t.children_with_tag(t.root(), "a").collect();
+        assert_eq!(with_a, vec![a, c]);
+    }
+
+    #[test]
+    fn insert_element_at_position() {
+        let mut t = XmlTree::new("r");
+        let a = t.add_element(t.root(), "a");
+        let c = t.add_element(t.root(), "c");
+        let b = t.insert_element(t.root(), 1, "b");
+        assert_eq!(t.children(t.root()), &[a, b, c]);
+        // Out-of-range positions clamp to the end.
+        let d = t.insert_element(t.root(), 99, "d");
+        assert_eq!(t.children(t.root()).last(), Some(&d));
+    }
+
+    #[test]
+    fn text_nodes_are_leaves_with_values() {
+        let (t, _, cno) = school();
+        let txt = t.children(cno)[0];
+        assert!(t.is_text(txt));
+        assert_eq!(t.text_value(txt), Some("CS331"));
+        assert_eq!(t.tag(txt), None);
+        assert!(t.children(txt).is_empty());
+    }
+
+    #[test]
+    fn position_among_same_label() {
+        let mut t = XmlTree::new("r");
+        let a1 = t.add_element(t.root(), "a");
+        let b = t.add_element(t.root(), "b");
+        let a2 = t.add_element(t.root(), "a");
+        assert_eq!(t.position_among_same_label(a1), 1);
+        assert_eq!(t.position_among_same_label(b), 1);
+        assert_eq!(t.position_among_same_label(a2), 2);
+        assert_eq!(t.position_among_same_label(t.root()), 1);
+    }
+
+    #[test]
+    fn preorder_is_document_order() {
+        let mut t = XmlTree::new("r");
+        let a = t.add_element(t.root(), "a");
+        let a1 = t.add_element(a, "a1");
+        let a2 = t.add_element(a, "a2");
+        let b = t.add_element(t.root(), "b");
+        let order: Vec<_> = t.preorder().collect();
+        assert_eq!(order, vec![t.root(), a, a1, a2, b]);
+        assert_eq!(t.subtree_size(a), 3);
+    }
+
+    #[test]
+    fn equality_ignores_ids_but_not_order() {
+        let mut t1 = XmlTree::new("r");
+        t1.add_element(t1.root(), "a");
+        t1.add_element(t1.root(), "b");
+
+        // Same shape, built in a different insertion order internally.
+        let mut t2 = XmlTree::new("r");
+        t2.add_element(t2.root(), "a");
+        t2.add_element(t2.root(), "b");
+        assert!(t1.equals(&t2));
+        assert_eq!(t1.first_difference(&t2), None);
+
+        let mut t3 = XmlTree::new("r");
+        t3.add_element(t3.root(), "b");
+        t3.add_element(t3.root(), "a");
+        assert!(!t1.equals(&t3));
+        assert!(t1.first_difference(&t3).unwrap().contains("tag"));
+    }
+
+    #[test]
+    fn equality_compares_text_values() {
+        let mut t1 = XmlTree::new("r");
+        t1.add_text(t1.root(), "x");
+        let mut t2 = XmlTree::new("r");
+        t2.add_text(t2.root(), "y");
+        assert!(!t1.equals(&t2));
+        assert!(t1.first_difference(&t2).unwrap().contains("text"));
+        let mut t3 = XmlTree::new("r");
+        t3.add_text(t3.root(), "x");
+        assert!(t1.equals(&t3));
+    }
+
+    #[test]
+    fn equality_detects_arity_and_kind_mismatch() {
+        let mut t1 = XmlTree::new("r");
+        t1.add_element(t1.root(), "a");
+        let t2 = XmlTree::new("r");
+        assert!(!t1.equals(&t2));
+        assert!(t1.first_difference(&t2).unwrap().contains("arity"));
+
+        let mut t3 = XmlTree::new("r");
+        t3.add_text(t3.root(), "a");
+        assert!(!t1.equals(&t3));
+    }
+
+    #[test]
+    fn reorder_children_permutes() {
+        let mut t = XmlTree::new("r");
+        let a = t.add_element(t.root(), "a");
+        let b = t.add_element(t.root(), "b");
+        t.reorder_children(t.root(), &[b, a]);
+        assert_eq!(t.children(t.root()), &[b, a]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn reorder_rejects_non_permutation() {
+        let mut t = XmlTree::new("r");
+        let a = t.add_element(t.root(), "a");
+        t.add_element(t.root(), "b");
+        t.reorder_children(t.root(), &[a, a]);
+    }
+
+    #[test]
+    fn label_path_and_histogram() {
+        let (t, class, cno) = school();
+        assert_eq!(t.label_path(cno), vec!["db", "class", "cno"]);
+        assert_eq!(t.label_path(class), vec!["db", "class"]);
+        let h = t.tag_histogram();
+        assert_eq!(h.get("class"), Some(&1));
+        assert_eq!(h.get("cno"), Some(&1));
+        assert_eq!(h.get("#text"), None);
+    }
+
+    #[test]
+    fn deep_tree_equality_does_not_overflow() {
+        let mut t1 = XmlTree::new("r");
+        let mut t2 = XmlTree::new("r");
+        let (mut c1, mut c2) = (t1.root(), t2.root());
+        for _ in 0..200_000 {
+            c1 = t1.add_element(c1, "d");
+            c2 = t2.add_element(c2, "d");
+        }
+        assert!(t1.equals(&t2));
+    }
+}

@@ -1,0 +1,358 @@
+use std::fmt;
+
+use crate::{NodeId, XmlTree};
+
+/// Error raised by [`parse_xml`], with a byte offset into the input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset where the problem was detected.
+    pub at: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML parse error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a small XML subset into an [`XmlTree`]: elements, character data,
+/// the five predefined entities, comments, processing instructions and a
+/// leading XML declaration / DOCTYPE (the latter three are skipped).
+/// Attributes are rejected — the paper's document model has none.
+/// Whitespace-only text between elements is dropped; text adjacent to
+/// elements is kept verbatim.
+pub fn parse_xml(input: &str) -> Result<XmlTree, ParseError> {
+    Parser {
+        input: input.as_bytes(),
+        pos: 0,
+    }
+    .parse_document()
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            at: self.pos,
+            msg: msg.into(),
+        })
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn skip_until(&mut self, end: &str) -> Result<(), ParseError> {
+        match self.input[self.pos..]
+            .windows(end.len())
+            .position(|w| w == end.as_bytes())
+        {
+            Some(i) => {
+                self.pos += i + end.len();
+                Ok(())
+            }
+            None => self.err(format!("unterminated construct, expected {end:?}")),
+        }
+    }
+
+    fn skip_misc(&mut self) -> Result<(), ParseError> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<?") {
+                self.skip_until("?>")?;
+            } else if self.starts_with("<!--") {
+                self.skip_until("-->")?;
+            } else if self.starts_with("<!DOCTYPE") {
+                // DOCTYPE may contain a bracketed internal subset.
+                let mut depth = 0usize;
+                loop {
+                    match self.peek() {
+                        Some(b'[') => depth += 1,
+                        Some(b']') => depth = depth.saturating_sub(1),
+                        Some(b'>') if depth == 0 => {
+                            self.pos += 1;
+                            break;
+                        }
+                        Some(_) => {}
+                        None => return self.err("unterminated DOCTYPE"),
+                    }
+                    self.pos += 1;
+                }
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn parse_document(mut self) -> Result<XmlTree, ParseError> {
+        self.skip_misc()?;
+        if self.peek() != Some(b'<') {
+            return self.err("expected root element");
+        }
+        let name = self.parse_open_tag()?;
+        let mut tree = XmlTree::new(name.0);
+        let root = tree.root();
+        if !name.1 {
+            self.parse_content(&mut tree, root)?;
+        }
+        self.skip_misc()?;
+        if self.pos != self.input.len() {
+            return self.err("trailing content after root element");
+        }
+        Ok(tree)
+    }
+
+    /// Parse `<name>` / `<name/>`, returning the name and whether it was
+    /// self-closing. `self.pos` must be at `<`.
+    fn parse_open_tag(&mut self) -> Result<(String, bool), ParseError> {
+        self.pos += 1; // consume '<'
+        let name = self.parse_name()?;
+        self.skip_ws();
+        match self.peek() {
+            Some(b'/') => {
+                self.pos += 1;
+                if self.peek() != Some(b'>') {
+                    return self.err("expected '>' after '/'");
+                }
+                self.pos += 1;
+                Ok((name, true))
+            }
+            Some(b'>') => {
+                self.pos += 1;
+                Ok((name, false))
+            }
+            Some(b'=') | Some(b'"') => self.err("attributes are not supported"),
+            Some(c) if c.is_ascii_alphabetic() => self.err("attributes are not supported"),
+            _ => self.err("malformed start tag"),
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<String, ParseError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b':') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return self.err("expected a name");
+        }
+        Ok(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())
+    }
+
+    fn parse_content(&mut self, tree: &mut XmlTree, parent: NodeId) -> Result<(), ParseError> {
+        let mut text = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unexpected end of input inside element"),
+                Some(b'<') => {
+                    if self.starts_with("<!--") {
+                        self.skip_until("-->")?;
+                        continue;
+                    }
+                    if self.starts_with("<?") {
+                        self.skip_until("?>")?;
+                        continue;
+                    }
+                    Self::flush_text(tree, parent, &mut text);
+                    if self.starts_with("</") {
+                        self.pos += 2;
+                        let name = self.parse_name()?;
+                        self.skip_ws();
+                        if self.peek() != Some(b'>') {
+                            return self.err("malformed end tag");
+                        }
+                        self.pos += 1;
+                        let expected = tree.tag(parent).unwrap_or("#text");
+                        if name != expected {
+                            return self.err(format!(
+                                "mismatched end tag </{name}>, expected </{expected}>"
+                            ));
+                        }
+                        return Ok(());
+                    }
+                    let (name, selfclosing) = self.parse_open_tag()?;
+                    let child = tree.add_element(parent, name);
+                    if !selfclosing {
+                        self.parse_content(tree, child)?;
+                    }
+                }
+                Some(b'&') => {
+                    text.push(self.parse_entity()?);
+                }
+                Some(c) => {
+                    // ASCII fast path; multi-byte UTF-8 copied byte-wise,
+                    // which is sound because no multi-byte sequence contains
+                    // '<' or '&'.
+                    text.push(c as char);
+                    self.pos += 1;
+                    if c >= 0x80 {
+                        // Re-decode the full character properly.
+                        text.pop();
+                        let rest = &self.input[self.pos - 1..];
+                        let s = std::str::from_utf8(rest)
+                            .map_err(|_| ParseError {
+                                at: self.pos - 1,
+                                msg: "invalid UTF-8".into(),
+                            })?
+                            .chars()
+                            .next()
+                            .unwrap();
+                        text.push(s);
+                        self.pos += s.len_utf8() - 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn flush_text(tree: &mut XmlTree, parent: NodeId, text: &mut String) {
+        if text.chars().any(|c| !c.is_whitespace()) {
+            tree.add_text(parent, std::mem::take(text));
+        } else {
+            text.clear();
+        }
+    }
+
+    fn parse_entity(&mut self) -> Result<char, ParseError> {
+        for (ent, ch) in [
+            ("&lt;", '<'),
+            ("&gt;", '>'),
+            ("&amp;", '&'),
+            ("&quot;", '"'),
+            ("&apos;", '\''),
+        ] {
+            if self.starts_with(ent) {
+                self.pos += ent.len();
+                return Ok(ch);
+            }
+        }
+        if self.starts_with("&#") {
+            let semi = self.input[self.pos..]
+                .iter()
+                .position(|&b| b == b';')
+                .ok_or(ParseError {
+                    at: self.pos,
+                    msg: "unterminated character reference".into(),
+                })?;
+            let body = &self.input[self.pos + 2..self.pos + semi];
+            let code = if body.first() == Some(&b'x') {
+                u32::from_str_radix(&String::from_utf8_lossy(&body[1..]), 16)
+            } else {
+                String::from_utf8_lossy(body).parse()
+            };
+            let ch = code
+                .ok()
+                .and_then(char::from_u32)
+                .ok_or_else(|| ParseError {
+                    at: self.pos,
+                    msg: "invalid character reference".into(),
+                })?;
+            self.pos += semi + 1;
+            return Ok(ch);
+        }
+        self.err("unknown entity")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_document() {
+        let t = parse_xml("<db><class><cno>CS331</cno><type/></class></db>").unwrap();
+        assert_eq!(t.tag(t.root()), Some("db"));
+        let class = t.children(t.root())[0];
+        assert_eq!(t.tag(class), Some("class"));
+        let cno = t.children(class)[0];
+        let txt = t.children(cno)[0];
+        assert_eq!(t.text_value(txt), Some("CS331"));
+        assert_eq!(t.children(t.children(class)[1]).len(), 0);
+    }
+
+    #[test]
+    fn roundtrip_compact_and_pretty() {
+        let src = "<a><b>x &amp; y</b><c><d/></c></a>";
+        let t = parse_xml(src).unwrap();
+        assert_eq!(t.to_xml(), src);
+        let t2 = parse_xml(&t.to_xml_pretty()).unwrap();
+        assert!(t.equals(&t2), "{:?}", t.first_difference(&t2));
+    }
+
+    #[test]
+    fn drops_whitespace_only_text() {
+        let t = parse_xml("<a>\n  <b/>\n  <c/>\n</a>").unwrap();
+        assert_eq!(t.children(t.root()).len(), 2);
+    }
+
+    #[test]
+    fn keeps_meaningful_whitespace_inside_text() {
+        let t = parse_xml("<a>hello  world</a>").unwrap();
+        let txt = t.children(t.root())[0];
+        assert_eq!(t.text_value(txt), Some("hello  world"));
+    }
+
+    #[test]
+    fn decodes_entities_and_char_refs() {
+        let t = parse_xml("<a>&lt;&gt;&amp;&quot;&apos;&#65;&#x42;</a>").unwrap();
+        let txt = t.children(t.root())[0];
+        assert_eq!(t.text_value(txt), Some("<>&\"'AB"));
+    }
+
+    #[test]
+    fn skips_prolog_comments_and_pis() {
+        let t = parse_xml(
+            "<?xml version=\"1.0\"?><!DOCTYPE a [<!ELEMENT a (b)>]><!-- hi --><a><!-- in --><b/><?pi data?></a>",
+        )
+        .unwrap();
+        assert_eq!(t.tag(t.root()), Some("a"));
+        assert_eq!(t.children(t.root()).len(), 1);
+    }
+
+    #[test]
+    fn rejects_mismatched_tags() {
+        let e = parse_xml("<a><b></a></b>").unwrap_err();
+        assert!(e.msg.contains("mismatched"), "{e}");
+    }
+
+    #[test]
+    fn rejects_attributes() {
+        let e = parse_xml("<a x=\"1\"/>").unwrap_err();
+        assert!(e.msg.contains("attributes"), "{e}");
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_and_truncation() {
+        assert!(parse_xml("<a/><b/>").is_err());
+        assert!(parse_xml("<a><b>").is_err());
+        assert!(parse_xml("").is_err());
+    }
+
+    #[test]
+    fn parses_unicode_text() {
+        let t = parse_xml("<a>héllo wörld ✓</a>").unwrap();
+        let txt = t.children(t.root())[0];
+        assert_eq!(t.text_value(txt), Some("héllo wörld ✓"));
+    }
+}

@@ -1,0 +1,128 @@
+use std::fmt::Write as _;
+
+use crate::{NodeKind, XmlTree};
+
+/// Escape a string for use as XML character data (also safe inside
+/// double-quoted attribute values).
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl XmlTree {
+    /// Serialize to compact XML text (no insignificant whitespace), the
+    /// format accepted back by [`crate::parse_xml`].
+    pub fn to_xml(&self) -> String {
+        let mut out = String::new();
+        self.write_node(&mut out, self.root(), None, 0);
+        out
+    }
+
+    /// Serialize to indented XML text for human consumption.
+    ///
+    /// Indentation inserts whitespace-only text, so `parse_xml(pretty)`
+    /// equals the original tree only because the parser drops
+    /// whitespace-only text between elements.
+    pub fn to_xml_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_node(&mut out, self.root(), Some("  "), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write_node(&self, out: &mut String, id: crate::NodeId, indent: Option<&str>, depth: usize) {
+        let pad = |out: &mut String, depth: usize| {
+            if let Some(unit) = indent {
+                if !out.is_empty() {
+                    out.push('\n');
+                }
+                for _ in 0..depth {
+                    out.push_str(unit);
+                }
+            }
+        };
+        match &self.node(id).kind {
+            NodeKind::Text(v) => {
+                pad(out, depth);
+                out.push_str(&escape_text(v));
+            }
+            NodeKind::Element(tag) => {
+                pad(out, depth);
+                let children = self.children(id);
+                if children.is_empty() {
+                    let _ = write!(out, "<{tag}/>");
+                } else {
+                    let _ = write!(out, "<{tag}>");
+                    // A single text child is kept inline so values do not
+                    // accrete surrounding whitespace in pretty mode.
+                    let inline = children.len() == 1 && self.is_text(children[0]);
+                    if inline {
+                        out.push_str(&escape_text(self.text_value(children[0]).unwrap()));
+                    } else {
+                        for &c in children {
+                            self.write_node(out, c, indent, depth + 1);
+                        }
+                        pad(out, depth);
+                    }
+                    let _ = write!(out, "</{tag}>");
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::XmlTree;
+
+    #[test]
+    fn escapes_special_characters() {
+        assert_eq!(
+            super::escape_text("a<b>&\"'c"),
+            "a&lt;b&gt;&amp;&quot;&apos;c"
+        );
+        assert_eq!(super::escape_text("plain"), "plain");
+    }
+
+    #[test]
+    fn compact_serialization() {
+        let mut t = XmlTree::new("db");
+        let class = t.add_element(t.root(), "class");
+        let cno = t.add_element(class, "cno");
+        t.add_text(cno, "CS<331>");
+        t.add_element(class, "type");
+        assert_eq!(
+            t.to_xml(),
+            "<db><class><cno>CS&lt;331&gt;</cno><type/></class></db>"
+        );
+    }
+
+    #[test]
+    fn pretty_serialization_is_indented() {
+        let mut t = XmlTree::new("db");
+        let class = t.add_element(t.root(), "class");
+        let cno = t.add_element(class, "cno");
+        t.add_text(cno, "CS331");
+        let pretty = t.to_xml_pretty();
+        assert_eq!(
+            pretty,
+            "<db>\n  <class>\n    <cno>CS331</cno>\n  </class>\n</db>\n"
+        );
+    }
+
+    #[test]
+    fn empty_element_uses_self_closing_form() {
+        let t = XmlTree::new("r");
+        assert_eq!(t.to_xml(), "<r/>");
+    }
+}

@@ -1,0 +1,366 @@
+//! The XSLT processing model (§4.3, after Wadler 2000).
+//!
+//! Processing revolves around context nodes: instantiate the chosen rule's
+//! output for the context node; every apply-templates leaf evaluates its
+//! select expression at the context node and recursively processes the
+//! selected nodes in document order, splicing the resulting forests in
+//! place. Unmatched nodes fall back to XSLT's built-in rules.
+
+use std::fmt;
+
+use xse_rxpath::Evaluator;
+use xse_xmltree::{NodeId, XmlTree};
+
+use crate::{OutputNode, Pattern, Stylesheet};
+
+/// Errors from stylesheet application.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum XsltError {
+    /// The transformation result is not a single-rooted document.
+    NotSingleRooted(usize),
+    /// Runaway recursion guard tripped (cyclic select expressions).
+    DepthExceeded,
+}
+
+impl fmt::Display for XsltError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XsltError::NotSingleRooted(n) => {
+                write!(f, "stylesheet produced {n} root nodes, expected exactly 1")
+            }
+            XsltError::DepthExceeded => write!(f, "apply-templates recursion too deep"),
+        }
+    }
+}
+
+const MAX_DEPTH: usize = 100_000;
+
+/// Apply `sheet` to `source`, starting (like an XSLT processor) by applying
+/// templates to the document root in `start_mode`.
+pub fn apply_stylesheet(
+    sheet: &Stylesheet,
+    source: &XmlTree,
+    start_mode: Option<&str>,
+) -> Result<XmlTree, XsltError> {
+    let ev = Evaluator::new(source);
+    let mut forest = Forest::new();
+    let mut engine = Engine {
+        sheet,
+        source,
+        ev,
+        depth: 0,
+    };
+    engine.apply(source.root(), start_mode, &mut forest)?;
+    // The forest must be a single element; build the output tree.
+    let roots: Vec<&PendingNode> = forest.roots.iter().collect();
+    match roots.as_slice() {
+        [PendingNode::Element { tag, children }] => {
+            let mut out = XmlTree::new(tag.as_str());
+            let root = out.root();
+            for c in children {
+                materialize(c, &mut out, root);
+            }
+            Ok(out)
+        }
+        other => Err(XsltError::NotSingleRooted(other.len())),
+    }
+}
+
+/// Output under construction (cheap tree, converted to `XmlTree` at the
+/// end so intermediate splicing needs no arena surgery).
+enum PendingNode {
+    Element {
+        tag: String,
+        children: Vec<PendingNode>,
+    },
+    Text(String),
+}
+
+struct Forest {
+    roots: Vec<PendingNode>,
+}
+
+impl Forest {
+    fn new() -> Self {
+        Forest { roots: Vec::new() }
+    }
+}
+
+fn materialize(p: &PendingNode, out: &mut XmlTree, at: NodeId) {
+    match p {
+        PendingNode::Element { tag, children } => {
+            let id = out.add_element(at, tag.as_str());
+            for c in children {
+                materialize(c, out, id);
+            }
+        }
+        PendingNode::Text(s) => {
+            out.add_text(at, s.clone());
+        }
+    }
+}
+
+struct Engine<'a> {
+    sheet: &'a Stylesheet,
+    source: &'a XmlTree,
+    ev: Evaluator<'a>,
+    depth: usize,
+}
+
+impl<'a> Engine<'a> {
+    /// Apply templates to `node` in `mode`, appending output to `out`.
+    fn apply(
+        &mut self,
+        node: NodeId,
+        mode: Option<&str>,
+        out: &mut Forest,
+    ) -> Result<(), XsltError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(XsltError::DepthExceeded);
+        }
+        let rule = self.select_rule(node, mode);
+        match rule {
+            Some(idx) => {
+                let rule = &self.sheet.rules[idx];
+                let output = rule.output.clone();
+                for o in &output {
+                    self.instantiate(o, node, &mut out.roots)?;
+                }
+            }
+            None => {
+                // Built-in rules: elements recurse into children (same
+                // mode); text nodes copy their value.
+                match self.source.text_value(node) {
+                    Some(v) => out.roots.push(PendingNode::Text(v.to_string())),
+                    None => {
+                        for &c in self.source.children(node) {
+                            self.apply(c, mode, out)?;
+                        }
+                    }
+                }
+            }
+        }
+        self.depth -= 1;
+        Ok(())
+    }
+
+    /// Highest-specificity matching rule; ties broken by definition order.
+    fn select_rule(&self, node: NodeId, mode: Option<&str>) -> Option<usize> {
+        let mut best: Option<(u8, usize)> = None;
+        for (i, r) in self.sheet.rules.iter().enumerate() {
+            if r.mode.as_deref() != mode {
+                continue;
+            }
+            let matches = match &r.pattern {
+                Pattern::Any => true,
+                Pattern::AnyText => self.source.is_text(node),
+                Pattern::Element { name, filter } => {
+                    self.source.tag(node) == Some(name.as_str())
+                        && filter
+                            .as_ref()
+                            .is_none_or(|q| !self.ev.eval(q, node).is_empty())
+                }
+            };
+            if matches {
+                let spec = r.pattern.specificity();
+                if best.is_none_or(|(s, _)| spec > s) {
+                    best = Some((spec, i));
+                }
+            }
+        }
+        best.map(|(_, i)| i)
+    }
+
+    fn instantiate(
+        &mut self,
+        o: &OutputNode,
+        ctx: NodeId,
+        out: &mut Vec<PendingNode>,
+    ) -> Result<(), XsltError> {
+        match o {
+            OutputNode::Element { tag, children } => {
+                let mut kids = Vec::new();
+                for c in children {
+                    self.instantiate(c, ctx, &mut kids)?;
+                }
+                out.push(PendingNode::Element {
+                    tag: tag.clone(),
+                    children: kids,
+                });
+            }
+            OutputNode::Text(s) => out.push(PendingNode::Text(s.clone())),
+            OutputNode::CopyText => {
+                if let Some(v) = self.source.text_value(ctx) {
+                    out.push(PendingNode::Text(v.to_string()));
+                }
+            }
+            OutputNode::Apply { select, mode } => {
+                let selected = self.ev.eval(select, ctx);
+                let mut forest = Forest::new();
+                for n in selected {
+                    self.apply(n, mode.as_deref(), &mut forest)?;
+                }
+                out.append(&mut forest.roots);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TemplateRule;
+    use xse_rxpath::parse_query;
+    use xse_xmltree::parse_xml;
+
+    fn rule(pattern: Pattern, mode: Option<&str>, output: Vec<OutputNode>) -> TemplateRule {
+        TemplateRule {
+            pattern,
+            mode: mode.map(String::from),
+            output,
+        }
+    }
+
+    #[test]
+    fn identity_via_builtins() {
+        // No rules at all: builtins walk elements and copy text — the
+        // result is the concatenated text, which is not single-rooted for
+        // elements; wrap with one rule for the root.
+        let mut s = Stylesheet::new();
+        s.add(rule(
+            Pattern::element("r"),
+            None,
+            vec![OutputNode::Element {
+                tag: "r".into(),
+                children: vec![OutputNode::Apply {
+                    select: parse_query("a/text()").unwrap(),
+                    mode: None,
+                }],
+            }],
+        ));
+        let src = parse_xml("<r><a>hi</a></r>").unwrap();
+        let out = apply_stylesheet(&s, &src, None).unwrap();
+        assert_eq!(out.to_xml(), "<r>hi</r>");
+    }
+
+    #[test]
+    fn modes_partition_rules() {
+        let mut s = Stylesheet::new();
+        s.add(rule(
+            Pattern::element("r"),
+            None,
+            vec![OutputNode::Element {
+                tag: "out".into(),
+                children: vec![
+                    OutputNode::Apply {
+                        select: parse_query("x").unwrap(),
+                        mode: Some("one".into()),
+                    },
+                    OutputNode::Apply {
+                        select: parse_query("x").unwrap(),
+                        mode: Some("two".into()),
+                    },
+                ],
+            }],
+        ));
+        s.add(rule(
+            Pattern::element("x"),
+            Some("one"),
+            vec![OutputNode::Element {
+                tag: "first".into(),
+                children: vec![],
+            }],
+        ));
+        s.add(rule(
+            Pattern::element("x"),
+            Some("two"),
+            vec![OutputNode::Element {
+                tag: "second".into(),
+                children: vec![],
+            }],
+        ));
+        let src = parse_xml("<r><x/></r>").unwrap();
+        let out = apply_stylesheet(&s, &src, None).unwrap();
+        assert_eq!(out.to_xml(), "<out><first/><second/></out>");
+    }
+
+    #[test]
+    fn filtered_patterns_beat_plain_ones() {
+        let mut s = Stylesheet::new();
+        s.add(rule(
+            Pattern::element("r"),
+            None,
+            vec![OutputNode::Element {
+                tag: "d".into(),
+                children: vec![OutputNode::Apply {
+                    select: parse_query("v").unwrap(),
+                    mode: None,
+                }],
+            }],
+        ));
+        // Plain rule listed first; filtered rule must still win.
+        s.add(rule(
+            Pattern::element("v"),
+            None,
+            vec![OutputNode::Text("plain".into())],
+        ));
+        s.add(rule(
+            Pattern::element_with("v", parse_query("flag").unwrap()),
+            None,
+            vec![OutputNode::Text("flagged".into())],
+        ));
+        let out = apply_stylesheet(&s, &parse_xml("<r><v><flag/></v></r>").unwrap(), None)
+            .unwrap();
+        assert_eq!(out.to_xml(), "<d>flagged</d>");
+        let out = apply_stylesheet(&s, &parse_xml("<r><v/></r>").unwrap(), None).unwrap();
+        assert_eq!(out.to_xml(), "<d>plain</d>");
+    }
+
+    #[test]
+    fn apply_splices_in_document_order() {
+        let mut s = Stylesheet::new();
+        s.add(rule(
+            Pattern::element("r"),
+            None,
+            vec![OutputNode::Element {
+                tag: "list".into(),
+                children: vec![OutputNode::Apply {
+                    select: parse_query("item/text()").unwrap(),
+                    mode: None,
+                }],
+            }],
+        ));
+        let src = parse_xml("<r><item>1</item><item>2</item><item>3</item></r>").unwrap();
+        let out = apply_stylesheet(&s, &src, None).unwrap();
+        assert_eq!(out.to_xml(), "<list>123</list>");
+    }
+
+    #[test]
+    fn non_single_rooted_results_error() {
+        let mut s = Stylesheet::new();
+        s.add(rule(
+            Pattern::element("r"),
+            None,
+            vec![
+                OutputNode::Element { tag: "a".into(), children: vec![] },
+                OutputNode::Element { tag: "b".into(), children: vec![] },
+            ],
+        ));
+        let err = apply_stylesheet(&s, &parse_xml("<r/>").unwrap(), None).unwrap_err();
+        assert_eq!(err, XsltError::NotSingleRooted(2));
+    }
+
+    #[test]
+    fn start_mode_selects_rules() {
+        let mut s = Stylesheet::new();
+        s.add(rule(
+            Pattern::element("r"),
+            Some("alt"),
+            vec![OutputNode::Element { tag: "alt".into(), children: vec![] }],
+        ));
+        let out = apply_stylesheet(&s, &parse_xml("<r/>").unwrap(), Some("alt")).unwrap();
+        assert_eq!(out.to_xml(), "<alt/>");
+    }
+}

@@ -1,0 +1,423 @@
+//! Generating the `σd` stylesheet (§4.3, cases (1)–(4); Example 4.6).
+//!
+//! Each source production becomes one or more template rules whose output
+//! is the production fragment shape with apply-templates at the hot leaves:
+//!
+//! 1. concatenations — one rule, constant fragment, one apply per child;
+//! 2. disjunctions — one rule per alternative, matched by `A[Bi]`, plus a
+//!    completion-only fallback for an `ε` alternative;
+//! 3. stars — a prefix rule emitting the constant part up to the
+//!    multiplicity node and a suffix rule in a dedicated mode (`fwd*-A`)
+//!    emitting one repetition per source child;
+//! 4. str — the fragment chain ending in the copied text value.
+//!
+//! A mode per source type (`fwd-A`) keeps rules apart when `λ` maps two
+//! source types to one target tag (see the crate docs).
+
+use xse_core::{Embedding, ResolvedPath, ResolvedStep};
+use xse_dtd::{Dtd, MindefPlan, Production, TypeId};
+use xse_rxpath::{Qualifier, XrQuery};
+use xse_xmltree::{NodeKind, XmlTree};
+
+use crate::{OutputNode, Pattern, Stylesheet, TemplateRule};
+
+/// Generate the forward (`σd`) stylesheet. Apply it with
+/// [`apply_stylesheet`](crate::apply_stylesheet)`(…, None)`; an unmoded
+/// bootstrap rule dispatches the source root into its `fwd-…` mode.
+pub fn generate_forward(e: &Embedding<'_>) -> Stylesheet {
+    let mut sheet = Stylesheet::new();
+    let plans = e.target().mindef_plans();
+    let src = e.source();
+
+    // Bootstrap: route the root into its mode.
+    sheet.add(TemplateRule {
+        pattern: Pattern::element(src.name(src.root())),
+        mode: None,
+        output: vec![OutputNode::Apply {
+            select: XrQuery::Empty,
+            mode: Some(fwd_mode(src, src.root())),
+        }],
+    });
+
+    for a in src.types() {
+        let la = e.lambda(a);
+        let tag = e.target().name(la).to_string();
+        match src.production(a) {
+            Production::Empty => {
+                sheet.add(TemplateRule {
+                    pattern: Pattern::element(src.name(a)),
+                    mode: Some(fwd_mode(src, a)),
+                    output: vec![element(
+                        &tag,
+                        fragment_children(e, &plans, la, &[]),
+                    )],
+                });
+            }
+            Production::Str => {
+                let chain = (
+                    e.path(a, 0),
+                    OutputNode::Apply {
+                        select: XrQuery::Text,
+                        mode: None, // built-in text rule copies the value
+                    },
+                );
+                sheet.add(TemplateRule {
+                    pattern: Pattern::element(src.name(a)),
+                    mode: Some(fwd_mode(src, a)),
+                    output: vec![element(
+                        &tag,
+                        fragment_children(e, &plans, la, &[chain]),
+                    )],
+                });
+            }
+            Production::Concat(cs) => {
+                // Occurrence-aware selects for repeated child types.
+                let mut occ: std::collections::HashMap<TypeId, usize> =
+                    std::collections::HashMap::new();
+                let repeated: std::collections::HashSet<TypeId> = {
+                    let mut seen = std::collections::HashSet::new();
+                    cs.iter().filter(|c| !seen.insert(**c)).copied().collect()
+                };
+                let chains: Vec<(&ResolvedPath, OutputNode)> = cs
+                    .iter()
+                    .enumerate()
+                    .map(|(slot, &c)| {
+                        let k = occ.entry(c).or_insert(0);
+                        *k += 1;
+                        let mut select = XrQuery::label(src.name(c));
+                        if repeated.contains(&c) {
+                            select = select.with(Qualifier::Position(*k));
+                        }
+                        (
+                            e.path(a, slot),
+                            OutputNode::Apply {
+                                select,
+                                mode: Some(fwd_mode(src, c)),
+                            },
+                        )
+                    })
+                    .collect();
+                sheet.add(TemplateRule {
+                    pattern: Pattern::element(src.name(a)),
+                    mode: Some(fwd_mode(src, a)),
+                    output: vec![element(&tag, fragment_children(e, &plans, la, &chains))],
+                });
+            }
+            Production::Disjunction { alts, allows_empty } => {
+                for (slot, &c) in alts.iter().enumerate() {
+                    let chain = (
+                        e.path(a, slot),
+                        OutputNode::Apply {
+                            select: XrQuery::label(src.name(c)),
+                            mode: Some(fwd_mode(src, c)),
+                        },
+                    );
+                    sheet.add(TemplateRule {
+                        pattern: Pattern::element_with(
+                            src.name(a),
+                            XrQuery::label(src.name(c)),
+                        ),
+                        mode: Some(fwd_mode(src, a)),
+                        output: vec![element(
+                            &tag,
+                            fragment_children(e, &plans, la, &[chain]),
+                        )],
+                    });
+                }
+                if *allows_empty {
+                    sheet.add(TemplateRule {
+                        pattern: Pattern::element(src.name(a)),
+                        mode: Some(fwd_mode(src, a)),
+                        output: vec![element(&tag, fragment_children(e, &plans, la, &[]))],
+                    });
+                }
+            }
+            Production::Star(b) => {
+                let rp = e.path(a, 0);
+                let mult = rp.first_star_step().expect("validated star path");
+                // Prefix rule: constant part + apply children in star mode.
+                let star_mode = format!("fwd*-{}", src.name(a));
+                let prefix_chain = (
+                    // A pseudo-path of only the prefix steps; the terminal
+                    // apply sits at the star parent.
+                    &ResolvedPath {
+                        origin: rp.origin,
+                        steps: rp.steps[..mult].to_vec(),
+                        text_tail: false,
+                    },
+                    OutputNode::Apply {
+                        select: XrQuery::label(src.name(*b)),
+                        mode: Some(star_mode.clone()),
+                    },
+                );
+                // fragment_children places terminals *at the endpoint* of
+                // their chain, i.e. inside the star parent. For an empty
+                // prefix the apply lands directly under λ(A).
+                sheet.add(TemplateRule {
+                    pattern: Pattern::element(src.name(a)),
+                    mode: Some(fwd_mode(src, a)),
+                    output: vec![element(
+                        &tag,
+                        fragment_children_with_inner_terminal(
+                            e,
+                            &plans,
+                            la,
+                            &rp.steps[..mult],
+                            prefix_chain.1,
+                        ),
+                    )],
+                });
+                // Suffix rule: one repetition — the multiplicity element,
+                // the suffix chain, and at the chain's endpoint the child's
+                // own rule emits λ(B) (so the endpoint step is *replaced*
+                // by the apply, exactly like a hot leaf).
+                let suffix = &rp.steps[mult + 1..];
+                let inner = OutputNode::Apply {
+                    select: XrQuery::Empty,
+                    mode: Some(fwd_mode(src, *b)),
+                };
+                let mult_step = &rp.steps[mult];
+                let mult_tag = e.target().name(mult_step.ty).to_string();
+                let body = if suffix.is_empty() {
+                    // The multiplicity node is λ(B) itself.
+                    inner
+                } else {
+                    let suffix_path = ResolvedPath {
+                        origin: mult_step.ty,
+                        steps: suffix.to_vec(),
+                        text_tail: false,
+                    };
+                    element(
+                        &mult_tag,
+                        fragment_children(e, &plans, mult_step.ty, &[(&suffix_path, inner)]),
+                    )
+                };
+                sheet.add(TemplateRule {
+                    pattern: Pattern::element(src.name(*b)),
+                    mode: Some(star_mode),
+                    output: vec![body],
+                });
+            }
+        }
+    }
+    sheet
+}
+
+pub(crate) fn fwd_mode(src: &Dtd, a: TypeId) -> String {
+    format!("fwd-{}", src.name(a))
+}
+
+fn element(tag: &str, children: Vec<OutputNode>) -> OutputNode {
+    OutputNode::Element {
+        tag: tag.to_string(),
+        children,
+    }
+}
+
+/// Fragment node over output trees.
+struct FragO {
+    ty: TypeId,
+    slot: usize,
+    pos: usize,
+    children: Vec<FragO>,
+    terminal: Option<OutputNode>,
+}
+
+/// Build the completed children of a fragment rooted at target type
+/// `root_ty`, merging the given chains (each a resolved path plus the
+/// output to place at its endpoint).
+fn fragment_children(
+    e: &Embedding<'_>,
+    plans: &[MindefPlan],
+    root_ty: TypeId,
+    chains: &[(&ResolvedPath, OutputNode)],
+) -> Vec<OutputNode> {
+    let mut top: Vec<FragO> = Vec::new();
+    let mut root_terminal: Option<OutputNode> = None;
+    for (rp, term) in chains {
+        if rp.steps.is_empty() {
+            // text()-only chain: terminal right under the root.
+            root_terminal = Some(term.clone());
+            continue;
+        }
+        add_chain(&mut top, &rp.steps, term.clone());
+    }
+    if matches!(e.target().production(root_ty), Production::Str) {
+        return vec![root_terminal.unwrap_or(OutputNode::Text(
+            xse_dtd::DEFAULT_STRING.to_string(),
+        ))];
+    }
+    complete(e, plans, root_ty, top)
+}
+
+/// Like [`fragment_children`] but with a single chain of `steps` whose
+/// terminal is *spliced among the children* of the chain endpoint (used for
+/// the star prefix/suffix rules, where the apply node hangs under the star
+/// parent rather than replacing an element).
+fn fragment_children_with_inner_terminal(
+    e: &Embedding<'_>,
+    plans: &[MindefPlan],
+    root_ty: TypeId,
+    steps: &[ResolvedStep],
+    terminal: OutputNode,
+) -> Vec<OutputNode> {
+    if steps.is_empty() {
+        // Terminal sits directly under the root; still complete the root's
+        // production around it. Star roots need no completion.
+        return match e.target().production(root_ty) {
+            Production::Star(_) => vec![terminal],
+            _ => {
+                // The root is the star parent only when its production is a
+                // star; other cases cannot occur for validated star paths.
+                vec![terminal]
+            }
+        };
+    }
+    let mut top: Vec<FragO> = Vec::new();
+    add_chain_open(&mut top, steps, terminal);
+    complete(e, plans, root_ty, top)
+}
+
+fn add_chain(level: &mut Vec<FragO>, steps: &[ResolvedStep], terminal: OutputNode) {
+    let (last, prefix) = steps.split_last().expect("nonempty chain");
+    let mut level = level;
+    for step in prefix {
+        level = step_into(level, step);
+    }
+    level.push(FragO {
+        ty: last.ty,
+        slot: last.slot,
+        pos: last.pos.unwrap_or(1),
+        children: Vec::new(),
+        terminal: Some(terminal),
+    });
+}
+
+/// Chain whose endpoint element is materialized normally and receives the
+/// terminal as an inner child (star-parent apply position).
+fn add_chain_open(level: &mut Vec<FragO>, steps: &[ResolvedStep], terminal: OutputNode) {
+    let mut level = level;
+    for step in steps {
+        level = step_into(level, step);
+    }
+    level.push(FragO {
+        ty: TypeId::from_index(0),
+        slot: usize::MAX, // sentinel: raw output splice
+        pos: 0,
+        children: Vec::new(),
+        terminal: Some(terminal),
+    });
+}
+
+fn step_into<'f>(level: &'f mut Vec<FragO>, step: &ResolvedStep) -> &'f mut Vec<FragO> {
+    let pos = step.pos.unwrap_or(1);
+    let idx = match level
+        .iter()
+        .position(|n| n.slot == step.slot && n.pos == pos && n.ty == step.ty)
+    {
+        Some(i) => i,
+        None => {
+            level.push(FragO {
+                ty: step.ty,
+                slot: step.slot,
+                pos,
+                children: Vec::new(),
+                terminal: None,
+            });
+            level.len() - 1
+        }
+    };
+    &mut level[idx].children
+}
+
+/// Mindef-complete a fragment level under a node of type `ty`, emitting
+/// ordered output nodes (the OutputNode mirror of core's materialization).
+fn complete(
+    e: &Embedding<'_>,
+    plans: &[MindefPlan],
+    ty: TypeId,
+    mut level: Vec<FragO>,
+) -> Vec<OutputNode> {
+    let target = e.target();
+    // Raw splices (star-parent apply positions) are appended after the
+    // structural children of the node.
+    let mut splices: Vec<OutputNode> = Vec::new();
+    level.retain_mut(|n| {
+        if n.slot == usize::MAX {
+            splices.push(n.terminal.take().expect("splice terminal"));
+            false
+        } else {
+            true
+        }
+    });
+
+    let mut out: Vec<OutputNode> = Vec::new();
+    match target.production(ty) {
+        Production::Str => {
+            out.push(OutputNode::Text(xse_dtd::DEFAULT_STRING.to_string()));
+        }
+        Production::Empty => {}
+        Production::Concat(cs) => {
+            level.sort_by_key(|c| c.slot);
+            let mut iter = level.into_iter().peekable();
+            for (slot, &cty) in cs.iter().enumerate() {
+                if iter.peek().is_some_and(|c| c.slot == slot) {
+                    out.push(emit(e, plans, iter.next().unwrap()));
+                } else {
+                    out.push(mindef_output(target, cty));
+                }
+            }
+        }
+        Production::Disjunction { allows_empty, .. } => match level.len() {
+            0 => {
+                if !allows_empty {
+                    if let MindefPlan::OneChild(c) = &plans[ty.index()] {
+                        out.push(mindef_output(target, *c));
+                    }
+                }
+            }
+            1 => out.push(emit(e, plans, level.into_iter().next().unwrap())),
+            n => unreachable!("{n} chains under an OR node"),
+        },
+        Production::Star(b) => {
+            level.sort_by_key(|c| c.pos);
+            let mut next = 1;
+            for child in level {
+                while next < child.pos {
+                    out.push(mindef_output(target, *b));
+                    next += 1;
+                }
+                out.push(emit(e, plans, child));
+                next += 1;
+            }
+        }
+    }
+    out.extend(splices);
+    out
+}
+
+fn emit(e: &Embedding<'_>, plans: &[MindefPlan], node: FragO) -> OutputNode {
+    let tag = e.target().name(node.ty).to_string();
+    match node.terminal {
+        Some(term) => term, // hot leaf: the child's rule outputs λ(B) itself
+        None => OutputNode::Element {
+            tag,
+            children: complete(e, plans, node.ty, node.children),
+        },
+    }
+}
+
+/// Render `mindef(ty)` as literal output.
+fn mindef_output(target: &Dtd, ty: TypeId) -> OutputNode {
+    let tree = target.mindef(ty);
+    fn conv(tree: &XmlTree, n: xse_xmltree::NodeId) -> OutputNode {
+        match tree.node(n).kind() {
+            NodeKind::Text(v) => OutputNode::Text(v.clone()),
+            NodeKind::Element(tag) => OutputNode::Element {
+                tag: tag.to_string(),
+                children: tree.children(n).iter().map(|&c| conv(tree, c)).collect(),
+            },
+        }
+    }
+    conv(&tree, tree.root())
+}

@@ -1,0 +1,310 @@
+//! Generating the `σd⁻¹` stylesheet (§4.3, `invt`; Example 4.5).
+//!
+//! One rule (or one per alternative) for every source type `A`, matching
+//! the image tag `λ(A)` in mode `inv-A`. The output tree is the recovered
+//! `<A>` element whose children are apply-templates along the edge paths:
+//!
+//! 1. concatenations — `n` applies, `select = path(A, Bi)`;
+//! 2. disjunctions — one rule per alternative with match filter
+//!    `λ(A)[path(A, Bi)]`, plus an empty-output fallback for `ε`;
+//! 3. stars — a single apply whose select traverses `path(A, B)` with the
+//!    multiplicity step unpositioned, returning every repetition in
+//!    document order;
+//! 4. str — an apply selecting the text path; the built-in text rule copies
+//!    the value.
+
+use xse_core::{Embedding, ResolvedPath};
+use xse_dtd::{Dtd, Production, TypeId};
+use xse_rxpath::{Qualifier, XrQuery};
+
+use crate::{OutputNode, Pattern, Stylesheet, TemplateRule};
+
+/// Generate the inverse (`σd⁻¹`) stylesheet. Apply with
+/// [`apply_stylesheet`](crate::apply_stylesheet)`(…, None)` to a document
+/// produced by the forward mapping.
+pub fn generate_inverse(e: &Embedding<'_>) -> Stylesheet {
+    let mut sheet = Stylesheet::new();
+    let src = e.source();
+    let tgt = e.target();
+
+    // Bootstrap: route the target root into the source root's mode.
+    sheet.add(TemplateRule {
+        pattern: Pattern::element(tgt.name(tgt.root())),
+        mode: None,
+        output: vec![OutputNode::Apply {
+            select: XrQuery::Empty,
+            mode: Some(inv_mode(src, src.root())),
+        }],
+    });
+
+    for a in src.types() {
+        let la_tag = tgt.name(e.lambda(a));
+        let a_tag = src.name(a);
+        match src.production(a) {
+            Production::Empty => sheet.add(TemplateRule {
+                pattern: Pattern::element(la_tag),
+                mode: Some(inv_mode(src, a)),
+                output: vec![OutputNode::Element {
+                    tag: a_tag.to_string(),
+                    children: vec![],
+                }],
+            }),
+            Production::Str => sheet.add(TemplateRule {
+                pattern: Pattern::element(la_tag),
+                mode: Some(inv_mode(src, a)),
+                output: vec![OutputNode::Element {
+                    tag: a_tag.to_string(),
+                    children: vec![OutputNode::Apply {
+                        select: path_query(tgt, e.path(a, 0), false),
+                        mode: None, // built-in copies the text node
+                    }],
+                }],
+            }),
+            Production::Concat(cs) => {
+                let children = cs
+                    .iter()
+                    .enumerate()
+                    .map(|(slot, &c)| OutputNode::Apply {
+                        select: path_query(tgt, e.path(a, slot), false),
+                        mode: Some(inv_mode(src, c)),
+                    })
+                    .collect();
+                sheet.add(TemplateRule {
+                    pattern: Pattern::element(la_tag),
+                    mode: Some(inv_mode(src, a)),
+                    output: vec![OutputNode::Element {
+                        tag: a_tag.to_string(),
+                        children,
+                    }],
+                });
+            }
+            Production::Disjunction { alts, allows_empty } => {
+                for (slot, &c) in alts.iter().enumerate() {
+                    let select = path_query(tgt, e.path(a, slot), false);
+                    sheet.add(TemplateRule {
+                        pattern: Pattern::element_with(la_tag, select.clone()),
+                        mode: Some(inv_mode(src, a)),
+                        output: vec![OutputNode::Element {
+                            tag: a_tag.to_string(),
+                            children: vec![OutputNode::Apply {
+                                select,
+                                mode: Some(inv_mode(src, c)),
+                            }],
+                        }],
+                    });
+                }
+                if *allows_empty {
+                    sheet.add(TemplateRule {
+                        pattern: Pattern::element(la_tag),
+                        mode: Some(inv_mode(src, a)),
+                        output: vec![OutputNode::Element {
+                            tag: a_tag.to_string(),
+                            children: vec![],
+                        }],
+                    });
+                }
+            }
+            Production::Star(b) => sheet.add(TemplateRule {
+                pattern: Pattern::element(la_tag),
+                mode: Some(inv_mode(src, a)),
+                output: vec![OutputNode::Element {
+                    tag: a_tag.to_string(),
+                    children: vec![OutputNode::Apply {
+                        // Multiplicity step unpositioned: selects every
+                        // repetition in document order.
+                        select: path_query(tgt, e.path(a, 0), true),
+                        mode: Some(inv_mode(src, *b)),
+                    }],
+                }],
+            }),
+        }
+    }
+    sheet
+}
+
+pub(crate) fn inv_mode(src: &Dtd, a: TypeId) -> String {
+    format!("inv-{}", src.name(a))
+}
+
+/// Render a resolved path as a select query. `open_multiplicity` leaves the
+/// first STAR step unpositioned (star edges); otherwise every canonical
+/// position is written out.
+fn path_query(tgt: &Dtd, rp: &ResolvedPath, open_multiplicity: bool) -> XrQuery {
+    let mult = if open_multiplicity {
+        rp.first_star_step()
+    } else {
+        None
+    };
+    let mut q = XrQuery::Empty;
+    for (i, s) in rp.steps.iter().enumerate() {
+        let mut step = XrQuery::label(tgt.name(s.ty));
+        let pos = if Some(i) == mult { None } else { s.pos };
+        if let Some(k) = pos {
+            step = step.with(Qualifier::Position(k));
+        }
+        q = q.then(step);
+    }
+    if rp.text_tail {
+        q = q.then(XrQuery::Text);
+    }
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{apply_stylesheet, generate_forward, generate_inverse};
+    use xse_core::{Embedding, PathMapping, TypeMapping};
+    use xse_dtd::{Dtd, GenConfig, InstanceGenerator};
+    use xse_xmltree::parse_xml;
+
+    /// The shared wrap fixture (see xse-core's tests).
+    fn wrap() -> (Dtd, Dtd) {
+        let s1 = Dtd::builder("r")
+            .concat("r", &["a", "b"])
+            .str_type("a")
+            .star("b", "c")
+            .str_type("c")
+            .build()
+            .unwrap();
+        let s2 = Dtd::builder("r")
+            .concat("r", &["x", "y"])
+            .concat("x", &["a", "pad"])
+            .str_type("a")
+            .str_type("pad")
+            .concat("y", &["w"])
+            .star("w", "c2")
+            .concat("c2", &["c"])
+            .str_type("c")
+            .build()
+            .unwrap();
+        (s1, s2)
+    }
+
+    fn wrap_embedding<'x>(s1: &'x Dtd, s2: &'x Dtd) -> Embedding<'x> {
+        let lambda = TypeMapping::by_name_pairs(s1, s2, &[("b", "w")]).unwrap();
+        let mut paths = PathMapping::new(s1);
+        paths
+            .edge(s1, "r", "a", "x/a")
+            .edge(s1, "r", "b", "y/w")
+            .edge(s1, "b", "c", "c2/c")
+            .text_edge(s1, "a", "text()")
+            .text_edge(s1, "c", "text()");
+        Embedding::new(s1, s2, lambda, paths).unwrap()
+    }
+
+    #[test]
+    fn forward_stylesheet_equals_instmap() {
+        let (s1, s2) = wrap();
+        let e = wrap_embedding(&s1, &s2);
+        let fwd = generate_forward(&e);
+        let gen = InstanceGenerator::new(&s1, GenConfig::default());
+        for seed in 0..20 {
+            let t1 = gen.generate(seed);
+            let direct = e.apply(&t1).unwrap().tree;
+            let via_xslt = apply_stylesheet(&fwd, &t1, None).unwrap();
+            assert!(
+                direct.equals(&via_xslt),
+                "seed {seed}: {:?}\nsheet:\n{fwd}",
+                direct.first_difference(&via_xslt)
+            );
+        }
+    }
+
+    #[test]
+    fn inverse_stylesheet_equals_invert() {
+        let (s1, s2) = wrap();
+        let e = wrap_embedding(&s1, &s2);
+        let inv = generate_inverse(&e);
+        let gen = InstanceGenerator::new(&s1, GenConfig::default());
+        for seed in 0..20 {
+            let t1 = gen.generate(seed);
+            let t2 = e.apply(&t1).unwrap().tree;
+            let back = apply_stylesheet(&inv, &t2, None).unwrap();
+            assert!(
+                back.equals(&t1),
+                "seed {seed}: {:?}\nsheet:\n{inv}",
+                back.first_difference(&t1)
+            );
+        }
+    }
+
+    #[test]
+    fn school_example_stylesheets_roundtrip() {
+        // The Figure 1 / Example 4.2 embedding, end to end through XSLT.
+        let s0 = Dtd::builder("db")
+            .star("db", "class")
+            .concat("class", &["cno", "title", "type"])
+            .str_type("cno")
+            .str_type("title")
+            .disjunction("type", &["regular", "project"])
+            .concat("regular", &["prereq"])
+            .star("prereq", "class")
+            .str_type("project")
+            .build()
+            .unwrap();
+        let s = Dtd::builder("school")
+            .concat("school", &["courses"])
+            .concat("courses", &["history", "current"])
+            .star("history", "course")
+            .star("current", "course")
+            .concat("course", &["basic", "category"])
+            .concat("basic", &["cno", "credit", "class2"])
+            .str_type("cno")
+            .str_type("credit")
+            .star("class2", "semester")
+            .concat("semester", &["title", "year"])
+            .str_type("title")
+            .str_type("year")
+            .disjunction("category", &["mandatory", "advanced"])
+            .disjunction("mandatory", &["regular", "lab"])
+            .concat("advanced", &["project"])
+            .str_type("project")
+            .concat("regular", &["required"])
+            .star("required", "prereq")
+            .star("prereq", "course")
+            .str_type("lab")
+            .build()
+            .unwrap();
+        let lambda = TypeMapping::by_name_pairs(
+            &s0,
+            &s,
+            &[("db", "school"), ("class", "course"), ("type", "category")],
+        )
+        .unwrap();
+        let mut paths = PathMapping::new(&s0);
+        paths
+            .edge(&s0, "db", "class", "courses/current/course")
+            .edge(&s0, "class", "cno", "basic/cno")
+            .edge(&s0, "class", "title", "basic/class2/semester[position() = 1]/title")
+            .edge(&s0, "class", "type", "category")
+            .edge(&s0, "type", "regular", "mandatory/regular")
+            .edge(&s0, "type", "project", "advanced/project")
+            .edge(&s0, "regular", "prereq", "required/prereq")
+            .edge(&s0, "prereq", "class", "course")
+            .text_edge(&s0, "cno", "text()")
+            .text_edge(&s0, "title", "text()")
+            .text_edge(&s0, "project", "text()");
+        let e = Embedding::new(&s0, &s, lambda, paths).unwrap();
+
+        let fwd = generate_forward(&e);
+        let inv = generate_inverse(&e);
+        // The Example 4.6 shapes: a course template with basic/credit/#s,
+        // two category templates, db prefix/suffix pair.
+        let text = fwd.to_string();
+        assert!(text.contains("mode=\"fwd*-db\""), "{text}");
+        assert!(text.contains("match=\"type[regular]\""), "{text}");
+        let t1 = parse_xml(
+            "<db>\
+               <class><cno>CS331</cno><title>DB</title><type><regular><prereq>\
+                  <class><cno>CS240</cno><title>Algo</title><type><project>p1</project></type></class>\
+               </prereq></regular></type></class>\
+             </db>",
+        )
+        .unwrap();
+        let direct = e.apply(&t1).unwrap().tree;
+        let via = apply_stylesheet(&fwd, &t1, None).unwrap();
+        assert!(direct.equals(&via), "{:?}", direct.first_difference(&via));
+        let back = apply_stylesheet(&inv, &via, None).unwrap();
+        assert!(back.equals(&t1), "{:?}", back.first_difference(&t1));
+    }
+}

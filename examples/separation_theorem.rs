@@ -1,0 +1,151 @@
+//! Theorem 3.1, executable: invertibility and query preservation *separate*
+//! for XML mappings — unlike their relational ancestors (Hull 1986).
+//!
+//! Part 1: the Figure 2 mapping is invertible but not query preserving
+//! w.r.t. the XPath fragment `X` (`//B` needs `A^(3k+2)`, inexpressible
+//! without Kleene star). We build the paper's handcrafted σd — *not* a §4
+//! schema embedding; it deliberately violates prefix-freeness — and watch
+//! `X` queries lose answers while the `XR` translation-by-hand succeeds.
+//!
+//! Part 2: sorting `A` children by value is query preserving w.r.t.
+//! position-free `X` but not invertible (the original order is gone).
+//!
+//! ```sh
+//! cargo run --example separation_theorem
+//! ```
+
+use xse::prelude::*;
+
+/// The Figure 2 / Example 2.1 mapping: S1 = r→A; A→B,C; B→A+ε; C→ε into
+/// S2 = r→A; A→A+ε. Every source node becomes one node of a single A-chain:
+/// depth(A)=3k+1, depth(B)=3k+2, depth(C)=3k+3.
+fn sigma_fig2(t1: &XmlTree) -> (XmlTree, IdMap) {
+    let mut t2 = XmlTree::new("r");
+    let mut idm = IdMap::new();
+    idm.insert(t2.root(), t1.root());
+    // Walk the source: the chain order is A, B, C, then B's A child…
+    let mut chain_tip = t2.root();
+    let mut cur = t1.children(t1.root()).first().copied();
+    while let Some(a_node) = cur {
+        // A
+        chain_tip = {
+            let n = t2.add_element(chain_tip, "A");
+            idm.insert(n, a_node);
+            n
+        };
+        let kids = t1.children(a_node);
+        let (b_node, c_node) = (kids[0], kids[1]);
+        // B then C, one level each.
+        chain_tip = {
+            let n = t2.add_element(chain_tip, "A");
+            idm.insert(n, b_node);
+            n
+        };
+        chain_tip = {
+            let n = t2.add_element(chain_tip, "A");
+            idm.insert(n, c_node);
+            n
+        };
+        cur = t1.children(b_node).first().copied();
+    }
+    (t2, idm)
+}
+
+/// The inverse: regenerate T top-down from the chain length.
+fn sigma_fig2_inverse(t2: &XmlTree) -> XmlTree {
+    let mut t1 = XmlTree::new("r");
+    let mut out_parent = t1.root();
+    // Chain length = 3k for k complete A-blocks.
+    let mut depth = 0usize;
+    let mut n = t2.children(t2.root()).first().copied();
+    while let Some(x) = n {
+        depth += 1;
+        n = t2.children(x).first().copied();
+    }
+    assert_eq!(depth % 3, 0, "image chains come in A/B/C triples");
+    for _ in 0..depth / 3 {
+        let a = t1.add_element(out_parent, "A");
+        let b = t1.add_element(a, "B");
+        t1.add_element(a, "C");
+        out_parent = b;
+    }
+    t1
+}
+
+fn main() {
+    let s1 = Dtd::parse(
+        "<!ELEMENT r (A)><!ELEMENT A (B, C)><!ELEMENT B (A|EMPTY)><!ELEMENT C EMPTY>",
+    )
+    .unwrap();
+    let s2 = Dtd::parse("<!ELEMENT r (A)><!ELEMENT A (A|EMPTY)>").unwrap();
+
+    // ---- Part 1: invertible, not query preserving w.r.t. X.
+    let t1 = parse_xml("<r><A><B><A><B><A><B/><C/></A></B><C/></A></B><C/></A></r>").unwrap();
+    s1.validate(&t1).unwrap();
+    let (t2, idm) = sigma_fig2(&t1);
+    s2.validate(&t2).unwrap();
+    println!("σd(T) is the A-chain: {}", t2.to_xml());
+
+    let back = sigma_fig2_inverse(&t2);
+    assert!(back.equals(&t1));
+    println!("σd is invertible ✓ (chain length determines T)");
+
+    // Q = //B in the fragment X: on the source it finds all B's.
+    let q = parse_query(".//B").unwrap();
+    let source_hits = q.eval(&t1).len();
+    // On the target no X query can select exactly the B images: the B's sit
+    // at depths 3k+2, and A^(3k+2) is not expressible in X (no Kleene
+    // star). Every candidate //-style query over {r, A} selects either all
+    // chain nodes or a fixed-depth prefix — demonstrate the gap:
+    let all_a = parse_query(".//A").unwrap().eval(&t2).len();
+    let b_images: Vec<NodeId> = t2
+        .preorder()
+        .filter(|&n| idm.source_of(n).is_some_and(|s| t1.tag(s) == Some("B")))
+        .collect();
+    println!(
+        "source //B finds {source_hits}; target has {all_a} A's of which only {} are B-images — \
+         no X query carves them out (Theorem 3.1(1))",
+        b_images.len()
+    );
+    // The XR query that does it: A/(A/A/A)* starting offsets — i.e.
+    // A/A/(A/A/A)* selects depths 3k+2.
+    let xr = parse_query("A/A/(A/A/A)*").unwrap();
+    let xr_hits: Vec<NodeId> = xr.eval(&t2);
+    let mapped: Vec<NodeId> = idm.map_result(xr_hits.iter().copied()).collect();
+    assert_eq!(mapped.len(), source_hits);
+    println!("…but the XR query A/A/(A/A/A)* recovers exactly the B's ✓");
+
+    // ---- Part 2: query preserving (position-free X), not invertible.
+    let t = parse_xml("<r><A>zeta</A><A>alpha</A><A>mid</A></r>").unwrap();
+    let mut sorted_children: Vec<(String, NodeId)> = t
+        .children(t.root())
+        .iter()
+        .map(|&a| (t.text_value(t.children(a)[0]).unwrap().to_string(), a))
+        .collect();
+    sorted_children.sort();
+    let mut t_sorted = XmlTree::new("r");
+    for (v, _) in &sorted_children {
+        let a = t_sorted.add_element(t_sorted.root(), "A");
+        t_sorted.add_text(a, v.clone());
+    }
+    println!("\nσd' sorts the A children: {}", t_sorted.to_xml());
+    // Any position-free X query gets the same answers (sets ignore order):
+    for qs in ["A", "A[text() = 'alpha']", "A[text() = 'nope']"] {
+        let q = parse_query(qs).unwrap();
+        assert_eq!(q.eval(&t).len(), q.eval(&t_sorted).len());
+    }
+    println!("position-free X queries agree ✓");
+    // …but two differently-ordered sources map to the same image:
+    let t_other = parse_xml("<r><A>alpha</A><A>mid</A><A>zeta</A></r>").unwrap();
+    let mut resorted: Vec<String> = t_other
+        .children(t_other.root())
+        .iter()
+        .map(|&a| t_other.text_value(t_other.children(a)[0]).unwrap().to_string())
+        .collect();
+    resorted.sort();
+    assert_eq!(
+        resorted,
+        sorted_children.iter().map(|(v, _)| v.clone()).collect::<Vec<_>>()
+    );
+    println!("two distinct sources share one image ⇒ not invertible (Theorem 3.1(2)) ✓");
+}

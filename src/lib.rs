@@ -1,0 +1,92 @@
+//! # `xse` — Information Preserving XML Schema Embedding
+//!
+//! A Rust implementation of **Fan & Bohannon, *Information Preserving XML
+//! Schema Embedding*** (VLDB 2005; extended in ACM TODS 33(1), 2008).
+//!
+//! A *schema embedding* `σ = (λ, path)` maps every element type of a source
+//! DTD to a type of a target DTD and every *edge* of the source schema graph
+//! to a *path* of the target graph, subject to path-type and prefix-free
+//! validity conditions. From a valid embedding the library derives, fully
+//! automatically:
+//!
+//! * an instance-level mapping `σd` that is **type safe** (the output
+//!   conforms to the target DTD) and **injective** (Theorem 4.1);
+//! * an **inverse** `σd⁻¹` recovering the source document (Theorem 4.3a);
+//! * a **query translation** `Tr` such that every regular XPath query `Q`
+//!   over the source satisfies `Q(T) = idM(Tr(Q)(σd(T)))` (Theorem 4.3b);
+//! * **XSLT stylesheets** implementing `σd` and `σd⁻¹` (Section 4.3);
+//! * heuristic **discovery** of embeddings from a similarity matrix
+//!   (Section 5 — the problem itself is NP-complete, Theorem 5.1).
+//!
+//! The facade re-exports the workspace crates under stable module names:
+//!
+//! | module | contents |
+//! |--------|----------|
+//! | [`xmltree`] | ordered labeled trees, node ids, `idM` |
+//! | [`dtd`] | DTDs, schema graphs, validation, `mindef`, instance generation |
+//! | [`rxpath`] | regular XPath (`XR`) and the XPath fragment `X` |
+//! | [`anfa`] | annotated NFAs representing `XR` queries |
+//! | [`core`] | schema embeddings, `σd`, `σd⁻¹`, `Tr`, preservation checkers |
+//! | [`xslt`] | the §4.3 XSLT processing model + stylesheet generation |
+//! | [`discovery`] | computing embeddings (prefix-free paths, heuristics) |
+//! | [`workloads`] | schema corpus, noise, similarity and query generators |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use xse::prelude::*;
+//!
+//! // A source catalog embeds into a more general target that wraps every
+//! // region one level deeper and adds extra (default-filled) structure.
+//! let source = Dtd::parse(
+//!     "<!ELEMENT r (a, b)><!ELEMENT a (#PCDATA)>\
+//!      <!ELEMENT b (c)*><!ELEMENT c (#PCDATA)>",
+//! ).unwrap();
+//! let target = Dtd::parse(
+//!     "<!ELEMENT r (x, y)><!ELEMENT x (a, pad)><!ELEMENT a (#PCDATA)>\
+//!      <!ELEMENT pad (#PCDATA)><!ELEMENT y (w)><!ELEMENT w (c2)*>\
+//!      <!ELEMENT c2 (c)><!ELEMENT c (#PCDATA)>",
+//! ).unwrap();
+//!
+//! // Discover a valid embedding from a similarity matrix (§5)…
+//! let att = SimilarityMatrix::permissive(&source, &target);
+//! let embedding = find_embedding(&source, &target, &att, &DiscoveryConfig::default())
+//!     .expect("source embeds into target");
+//!
+//! // …then map an instance (Theorem 4.1: type safe) and invert it back
+//! // (Theorem 4.3a: information is preserved).
+//! let doc = parse_xml("<r><a>hi</a><b><c>1</c><c>2</c></b></r>").unwrap();
+//! let out = embedding.apply(&doc).unwrap();
+//! target.validate(&out.tree).unwrap();
+//! let back = embedding.invert(&out.tree).unwrap();
+//! assert!(back.equals(&doc));
+//!
+//! // Queries translate too (Theorem 4.3b): Q(T) = idM(Tr(Q)(σd(T))).
+//! let q = parse_query("b/c[position() = 2]/text()").unwrap();
+//! let translated = embedding.translate(&q).unwrap();
+//! let direct = q.eval(&doc);
+//! let mapped: Vec<_> = out.idmap.map_result(translated.eval(&out.tree)).collect();
+//! assert_eq!(direct, mapped);
+//! ```
+
+pub use xse_anfa as anfa;
+pub use xse_core as core;
+pub use xse_discovery as discovery;
+pub use xse_dtd as dtd;
+pub use xse_rxpath as rxpath;
+pub use xse_workloads as workloads;
+pub use xse_xmltree as xmltree;
+pub use xse_xslt as xslt;
+
+/// One-stop imports for examples and applications.
+pub mod prelude {
+    pub use xse_core::{
+        Embedding, MappingOutput, PathMapping, SchemaEmbeddingError, SimilarityMatrix,
+        TypeMapping,
+    };
+    pub use xse_discovery::{find_embedding, DiscoveryConfig, Strategy};
+    pub use xse_dtd::{Dtd, Production, TypeId};
+    pub use xse_rxpath::{parse_query, XrQuery};
+    pub use xse_xmltree::{parse_xml, IdMap, NodeId, TreeBuilder, XmlTree};
+    pub use xse_xslt::{generate_forward, generate_inverse, Stylesheet};
+}

@@ -1,0 +1,149 @@
+//! Property-based suites (proptest) over randomized schemas, documents and
+//! queries: the paper's theorems as invariants.
+
+use proptest::prelude::*;
+
+use xse::core::preserve;
+use xse::dtd::{GenConfig, InstanceGenerator};
+use xse::prelude::*;
+use xse::rxpath::Evaluator;
+use xse::workloads::noise::{noised_copy, NoiseConfig};
+use xse::workloads::querygen::{random_queries, QueryConfig};
+use xse::workloads::{scale, simgen};
+use xse::xslt::apply_stylesheet;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Random schema → random instance → it validates.
+    #[test]
+    fn generated_instances_conform(n in 5usize..40, seed in 0u64..500) {
+        let dtd = scale::random_schema(n, seed);
+        let gen = InstanceGenerator::new(
+            &dtd,
+            GenConfig { max_nodes: 200, ..GenConfig::default() },
+        );
+        let t = gen.generate(seed);
+        prop_assert!(dtd.validate(&t).is_ok());
+    }
+
+    /// XML serialization roundtrips through the parser.
+    #[test]
+    fn xml_roundtrip(n in 5usize..30, seed in 0u64..500) {
+        let dtd = scale::random_schema(n, seed);
+        let gen = InstanceGenerator::new(
+            &dtd,
+            GenConfig { max_nodes: 150, ..GenConfig::default() },
+        );
+        let t = gen.generate(seed ^ 7);
+        let compact = parse_xml(&t.to_xml()).unwrap();
+        prop_assert!(compact.equals(&t));
+        let pretty = parse_xml(&t.to_xml_pretty()).unwrap();
+        prop_assert!(pretty.equals(&t));
+    }
+
+    /// Theorems 4.1 + 4.3(a): discovered embeddings over noised copies are
+    /// type safe, injective and invertible on random instances.
+    #[test]
+    fn discovered_embeddings_preserve_information(
+        n in 6usize..24,
+        schema_seed in 0u64..200,
+        noise in 0.0f64..0.6,
+        doc_seed in 0u64..100,
+    ) {
+        let src = scale::random_schema(n, schema_seed);
+        let copy = noised_copy(&src, NoiseConfig::level(noise), schema_seed ^ 0xA5);
+        let att = simgen::exact(&src, &copy);
+        // Discovery is heuristic; treat "not found" as a skip, soundness of
+        // found embeddings as the property.
+        if let Some(emb) = find_embedding(&src, &copy.target, &att, &DiscoveryConfig::default()) {
+            let gen = InstanceGenerator::new(
+                &src,
+                GenConfig { max_nodes: 150, ..GenConfig::default() },
+            );
+            let t1 = gen.generate(doc_seed);
+            prop_assert!(preserve::check_type_safety(&emb, &t1).is_ok());
+            prop_assert!(preserve::check_injectivity(&emb, &t1).is_ok());
+            prop_assert!(preserve::check_roundtrip(&emb, &t1).is_ok());
+        }
+    }
+
+    /// Theorem 4.3(b): query preservation and the |Tr(Q)| bound on random
+    /// queries over a discovered embedding.
+    #[test]
+    fn query_preservation_on_random_queries(
+        n in 6usize..20,
+        schema_seed in 0u64..100,
+        q_seed in 0u64..100,
+    ) {
+        let src = scale::random_schema(n, schema_seed);
+        let copy = noised_copy(&src, NoiseConfig::level(0.3), schema_seed ^ 0x5A);
+        let att = simgen::exact(&src, &copy);
+        if let Some(emb) = find_embedding(&src, &copy.target, &att, &DiscoveryConfig::default()) {
+            let gen = InstanceGenerator::new(
+                &src,
+                GenConfig { max_nodes: 120, ..GenConfig::default() },
+            );
+            let t1 = gen.generate(q_seed);
+            for q in random_queries(&src, QueryConfig::default(), q_seed, 6) {
+                prop_assert!(
+                    preserve::check_query_preservation(&emb, &t1, &q).is_ok(),
+                    "query {q}"
+                );
+                prop_assert!(preserve::check_translation_bound(&emb, &q).is_ok());
+            }
+        }
+    }
+
+    /// §4.3: generated stylesheets agree with the direct algorithms.
+    #[test]
+    fn xslt_agrees_with_direct_mapping(
+        n in 6usize..18,
+        schema_seed in 0u64..100,
+        doc_seed in 0u64..50,
+    ) {
+        let src = scale::random_schema(n, schema_seed);
+        let copy = noised_copy(&src, NoiseConfig::level(0.3), schema_seed ^ 0x33);
+        let att = simgen::exact(&src, &copy);
+        if let Some(emb) = find_embedding(&src, &copy.target, &att, &DiscoveryConfig::default()) {
+            let fwd = generate_forward(&emb);
+            let inv = generate_inverse(&emb);
+            let gen = InstanceGenerator::new(
+                &src,
+                GenConfig { max_nodes: 120, ..GenConfig::default() },
+            );
+            let t1 = gen.generate(doc_seed);
+            let direct = emb.apply(&t1).unwrap().tree;
+            let via = apply_stylesheet(&fwd, &t1, None).unwrap();
+            prop_assert!(direct.equals(&via), "{:?}", direct.first_difference(&via));
+            let back = apply_stylesheet(&inv, &via, None).unwrap();
+            prop_assert!(back.equals(&t1), "{:?}", back.first_difference(&t1));
+        }
+    }
+
+    /// The ANFA representation evaluates exactly like the direct XR
+    /// evaluator on random schema-derived queries.
+    #[test]
+    fn anfa_matches_direct_evaluation(
+        n in 5usize..25,
+        schema_seed in 0u64..200,
+        q_seed in 0u64..200,
+    ) {
+        let dtd = scale::random_schema(n, schema_seed);
+        let gen = InstanceGenerator::new(
+            &dtd,
+            GenConfig { max_nodes: 150, ..GenConfig::default() },
+        );
+        let t = gen.generate(q_seed ^ 3);
+        let ev = Evaluator::new(&t);
+        for q in random_queries(&dtd, QueryConfig::default(), q_seed, 6) {
+            let direct = ev.eval(&q, t.root());
+            let Ok(anfa) = xse::anfa::Anfa::from_query(&q) else { continue };
+            prop_assert_eq!(&direct, &anfa.eval_root(&t), "query {}", q);
+            // And through state elimination back to XR.
+            if let Some(q2) = anfa.to_query() {
+                prop_assert_eq!(&direct, &ev.eval(&q2, t.root()), "reprinted {}", q2);
+            }
+        }
+    }
+}
