@@ -35,9 +35,7 @@ impl Anfa {
         }
         let fwd = self.forward_reachable();
         let bwd = self.backward_from_finals();
-        let keep: Vec<bool> = (0..self.states.len())
-            .map(|i| fwd[i] && bwd[i])
-            .collect();
+        let keep: Vec<bool> = (0..self.states.len()).map(|i| fwd[i] && bwd[i]).collect();
         // Always keep the start.
         let mut remap = vec![u32::MAX; self.states.len()];
         let mut new_states = Vec::new();
@@ -48,7 +46,8 @@ impl Anfa {
             }
         }
         for st in &mut new_states {
-            st.transitions.retain(|(_, to)| remap[to.index()] != u32::MAX);
+            st.transitions
+                .retain(|(_, to)| remap[to.index()] != u32::MAX);
             for (_, to) in &mut st.transitions {
                 *to = StateId(remap[to.index()]);
             }

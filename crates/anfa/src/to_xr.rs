@@ -31,15 +31,13 @@ impl Anfa {
         const S: usize = usize::MAX - 1;
         const F: usize = usize::MAX;
         let mut edges: BTreeMap<(usize, usize), XrQuery> = BTreeMap::new();
-        let add = |edges: &mut BTreeMap<(usize, usize), XrQuery>,
-                       from: usize,
-                       to: usize,
-                       q: XrQuery| {
-            edges
-                .entry((from, to))
-                .and_modify(|e| *e = e.clone().or(q.clone()))
-                .or_insert(q);
-        };
+        let add =
+            |edges: &mut BTreeMap<(usize, usize), XrQuery>, from: usize, to: usize, q: XrQuery| {
+                edges
+                    .entry((from, to))
+                    .and_modify(|e| *e = e.clone().or(q.clone()))
+                    .or_insert(q);
+            };
 
         for (i, st) in m.states.iter().enumerate() {
             for (t, to) in &st.transitions {

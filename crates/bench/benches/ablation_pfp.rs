@@ -14,11 +14,15 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_pfp");
     g.sample_size(10);
     for (name, disable) in [("with-pruning", false), ("no-pruning", true)] {
-        g.bench_with_input(BenchmarkId::from_parameter(name), &disable, |b, &disable| {
-            let mut cfg = DiscoveryConfig::default();
-            cfg.pfp.disable_reach_pruning = disable;
-            b.iter(|| find_embedding(&src, &copy.target, &att, &cfg).is_some())
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &disable,
+            |b, &disable| {
+                let mut cfg = DiscoveryConfig::default();
+                cfg.pfp.disable_reach_pruning = disable;
+                b.iter(|| find_embedding(&src, &copy.target, &att, &cfg).is_some())
+            },
+        );
     }
     g.finish();
 }

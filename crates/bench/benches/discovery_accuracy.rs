@@ -3,22 +3,37 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use xse_discovery::{find_embedding, DiscoveryConfig, Strategy};
+use xse_workloads::corpus;
 use xse_workloads::noise::{noised_copy, NoiseConfig};
 use xse_workloads::simgen::{ambiguous, SimConfig};
-use xse_workloads::corpus;
 
 fn bench(c: &mut Criterion) {
     let src = corpus::news_like();
     let copy = noised_copy(&src, NoiseConfig::level(0.3), 7);
-    let att = ambiguous(&src, &copy, SimConfig { accuracy: 0.9, ambiguity: 2.0 }, 7);
+    let att = ambiguous(
+        &src,
+        &copy,
+        SimConfig {
+            accuracy: 0.9,
+            ambiguity: 2.0,
+        },
+        7,
+    );
     let mut g = c.benchmark_group("discovery_accuracy");
     g.sample_size(10);
-    for strategy in [Strategy::Random, Strategy::QualityOrdered, Strategy::IndependentSet] {
+    for strategy in [
+        Strategy::Random,
+        Strategy::QualityOrdered,
+        Strategy::IndependentSet,
+    ] {
         g.bench_with_input(
             BenchmarkId::new("news-0.3-noise", format!("{strategy:?}")),
             &strategy,
             |b, &strategy| {
-                let cfg = DiscoveryConfig { strategy, ..DiscoveryConfig::default() };
+                let cfg = DiscoveryConfig {
+                    strategy,
+                    ..DiscoveryConfig::default()
+                };
                 b.iter(|| find_embedding(&src, &copy.target, &att, &cfg).is_some())
             },
         );

@@ -14,7 +14,10 @@ fn bench(c: &mut Criterion) {
         let copy = noised_copy(&src, NoiseConfig::level(0.25), 17);
         let att = exact(&src, &copy);
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            let cfg = DiscoveryConfig { restarts: 8, ..DiscoveryConfig::default() };
+            let cfg = DiscoveryConfig {
+                restarts: 8,
+                ..DiscoveryConfig::default()
+            };
             b.iter(|| find_embedding(&src, &copy.target, &att, &cfg).is_some())
         });
     }

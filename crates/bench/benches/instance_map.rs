@@ -12,7 +12,11 @@ fn bench(c: &mut Criterion) {
     for n in [500usize, 2_000, 8_000] {
         let gen = InstanceGenerator::new(
             &s0,
-            GenConfig { max_nodes: n, star_mean: 3.0, ..GenConfig::default() },
+            GenConfig {
+                max_nodes: n,
+                star_mean: 3.0,
+                ..GenConfig::default()
+            },
         );
         let t1 = gen.generate(n as u64);
         let out = e.apply(&t1).unwrap();
@@ -20,9 +24,11 @@ fn bench(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("apply", t1.len()), &t1, |b, t1| {
             b.iter(|| e.apply(t1).unwrap().tree.len())
         });
-        g.bench_with_input(BenchmarkId::new("invert", out.tree.len()), &out.tree, |b, t2| {
-            b.iter(|| e.invert(t2).unwrap().len())
-        });
+        g.bench_with_input(
+            BenchmarkId::new("invert", out.tree.len()),
+            &out.tree,
+            |b, t2| b.iter(|| e.invert(t2).unwrap().len()),
+        );
     }
     g.finish();
 }

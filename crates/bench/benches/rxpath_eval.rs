@@ -11,7 +11,11 @@ fn bench(c: &mut Criterion) {
     let d = corpus::fig1_class();
     let gen = InstanceGenerator::new(
         &d,
-        GenConfig { max_nodes: 5_000, star_mean: 3.0, ..GenConfig::default() },
+        GenConfig {
+            max_nodes: 5_000,
+            star_mean: 3.0,
+            ..GenConfig::default()
+        },
     );
     let t = gen.generate(1);
     let queries = [

@@ -11,8 +11,14 @@ fn bench(c: &mut Criterion) {
         ("step", "class"),
         ("path", "class/type/regular/prereq"),
         ("qualified", "class[cno/text() = 'CS331']/title"),
-        ("example-4-8", "class[cno/text() = 'CS331']/(type/regular/prereq/class)*"),
-        ("union-star", "(class/type/regular/prereq/class)* | class/cno"),
+        (
+            "example-4-8",
+            "class[cno/text() = 'CS331']/(type/regular/prereq/class)*",
+        ),
+        (
+            "union-star",
+            "(class/type/regular/prereq/class)* | class/cno",
+        ),
     ];
     let mut g = c.benchmark_group("translate");
     for (name, q) in queries {

@@ -12,7 +12,11 @@ fn bench(c: &mut Criterion) {
     let inv = generate_inverse(&e);
     let gen = InstanceGenerator::new(
         &s0,
-        GenConfig { max_nodes: 2_000, star_mean: 3.0, ..GenConfig::default() },
+        GenConfig {
+            max_nodes: 2_000,
+            star_mean: 3.0,
+            ..GenConfig::default()
+        },
     );
     let t1 = gen.generate(42);
     let t2 = e.apply(&t1).unwrap().tree;

@@ -205,7 +205,10 @@ fn abl1() {
     println!("| configuration | solved | total | ms |");
     println!("|---|---|---|---|");
     for r in x::abl1() {
-        println!("| {} | {} | {} | {:.0} |", r.config, r.solved, r.total, r.millis);
+        println!(
+            "| {} | {} | {} | {:.0} |",
+            r.config, r.solved, r.total, r.millis
+        );
     }
     println!();
 }

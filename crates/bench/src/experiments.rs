@@ -36,7 +36,11 @@ pub const STRATEGIES: [Strategy; 3] = [
 /// source type), at fixed structural noise.
 pub fn exp_a(trials: usize) -> Vec<RateRow> {
     let sweep = [0.0, 1.0, 2.0, 4.0, 6.0, 8.0];
-    let schemas = [corpus::fig1_class(), corpus::news_like(), corpus::orders_like()];
+    let schemas = [
+        corpus::fig1_class(),
+        corpus::news_like(),
+        corpus::orders_like(),
+    ];
     sweep
         .iter()
         .map(|&ambiguity| {
@@ -50,12 +54,19 @@ pub fn exp_a(trials: usize) -> Vec<RateRow> {
                     let att = ambiguous(
                         src,
                         &copy,
-                        SimConfig { accuracy: 0.9, ambiguity },
+                        SimConfig {
+                            accuracy: 0.9,
+                            ambiguity,
+                        },
                         seed ^ 0xABCD,
                     );
                     total += 1;
                     for (k, strategy) in STRATEGIES.into_iter().enumerate() {
-                        let cfg = DiscoveryConfig { strategy, seed, ..DiscoveryConfig::default() };
+                        let cfg = DiscoveryConfig {
+                            strategy,
+                            seed,
+                            ..DiscoveryConfig::default()
+                        };
                         if let Some(e) = find_embedding(src, &copy.target, &att, &cfg) {
                             found[k] += 1;
                             if lambda_matches_truth(src, &e, &copy) {
@@ -77,7 +88,11 @@ pub fn exp_a(trials: usize) -> Vec<RateRow> {
 /// EXP-B: success vs. structural noise level, at mild `att` ambiguity.
 pub fn exp_b(trials: usize) -> Vec<RateRow> {
     let sweep = [0.0, 0.2, 0.4, 0.6, 0.8];
-    let schemas = [corpus::dblp_like(), corpus::mondial_like(), corpus::genealogy_like()];
+    let schemas = [
+        corpus::dblp_like(),
+        corpus::mondial_like(),
+        corpus::genealogy_like(),
+    ];
     sweep
         .iter()
         .map(|&level| {
@@ -91,12 +106,19 @@ pub fn exp_b(trials: usize) -> Vec<RateRow> {
                     let att = ambiguous(
                         src,
                         &copy,
-                        SimConfig { accuracy: 1.0, ambiguity: 2.0 },
+                        SimConfig {
+                            accuracy: 1.0,
+                            ambiguity: 2.0,
+                        },
                         seed ^ 0xBEEF,
                     );
                     total += 1;
                     for (k, strategy) in STRATEGIES.into_iter().enumerate() {
-                        let cfg = DiscoveryConfig { strategy, seed, ..DiscoveryConfig::default() };
+                        let cfg = DiscoveryConfig {
+                            strategy,
+                            seed,
+                            ..DiscoveryConfig::default()
+                        };
                         if let Some(e) = find_embedding(src, &copy.target, &att, &cfg) {
                             found[k] += 1;
                             if lambda_matches_truth(src, &e, &copy) {
@@ -137,13 +159,21 @@ pub fn exp_c(sizes: &[usize]) -> Vec<ScaleRow> {
             let mut millis = [0.0; 3];
             let mut found = [false; 3];
             for (k, strategy) in STRATEGIES.into_iter().enumerate() {
-                let cfg = DiscoveryConfig { strategy, restarts: 8, ..DiscoveryConfig::default() };
+                let cfg = DiscoveryConfig {
+                    strategy,
+                    restarts: 8,
+                    ..DiscoveryConfig::default()
+                };
                 let t0 = Instant::now();
                 let e = find_embedding(&src, &copy.target, &att, &cfg);
                 millis[k] = t0.elapsed().as_secs_f64() * 1000.0;
                 found[k] = e.is_some();
             }
-            ScaleRow { size: n, millis, found }
+            ScaleRow {
+                size: n,
+                millis,
+                found,
+            }
         })
         .collect()
 }
@@ -208,7 +238,10 @@ pub fn tab2(count: usize) -> Vec<TranslateRow> {
     for depth in [2, 4, 6, 8] {
         let queries = random_queries(
             &s0,
-            QueryConfig { max_depth: depth, ..QueryConfig::default() },
+            QueryConfig {
+                max_depth: depth,
+                ..QueryConfig::default()
+            },
             depth as u64,
             count,
         );
@@ -247,7 +280,11 @@ pub fn fig_t(sizes: &[usize]) -> Vec<InstanceRow> {
         .map(|&n| {
             let gen = InstanceGenerator::new(
                 &s0,
-                GenConfig { max_nodes: n, star_mean: 4.0, ..GenConfig::default() },
+                GenConfig {
+                    max_nodes: n,
+                    star_mean: 4.0,
+                    ..GenConfig::default()
+                },
             );
             // Geometric star counts occasionally roll tiny documents; take
             // the first seed that fills at least half the budget.
@@ -294,7 +331,13 @@ pub fn tab3(instances: usize, queries_per: usize) -> Vec<PreserveRow> {
     let mut rows = Vec::new();
     let (s0, s) = crate::fixtures::fig1_pair();
     let e = crate::fixtures::fig1_embedding(&s0, &s);
-    rows.push(preserve_row("fig1-class->school", &s0, &e, instances, queries_per));
+    rows.push(preserve_row(
+        "fig1-class->school",
+        &s0,
+        &e,
+        instances,
+        queries_per,
+    ));
 
     for (name, src) in [
         ("dblp->noised", corpus::dblp_like()),
@@ -317,7 +360,13 @@ fn preserve_row(
     instances: usize,
     queries_per: usize,
 ) -> PreserveRow {
-    let gen = InstanceGenerator::new(src, GenConfig { max_nodes: 400, ..GenConfig::default() });
+    let gen = InstanceGenerator::new(
+        src,
+        GenConfig {
+            max_nodes: 400,
+            ..GenConfig::default()
+        },
+    );
     let queries = random_queries(src, QueryConfig::default(), 5, queries_per);
     let mut row = PreserveRow {
         name,
@@ -359,7 +408,13 @@ pub fn tab4(trials: usize) -> XsltRow {
     let e = crate::fixtures::fig1_embedding(&s0, &s);
     let fwd = generate_forward(&e);
     let inv = generate_inverse(&e);
-    let gen = InstanceGenerator::new(&s0, GenConfig { max_nodes: 300, ..GenConfig::default() });
+    let gen = InstanceGenerator::new(
+        &s0,
+        GenConfig {
+            max_nodes: 300,
+            ..GenConfig::default()
+        },
+    );
     let mut row = XsltRow {
         name: "fig1-class->school",
         rules_fwd: fwd.len(),
@@ -393,11 +448,20 @@ pub fn exp_e() -> Vec<SatRow> {
     let cases: Vec<(&str, Sat)> = vec![
         (
             "(x1 ∨ x2) ∧ (¬x1 ∨ x2)",
-            Sat { vars: 2, clauses: vec![vec![lit(0, true), lit(1, true)], vec![lit(0, false), lit(1, true)]] },
+            Sat {
+                vars: 2,
+                clauses: vec![
+                    vec![lit(0, true), lit(1, true)],
+                    vec![lit(0, false), lit(1, true)],
+                ],
+            },
         ),
         (
             "x1 ∧ ¬x1",
-            Sat { vars: 1, clauses: vec![vec![lit(0, true)], vec![lit(0, false)]] },
+            Sat {
+                vars: 1,
+                clauses: vec![vec![lit(0, true)], vec![lit(0, false)]],
+            },
         ),
         (
             "(x1 ∨ ¬x2) ∧ (¬x1 ∨ x2) ∧ (x1 ∨ x2)",
@@ -434,7 +498,11 @@ pub fn exp_e() -> Vec<SatRow> {
                     att.set(a, b, 1.0);
                 }
             }
-            let cfg = DiscoveryConfig { restarts: 400, max_combos: 256, ..DiscoveryConfig::default() };
+            let cfg = DiscoveryConfig {
+                restarts: 400,
+                max_combos: 256,
+                ..DiscoveryConfig::default()
+            };
             SatRow {
                 formula: formula.to_string(),
                 satisfiable: sat.satisfiable(),

@@ -196,11 +196,7 @@ impl<'a> Embedding<'a> {
         let mut resolved: Vec<Vec<ResolvedPath>> = Vec::with_capacity(source.type_count());
         for a in source.types() {
             let edges = src_graph.edges_from(a);
-            let given = paths
-                .paths
-                .get(a.index())
-                .map(Vec::as_slice)
-                .unwrap_or(&[]);
+            let given = paths.paths.get(a.index()).map(Vec::as_slice).unwrap_or(&[]);
             if given.len() != edges.len() {
                 return Err(SchemaEmbeddingError::ArityMismatch {
                     ty: source.name(a).to_string(),

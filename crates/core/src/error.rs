@@ -8,19 +8,41 @@ pub enum SchemaEmbeddingError {
     /// `λ` must map the source root to the target root.
     RootNotMappedToRoot,
     /// `λ` or the path function is missing/extra entries for a type.
-    ArityMismatch { ty: String, expected: usize, got: usize },
+    ArityMismatch {
+        ty: String,
+        expected: usize,
+        got: usize,
+    },
     /// The type mapping violates the similarity matrix (`att(A, λ(A)) = 0`).
     SimilarityZero { source: String, target: String },
     /// `path(A, B)` does not denote a label path of the target schema
     /// starting at `λ(A)`.
-    PathUnresolvable { from: String, path: String, reason: String },
+    PathUnresolvable {
+        from: String,
+        path: String,
+        reason: String,
+    },
     /// `path(A, B)` does not end at `λ(B)`.
-    PathWrongEndpoint { from: String, path: String, expected: String, found: String },
+    PathWrongEndpoint {
+        from: String,
+        path: String,
+        expected: String,
+        found: String,
+    },
     /// The path type condition is violated (e.g. an AND edge mapped to an
     /// OR path).
-    PathKind { from: String, path: String, expected: &'static str, found: String },
+    PathKind {
+        from: String,
+        path: String,
+        expected: &'static str,
+        found: String,
+    },
     /// Two sibling edges' paths violate the prefix-free condition.
-    PrefixConflict { ty: String, path_a: String, path_b: String },
+    PrefixConflict {
+        ty: String,
+        path_a: String,
+        path_b: String,
+    },
     /// A star edge's path pins the multiplicity step to a fixed position,
     /// leaving nowhere for repeated children to go.
     StarPositionPinned { from: String, path: String },
@@ -34,7 +56,11 @@ pub enum SchemaEmbeddingError {
     /// fragment produced by a *different* alternative (minimum-default
     /// padding would alias the choice and break invertibility) — a
     /// conservative strengthening of the paper's conditions, see DESIGN.md.
-    AlternativeAliased { ty: String, probe: String, scenario: String },
+    AlternativeAliased {
+        ty: String,
+        probe: String,
+        scenario: String,
+    },
     /// The paper assumes consistent DTDs (§2.1); reduce() first.
     InconsistentDtd { which: &'static str },
 }

@@ -228,7 +228,12 @@ pub(crate) mod tests {
         paths
             .edge(s0, "db", "class", "courses/current/course")
             .edge(s0, "class", "cno", "basic/cno")
-            .edge(s0, "class", "title", "basic/class/semester[position() = 1]/title")
+            .edge(
+                s0,
+                "class",
+                "title",
+                "basic/class/semester[position() = 1]/title",
+            )
             .edge(s0, "class", "type", "category")
             .edge(s0, "type", "regular", "mandatory/regular")
             .edge(s0, "type", "project", "advanced/project")

@@ -92,8 +92,8 @@ impl<'a> Embedding<'a> {
             }
             Production::Concat(cs) => {
                 for (slot, &cty) in cs.iter().enumerate() {
-                    let node = navigate(self.target, t2, tv, &paths[slot].steps)
-                        .ok_or_else(|| {
+                    let node =
+                        navigate(self.target, t2, tv, &paths[slot].steps).ok_or_else(|| {
                             mismatch(format!(
                                 "child path {} not present",
                                 paths[slot].display(self.target)
@@ -124,9 +124,7 @@ impl<'a> Embedding<'a> {
                         work.push((node, cty, child));
                     }
                     None if *allows_empty => {}
-                    None => {
-                        return Err(mismatch("no disjunction alternative navigable".into()))
-                    }
+                    None => return Err(mismatch("no disjunction alternative navigable".into())),
                 }
             }
             Production::Star(b) => {
@@ -181,11 +179,7 @@ mod tests {
             }
             let out = e.apply(&t1).unwrap();
             let back = e.invert(&out.tree).unwrap();
-            assert!(
-                back.equals(&t1),
-                "{xml}: {:?}",
-                back.first_difference(&t1)
-            );
+            assert!(back.equals(&t1), "{xml}: {:?}", back.first_difference(&t1));
         }
     }
 

@@ -71,8 +71,10 @@ pub fn prefix_types(dtd: &Dtd, prefix: &str) -> Dtd {
             Production::Str => b.str_type(&name),
             Production::Empty => b.empty(&name),
             Production::Concat(cs) => {
-                let children: Vec<String> =
-                    cs.iter().map(|c| format!("{prefix}{}", dtd.name(*c))).collect();
+                let children: Vec<String> = cs
+                    .iter()
+                    .map(|c| format!("{prefix}{}", dtd.name(*c)))
+                    .collect();
                 let refs: Vec<&str> = children.iter().map(String::as_str).collect();
                 b.concat(&name, &refs)
             }
@@ -203,8 +205,8 @@ mod tests {
     #[test]
     fn combine_and_split_instances_roundtrip() {
         let t1 = parse_xml("<classdb><class>x</class></classdb>").unwrap();
-        let t2 = parse_xml("<studentdb><student>y</student><student>z</student></studentdb>")
-            .unwrap();
+        let t2 =
+            parse_xml("<studentdb><student>y</student><student>z</student></studentdb>").unwrap();
         let c = combine_instances("sources", &[&t1, &t2]);
         let (a, b) = (classes(), students());
         let combined_dtd = combine_sources("sources", &[&a, &b]).unwrap();

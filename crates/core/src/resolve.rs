@@ -315,10 +315,9 @@ fn resolve_step(
                 needs_pos_check: step.pos.is_some(),
             })
         }
-        Production::Str | Production::Empty => Err(format!(
-            "{:?} has no element children",
-            target.name(cur)
-        )),
+        Production::Str | Production::Empty => {
+            Err(format!("{:?} has no element children", target.name(cur)))
+        }
     }
 }
 
@@ -383,7 +382,12 @@ mod tests {
         assert!(p.classify().is_star());
         assert_eq!(p.first_star_step(), Some(2));
         assert_eq!(p.steps[2].pos, None, "unpositioned star step");
-        let p = resolve(&d, &g, "course", "basic/class/semester[position() = 1]/title");
+        let p = resolve(
+            &d,
+            &g,
+            "course",
+            "basic/class/semester[position() = 1]/title",
+        );
         assert_eq!(p.steps[2].pos, Some(1));
         assert_eq!(p.classify(), PathClass::AndStar);
     }
@@ -427,12 +431,25 @@ mod tests {
             .unwrap();
         let g = SchemaGraph::new(&d);
         let e = resolve_path(&d, &g, d.root(), &XrPath::parse("a").unwrap()).unwrap_err();
-        assert!(e.to_string().contains("position() qualifier is required"), "{e}");
-        let p = resolve_path(&d, &g, d.root(), &XrPath::parse("a[position() = 2]").unwrap())
-            .unwrap();
+        assert!(
+            e.to_string().contains("position() qualifier is required"),
+            "{e}"
+        );
+        let p = resolve_path(
+            &d,
+            &g,
+            d.root(),
+            &XrPath::parse("a[position() = 2]").unwrap(),
+        )
+        .unwrap();
         assert_eq!(p.steps[0].slot, 1);
         assert_eq!(p.steps[0].pos, Some(2));
-        let e = resolve_path(&d, &g, d.root(), &XrPath::parse("a[position() = 3]").unwrap());
+        let e = resolve_path(
+            &d,
+            &g,
+            d.root(),
+            &XrPath::parse("a[position() = 3]").unwrap(),
+        );
         assert!(e.is_err());
     }
 
@@ -467,12 +484,22 @@ mod tests {
         let (d, g) = school();
         // basic/class/semester (all repetitions) vs …[position()=1]/title.
         let all = resolve(&d, &g, "course", "basic/class/semester");
-        let first = resolve(&d, &g, "course", "basic/class/semester[position() = 1]/title");
+        let first = resolve(
+            &d,
+            &g,
+            "course",
+            "basic/class/semester[position() = 1]/title",
+        );
         assert!(
             all.conflicts_with(&first),
             "unpositioned star step must cover position 1 (DESIGN.md §3)"
         );
-        let second = resolve(&d, &g, "course", "basic/class/semester[position() = 2]/title");
+        let second = resolve(
+            &d,
+            &g,
+            "course",
+            "basic/class/semester[position() = 2]/title",
+        );
         assert!(!first.conflicts_with(&second), "distinct positions diverge");
     }
 
@@ -498,7 +525,12 @@ mod tests {
     #[test]
     fn display_writes_canonical_positions() {
         let (d, g) = school();
-        let p = resolve(&d, &g, "course", "basic/class/semester[position() = 1]/title");
+        let p = resolve(
+            &d,
+            &g,
+            "course",
+            "basic/class/semester[position() = 1]/title",
+        );
         assert_eq!(
             p.display(&d),
             "basic[position() = 1]/class[position() = 1]/semester[position() = 1]/title[position() = 1]"

@@ -115,8 +115,11 @@ impl Trl {
     /// `other`'s finals offset into `self`.
     fn splice(&mut self, from: StateId, other: &Trl) -> Vec<(StateId, Lab)> {
         let off = self.anfa.import(&other.anfa);
-        self.anfa
-            .add_transition(from, Trans::Eps, StateId::from_index(other.anfa.start().index() + off as usize));
+        self.anfa.add_transition(
+            from,
+            Trans::Eps,
+            StateId::from_index(other.anfa.start().index() + off as usize),
+        );
         other
             .finals
             .iter()
@@ -233,11 +236,17 @@ impl<'a> Embedding<'a> {
                     continue;
                 }
             }
-            let chain = self.path_chain(rp, occurrence.filter(|_| matches!(prod, Production::Star(_))));
-            let finals = out.splice(start, &Trl {
-                anfa: chain,
-                finals: Vec::new(),
-            });
+            let chain = self.path_chain(
+                rp,
+                occurrence.filter(|_| matches!(prod, Production::Star(_))),
+            );
+            let finals = out.splice(
+                start,
+                &Trl {
+                    anfa: chain,
+                    finals: Vec::new(),
+                },
+            );
             debug_assert!(finals.is_empty());
             // The chain's final is its last state; recover it from the
             // import: path_chain marks finals, so collect them directly.
@@ -375,8 +384,7 @@ impl<'a> Embedding<'a> {
                         None
                     } else {
                         let off = out.anfa.import(&copy.anfa);
-                        let cstart =
-                            StateId::from_index(copy.anfa.start().index() + off as usize);
+                        let cstart = StateId::from_index(copy.anfa.start().index() + off as usize);
                         copies.insert(t, Some(cstart));
                         for (f, lab) in &copy.finals {
                             let nf = StateId::from_index(f.index() + off as usize);
@@ -398,12 +406,7 @@ impl<'a> Embedding<'a> {
     }
 
     /// Case (e) with the position() special cases.
-    fn trl_qualified(
-        &self,
-        p: &XrQuery,
-        q: &Qualifier,
-        a: TypeId,
-    ) -> Result<Trl, TranslateError> {
+    fn trl_qualified(&self, p: &XrQuery, q: &Qualifier, a: TypeId) -> Result<Trl, TranslateError> {
         // Decompose the qualifier into top-level conjuncts, separating
         // position-only parts from position-free parts. Constant conjuncts
         // (pure true/¬true combinations) fold away first.
@@ -446,9 +449,7 @@ impl<'a> Embedding<'a> {
                         // Only a plain `position() = k` conjunction selects
                         // an occurrence.
                         let Some(k) = single_position(&pos_only) else {
-                            return Err(TranslateError::UnsupportedPosition(format!(
-                                "{p}[{q}]"
-                            )));
+                            return Err(TranslateError::UnsupportedPosition(format!("{p}[{q}]")));
                         };
                         self.trl_label(a, name, Some(k))
                     }
@@ -460,15 +461,11 @@ impl<'a> Embedding<'a> {
                         Some(1) => self.trl(p, a)?,
                         Some(_) => Trl::fail(),
                         None => {
-                            return Err(TranslateError::UnsupportedPosition(format!(
-                                "{p}[{q}]"
-                            )))
+                            return Err(TranslateError::UnsupportedPosition(format!("{p}[{q}]")))
                         }
                     }
                 }
-                _ => {
-                    return Err(TranslateError::UnsupportedPosition(format!("{p}[{q}]")))
-                }
+                _ => return Err(TranslateError::UnsupportedPosition(format!("{p}[{q}]"))),
             }
         };
 
@@ -517,13 +514,11 @@ impl<'a> Embedding<'a> {
                 None => Annot::Exists(Box::new(Anfa::fail())), // ¬true
                 Some(ax) => Annot::Not(Box::new(ax)),
             },
-            Qualifier::And(x, y) => {
-                match (self.trl_qual(x, lab)?, self.trl_qual(y, lab)?) {
-                    (None, None) => return Ok(None),
-                    (Some(ax), None) | (None, Some(ax)) => ax,
-                    (Some(ax), Some(ay)) => Annot::And(Box::new(ax), Box::new(ay)),
-                }
-            }
+            Qualifier::And(x, y) => match (self.trl_qual(x, lab)?, self.trl_qual(y, lab)?) {
+                (None, None) => return Ok(None),
+                (Some(ax), None) | (None, Some(ax)) => ax,
+                (Some(ax), Some(ay)) => Annot::And(Box::new(ax), Box::new(ay)),
+            },
             Qualifier::Or(x, y) => {
                 match (self.trl_qual(x, lab)?, self.trl_qual(y, lab)?) {
                     (None, _) | (_, None) => return Ok(None), // true ∨ q
@@ -728,10 +723,7 @@ mod tests {
         // required/prereq/course.
         let (s0, s) = fig1();
         let e = fig1_embedding(&s0, &s);
-        let q = parse_query(
-            "class[cno/text() = 'CS331']/(type/regular/prereq/class)*",
-        )
-        .unwrap();
+        let q = parse_query("class[cno/text() = 'CS331']/(type/regular/prereq/class)*").unwrap();
         let tr = e.translate(&q).unwrap();
         // Bound of Theorem 4.3(b): |Tr(Q)| = O(|Q| · |σ| · |S1|).
         let bound = q.size() * e.size() * s0.type_count();
@@ -743,10 +735,7 @@ mod tests {
         // lab() labels finals with source types.
         assert!(!tr.labels.is_empty());
         let class_ty = s0.type_id("class").unwrap();
-        assert!(tr
-            .labels
-            .values()
-            .all(|&l| l == super::Lab::Type(class_ty)));
+        assert!(tr.labels.values().all(|&l| l == super::Lab::Type(class_ty)));
     }
 
     #[test]

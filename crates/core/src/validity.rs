@@ -293,7 +293,13 @@ mod tests {
         let lambda = TypeMapping::by_same_name(&s1, &s2).unwrap();
         let e = try_embed(&s1, &s2, lambda, &[("A", "B", "B"), ("A", "C", "C")]).unwrap_err();
         assert!(
-            matches!(e, SchemaEmbeddingError::PathKind { expected: "an AND path", .. }),
+            matches!(
+                e,
+                SchemaEmbeddingError::PathKind {
+                    expected: "an AND path",
+                    ..
+                }
+            ),
             "{e}"
         );
     }
@@ -310,7 +316,13 @@ mod tests {
         let lambda = TypeMapping::by_same_name(&s1, &s2).unwrap();
         let e = try_embed(&s1, &s2, lambda, &[("A", "B", "B")]).unwrap_err();
         assert!(
-            matches!(e, SchemaEmbeddingError::PathKind { expected: "a STAR path", .. }),
+            matches!(
+                e,
+                SchemaEmbeddingError::PathKind {
+                    expected: "a STAR path",
+                    ..
+                }
+            ),
             "{e}"
         );
     }
@@ -330,13 +342,7 @@ mod tests {
             .build()
             .unwrap();
         let b2 = s2.type_id("B").unwrap();
-        let lambda = TypeMapping::from_fn(&s1, |t| {
-            if t == s1.root() {
-                s2.root()
-            } else {
-                b2
-            }
-        });
+        let lambda = TypeMapping::from_fn(&s1, |t| if t == s1.root() { s2.root() } else { b2 });
         let n = try_embed(
             &s1,
             &s2,
@@ -368,7 +374,10 @@ mod tests {
             .unwrap();
         let lambda = TypeMapping::by_same_name(&s1, &s2).unwrap();
         let e = try_embed(&s1, &s2, lambda, &[("A", "B", "B"), ("A", "C", "B/C")]).unwrap_err();
-        assert!(matches!(e, SchemaEmbeddingError::PrefixConflict { .. }), "{e}");
+        assert!(
+            matches!(e, SchemaEmbeddingError::PrefixConflict { .. }),
+            "{e}"
+        );
     }
 
     #[test]
@@ -393,8 +402,8 @@ mod tests {
             .empty("C")
             .build()
             .unwrap();
-        let lambda = TypeMapping::by_name_pairs(&s1, &s2, &[("A", "A"), ("B", "A2"), ("C", "C")])
-            .unwrap();
+        let lambda =
+            TypeMapping::by_name_pairs(&s1, &s2, &[("A", "A"), ("B", "A2"), ("C", "C")]).unwrap();
         let n = try_embed(&s1, &s2, lambda, &[("A", "B", "B/A2"), ("A", "C", "B/C")]).unwrap();
         assert_eq!(n, 4);
     }
@@ -417,7 +426,13 @@ mod tests {
         let lambda = TypeMapping::by_same_name(&s1, &s2).unwrap();
         let e = try_embed(&s1, &s2, lambda, &[("A", "B", "B"), ("A", "C", "C")]).unwrap_err();
         assert!(
-            matches!(e, SchemaEmbeddingError::PathKind { expected: "an OR path", .. }),
+            matches!(
+                e,
+                SchemaEmbeddingError::PathKind {
+                    expected: "an OR path",
+                    ..
+                }
+            ),
             "{e}"
         );
     }
@@ -511,6 +526,9 @@ mod tests {
         let mut paths = PathMapping::new(&s1);
         paths.edge(&s1, "A", "B", "X");
         let e = Embedding::new(&s1, &s2, lambda, paths).unwrap_err();
-        assert!(matches!(e, SchemaEmbeddingError::PathWrongEndpoint { .. }), "{e}");
+        assert!(
+            matches!(e, SchemaEmbeddingError::PathWrongEndpoint { .. }),
+            "{e}"
+        );
     }
 }

@@ -76,7 +76,9 @@ impl ReachIndex {
             seen[start] = true;
             while let Some((x, flag)) = stack.pop() {
                 for e in graph.edges_from(TypeId::from_index(x)) {
-                    let EdgeTarget::Type(c) = e.target else { continue };
+                    let EdgeTarget::Type(c) = e.target else {
+                        continue;
+                    };
                     if !allow_or && e.kind.is_or() {
                         continue;
                     }
@@ -108,10 +110,8 @@ impl ReachIndex {
         let mut str_solid = vec![false; n];
         for t in target.types() {
             let is_str = |x: TypeId| matches!(target.production(x), Production::Str);
-            str_solid[t.index()] = is_str(t)
-                || target
-                    .types()
-                    .any(|u| is_str(u) && solid.get(t, u));
+            str_solid[t.index()] =
+                is_str(t) || target.types().any(|u| is_str(u) && solid.get(t, u));
         }
 
         ReachIndex {
@@ -218,6 +218,9 @@ mod tests {
         let idx = ReachIndex::new(&d, &g);
         assert!(idx.any.get(d.root(), d.root()));
         assert!(idx.with_or.get(d.root(), d.root()));
-        assert!(!idx.solid.get(d.root(), d.root()), "cycle crosses an OR edge");
+        assert!(
+            !idx.solid.get(d.root(), d.root()),
+            "cycle crosses an OR edge"
+        );
     }
 }

@@ -30,4 +30,6 @@ pub mod sat;
 pub mod solver;
 pub mod wis;
 
-pub use solver::{find_embedding, find_embedding_with_stats, DiscoveryConfig, DiscoveryStats, Strategy};
+pub use solver::{
+    find_embedding, find_embedding_with_stats, DiscoveryConfig, DiscoveryStats, Strategy,
+};

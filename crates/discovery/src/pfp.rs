@@ -106,7 +106,16 @@ pub fn solve(
     order.sort_by_key(|&i| candidates[i].len());
 
     let mut chosen: Vec<Option<XrPath>> = vec![None; reqs.len()];
-    if assign(target, graph, origin, &order, &candidates, &mut chosen, 0, cfg) {
+    if assign(
+        target,
+        graph,
+        origin,
+        &order,
+        &candidates,
+        &mut chosen,
+        0,
+        cfg,
+    ) {
         Some(chosen.into_iter().map(Option::unwrap).collect())
     } else {
         None
@@ -136,7 +145,16 @@ fn assign(
             match first_conflict(target, graph, origin, chosen, &variant) {
                 Conflict::None => {
                     chosen[req_idx] = Some(variant);
-                    if assign(target, graph, origin, order, candidates, chosen, depth + 1, cfg) {
+                    if assign(
+                        target,
+                        graph,
+                        origin,
+                        order,
+                        candidates,
+                        chosen,
+                        depth + 1,
+                        cfg,
+                    ) {
                         return true;
                     }
                     chosen[req_idx] = None;
@@ -293,9 +311,7 @@ impl<'a> Enumerator<'a> {
         let mut budget = self.cfg.expansion_budget;
 
         // Text requirement at a str-typed origin: the empty path + text().
-        if req.kind == ReqKind::Text
-            && matches!(self.target.production(origin), Production::Str)
-        {
+        if req.kind == ReqKind::Text && matches!(self.target.production(origin), Production::Str) {
             out.push(XrPath::with_text(Vec::new()));
         }
 
@@ -344,9 +360,7 @@ impl<'a> Enumerator<'a> {
                 ReqKind::And => at == req.endpoint && !or,
                 ReqKind::Or => at == req.endpoint && or,
                 ReqKind::Star => at == req.endpoint && star && !or,
-                ReqKind::Text => {
-                    !or && matches!(self.target.production(at), Production::Str)
-                }
+                ReqKind::Text => !or && matches!(self.target.production(at), Production::Str),
             };
             if emit {
                 let mut p = XrPath::new(steps.clone());
@@ -377,7 +391,13 @@ impl<'a> Enumerator<'a> {
                     let k = occ.entry(c).or_insert(0);
                     *k += 1;
                     let pos = repeated.contains(&c).then_some(*k);
-                    edges.push((c, EdgeKind::And { occurrence: *k as u32 }, pos));
+                    edges.push((
+                        c,
+                        EdgeKind::And {
+                            occurrence: *k as u32,
+                        },
+                        pos,
+                    ));
                 }
             }
             Production::Disjunction { alts, .. } => {
@@ -428,9 +448,7 @@ impl<'a> Enumerator<'a> {
         }
         let done_here = |need_flags: bool| need_flags;
         match req.kind {
-            ReqKind::And => {
-                !or && (at == req.endpoint || self.idx.solid.get(at, req.endpoint))
-            }
+            ReqKind::And => !or && (at == req.endpoint || self.idx.solid.get(at, req.endpoint)),
             ReqKind::Star => {
                 !or && if star {
                     at == req.endpoint || self.idx.solid.get(at, req.endpoint)
@@ -563,14 +581,23 @@ mod tests {
         let (g, idx) = setup(&d);
         let item = d.type_id("item").unwrap();
         let reqs = [
-            PathReq { endpoint: item, kind: ReqKind::And },
-            PathReq { endpoint: item, kind: ReqKind::And },
+            PathReq {
+                endpoint: item,
+                kind: ReqKind::And,
+            },
+            PathReq {
+                endpoint: item,
+                kind: ReqKind::And,
+            },
         ];
         let paths = solve(&d, &g, &idx, d.root(), &reqs, &PfpConfig::default(), None).unwrap();
         let mut rendered: Vec<String> = paths.iter().map(|p| p.to_string()).collect();
         rendered.sort();
         assert_ne!(rendered[0], rendered[1]);
-        assert!(rendered.iter().any(|p| p.contains("position()")), "{rendered:?}");
+        assert!(
+            rendered.iter().any(|p| p.contains("position()")),
+            "{rendered:?}"
+        );
     }
 
     #[test]
@@ -610,8 +637,14 @@ mod tests {
         let (g, idx) = setup(&d);
         let a = d.type_id("a").unwrap();
         let reqs = [
-            PathReq { endpoint: a, kind: ReqKind::And },
-            PathReq { endpoint: a, kind: ReqKind::And },
+            PathReq {
+                endpoint: a,
+                kind: ReqKind::And,
+            },
+            PathReq {
+                endpoint: a,
+                kind: ReqKind::And,
+            },
         ];
         let paths = solve(&d, &g, &idx, d.root(), &reqs, &PfpConfig::default(), None).unwrap();
         let mut rendered: Vec<String> = paths.iter().map(|p| p.to_string()).collect();
@@ -631,11 +664,24 @@ mod tests {
         }];
         let mut r1 = rand::rngs::StdRng::seed_from_u64(7);
         let mut r2 = rand::rngs::StdRng::seed_from_u64(7);
-        let p1 = solve(&d, &g, &idx, d.root(), &reqs, &PfpConfig::default(), Some(&mut r1));
-        let p2 = solve(&d, &g, &idx, d.root(), &reqs, &PfpConfig::default(), Some(&mut r2));
-        assert_eq!(
-            p1.map(|v| v[0].to_string()),
-            p2.map(|v| v[0].to_string())
+        let p1 = solve(
+            &d,
+            &g,
+            &idx,
+            d.root(),
+            &reqs,
+            &PfpConfig::default(),
+            Some(&mut r1),
         );
+        let p2 = solve(
+            &d,
+            &g,
+            &idx,
+            d.root(),
+            &reqs,
+            &PfpConfig::default(),
+            Some(&mut r2),
+        );
+        assert_eq!(p1.map(|v| v[0].to_string()), p2.map(|v| v[0].to_string()));
     }
 }

@@ -180,7 +180,10 @@ mod tests {
         // λ(Ys) ∈ {Ts, Fs} (or deeper, but the W-counts pin them here).
         let y1 = s1.type_id("Y1").unwrap();
         let img = s2.name(e.lambda(y1));
-        assert!(img.starts_with('T') || img.starts_with('F'), "λ(Y1) = {img}");
+        assert!(
+            img.starts_with('T') || img.starts_with('F'),
+            "λ(Y1) = {img}"
+        );
     }
 
     #[test]

@@ -14,7 +14,7 @@
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 use xse_core::{Embedding, PathMapping, SchemaEmbeddingError, SimilarityMatrix, TypeMapping};
 use xse_dtd::{Dtd, Production, SchemaGraph, TypeId};
@@ -124,7 +124,11 @@ pub fn find_embedding_with_stats<'a>(
 
     for attempt in 0..cfg.restarts.max(1) {
         stats.attempts = attempt + 1;
-        let seed_lambda = if attempt == 0 { wis_seed.as_deref() } else { None };
+        let seed_lambda = if attempt == 0 {
+            wis_seed.as_deref()
+        } else {
+            None
+        };
         if let Some((lambda, paths)) = env.attempt(&mut rng, attempt, seed_lambda, &mut stats) {
             match Embedding::new(source, target, lambda, paths) {
                 Ok(e) => {
@@ -418,10 +422,7 @@ impl<'e> Env<'e> {
         match self.source.production(a) {
             Production::Str => self.idx.str_solid[b.index()],
             Production::Empty => true,
-            Production::Star(_) => self
-                .target
-                .types()
-                .any(|t| self.idx.solid_star.get(b, t)),
+            Production::Star(_) => self.target.types().any(|t| self.idx.solid_star.get(b, t)),
             Production::Concat(_) => self.target.types().any(|t| self.idx.solid.get(b, t)),
             Production::Disjunction { .. } => {
                 self.target.types().any(|t| self.idx.with_or.get(b, t))
@@ -462,7 +463,11 @@ mod tests {
     fn finds_wrap_embedding_with_every_strategy() {
         let (s1, s2) = wrap_pair();
         let att = SimilarityMatrix::permissive(&s1, &s2);
-        for strategy in [Strategy::Random, Strategy::QualityOrdered, Strategy::IndependentSet] {
+        for strategy in [
+            Strategy::Random,
+            Strategy::QualityOrdered,
+            Strategy::IndependentSet,
+        ] {
             let cfg = DiscoveryConfig {
                 strategy,
                 ..DiscoveryConfig::default()
@@ -528,8 +533,16 @@ mod tests {
         // Name-based matrix with the paper's cross-name pairs allowed.
         let mut att = SimilarityMatrix::by_name(&s0, &s, 0.0);
         att.set(s0.type_id("db").unwrap(), s.root(), 1.0);
-        att.set(s0.type_id("class").unwrap(), s.type_id("course").unwrap(), 1.0);
-        att.set(s0.type_id("type").unwrap(), s.type_id("category").unwrap(), 1.0);
+        att.set(
+            s0.type_id("class").unwrap(),
+            s.type_id("course").unwrap(),
+            1.0,
+        );
+        att.set(
+            s0.type_id("type").unwrap(),
+            s.type_id("category").unwrap(),
+            1.0,
+        );
         let cfg = DiscoveryConfig {
             restarts: 60,
             ..DiscoveryConfig::default()
@@ -538,7 +551,13 @@ mod tests {
         let e = found.expect("the paper's Example 4.2 embedding exists");
         assert!(stats.attempts >= 1);
         // Verify it is information preserving on a sample.
-        let gen = InstanceGenerator::new(&s0, GenConfig { max_nodes: 300, ..GenConfig::default() });
+        let gen = InstanceGenerator::new(
+            &s0,
+            GenConfig {
+                max_nodes: 300,
+                ..GenConfig::default()
+            },
+        );
         for seed in 0..3 {
             let t1 = gen.generate(seed);
             preserve::check_roundtrip(&e, &t1).unwrap();

@@ -2,7 +2,7 @@
 //! generator behind the tests and benchmarks.
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 use xse_xmltree::{NodeId, XmlTree};
 
@@ -29,8 +29,8 @@ impl Default for GenConfig {
             star_max: 12,
             max_nodes: 10_000,
             text_words: &[
-                "alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf", "hotel",
-                "india", "juliet", "kilo", "lima",
+                "alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf", "hotel", "india",
+                "juliet", "kilo", "lima",
             ],
         }
     }

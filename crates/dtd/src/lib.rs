@@ -38,8 +38,8 @@ mod types;
 mod validate;
 
 pub use graph::{Edge, EdgeKind, EdgeTarget, SchemaGraph};
-pub use mindef::MindefPlan;
 pub use instance_gen::{GenConfig, InstanceGenerator};
+pub use mindef::MindefPlan;
 pub use parse::DtdParseError;
 pub use regex::ContentModel;
 pub use types::{Dtd, DtdBuilder, DtdError, Production, TypeId};

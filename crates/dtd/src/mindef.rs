@@ -240,7 +240,10 @@ mod tests {
         let d = example_4_3_dtd();
         let t = d.mindef(d.type_id("category").unwrap());
         let s = t.to_xml();
-        assert_eq!(s, "<category><mandatory><lab>#s</lab></mandatory></category>");
+        assert_eq!(
+            s,
+            "<category><mandatory><lab>#s</lab></mandatory></category>"
+        );
         // Determinism: same plan every time.
         assert_eq!(s, d.mindef(d.type_id("category").unwrap()).to_xml());
     }

@@ -118,10 +118,7 @@ impl<'a> P<'a> {
         }
         // Comments between declarations.
         if self.s[self.pos..].starts_with(b"<!--") {
-            if let Some(i) = self.s[self.pos..]
-                .windows(3)
-                .position(|w| w == b"-->")
-            {
+            if let Some(i) = self.s[self.pos..].windows(3).position(|w| w == b"-->") {
                 self.pos += i + 3;
                 self.ws();
             }
@@ -302,11 +299,7 @@ mod tests {
 
     #[test]
     fn explicit_root_override() {
-        let d = Dtd::parse_with_root(
-            "b",
-            "<!ELEMENT a EMPTY><!ELEMENT b (a)>",
-        )
-        .unwrap();
+        let d = Dtd::parse_with_root("b", "<!ELEMENT a EMPTY><!ELEMENT b (a)>").unwrap();
         assert_eq!(d.name(d.root()), "b");
     }
 
@@ -329,7 +322,10 @@ mod tests {
 
     #[test]
     fn mixed_separators_rejected() {
-        assert!(Dtd::parse("<!ELEMENT r (a,b|c)><!ELEMENT a EMPTY><!ELEMENT b EMPTY><!ELEMENT c EMPTY>").is_err());
+        assert!(Dtd::parse(
+            "<!ELEMENT r (a,b|c)><!ELEMENT a EMPTY><!ELEMENT b EMPTY><!ELEMENT c EMPTY>"
+        )
+        .is_err());
     }
 
     #[test]

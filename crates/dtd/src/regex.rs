@@ -46,9 +46,11 @@ impl ContentModel {
                 items.iter().all(|i| matches!(i, ContentModel::Name(_)))
             }
             ContentModel::Star(inner) => matches!(**inner, ContentModel::Name(_)),
-            ContentModel::Opt(inner) => matches!(**inner, ContentModel::Name(_))
-                || matches!(&**inner, ContentModel::Alt(items)
-                    if items.iter().all(|i| matches!(i, ContentModel::Name(_)))),
+            ContentModel::Opt(inner) => {
+                matches!(**inner, ContentModel::Name(_))
+                    || matches!(&**inner, ContentModel::Alt(items)
+                    if items.iter().all(|i| matches!(i, ContentModel::Name(_))))
+            }
             ContentModel::Plus(_) => false,
         }
     }
@@ -95,9 +97,9 @@ impl ContentModel {
                     ) -> bool {
                         match items.split_first() {
                             None => k(pos),
-                            Some((first, rest)) => go(first, word, pos, &mut |p| {
-                                seq(rest, word, p, k)
-                            }),
+                            Some((first, rest)) => {
+                                go(first, word, pos, &mut |p| seq(rest, word, p, k))
+                            }
                         }
                     }
                     seq(items, word, pos, k)
@@ -112,9 +114,7 @@ impl ContentModel {
                         return true;
                     }
                     // Each iteration must consume input or we loop forever.
-                    go(inner, word, pos, &mut |p| {
-                        p > pos && go(m, word, p, k)
-                    })
+                    go(inner, word, pos, &mut |p| p > pos && go(m, word, p, k))
                 }
             }
         }
@@ -167,10 +167,14 @@ impl Normalizer {
     /// introducing synthetic types for composite subexpressions.
     fn atom(&mut self, owner: &str, m: &ContentModel) -> Result<TypeId, DtdError> {
         if let ContentModel::Name(n) = m {
-            return self.by_name.get(n).copied().ok_or_else(|| DtdError::UndefinedType {
-                referenced: n.clone(),
-                by: owner.to_string(),
-            });
+            return self
+                .by_name
+                .get(n)
+                .copied()
+                .ok_or_else(|| DtdError::UndefinedType {
+                    referenced: n.clone(),
+                    by: owner.to_string(),
+                });
         }
         let prod = self.production_of(owner, m)?;
         Ok(self.fresh(owner, prod))
@@ -265,8 +269,7 @@ impl Dtd {
         };
         // Declare all real types first so forward references resolve.
         for (i, (name, _)) in decls.iter().enumerate() {
-            if n
-                .by_name
+            if n.by_name
                 .insert(name.clone(), TypeId::from_index(i))
                 .is_some()
             {
@@ -366,10 +369,7 @@ mod tests {
                     "r".into(),
                     ContentModel::Seq(vec![
                         name("a"),
-                        ContentModel::Star(Box::new(ContentModel::Alt(vec![
-                            name("b"),
-                            name("c"),
-                        ]))),
+                        ContentModel::Star(Box::new(ContentModel::Alt(vec![name("b"), name("c")]))),
                         name("d"),
                     ]),
                 ),

@@ -71,7 +71,9 @@ impl Production {
         match self {
             Production::Str | Production::Empty => 1,
             Production::Concat(cs) => cs.len(),
-            Production::Disjunction { alts, allows_empty } => alts.len() + usize::from(*allows_empty),
+            Production::Disjunction { alts, allows_empty } => {
+                alts.len() + usize::from(*allows_empty)
+            }
             Production::Star(_) => 1,
         }
     }
@@ -268,7 +270,10 @@ impl DtdBuilder {
     pub fn build(self) -> Result<Dtd, DtdError> {
         let mut by_name: HashMap<String, TypeId> = HashMap::with_capacity(self.defs.len());
         for (i, (name, _)) in self.defs.iter().enumerate() {
-            if by_name.insert(name.clone(), TypeId::from_index(i)).is_some() {
+            if by_name
+                .insert(name.clone(), TypeId::from_index(i))
+                .is_some()
+            {
                 return Err(DtdError::DuplicateType(name.clone()));
             }
         }
@@ -276,10 +281,13 @@ impl DtdBuilder {
             .get(&self.root)
             .ok_or_else(|| DtdError::UndefinedRoot(self.root.clone()))?;
         let resolve = |n: &str, by: &str| -> Result<TypeId, DtdError> {
-            by_name.get(n).copied().ok_or_else(|| DtdError::UndefinedType {
-                referenced: n.to_string(),
-                by: by.to_string(),
-            })
+            by_name
+                .get(n)
+                .copied()
+                .ok_or_else(|| DtdError::UndefinedType {
+                    referenced: n.to_string(),
+                    by: by.to_string(),
+                })
         };
         let mut defs = Vec::with_capacity(self.defs.len());
         for (name, spec) in &self.defs {
@@ -365,7 +373,10 @@ mod tests {
 
     #[test]
     fn undefined_reference_is_an_error() {
-        let e = Dtd::builder("r").concat("r", &["missing"]).build().unwrap_err();
+        let e = Dtd::builder("r")
+            .concat("r", &["missing"])
+            .build()
+            .unwrap_err();
         assert!(matches!(e, DtdError::UndefinedType { .. }));
     }
 

@@ -87,7 +87,10 @@ impl Dtd {
             }
             Production::Empty => {
                 if !children.is_empty() {
-                    return err(format!("<{tag}> must be empty, has {} children", children.len()));
+                    return err(format!(
+                        "<{tag}> must be empty, has {} children",
+                        children.len()
+                    ));
                 }
             }
             Production::Concat(cs) => {
@@ -95,7 +98,10 @@ impl Dtd {
                     return err(format!(
                         "<{tag}> must have exactly {} children ({}), has {}",
                         cs.len(),
-                        cs.iter().map(|c| self.name(*c)).collect::<Vec<_>>().join(", "),
+                        cs.iter()
+                            .map(|c| self.name(*c))
+                            .collect::<Vec<_>>()
+                            .join(", "),
                         children.len()
                     ));
                 }
@@ -139,7 +145,10 @@ impl Dtd {
                     None => {
                         return err(format!(
                             "child of <{tag}>: <{ctag}> is not among the alternatives ({})",
-                            alts.iter().map(|a| self.name(*a)).collect::<Vec<_>>().join(" | ")
+                            alts.iter()
+                                .map(|a| self.name(*a))
+                                .collect::<Vec<_>>()
+                                .join(" | ")
                         ))
                     }
                 }
@@ -218,9 +227,8 @@ mod tests {
 
     #[test]
     fn rejects_multiple_disjunction_children() {
-        let e =
-            check("<db><class><cno>x</cno><type><regular/><project/></type></class></db>")
-                .unwrap_err();
+        let e = check("<db><class><cno>x</cno><type><regular/><project/></type></class></db>")
+            .unwrap_err();
         assert!(e.msg.contains("exactly one child"), "{e}");
     }
 
@@ -238,10 +246,9 @@ mod tests {
 
     #[test]
     fn rejects_nonempty_empty_type() {
-        let e = check(
-            "<db><class><cno>x</cno><type><regular><oops/></regular></type></class></db>",
-        )
-        .unwrap_err();
+        let e =
+            check("<db><class><cno>x</cno><type><regular><oops/></regular></type></class></db>")
+                .unwrap_err();
         assert!(e.msg.contains("must be empty"), "{e}");
     }
 

@@ -79,9 +79,7 @@ impl XrQuery {
 
     /// Sequence a whole list of steps: `steps[0]/steps[1]/…`.
     pub fn seq_all(steps: impl IntoIterator<Item = XrQuery>) -> XrQuery {
-        steps
-            .into_iter()
-            .fold(XrQuery::Empty, |acc, s| acc.then(s))
+        steps.into_iter().fold(XrQuery::Empty, |acc, s| acc.then(s))
     }
 
     /// The paper's size `|Q|`: number of AST operators and steps, counting
@@ -150,9 +148,7 @@ impl Qualifier {
             Qualifier::Position(_) => true,
             Qualifier::Path(p) | Qualifier::TextEq(p, _) => p.uses_position(),
             Qualifier::Not(q) => q.uses_position(),
-            Qualifier::And(a, b) | Qualifier::Or(a, b) => {
-                a.uses_position() || b.uses_position()
-            }
+            Qualifier::And(a, b) | Qualifier::Or(a, b) => a.uses_position() || b.uses_position(),
         }
     }
 }
@@ -185,8 +181,7 @@ mod tests {
     fn size_counts_qualifiers() {
         let q = XrQuery::label("a").with(Qualifier::Position(2));
         assert_eq!(q.size(), 3);
-        let q2 = XrQuery::label("a")
-            .with(Qualifier::TextEq(Box::new(XrQuery::Text), "x".into()));
+        let q2 = XrQuery::label("a").with(Qualifier::TextEq(Box::new(XrQuery::Text), "x".into()));
         assert_eq!(q2.size(), 4);
     }
 

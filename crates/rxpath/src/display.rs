@@ -97,9 +97,8 @@ mod tests {
     fn roundtrip(s: &str) {
         let q = parse_query(s).unwrap();
         let printed = q.to_string();
-        let q2 = parse_query(&printed).unwrap_or_else(|e| {
-            panic!("reprint of {s:?} as {printed:?} does not parse: {e}")
-        });
+        let q2 = parse_query(&printed)
+            .unwrap_or_else(|e| panic!("reprint of {s:?} as {printed:?} does not parse: {e}"));
         assert_eq!(q, q2, "{s:?} -> {printed:?}");
     }
 
@@ -111,13 +110,14 @@ mod tests {
             "a/text()"
         );
         assert_eq!(
-            XrQuery::label("a").or(XrQuery::label("b")).star().to_string(),
+            XrQuery::label("a")
+                .or(XrQuery::label("b"))
+                .star()
+                .to_string(),
             "(a | b)*"
         );
         assert_eq!(
-            XrQuery::label("a")
-                .with(Qualifier::Position(2))
-                .to_string(),
+            XrQuery::label("a").with(Qualifier::Position(2)).to_string(),
             "a[position() = 2]"
         );
     }

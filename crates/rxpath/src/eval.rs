@@ -135,9 +135,7 @@ impl<'a> Evaluator<'a> {
                 .iter()
                 .any(|&id| self.tree.text_value(id) == Some(c)),
             Qualifier::Not(inner) => !self.holds(inner, n, pos, total),
-            Qualifier::And(a, b) => {
-                self.holds(a, n, pos, total) && self.holds(b, n, pos, total)
-            }
+            Qualifier::And(a, b) => self.holds(a, n, pos, total) && self.holds(b, n, pos, total),
             Qualifier::Or(a, b) => self.holds(a, n, pos, total) || self.holds(b, n, pos, total),
         }
     }

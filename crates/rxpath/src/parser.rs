@@ -491,11 +491,15 @@ mod tests {
     #[test]
     fn parenthesized_qualifier_backtracks() {
         let q = parse_query("a[(b or c)]").unwrap();
-        let XrQuery::Qualified(_, q) = q else { panic!() };
+        let XrQuery::Qualified(_, q) = q else {
+            panic!()
+        };
         assert!(matches!(q, Qualifier::Or(_, _)));
         // While (b | c) stays a path union.
         let q = parse_query("a[(b | c)]").unwrap();
-        let XrQuery::Qualified(_, q) = q else { panic!() };
+        let XrQuery::Qualified(_, q) = q else {
+            panic!()
+        };
         assert!(matches!(q, Qualifier::Path(_)));
     }
 
@@ -520,7 +524,10 @@ mod tests {
         );
         assert!(q.in_fragment_x());
         let q = parse_query("//b").err();
-        assert!(q.is_some(), "leading // unsupported (queries are root-relative)");
+        assert!(
+            q.is_some(),
+            "leading // unsupported (queries are root-relative)"
+        );
     }
 
     #[test]
@@ -539,10 +546,7 @@ mod tests {
     fn text_and_position_can_be_labels_elsewhere() {
         // "text" and "position" without parentheses are ordinary labels.
         assert_eq!(parse_query("text").unwrap(), XrQuery::label("text"));
-        assert_eq!(
-            parse_query("position").unwrap(),
-            XrQuery::label("position")
-        );
+        assert_eq!(parse_query("position").unwrap(), XrQuery::label("position"));
         // A label literally named "true" still works as a step.
         assert_eq!(
             parse_query("true/b").unwrap(),

@@ -272,7 +272,13 @@ mod tests {
     fn corpus_instances_generate_and_validate() {
         use xse_dtd::{GenConfig, InstanceGenerator};
         for (name, d) in corpus() {
-            let gen = InstanceGenerator::new(&d, GenConfig { max_nodes: 500, ..GenConfig::default() });
+            let gen = InstanceGenerator::new(
+                &d,
+                GenConfig {
+                    max_nodes: 500,
+                    ..GenConfig::default()
+                },
+            );
             let t = gen.generate(1);
             d.validate(&t).unwrap_or_else(|e| panic!("{name}: {e}"));
         }

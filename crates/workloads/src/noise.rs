@@ -12,7 +12,7 @@
 //!   (the target is "more general", filled by minimum defaults).
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 
 use xse_dtd::{Dtd, Production};
@@ -74,9 +74,7 @@ pub fn noised_copy(source: &Dtd, cfg: NoiseConfig, seed: u64) -> NoisedCopy {
             .map(|t| match source.production(t) {
                 Production::Str => WProd::Str,
                 Production::Empty => WProd::Empty,
-                Production::Concat(cs) => {
-                    WProd::Concat(cs.iter().map(|c| c.index()).collect())
-                }
+                Production::Concat(cs) => WProd::Concat(cs.iter().map(|c| c.index()).collect()),
                 Production::Disjunction { alts, allows_empty } => {
                     WProd::Disj(alts.iter().map(|c| c.index()).collect(), *allows_empty)
                 }
@@ -108,7 +106,8 @@ pub fn noised_copy(source: &Dtd, cfg: NoiseConfig, seed: u64) -> NoisedCopy {
                 _ => unreachable!(),
             };
             let wrapper = w.names.len();
-            w.names.push(format!("wrap{wraps}_{}", w.names[child].clone()));
+            w.names
+                .push(format!("wrap{wraps}_{}", w.names[child].clone()));
             w.prods.push(WProd::Concat(vec![child]));
             match &mut w.prods[t] {
                 WProd::Concat(cs) => cs[slot] = wrapper,
@@ -182,10 +181,7 @@ pub fn noised_copy(source: &Dtd, cfg: NoiseConfig, seed: u64) -> NoisedCopy {
 
 /// Ground-truth λ as a [`xse_core::TypeMapping`], for measuring discovery
 /// accuracy.
-pub fn truth_mapping(
-    source: &Dtd,
-    copy: &NoisedCopy,
-) -> Result<xse_core::TypeMapping, String> {
+pub fn truth_mapping(source: &Dtd, copy: &NoisedCopy) -> Result<xse_core::TypeMapping, String> {
     let mut map = Vec::with_capacity(source.type_count());
     for t in source.types() {
         let tgt_name = copy
@@ -210,8 +206,7 @@ pub fn lambda_matches_truth(
     copy: &NoisedCopy,
 ) -> bool {
     source.types().all(|t| {
-        copy.truth.get(source.name(t)).map(String::as_str)
-            == Some(copy.target.name(emb.lambda(t)))
+        copy.truth.get(source.name(t)).map(String::as_str) == Some(copy.target.name(emb.lambda(t)))
     })
 }
 

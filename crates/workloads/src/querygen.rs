@@ -5,7 +5,7 @@
 //! the translatable fragment (DESIGN.md §3 item 3).
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 use xse_dtd::{Dtd, Production, TypeId};
 use xse_rxpath::{Qualifier, XrQuery};
@@ -38,7 +38,9 @@ impl Default for QueryConfig {
 /// Generate `count` random queries rooted at the schema root.
 pub fn random_queries(dtd: &Dtd, cfg: QueryConfig, seed: u64, count: usize) -> Vec<XrQuery> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..count).map(|_| random_query(dtd, cfg, &mut rng)).collect()
+    (0..count)
+        .map(|_| random_query(dtd, cfg, &mut rng))
+        .collect()
 }
 
 fn random_query(dtd: &Dtd, cfg: QueryConfig, rng: &mut StdRng) -> XrQuery {
@@ -150,8 +152,8 @@ mod tests {
         let d = corpus::fig1_class();
         for q in random_queries(&d, QueryConfig::default(), 11, 40) {
             let printed = q.to_string();
-            let reparsed = xse_rxpath::parse_query(&printed)
-                .unwrap_or_else(|e| panic!("{printed}: {e}"));
+            let reparsed =
+                xse_rxpath::parse_query(&printed).unwrap_or_else(|e| panic!("{printed}: {e}"));
             assert_eq!(q, reparsed, "{printed}");
         }
     }
@@ -160,7 +162,13 @@ mod tests {
     fn queries_often_match_generated_instances() {
         use xse_dtd::{GenConfig, InstanceGenerator};
         let d = corpus::fig1_class();
-        let gen = InstanceGenerator::new(&d, GenConfig { star_mean: 3.0, ..GenConfig::default() });
+        let gen = InstanceGenerator::new(
+            &d,
+            GenConfig {
+                star_mean: 3.0,
+                ..GenConfig::default()
+            },
+        );
         let t = gen.generate(5);
         let queries = random_queries(&d, QueryConfig::default(), 3, 60);
         let nonempty = queries.iter().filter(|q| !q.eval(&t).is_empty()).count();
@@ -182,7 +190,19 @@ mod tests {
     #[test]
     fn recursive_schemas_produce_star_queries() {
         let d = corpus::fig1_class();
-        let qs = random_queries(&d, QueryConfig { max_depth: 8, star_p: 1.0, ..QueryConfig::default() }, 2, 200);
-        assert!(qs.iter().any(|q| q.uses_star()), "no starred query in 200 draws");
+        let qs = random_queries(
+            &d,
+            QueryConfig {
+                max_depth: 8,
+                star_p: 1.0,
+                ..QueryConfig::default()
+            },
+            2,
+            200,
+        );
+        assert!(
+            qs.iter().any(|q| q.uses_star()),
+            "no starred query in 200 draws"
+        );
     }
 }

@@ -2,7 +2,7 @@
 //! schema size, 10–400 types").
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 use xse_dtd::Dtd;
 
@@ -112,7 +112,9 @@ mod tests {
 
     #[test]
     fn some_generated_schemas_are_recursive() {
-        let recursive = (0..20).filter(|&s| random_schema(80, s).is_recursive()).count();
+        let recursive = (0..20)
+            .filter(|&s| random_schema(80, s).is_recursive())
+            .count();
         assert!(recursive >= 5, "only {recursive}/20 recursive");
     }
 }

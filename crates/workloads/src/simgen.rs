@@ -2,7 +2,7 @@
 //! the `att` noise knobs of the VLDB'05 experiments.
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 use xse_core::SimilarityMatrix;
 use xse_dtd::Dtd;
@@ -38,21 +38,13 @@ pub struct SimConfig {
 /// A noisy matrix: the true pair scores high with probability `accuracy`
 /// (otherwise it is demoted below a random competitor), and around
 /// `ambiguity` random wrong pairs per row receive mid-range scores.
-pub fn ambiguous(
-    source: &Dtd,
-    copy: &NoisedCopy,
-    cfg: SimConfig,
-    seed: u64,
-) -> SimilarityMatrix {
+pub fn ambiguous(source: &Dtd, copy: &NoisedCopy, cfg: SimConfig, seed: u64) -> SimilarityMatrix {
     let mut rng = StdRng::seed_from_u64(seed);
     let tgt = &copy.target;
     let mut m = SimilarityMatrix::zero(source.type_count(), tgt.type_count());
     let tgt_ids: Vec<_> = tgt.types().collect();
     for a in source.types() {
-        let truth = copy
-            .truth
-            .get(source.name(a))
-            .and_then(|n| tgt.type_id(n));
+        let truth = copy.truth.get(source.name(a)).and_then(|n| tgt.type_id(n));
         // Spurious candidates.
         let spurious = {
             // Poisson-ish: floor + Bernoulli remainder.
@@ -103,12 +95,28 @@ mod tests {
     fn ambiguity_knob_adds_candidates() {
         let src = corpus::dblp_like();
         let copy = noised_copy(&src, NoiseConfig::level(0.2), 5);
-        let low = ambiguous(&src, &copy, SimConfig { accuracy: 1.0, ambiguity: 0.0 }, 9);
-        let high = ambiguous(&src, &copy, SimConfig { accuracy: 1.0, ambiguity: 5.0 }, 9);
-        let low_avg: f64 = src.types().map(|a| low.ambiguity(a) as f64).sum::<f64>()
-            / src.type_count() as f64;
-        let high_avg: f64 = src.types().map(|a| high.ambiguity(a) as f64).sum::<f64>()
-            / src.type_count() as f64;
+        let low = ambiguous(
+            &src,
+            &copy,
+            SimConfig {
+                accuracy: 1.0,
+                ambiguity: 0.0,
+            },
+            9,
+        );
+        let high = ambiguous(
+            &src,
+            &copy,
+            SimConfig {
+                accuracy: 1.0,
+                ambiguity: 5.0,
+            },
+            9,
+        );
+        let low_avg: f64 =
+            src.types().map(|a| low.ambiguity(a) as f64).sum::<f64>() / src.type_count() as f64;
+        let high_avg: f64 =
+            src.types().map(|a| high.ambiguity(a) as f64).sum::<f64>() / src.type_count() as f64;
         assert!(high_avg > low_avg + 1.0, "{low_avg} vs {high_avg}");
     }
 
@@ -116,7 +124,15 @@ mod tests {
     fn truth_stays_positive_even_when_demoted() {
         let src = corpus::news_like();
         let copy = noised_copy(&src, NoiseConfig::level(0.2), 5);
-        let m = ambiguous(&src, &copy, SimConfig { accuracy: 0.0, ambiguity: 2.0 }, 9);
+        let m = ambiguous(
+            &src,
+            &copy,
+            SimConfig {
+                accuracy: 0.0,
+                ambiguity: 2.0,
+            },
+            9,
+        );
         for a in src.types() {
             let truth = copy.truth[src.name(a)].clone();
             let b = copy.target.type_id(&truth).unwrap();
@@ -128,7 +144,10 @@ mod tests {
     fn generators_are_seed_deterministic() {
         let src = corpus::orders_like();
         let copy = noised_copy(&src, NoiseConfig::level(0.2), 5);
-        let cfg = SimConfig { accuracy: 0.7, ambiguity: 2.0 };
+        let cfg = SimConfig {
+            accuracy: 0.7,
+            ambiguity: 2.0,
+        };
         let a = ambiguous(&src, &copy, cfg, 33);
         let b = ambiguous(&src, &copy, cfg, 33);
         for s in src.types() {

@@ -311,8 +311,7 @@ mod tests {
             None,
             vec![OutputNode::Text("flagged".into())],
         ));
-        let out = apply_stylesheet(&s, &parse_xml("<r><v><flag/></v></r>").unwrap(), None)
-            .unwrap();
+        let out = apply_stylesheet(&s, &parse_xml("<r><v><flag/></v></r>").unwrap(), None).unwrap();
         assert_eq!(out.to_xml(), "<d>flagged</d>");
         let out = apply_stylesheet(&s, &parse_xml("<r><v/></r>").unwrap(), None).unwrap();
         assert_eq!(out.to_xml(), "<d>plain</d>");
@@ -344,8 +343,14 @@ mod tests {
             Pattern::element("r"),
             None,
             vec![
-                OutputNode::Element { tag: "a".into(), children: vec![] },
-                OutputNode::Element { tag: "b".into(), children: vec![] },
+                OutputNode::Element {
+                    tag: "a".into(),
+                    children: vec![],
+                },
+                OutputNode::Element {
+                    tag: "b".into(),
+                    children: vec![],
+                },
             ],
         ));
         let err = apply_stylesheet(&s, &parse_xml("<r/>").unwrap(), None).unwrap_err();
@@ -358,7 +363,10 @@ mod tests {
         s.add(rule(
             Pattern::element("r"),
             Some("alt"),
-            vec![OutputNode::Element { tag: "alt".into(), children: vec![] }],
+            vec![OutputNode::Element {
+                tag: "alt".into(),
+                children: vec![],
+            }],
         ));
         let out = apply_stylesheet(&s, &parse_xml("<r/>").unwrap(), Some("alt")).unwrap();
         assert_eq!(out.to_xml(), "<alt/>");

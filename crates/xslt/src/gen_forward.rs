@@ -47,10 +47,7 @@ pub fn generate_forward(e: &Embedding<'_>) -> Stylesheet {
                 sheet.add(TemplateRule {
                     pattern: Pattern::element(src.name(a)),
                     mode: Some(fwd_mode(src, a)),
-                    output: vec![element(
-                        &tag,
-                        fragment_children(e, &plans, la, &[]),
-                    )],
+                    output: vec![element(&tag, fragment_children(e, &plans, la, &[]))],
                 });
             }
             Production::Str => {
@@ -64,10 +61,7 @@ pub fn generate_forward(e: &Embedding<'_>) -> Stylesheet {
                 sheet.add(TemplateRule {
                     pattern: Pattern::element(src.name(a)),
                     mode: Some(fwd_mode(src, a)),
-                    output: vec![element(
-                        &tag,
-                        fragment_children(e, &plans, la, &[chain]),
-                    )],
+                    output: vec![element(&tag, fragment_children(e, &plans, la, &[chain]))],
                 });
             }
             Production::Concat(cs) => {
@@ -113,15 +107,9 @@ pub fn generate_forward(e: &Embedding<'_>) -> Stylesheet {
                         },
                     );
                     sheet.add(TemplateRule {
-                        pattern: Pattern::element_with(
-                            src.name(a),
-                            XrQuery::label(src.name(c)),
-                        ),
+                        pattern: Pattern::element_with(src.name(a), XrQuery::label(src.name(c))),
                         mode: Some(fwd_mode(src, a)),
-                        output: vec![element(
-                            &tag,
-                            fragment_children(e, &plans, la, &[chain]),
-                        )],
+                        output: vec![element(&tag, fragment_children(e, &plans, la, &[chain]))],
                     });
                 }
                 if *allows_empty {
@@ -243,9 +231,7 @@ fn fragment_children(
         add_chain(&mut top, &rp.steps, term.clone());
     }
     if matches!(e.target().production(root_ty), Production::Str) {
-        return vec![root_terminal.unwrap_or(OutputNode::Text(
-            xse_dtd::DEFAULT_STRING.to_string(),
-        ))];
+        return vec![root_terminal.unwrap_or(OutputNode::Text(xse_dtd::DEFAULT_STRING.to_string()))];
     }
     complete(e, plans, root_ty, top)
 }

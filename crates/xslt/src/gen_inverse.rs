@@ -275,7 +275,12 @@ mod tests {
         paths
             .edge(&s0, "db", "class", "courses/current/course")
             .edge(&s0, "class", "cno", "basic/cno")
-            .edge(&s0, "class", "title", "basic/class2/semester[position() = 1]/title")
+            .edge(
+                &s0,
+                "class",
+                "title",
+                "basic/class2/semester[position() = 1]/title",
+            )
             .edge(&s0, "class", "type", "category")
             .edge(&s0, "type", "regular", "mandatory/regular")
             .edge(&s0, "type", "project", "advanced/project")

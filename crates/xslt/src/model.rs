@@ -47,7 +47,9 @@ impl Pattern {
     /// plain element > text > any.
     pub fn specificity(&self) -> u8 {
         match self {
-            Pattern::Element { filter: Some(_), .. } => 3,
+            Pattern::Element {
+                filter: Some(_), ..
+            } => 3,
             Pattern::Element { filter: None, .. } => 2,
             Pattern::AnyText => 1,
             Pattern::Any => 0,
@@ -206,7 +208,8 @@ mod tests {
         });
         let text = s.to_string();
         assert!(text.contains("<xsl:template match=\"category[mandatory/regular]\">"));
-        assert!(text.contains("<xsl:apply-templates select=\"mandatory/regular\" mode=\"inv-regular\"/>"));
+        assert!(text
+            .contains("<xsl:apply-templates select=\"mandatory/regular\" mode=\"inv-regular\"/>"));
         assert!(!s.is_empty());
         assert_eq!(s.len(), 1);
     }

@@ -28,7 +28,12 @@ fn main() {
     paths1
         .edge(&s0, "db", "class", "courses/current/course")
         .edge(&s0, "class", "cno", "basic/cno")
-        .edge(&s0, "class", "title", "basic/class2/semester[position() = 1]/title")
+        .edge(
+            &s0,
+            "class",
+            "title",
+            "basic/class2/semester[position() = 1]/title",
+        )
         .edge(&s0, "class", "type", "category")
         .edge(&s0, "type", "regular", "mandatory/regular")
         .edge(&s0, "type", "project", "advanced/project")
@@ -97,10 +102,8 @@ fn main() {
 
     // Example 4.8: all (transitive) prerequisites of CS331, posed on the
     // *source* schema and answered on the *integrated* document.
-    let q = parse_query(
-        "class[cno/text() = 'CS331']/(type/regular/prereq/class)*/cno/text()",
-    )
-    .unwrap();
+    let q =
+        parse_query("class[cno/text() = 'CS331']/(type/regular/prereq/class)*/cno/text()").unwrap();
     let translated = sigma1.translate(&q).unwrap();
     let direct: Vec<String> = q
         .eval(&classes)

@@ -56,10 +56,7 @@ fn main() {
     let q = parse_query("items/product[sku/text() = 'B-2']/price/text()").unwrap();
     let translated = embedding.translate(&q).unwrap();
     let direct = q.eval(&doc);
-    let mapped: Vec<NodeId> = out
-        .idmap
-        .map_result(translated.eval(&out.tree))
-        .collect();
+    let mapped: Vec<NodeId> = out.idmap.map_result(translated.eval(&out.tree)).collect();
     assert_eq!(direct, mapped);
     println!(
         "query {q}\n  -> answers on source == answers on target through idM ({} hit)",

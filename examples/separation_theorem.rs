@@ -73,10 +73,9 @@ fn sigma_fig2_inverse(t2: &XmlTree) -> XmlTree {
 }
 
 fn main() {
-    let s1 = Dtd::parse(
-        "<!ELEMENT r (A)><!ELEMENT A (B, C)><!ELEMENT B (A|EMPTY)><!ELEMENT C EMPTY>",
-    )
-    .unwrap();
+    let s1 =
+        Dtd::parse("<!ELEMENT r (A)><!ELEMENT A (B, C)><!ELEMENT B (A|EMPTY)><!ELEMENT C EMPTY>")
+            .unwrap();
     let s2 = Dtd::parse("<!ELEMENT r (A)><!ELEMENT A (A|EMPTY)>").unwrap();
 
     // ---- Part 1: invertible, not query preserving w.r.t. X.
@@ -140,12 +139,20 @@ fn main() {
     let mut resorted: Vec<String> = t_other
         .children(t_other.root())
         .iter()
-        .map(|&a| t_other.text_value(t_other.children(a)[0]).unwrap().to_string())
+        .map(|&a| {
+            t_other
+                .text_value(t_other.children(a)[0])
+                .unwrap()
+                .to_string()
+        })
         .collect();
     resorted.sort();
     assert_eq!(
         resorted,
-        sorted_children.iter().map(|(v, _)| v.clone()).collect::<Vec<_>>()
+        sorted_children
+            .iter()
+            .map(|(v, _)| v.clone())
+            .collect::<Vec<_>>()
     );
     println!("two distinct sources share one image ⇒ not invertible (Theorem 3.1(2)) ✓");
 }

@@ -40,8 +40,14 @@ fn main() {
     // Generate both stylesheets.
     let forward = generate_forward(&emb);
     let inverse = generate_inverse(&emb);
-    println!("-- forward stylesheet ({} rules) --\n{forward}", forward.len());
-    println!("-- inverse stylesheet ({} rules) --\n{inverse}", inverse.len());
+    println!(
+        "-- forward stylesheet ({} rules) --\n{forward}",
+        forward.len()
+    );
+    println!(
+        "-- inverse stylesheet ({} rules) --\n{inverse}",
+        inverse.len()
+    );
 
     // Migrate a document with the XSLT engine.
     let doc = parse_xml(

@@ -81,8 +81,7 @@ pub use xse_xslt as xslt;
 /// One-stop imports for examples and applications.
 pub mod prelude {
     pub use xse_core::{
-        Embedding, MappingOutput, PathMapping, SchemaEmbeddingError, SimilarityMatrix,
-        TypeMapping,
+        Embedding, MappingOutput, PathMapping, SchemaEmbeddingError, SimilarityMatrix, TypeMapping,
     };
     pub use xse_discovery::{find_embedding, DiscoveryConfig, Strategy};
     pub use xse_dtd::{Dtd, Production, TypeId};

@@ -2,12 +2,12 @@
 //! parse → discover → map → query-translate → invert → XSLT.
 
 use xse::core::{multi, preserve};
+use xse::dtd::{GenConfig, InstanceGenerator};
 use xse::prelude::*;
 use xse::workloads::noise::{lambda_matches_truth, noised_copy, NoiseConfig};
 use xse::workloads::querygen::{random_queries, QueryConfig};
 use xse::workloads::{corpus, simgen};
 use xse::xslt::apply_stylesheet;
-use xse::dtd::{GenConfig, InstanceGenerator};
 
 /// Every corpus schema: noise it, discover the embedding, and verify every
 /// paper guarantee on generated instances and random queries.
@@ -20,7 +20,13 @@ fn corpus_discovery_preserves_information() {
             .unwrap_or_else(|| panic!("{name}: discovery failed"));
         assert!(lambda_matches_truth(&src, &emb, &copy), "{name}: wrong λ");
 
-        let gen = InstanceGenerator::new(&src, GenConfig { max_nodes: 300, ..GenConfig::default() });
+        let gen = InstanceGenerator::new(
+            &src,
+            GenConfig {
+                max_nodes: 300,
+                ..GenConfig::default()
+            },
+        );
         let queries = random_queries(&src, QueryConfig::default(), 3, 8);
         for seed in 0..4 {
             let t1 = gen.generate(seed);
@@ -47,10 +53,19 @@ fn school_pipeline_via_dtd_text_and_xslt() {
         s.type_id("category").unwrap(),
         1.0,
     );
-    let cfg = DiscoveryConfig { restarts: 60, ..DiscoveryConfig::default() };
+    let cfg = DiscoveryConfig {
+        restarts: 60,
+        ..DiscoveryConfig::default()
+    };
     let emb = find_embedding(&s0, &s, &att, &cfg).expect("Example 4.2 exists");
 
-    let gen = InstanceGenerator::new(&s0, GenConfig { max_nodes: 250, ..GenConfig::default() });
+    let gen = InstanceGenerator::new(
+        &s0,
+        GenConfig {
+            max_nodes: 250,
+            ..GenConfig::default()
+        },
+    );
     let fwd = generate_forward(&emb);
     let inv = generate_inverse(&emb);
     for seed in 0..6 {
@@ -119,7 +134,12 @@ fn inverse_rejects_tampering() {
     paths
         .edge(&s0, "db", "class", "courses/current/course")
         .edge(&s0, "class", "cno", "basic/cno")
-        .edge(&s0, "class", "title", "basic/class2/semester[position() = 1]/title")
+        .edge(
+            &s0,
+            "class",
+            "title",
+            "basic/class2/semester[position() = 1]/title",
+        )
         .edge(&s0, "class", "type", "category")
         .edge(&s0, "type", "regular", "mandatory/regular")
         .edge(&s0, "type", "project", "advanced/project")

@@ -1,0 +1,338 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! implements the subset of the criterion 0.5 API the bench targets use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`],
+//! [`Bencher::iter`], [`BenchmarkId`], [`Throughput`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is intentionally simple — a warmup pass, then a fixed
+//! number of timed batches reporting the median per-iteration time — so
+//! `cargo bench` completes in seconds and stays useful for coarse
+//! comparisons. There are no statistical plots, no outlier analysis and no
+//! saved baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Throughput annotation (recorded, reported as elements or bytes per second).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+    BytesDecimal(u64),
+}
+
+/// Top-level driver handed to each `criterion_group!` target.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 30,
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(mut self, dur: Duration) -> Self {
+        self.measurement_time = dur;
+        self
+    }
+
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let name = name.into();
+        let (sample_size, measurement_time) = (self.sample_size, self.measurement_time);
+        run_benchmark(&name, sample_size, measurement_time, None, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let (sample_size, measurement_time) = (self.sample_size, self.measurement_time);
+        run_benchmark(&id.name, sample_size, measurement_time, None, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(&mut self, dur: Duration) -> &mut Self {
+        self.measurement_time = dur;
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into_benchmark_id().name);
+        run_benchmark(
+            &id,
+            self.sample_size,
+            self.measurement_time,
+            self.throughput,
+            &mut f,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into_benchmark_id().name);
+        run_benchmark(
+            &id,
+            self.sample_size,
+            self.measurement_time,
+            self.throughput,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Anything convertible to a [`BenchmarkId`] (criterion accepts plain strings).
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl<S: Into<String>> IntoBenchmarkId for S {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { name: self.into() }
+    }
+}
+
+/// Timing loop handle passed to the closure under measurement.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed();
+        // Aim each sample at ~1ms of work so short routines are batched.
+        self.iters_per_sample = (Duration::from_millis(1).as_nanos() as u64)
+            .checked_div(once.as_nanos().max(1) as u64)
+            .unwrap_or(1)
+            .clamp(1, 10_000);
+        let n = self.samples.capacity();
+        for _ in 0..n {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_benchmark(
+    id: &str,
+    sample_size: usize,
+    _measurement_time: Duration,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        iters_per_sample: 1,
+        samples: Vec::with_capacity(sample_size),
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{id:<50} (no measurement)");
+        return;
+    }
+    let mut per_iter: Vec<f64> = b
+        .samples
+        .iter()
+        .map(|d| d.as_nanos() as f64 / b.iters_per_sample as f64)
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter[per_iter.len() / 2];
+    let (lo, hi) = (per_iter[0], per_iter[per_iter.len() - 1]);
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!("  {:>12}/s", si(n as f64 / (median * 1e-9))),
+        Throughput::Bytes(n) | Throughput::BytesDecimal(n) => {
+            format!("  {:>11}B/s", si(n as f64 / (median * 1e-9)))
+        }
+    });
+    println!(
+        "{id:<50} time: [{} {} {}]{}",
+        fmt_ns(lo),
+        fmt_ns(median),
+        fmt_ns(hi),
+        rate.unwrap_or_default(),
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.3} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.3} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn si(x: f64) -> String {
+    if x >= 1e9 {
+        format!("{:.2} G", x / 1e9)
+    } else if x >= 1e6 {
+        format!("{:.2} M", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.2} K", x / 1e3)
+    } else {
+        format!("{x:.1} ")
+    }
+}
+
+/// Defines a function running a list of benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default().configure_from_args();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Defines `main` invoking each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(10));
+        let mut runs = 0usize;
+        g.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+            runs += 1;
+        });
+        g.finish();
+        assert_eq!(runs, 1);
+        c.bench_function("plain", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).name, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("p").name, "p");
+    }
+}

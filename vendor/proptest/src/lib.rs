@@ -1,0 +1,196 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset this workspace's property suites use: the
+//! [`proptest!`] macro (with an optional `#![proptest_config(..)]` inner
+//! attribute), range strategies over integers and floats, and the
+//! `prop_assert!` / `prop_assert_eq!` assertion macros.
+//!
+//! Unlike the real crate there is **no shrinking**: a failing case reports
+//! its generated inputs (via the panic message prefix added by the runner)
+//! and stops. Generation is deterministic per test function name, so
+//! failures reproduce exactly on re-run.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod test_runner {
+    /// Mirror of `proptest::test_runner::Config` (the fields we honor).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of generated cases per property.
+        pub cases: u32,
+        /// Accepted for source compatibility; unused (no rejection sampling).
+        pub max_global_rejects: u32,
+        /// Accepted for source compatibility; unused (no shrinking).
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config {
+                cases: 64,
+                max_global_rejects: 1024,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+}
+
+pub use test_runner::Config as ProptestConfig;
+
+/// A source of generated values; implemented for primitive ranges.
+pub trait Strategy {
+    type Value: core::fmt::Debug;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rand::Rng::random_range(rng, self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rand::Rng::random_range(rng, self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Runs one property: `cases` iterations of sampled inputs.
+///
+/// Used by the [`proptest!`] expansion; not public API in the real crate,
+/// hidden from docs here.
+#[doc(hidden)]
+pub fn run_property(name: &str, config: &ProptestConfig, mut case: impl FnMut(&mut StdRng, u32)) {
+    // Deterministic seed per property so failures reproduce without a
+    // persistence file: FNV-1a over the test name.
+    let mut seed = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        seed ^= u64::from(b);
+        seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in 0..config.cases {
+        case(&mut rng, i);
+    }
+}
+
+/// The proptest entry macro: a block of `#[test]` functions whose arguments
+/// are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            $crate::run_property(stringify!($name), &config, |rng, case| {
+                $(let $arg = $crate::Strategy::generate(&($strat), rng);)*
+                let inputs = format!(
+                    concat!("case {}: ", $(stringify!($arg), " = {:?} "),*),
+                    case $(, $arg)*
+                );
+                let _ = &inputs;
+                $crate::__run_case(&inputs, || { $body });
+            });
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+/// Runs one case, prefixing any panic with the generated inputs.
+#[doc(hidden)]
+pub fn __run_case(inputs: &str, case: impl FnOnce()) {
+    struct Announce<'a>(&'a str, bool);
+    impl Drop for Announce<'_> {
+        fn drop(&mut self) {
+            if self.1 && std::thread::panicking() {
+                eprintln!("proptest case failed with inputs: {}", self.0);
+            }
+        }
+    }
+    let mut guard = Announce(inputs, true);
+    case();
+    guard.1 = false;
+}
+
+/// `assert!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+pub mod prelude {
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_respected(n in 5usize..40, seed in 0u64..500, x in 0.0f64..0.6) {
+            prop_assert!((5..40).contains(&n));
+            prop_assert!(seed < 500);
+            prop_assert!((0.0..0.6).contains(&x));
+        }
+
+        /// Doc comments and trailing commas are accepted.
+        #[test]
+        fn trailing_comma(a in 0i32..10,) {
+            prop_assert_eq!(a, a);
+        }
+    }
+
+    #[test]
+    fn cases_counted() {
+        let mut n = 0;
+        crate::run_property(
+            "cases_counted",
+            &ProptestConfig {
+                cases: 24,
+                ..ProptestConfig::default()
+            },
+            |_, _| n += 1,
+        );
+        assert_eq!(n, 24);
+    }
+}
