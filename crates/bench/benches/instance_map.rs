@@ -1,4 +1,5 @@
-//! FIG-T micro-slice: InstMap and inverse wall time vs. document size.
+//! FIG-T micro-slice: InstMap and inverse wall time vs. document size, plus
+//! batch throughput of `apply_batch` at 1 vs N threads.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use xse_bench::fixtures;
@@ -28,6 +29,39 @@ fn bench(c: &mut Criterion) {
             BenchmarkId::new("invert", out.tree.len()),
             &out.tree,
             |b, t2| b.iter(|| e.invert(t2).unwrap().len()),
+        );
+    }
+    g.finish();
+
+    // Batch throughput: 64 mid-sized documents, sequential vs scoped-thread
+    // fan-out — the day-one measurement for the parallel path.
+    let gen = InstanceGenerator::new(
+        &s0,
+        GenConfig {
+            max_nodes: 800,
+            star_mean: 3.0,
+            ..GenConfig::default()
+        },
+    );
+    let docs: Vec<_> = (0..64u64).map(|seed| gen.generate(seed)).collect();
+    let total_nodes: u64 = docs.iter().map(|d| d.len() as u64).sum();
+    let hw_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut g = c.benchmark_group("apply_batch");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(total_nodes));
+    // BTreeSet dedups the thread counts (hw_threads may be 1 or 2).
+    for threads in std::collections::BTreeSet::from([1usize, 2, hw_threads]) {
+        g.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    e.apply_batch_with(&docs, threads)
+                        .into_iter()
+                        .map(|r| r.unwrap().tree.len())
+                        .sum::<usize>()
+                })
+            },
         );
     }
     g.finish();

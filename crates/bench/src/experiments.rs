@@ -343,11 +343,12 @@ pub fn tab3(instances: usize, queries_per: usize) -> Vec<PreserveRow> {
         ("dblp->noised", corpus::dblp_like()),
         ("news->noised", corpus::news_like()),
     ] {
-        let copy = Box::leak(Box::new(noised_copy(&src, NoiseConfig::level(0.4), 31)));
-        let src = Box::leak(Box::new(src));
-        let att = exact(src, copy);
-        if let Some(e) = find_embedding(src, &copy.target, &att, &DiscoveryConfig::default()) {
-            rows.push(preserve_row(name, src, &e, instances, queries_per));
+        // The compiled embedding is owned, so the schemas can stay on the
+        // stack (the old lifetime-bound API needed Box::leak here).
+        let copy = noised_copy(&src, NoiseConfig::level(0.4), 31);
+        let att = exact(&src, &copy);
+        if let Some(e) = find_embedding(&src, &copy.target, &att, &DiscoveryConfig::default()) {
+            rows.push(preserve_row(name, &src, &e, instances, queries_per));
         }
     }
     rows
@@ -356,7 +357,7 @@ pub fn tab3(instances: usize, queries_per: usize) -> Vec<PreserveRow> {
 fn preserve_row(
     name: &'static str,
     src: &Dtd,
-    e: &xse_core::Embedding<'_>,
+    e: &xse_core::CompiledEmbedding,
     instances: usize,
     queries_per: usize,
 ) -> PreserveRow {

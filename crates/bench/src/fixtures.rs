@@ -2,7 +2,7 @@
 //! explicitly, for the experiments that need a fixed hand-written embedding
 //! rather than a discovered one.
 
-use xse_core::{Embedding, PathMapping, TypeMapping};
+use xse_core::{CompiledEmbedding, EmbeddingBuilder};
 use xse_dtd::Dtd;
 use xse_workloads::corpus;
 
@@ -11,54 +11,47 @@ pub fn fig1_pair() -> (Dtd, Dtd) {
     (corpus::fig1_class(), corpus::fig1_school())
 }
 
-/// The Example 4.2 embedding `σ1 : S0 → S`.
-pub fn fig1_embedding<'a>(s0: &'a Dtd, s: &'a Dtd) -> Embedding<'a> {
-    let lambda = TypeMapping::by_name_pairs(
-        s0,
-        s,
-        &[("db", "school"), ("class", "course"), ("type", "category")],
-    )
-    .expect("Figure 1 names");
-    let mut paths = PathMapping::new(s0);
-    paths
-        .edge(s0, "db", "class", "courses/current/course")
-        .edge(s0, "class", "cno", "basic/cno")
+/// The Example 4.2 embedding `σ1 : S0 → S` (owned — the DTDs are cloned
+/// into the compiled engine, so the returned value outlives its inputs).
+pub fn fig1_embedding(s0: &Dtd, s: &Dtd) -> CompiledEmbedding {
+    EmbeddingBuilder::new(s0.clone(), s.clone())
+        .map_type("db", "school")
+        .map_type("class", "course")
+        .map_type("type", "category")
+        .edge("db", "class", "courses/current/course")
+        .edge("class", "cno", "basic/cno")
         .edge(
-            s0,
             "class",
             "title",
             "basic/class2/semester[position() = 1]/title",
         )
-        .edge(s0, "class", "type", "category")
-        .edge(s0, "type", "regular", "mandatory/regular")
-        .edge(s0, "type", "project", "advanced/project")
-        .edge(s0, "regular", "prereq", "required/prereq")
-        .edge(s0, "prereq", "class", "course")
-        .text_edge(s0, "cno", "text()")
-        .text_edge(s0, "title", "text()")
-        .text_edge(s0, "project", "text()");
-    Embedding::new(s0, s, lambda, paths).expect("Example 4.2 is valid")
+        .edge("class", "type", "category")
+        .edge("type", "regular", "mandatory/regular")
+        .edge("type", "project", "advanced/project")
+        .edge("regular", "prereq", "required/prereq")
+        .edge("prereq", "class", "course")
+        .text_edge("cno", "text()")
+        .text_edge("title", "text()")
+        .text_edge("project", "text()")
+        .build()
+        .expect("Example 4.2 is valid")
 }
 
 /// The Example 4.9 embedding `σ2 : S1 → S` (student DTD into the school).
-pub fn fig1_student_embedding<'a>(s1: &'a Dtd, s: &'a Dtd) -> Embedding<'a> {
-    let lambda = TypeMapping::by_name_pairs(
-        s1,
-        s,
-        &[("sdb", "school"), ("taking", "taking"), ("cno", "cno2")],
-    )
-    .expect("Figure 1 names");
-    let mut paths = PathMapping::new(s1);
-    paths
-        .edge(s1, "sdb", "student", "students/student")
-        .edge(s1, "student", "ssn", "ssn")
-        .edge(s1, "student", "name", "name")
-        .edge(s1, "student", "taking", "taking")
-        .edge(s1, "taking", "cno", "cno2")
-        .text_edge(s1, "ssn", "text()")
-        .text_edge(s1, "name", "text()")
-        .text_edge(s1, "cno", "text()");
-    Embedding::new(s1, s, lambda, paths).expect("Example 4.9 is valid")
+pub fn fig1_student_embedding(s1: &Dtd, s: &Dtd) -> CompiledEmbedding {
+    EmbeddingBuilder::new(s1.clone(), s.clone())
+        .map_type("sdb", "school")
+        .map_type("cno", "cno2")
+        .edge("sdb", "student", "students/student")
+        .edge("student", "ssn", "ssn")
+        .edge("student", "name", "name")
+        .edge("student", "taking", "taking")
+        .edge("taking", "cno", "cno2")
+        .text_edge("ssn", "text()")
+        .text_edge("name", "text()")
+        .text_edge("cno", "text()")
+        .build()
+        .expect("Example 4.9 is valid")
 }
 
 #[cfg(test)]

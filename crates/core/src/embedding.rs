@@ -1,11 +1,17 @@
-//! The [`Embedding`] type: a validated schema embedding `σ = (λ, path)`.
+//! The compiled embedding engine: [`EmbeddingBuilder`] assembles a mapping
+//! `σ = (λ, path)`, [`CompiledEmbedding`] validates it once and serves every
+//! derived operation (`σd`, `σd⁻¹`, `Tr`, stylesheet generation) from
+//! precomputed state.
 
-use xse_dtd::{Dtd, EdgeTarget, SchemaGraph, TypeId};
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use xse_dtd::{Dtd, EdgeTarget, MindefPlan, SchemaGraph, TypeId};
 use xse_rxpath::XrPath;
 use xse_xmltree::{IdMap, XmlTree};
 
 use crate::resolve::{resolve_path, ResolvedPath};
-use crate::{SchemaEmbeddingError, SimilarityMatrix};
+use crate::{EmbeddingError, SimilarityMatrix};
 
 /// The type mapping `λ : E1 → E2` (total; `λ(r1) = r2`).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -25,25 +31,23 @@ impl TypeMapping {
     /// Map every source type to the target type with the same tag.
     ///
     /// # Errors
-    /// Returns the offending source tag when the target lacks it.
-    pub fn by_same_name(source: &Dtd, target: &Dtd) -> Result<Self, String> {
-        let mut map = Vec::with_capacity(source.type_count());
-        for a in source.types() {
-            match target.type_id(source.name(a)) {
-                Some(b) => map.push(b),
-                None => return Err(source.name(a).to_string()),
-            }
-        }
-        Ok(TypeMapping { map })
+    /// [`EmbeddingError::UnknownType`] naming the first source tag the
+    /// target lacks.
+    pub fn by_same_name(source: &Dtd, target: &Dtd) -> Result<Self, EmbeddingError> {
+        TypeMapping::by_name_pairs(source, target, &[])
     }
 
     /// Build from `(source tag, target tag)` pairs; tags not listed map by
     /// identical name.
+    ///
+    /// # Errors
+    /// [`EmbeddingError::UnknownType`] naming the first target tag that
+    /// does not exist.
     pub fn by_name_pairs(
         source: &Dtd,
         target: &Dtd,
         pairs: &[(&str, &str)],
-    ) -> Result<Self, String> {
+    ) -> Result<Self, EmbeddingError> {
         let mut map = Vec::with_capacity(source.type_count());
         for a in source.types() {
             let name = source.name(a);
@@ -54,7 +58,12 @@ impl TypeMapping {
                 .unwrap_or(name);
             match target.type_id(tgt_name) {
                 Some(b) => map.push(b),
-                None => return Err(tgt_name.to_string()),
+                None => {
+                    return Err(EmbeddingError::UnknownType {
+                        which: "target",
+                        name: tgt_name.to_string(),
+                    })
+                }
             }
         }
         Ok(TypeMapping { map })
@@ -69,6 +78,11 @@ impl TypeMapping {
 /// The path function: one `XR` path per source schema-graph edge, indexed by
 /// `(source type, edge slot)` in the order of
 /// [`SchemaGraph::edges_from`].
+///
+/// This is the low-level representation used by discovery; applications
+/// normally fill paths through [`EmbeddingBuilder::edge`], which resolves
+/// `(parent, child)` names to slots and reports failures instead of
+/// panicking.
 #[derive(Clone, Debug, Default)]
 pub struct PathMapping {
     /// `paths[a.index()][slot]`.
@@ -77,9 +91,9 @@ pub struct PathMapping {
 
 impl PathMapping {
     /// Start an empty mapping sized for `source` (every slot must be filled
-    /// before building an [`Embedding`]).
-    pub fn new(source: &Dtd) -> Self {
-        let graph = SchemaGraph::new(source);
+    /// before compiling an embedding). The schema graph is built by the
+    /// caller so it can be shared with other per-edge work.
+    pub fn new_with_graph(source: &Dtd, graph: &SchemaGraph) -> Self {
         PathMapping {
             paths: source
                 .types()
@@ -88,18 +102,25 @@ impl PathMapping {
         }
     }
 
+    /// Start an empty mapping sized for `source`.
+    pub fn new(source: &Dtd) -> Self {
+        PathMapping::new_with_graph(source, &SchemaGraph::new(source))
+    }
+
     /// Set the path of edge `slot` of type `a`.
     pub fn set(&mut self, a: TypeId, slot: usize, path: XrPath) {
         self.paths[a.index()][slot] = path;
     }
 
-    /// Set the path of the edge from `parent` to its child named `child`
-    /// (first matching slot; use [`PathMapping::set`] for repeated
-    /// concatenation children). The path is parsed from `XR` syntax.
+    /// Set the path of the edge from `parent` to its child named `child`.
     ///
     /// # Panics
-    /// Panics on unknown names or unparsable paths — this is the
-    /// literal-embedding construction API used by examples and tests.
+    /// Panics on unknown names or unparsable paths — the legacy
+    /// literal-embedding construction API, kept for one release.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `EmbeddingBuilder::edge`, which accumulates errors instead of panicking"
+    )]
     pub fn edge(&mut self, source: &Dtd, parent: &str, child: &str, path: &str) -> &mut Self {
         let a = source
             .type_id(parent)
@@ -117,7 +138,13 @@ impl PathMapping {
         self
     }
 
-    /// Set the `str` edge of a `A → str` type.
+    /// Set the `str` edge of a `A → str` type (legacy; see
+    /// [`EmbeddingBuilder::text_edge`]).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `EmbeddingBuilder::text_edge`, which accumulates errors instead of panicking"
+    )]
+    #[allow(deprecated)]
     pub fn text_edge(&mut self, source: &Dtd, parent: &str, path: &str) -> &mut Self {
         self.edge(source, parent, "str", path)
     }
@@ -138,28 +165,293 @@ pub struct MappingOutput {
     pub idmap: IdMap,
 }
 
-/// A validated schema embedding `σ : S1 → S2`.
+/// Fluent, fallible construction of a [`CompiledEmbedding`].
 ///
+/// The builder owns both DTDs (behind [`Arc`], so sharing them is free),
+/// builds the source schema graph **once**, and accumulates every problem —
+/// unknown tags, missing children, unparsable paths — instead of panicking;
+/// [`EmbeddingBuilder::build`] reports all of them at once.
 ///
-/// Construction ([`Embedding::new`]) checks the §4.1 validity conditions and
-/// canonicalizes positions (DESIGN.md §3); every later operation can then
-/// assume a well-formed mapping.
-pub struct Embedding<'a> {
-    pub(crate) source: &'a Dtd,
-    pub(crate) target: &'a Dtd,
+/// ```
+/// # use xse_core::{EmbeddingBuilder};
+/// # use xse_dtd::Dtd;
+/// # let s1 = Dtd::builder("r").concat("r", &["a"]).str_type("a").build().unwrap();
+/// # let s2 = Dtd::builder("r").concat("r", &["x"]).concat("x", &["a"])
+/// #     .str_type("a").build().unwrap();
+/// let embedding = EmbeddingBuilder::new(s1, s2)
+///     .edge("r", "a", "x/a")
+///     .text_edge("a", "text()")
+///     .build()
+///     .unwrap();
+/// assert_eq!(embedding.size(), 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct EmbeddingBuilder {
+    source: Arc<Dtd>,
+    target: Arc<Dtd>,
+    /// Built once in [`EmbeddingBuilder::new`]; every `edge` call resolves
+    /// its slot against this graph.
+    src_graph: SchemaGraph,
+    /// `map_type` overrides; unlisted types map by identical tag.
+    pairs: Vec<(String, String)>,
+    /// An explicit λ (overrides `pairs` when set).
+    lambda: Option<TypeMapping>,
+    paths: PathMapping,
+    errors: Vec<EmbeddingError>,
+}
+
+impl EmbeddingBuilder {
+    /// Start a builder for an embedding `source → target`.
+    pub fn new(source: impl Into<Arc<Dtd>>, target: impl Into<Arc<Dtd>>) -> Self {
+        let source = source.into();
+        let src_graph = SchemaGraph::new(&source);
+        let paths = PathMapping::new_with_graph(&source, &src_graph);
+        EmbeddingBuilder {
+            source,
+            target: target.into(),
+            src_graph,
+            pairs: Vec::new(),
+            lambda: None,
+            paths,
+            errors: Vec::new(),
+        }
+    }
+
+    /// Declare `λ(source_tag) = target_tag`; types not listed map to the
+    /// target type with the same tag. Re-mapping a tag replaces the earlier
+    /// declaration (last wins).
+    pub fn map_type(mut self, source_tag: &str, target_tag: &str) -> Self {
+        if self.source.type_id(source_tag).is_none() {
+            self.errors.push(EmbeddingError::UnknownType {
+                which: "source",
+                name: source_tag.to_string(),
+            });
+        }
+        if self.target.type_id(target_tag).is_none() {
+            self.errors.push(EmbeddingError::UnknownType {
+                which: "target",
+                name: target_tag.to_string(),
+            });
+        }
+        match self
+            .pairs
+            .iter_mut()
+            .find(|(s, _)| s.as_str() == source_tag)
+        {
+            Some((_, t)) => *t = target_tag.to_string(),
+            None => self
+                .pairs
+                .push((source_tag.to_string(), target_tag.to_string())),
+        }
+        self
+    }
+
+    /// Provide the complete type mapping explicitly (used by discovery and
+    /// tests; overrides any `map_type` calls).
+    pub fn with_lambda(mut self, lambda: TypeMapping) -> Self {
+        self.lambda = Some(lambda);
+        self
+    }
+
+    /// Provide a pre-filled path function (used by discovery; `edge` calls
+    /// may still override individual slots afterwards).
+    pub fn with_paths(mut self, paths: PathMapping) -> Self {
+        self.paths = paths;
+        self
+    }
+
+    /// Set the path of the edge from `parent` to its child named `child`
+    /// (first matching slot; use [`EmbeddingBuilder::edge_at`] for repeated
+    /// concatenation children). The path is parsed from `XR` syntax; every
+    /// failure is recorded and reported by [`EmbeddingBuilder::build`].
+    pub fn edge(mut self, parent: &str, child: &str, path: &str) -> Self {
+        let Some(a) = self.source.type_id(parent) else {
+            self.errors.push(EmbeddingError::UnknownType {
+                which: "source",
+                name: parent.to_string(),
+            });
+            return self;
+        };
+        let slot = self
+            .src_graph
+            .edges_from(a)
+            .iter()
+            .position(|e| match e.target {
+                EdgeTarget::Type(t) => self.source.name(t) == child,
+                EdgeTarget::Str => child == "str",
+            });
+        let Some(slot) = slot else {
+            self.errors.push(EmbeddingError::UnknownChild {
+                parent: parent.to_string(),
+                child: child.to_string(),
+            });
+            return self;
+        };
+        self.set_parsed(a, slot, path);
+        self
+    }
+
+    /// Set the path of edge `slot` of `parent` directly (repeated
+    /// concatenation children have one slot per occurrence).
+    pub fn edge_at(mut self, parent: &str, slot: usize, path: &str) -> Self {
+        let Some(a) = self.source.type_id(parent) else {
+            self.errors.push(EmbeddingError::UnknownType {
+                which: "source",
+                name: parent.to_string(),
+            });
+            return self;
+        };
+        if slot >= self.src_graph.edges_from(a).len() {
+            self.errors.push(EmbeddingError::SlotOutOfRange {
+                ty: parent.to_string(),
+                slot,
+                edges: self.src_graph.edges_from(a).len(),
+            });
+            return self;
+        }
+        self.set_parsed(a, slot, path);
+        self
+    }
+
+    /// Set the `str` edge of a `A → str` type.
+    pub fn text_edge(self, parent: &str, path: &str) -> Self {
+        self.edge(parent, "str", path)
+    }
+
+    fn set_parsed(&mut self, a: TypeId, slot: usize, path: &str) {
+        let p = match XrPath::parse(path) {
+            Ok(p) => p,
+            Err(e) => {
+                self.errors.push(EmbeddingError::PathSyntax {
+                    path: path.to_string(),
+                    reason: e.to_string(),
+                });
+                return;
+            }
+        };
+        // A `with_paths` mapping sized for a different schema must surface
+        // as an error, not an index panic — the builder never panics.
+        match self
+            .paths
+            .paths
+            .get_mut(a.index())
+            .and_then(|row| row.get_mut(slot))
+        {
+            Some(cell) => *cell = p,
+            None => {
+                let got = self.paths.paths.get(a.index()).map_or(0, |row| row.len());
+                self.errors.push(EmbeddingError::ArityMismatch {
+                    ty: self.source.name(a).to_string(),
+                    expected: self.src_graph.edges_from(a).len(),
+                    got,
+                });
+            }
+        }
+    }
+
+    /// Compute λ, run the §4.1 validity checks, and compile.
+    ///
+    /// # Errors
+    /// All accumulated builder errors at once (one directly, several inside
+    /// [`EmbeddingError::Build`]), or the first violated validity condition.
+    pub fn build(self) -> Result<CompiledEmbedding, EmbeddingError> {
+        let EmbeddingBuilder {
+            source,
+            target,
+            src_graph,
+            pairs,
+            lambda,
+            paths,
+            mut errors,
+        } = self;
+        let lambda = match lambda {
+            Some(l) => Some(l),
+            None => {
+                // by_name_pairs semantics, but collecting *every* miss so a
+                // schema full of unmapped tags is reported in one pass
+                // (unknown `map_type` tags were already recorded; dedup).
+                let mut map = Vec::with_capacity(source.type_count());
+                let mut complete = true;
+                for a in source.types() {
+                    let name = source.name(a);
+                    let tgt_name = pairs
+                        .iter()
+                        .find(|(s, _)| s.as_str() == name)
+                        .map(|(_, t)| t.as_str())
+                        .unwrap_or(name);
+                    match target.type_id(tgt_name) {
+                        Some(b) => map.push(b),
+                        None => {
+                            complete = false;
+                            let e = EmbeddingError::UnknownType {
+                                which: "target",
+                                name: tgt_name.to_string(),
+                            };
+                            if !errors.contains(&e) {
+                                errors.push(e);
+                            }
+                        }
+                    }
+                }
+                complete.then_some(TypeMapping { map })
+            }
+        };
+        match errors.len() {
+            0 => {}
+            1 => return Err(errors.pop().expect("len checked")),
+            _ => return Err(EmbeddingError::Build(errors)),
+        }
+        CompiledEmbedding::with_graph(
+            source,
+            target,
+            src_graph,
+            lambda.expect("no errors implies λ computed"),
+            paths,
+        )
+    }
+}
+
+/// A validated, owned schema embedding `σ : S1 → S2` — the engine every
+/// derived operation runs on.
+///
+/// Construction ([`EmbeddingBuilder::build`] or [`CompiledEmbedding::new`])
+/// checks the §4.1 validity conditions, canonicalizes positions
+/// (DESIGN.md §3), and precomputes everything the per-document operations
+/// need: both schema graphs, the resolved paths, the target's minimum
+/// default plans, and the per-edge translation automata used by `Tr`.
+/// The result has no lifetime parameter and is `Send + Sync`: store it,
+/// share it behind an [`Arc`], and map documents from many threads — or let
+/// [`CompiledEmbedding::apply_batch`](Self::apply_batch) fan a batch out
+/// for you.
+pub struct CompiledEmbedding {
+    pub(crate) source: Arc<Dtd>,
+    pub(crate) target: Arc<Dtd>,
     pub(crate) src_graph: SchemaGraph,
     #[allow(dead_code)] // kept: handy for future extensions and debugging
     pub(crate) tgt_graph: SchemaGraph,
     pub(crate) lambda: TypeMapping,
     /// Resolved, normalized paths per `(source type, edge slot)`.
     pub(crate) resolved: Vec<Vec<ResolvedPath>>,
+    /// The target's minimum-default plans (one `mindef_plans()` call ever).
+    pub(crate) plans: Vec<MindefPlan>,
+    /// Per `(source type, edge slot)`: the path compiled to a linear ANFA
+    /// chain — the translation table `Tr` copies from instead of
+    /// recompiling paths per query.
+    pub(crate) chains: Vec<Vec<xse_anfa::Anfa>>,
 }
 
-impl<'a> std::fmt::Debug for Embedding<'a> {
+// The engine is shared across threads by `apply_batch` and by servers; keep
+// that a compile-time fact rather than an accident of field types.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<CompiledEmbedding>();
+};
+
+impl std::fmt::Debug for CompiledEmbedding {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "Embedding({} -> {}, |σ| = {})",
+            "CompiledEmbedding({} -> {}, |σ| = {})",
             self.source.name(self.source.root()),
             self.target.name(self.target.root()),
             self.size()
@@ -167,38 +459,51 @@ impl<'a> std::fmt::Debug for Embedding<'a> {
     }
 }
 
-impl<'a> Embedding<'a> {
-    /// Validate `(λ, path)` and build the embedding.
+impl CompiledEmbedding {
+    /// Validate `(λ, path)` and compile the embedding. Both DTDs are taken
+    /// by value (or by [`Arc`] — an `Arc<Dtd>` is accepted as-is, so clones
+    /// of a shared schema are free).
     pub fn new(
-        source: &'a Dtd,
-        target: &'a Dtd,
+        source: impl Into<Arc<Dtd>>,
+        target: impl Into<Arc<Dtd>>,
         lambda: TypeMapping,
         paths: PathMapping,
-    ) -> Result<Self, SchemaEmbeddingError> {
+    ) -> Result<Self, EmbeddingError> {
+        let source = source.into();
+        let src_graph = SchemaGraph::new(&source);
+        CompiledEmbedding::with_graph(source, target.into(), src_graph, lambda, paths)
+    }
+
+    fn with_graph(
+        source: Arc<Dtd>,
+        target: Arc<Dtd>,
+        src_graph: SchemaGraph,
+        lambda: TypeMapping,
+        paths: PathMapping,
+    ) -> Result<Self, EmbeddingError> {
         if lambda.map.len() != source.type_count() {
-            return Err(SchemaEmbeddingError::ArityMismatch {
+            return Err(EmbeddingError::ArityMismatch {
                 ty: "λ".into(),
                 expected: source.type_count(),
                 got: lambda.map.len(),
             });
         }
         if lambda.get(source.root()) != target.root() {
-            return Err(SchemaEmbeddingError::RootNotMappedToRoot);
+            return Err(EmbeddingError::RootNotMappedToRoot);
         }
         if !source.is_consistent() {
-            return Err(SchemaEmbeddingError::InconsistentDtd { which: "source" });
+            return Err(EmbeddingError::InconsistentDtd { which: "source" });
         }
         if !target.is_consistent() {
-            return Err(SchemaEmbeddingError::InconsistentDtd { which: "target" });
+            return Err(EmbeddingError::InconsistentDtd { which: "target" });
         }
-        let src_graph = SchemaGraph::new(source);
-        let tgt_graph = SchemaGraph::new(target);
+        let tgt_graph = SchemaGraph::new(&target);
         let mut resolved: Vec<Vec<ResolvedPath>> = Vec::with_capacity(source.type_count());
         for a in source.types() {
             let edges = src_graph.edges_from(a);
             let given = paths.paths.get(a.index()).map(Vec::as_slice).unwrap_or(&[]);
             if given.len() != edges.len() {
-                return Err(SchemaEmbeddingError::ArityMismatch {
+                return Err(EmbeddingError::ArityMismatch {
                     ty: source.name(a).to_string(),
                     expected: edges.len(),
                     got: given.len(),
@@ -207,42 +512,45 @@ impl<'a> Embedding<'a> {
             let origin = lambda.get(a);
             let mut per_type = Vec::with_capacity(edges.len());
             for (edge, p) in edges.iter().zip(given.iter()) {
-                let mut rp = resolve_path(target, &tgt_graph, origin, p)?;
+                let mut rp = resolve_path(&target, &tgt_graph, origin, p)?;
                 crate::validity::normalize_and_check_edge(
-                    source, target, &lambda, edge, p, &mut rp,
+                    &source, &target, &lambda, edge, p, &mut rp,
                 )?;
                 per_type.push(rp);
             }
-            crate::validity::check_prefix_free(source, target, a, &per_type)?;
+            crate::validity::check_prefix_free(&source, &target, a, &per_type)?;
             resolved.push(per_type);
         }
         // Disjunction distinguishability (needs all paths resolved).
         let plans = target.mindef_plans();
         for a in source.types() {
             crate::validity::check_disjunction_distinguishability(
-                source,
-                target,
+                &source,
+                &target,
                 a,
                 &resolved[a.index()],
                 &plans,
             )?;
         }
-        Ok(Embedding {
+        let chains = crate::translate::chain_tables(&target, &resolved);
+        Ok(CompiledEmbedding {
             source,
             target,
             src_graph,
             tgt_graph,
             lambda,
             resolved,
+            plans,
+            chains,
         })
     }
 
     /// Validate against a similarity matrix: `att(A, λ(A)) > 0` for all `A`
     /// (λ-validity, §4.1).
-    pub fn check_similarity(&self, att: &SimilarityMatrix) -> Result<(), SchemaEmbeddingError> {
+    pub fn check_similarity(&self, att: &SimilarityMatrix) -> Result<(), EmbeddingError> {
         for a in self.source.types() {
             if att.get(a, self.lambda.get(a)) <= 0.0 {
-                return Err(SchemaEmbeddingError::SimilarityZero {
+                return Err(EmbeddingError::SimilarityZero {
                     source: self.source.name(a).to_string(),
                     target: self.target.name(self.lambda.get(a)).to_string(),
                 });
@@ -253,12 +561,28 @@ impl<'a> Embedding<'a> {
 
     /// The source DTD `S1`.
     pub fn source(&self) -> &Dtd {
-        self.source
+        &self.source
     }
 
     /// The target DTD `S2`.
     pub fn target(&self) -> &Dtd {
-        self.target
+        &self.target
+    }
+
+    /// A shareable handle to the source DTD.
+    pub fn source_arc(&self) -> Arc<Dtd> {
+        Arc::clone(&self.source)
+    }
+
+    /// A shareable handle to the target DTD.
+    pub fn target_arc(&self) -> Arc<Dtd> {
+        Arc::clone(&self.target)
+    }
+
+    /// The target's precomputed minimum-default plans (§4.2), one per
+    /// target type.
+    pub fn mindef_plans(&self) -> &[MindefPlan] {
+        &self.plans
     }
 
     /// `λ(a)`.
@@ -314,11 +638,65 @@ impl<'a> Embedding<'a> {
                     "path({}, {}) = {}",
                     self.source.name(a),
                     child,
-                    rp.display(self.target)
+                    rp.display(&self.target)
                 );
             }
         }
         out
+    }
+}
+
+/// Legacy borrowing front for [`CompiledEmbedding`], kept for one PR so
+/// downstream diffs stay reviewable. It compiles the same engine (cloning
+/// the borrowed DTDs once) and derefs to it, so every method is available;
+/// new code should use [`EmbeddingBuilder`] or [`CompiledEmbedding::new`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `CompiledEmbedding`: the compiled engine is owned and `Send + Sync`"
+)]
+pub struct Embedding<'a> {
+    inner: CompiledEmbedding,
+    _dtds: PhantomData<&'a Dtd>,
+}
+
+#[allow(deprecated)]
+impl<'a> Embedding<'a> {
+    /// Validate `(λ, path)` and build the embedding.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `EmbeddingBuilder` or `CompiledEmbedding::new`: the compiled engine is owned and `Send + Sync`"
+    )]
+    pub fn new(
+        source: &'a Dtd,
+        target: &'a Dtd,
+        lambda: TypeMapping,
+        paths: PathMapping,
+    ) -> Result<Self, EmbeddingError> {
+        Ok(Embedding {
+            inner: CompiledEmbedding::new(source.clone(), target.clone(), lambda, paths)?,
+            _dtds: PhantomData,
+        })
+    }
+
+    /// Unwrap into the owned engine (drops the spurious lifetime).
+    pub fn into_compiled(self) -> CompiledEmbedding {
+        self.inner
+    }
+}
+
+#[allow(deprecated)]
+impl std::ops::Deref for Embedding<'_> {
+    type Target = CompiledEmbedding;
+
+    fn deref(&self) -> &CompiledEmbedding {
+        &self.inner
+    }
+}
+
+#[allow(deprecated)]
+impl std::fmt::Debug for Embedding<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
     }
 }
 
@@ -357,23 +735,26 @@ pub(crate) mod tests {
         (s1, s2)
     }
 
-    pub(crate) fn wrap_embedding(s1: &Dtd, s2: &Dtd) -> (TypeMapping, PathMapping) {
-        let lambda = TypeMapping::by_name_pairs(s1, s2, &[("b", "w")]).unwrap();
-        let mut paths = PathMapping::new(s1);
-        paths
-            .edge(s1, "r", "a", "x/a")
-            .edge(s1, "r", "b", "y/w")
-            .edge(s1, "b", "c", "c2/c")
-            .text_edge(s1, "a", "text()")
-            .text_edge(s1, "c", "text()");
-        (lambda, paths)
+    /// The wrap embedding as a builder with λ overrides and all edges set
+    /// (callers add `.build()` or swap λ/paths first).
+    pub(crate) fn wrap_builder(s1: &Dtd, s2: &Dtd) -> EmbeddingBuilder {
+        EmbeddingBuilder::new(s1.clone(), s2.clone())
+            .map_type("b", "w")
+            .edge("r", "a", "x/a")
+            .edge("r", "b", "y/w")
+            .edge("b", "c", "c2/c")
+            .text_edge("a", "text()")
+            .text_edge("c", "text()")
+    }
+
+    pub(crate) fn wrap_compiled(s1: &Dtd, s2: &Dtd) -> CompiledEmbedding {
+        wrap_builder(s1, s2).build().unwrap()
     }
 
     #[test]
     fn wrap_embedding_is_valid() {
         let (s1, s2) = wrap();
-        let (lambda, paths) = wrap_embedding(&s1, &s2);
-        let e = Embedding::new(&s1, &s2, lambda, paths).unwrap();
+        let e = wrap_compiled(&s1, &s2);
         assert_eq!(e.size(), 2 + 2 + 2 + 1 + 1);
         let desc = e.describe();
         assert!(desc.contains("λ(b) = w"), "{desc}");
@@ -385,35 +766,137 @@ pub(crate) mod tests {
     }
 
     #[test]
+    fn compiled_embedding_is_send_sync_and_static() {
+        fn assert_bounds<T: Send + Sync + 'static>(_: &T) {}
+        let (s1, s2) = wrap();
+        let e = wrap_compiled(&s1, &s2);
+        assert_bounds(&e);
+    }
+
+    #[test]
     fn root_must_map_to_root() {
         let (s1, s2) = wrap();
         let w2 = s2.type_id("w").unwrap();
         let lambda = TypeMapping::from_fn(&s1, |_| w2);
-        let (_, paths) = wrap_embedding(&s1, &s2);
-        let e = Embedding::new(&s1, &s2, lambda, paths).unwrap_err();
-        assert_eq!(e, SchemaEmbeddingError::RootNotMappedToRoot);
+        let e = wrap_builder(&s1, &s2)
+            .with_lambda(lambda)
+            .build()
+            .unwrap_err();
+        assert_eq!(e, EmbeddingError::RootNotMappedToRoot);
     }
 
     #[test]
     fn missing_paths_are_an_arity_error() {
         let (s1, s2) = wrap();
-        let (lambda, _) = wrap_embedding(&s1, &s2);
-        let e = Embedding::new(&s1, &s2, lambda, PathMapping::default()).unwrap_err();
-        assert!(matches!(e, SchemaEmbeddingError::ArityMismatch { .. }));
+        let lambda = TypeMapping::by_name_pairs(&s1, &s2, &[("b", "w")]).unwrap();
+        let e = CompiledEmbedding::new(s1, s2, lambda, PathMapping::default()).unwrap_err();
+        assert!(matches!(e, EmbeddingError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn builder_accumulates_errors_instead_of_panicking() {
+        let (s1, s2) = wrap();
+        let e = EmbeddingBuilder::new(s1.clone(), s2.clone())
+            .map_type("b", "nosuch")
+            .edge("ghost", "a", "x/a")
+            .edge("r", "ghost", "x/a")
+            .edge("r", "a", "x[/a")
+            .build()
+            .unwrap_err();
+        let EmbeddingError::Build(errors) = e else {
+            panic!("expected accumulated Build errors, got {e}");
+        };
+        assert_eq!(errors.len(), 4, "{errors:?}");
+        assert!(errors.iter().any(|e| matches!(
+            e,
+            EmbeddingError::UnknownType {
+                which: "target",
+                ..
+            }
+        )));
+        assert!(errors.iter().any(|e| matches!(
+            e,
+            EmbeddingError::UnknownType {
+                which: "source",
+                ..
+            }
+        )));
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, EmbeddingError::UnknownChild { .. })));
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, EmbeddingError::PathSyntax { .. })));
+    }
+
+    #[test]
+    fn builder_with_undersized_paths_errors_instead_of_panicking() {
+        let (s1, s2) = wrap();
+        let e = EmbeddingBuilder::new(s1.clone(), s2.clone())
+            .with_paths(PathMapping::default())
+            .edge("r", "a", "x/a")
+            .build()
+            .unwrap_err();
+        // Both the edge() call and build()'s arity check report the
+        // mis-sized mapping; nothing indexes out of bounds.
+        let first = match e {
+            EmbeddingError::Build(errors) => errors[0].clone(),
+            other => other,
+        };
+        assert!(
+            matches!(first, EmbeddingError::ArityMismatch { .. }),
+            "{first}"
+        );
+        let e = wrap_builder(&s1, &s2)
+            .edge_at("r", 99, "x/a")
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(
+                e,
+                EmbeddingError::SlotOutOfRange {
+                    slot: 99,
+                    edges: 2,
+                    ..
+                }
+            ),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn map_type_last_declaration_wins() {
+        let (s1, s2) = wrap();
+        // First map b → x (wrong: x hosts no star), then override to w.
+        let e = wrap_builder(&s1, &s2).map_type("b", "x").map_type("b", "w");
+        let compiled = e.build().unwrap();
+        assert_eq!(
+            compiled.lambda(s1.type_id("b").unwrap()),
+            s2.type_id("w").unwrap()
+        );
+    }
+
+    #[test]
+    fn builder_single_error_is_returned_directly() {
+        let (s1, s2) = wrap();
+        let e = wrap_builder(&s1, &s2)
+            .edge("r", "nope", "x/a")
+            .build()
+            .unwrap_err();
+        assert!(matches!(e, EmbeddingError::UnknownChild { .. }), "{e}");
     }
 
     #[test]
     fn similarity_validation() {
         let (s1, s2) = wrap();
-        let (lambda, paths) = wrap_embedding(&s1, &s2);
-        let e = Embedding::new(&s1, &s2, lambda, paths).unwrap();
+        let e = wrap_compiled(&s1, &s2);
         let att = SimilarityMatrix::permissive(&s1, &s2);
         e.check_similarity(&att).unwrap();
         let mut att = SimilarityMatrix::permissive(&s1, &s2);
         att.set(s1.type_id("b").unwrap(), s2.type_id("w").unwrap(), 0.0);
         assert!(matches!(
             e.check_similarity(&att),
-            Err(SchemaEmbeddingError::SimilarityZero { .. })
+            Err(EmbeddingError::SimilarityZero { .. })
         ));
     }
 
@@ -432,7 +915,30 @@ pub(crate) mod tests {
         assert_eq!(m.get(s1.type_id("b").unwrap()), t.type_id("b").unwrap());
         let m = TypeMapping::by_name_pairs(&s1, &t, &[("b", "X")]).unwrap();
         assert_eq!(m.get(s1.type_id("b").unwrap()), t.type_id("X").unwrap());
-        assert!(TypeMapping::by_name_pairs(&s1, &t, &[("b", "nope")]).is_err());
+        assert_eq!(
+            TypeMapping::by_name_pairs(&s1, &t, &[("b", "nope")]).unwrap_err(),
+            EmbeddingError::UnknownType {
+                which: "target",
+                name: "nope".into()
+            }
+        );
+    }
+
+    #[test]
+    fn deprecated_shim_still_compiles_the_same_engine() {
+        #![allow(deprecated)]
+        let (s1, s2) = wrap();
+        let lambda = TypeMapping::by_name_pairs(&s1, &s2, &[("b", "w")]).unwrap();
+        let owned = wrap_compiled(&s1, &s2);
+        let paths = {
+            // Rebuild the same PathMapping the builder produced.
+            let b = wrap_builder(&s1, &s2);
+            b.paths.clone()
+        };
+        let shim = Embedding::new(&s1, &s2, lambda, paths).unwrap();
+        assert_eq!(shim.describe(), owned.describe());
+        let compiled: CompiledEmbedding = shim.into_compiled();
+        assert_eq!(compiled.size(), owned.size());
     }
 
     #[test]
@@ -454,20 +960,21 @@ pub(crate) mod tests {
             .unwrap();
         let a2 = s2.type_id("A").unwrap();
         let lambda = TypeMapping::from_fn(&s1, |t| if t == s1.root() { s2.root() } else { a2 });
-        let mut paths = PathMapping::new(&s1);
-        paths
-            .edge(&s1, "r", "A", "A")
-            .edge(&s1, "A", "B", "A")
-            .edge(&s1, "A", "C", "A/A")
-            .edge(&s1, "B", "A", "A/A");
-        let e = Embedding::new(&s1, &s2, lambda, paths).unwrap_err();
+        let e = EmbeddingBuilder::new(s1, s2)
+            .with_lambda(lambda)
+            .edge("r", "A", "A")
+            .edge("A", "B", "A")
+            .edge("A", "C", "A/A")
+            .edge("B", "A", "A/A")
+            .build()
+            .unwrap_err();
         // Rejected on the first violated condition: the AND edge (A, B)
         // maps onto an OR path (the target A-chain is all dashed edges);
         // had kinds matched, the prefix-free check would fire instead.
         assert!(
             matches!(
                 e,
-                SchemaEmbeddingError::PathKind { .. } | SchemaEmbeddingError::PrefixConflict { .. }
+                EmbeddingError::PathKind { .. } | EmbeddingError::PrefixConflict { .. }
             ),
             "{e}"
         );

@@ -2,9 +2,47 @@ use std::fmt;
 
 use xse_dtd::ValidationError;
 
-/// Everything that can go wrong constructing or using a schema embedding.
+/// Everything that can go wrong constructing, validating, applying or
+/// translating through a schema embedding — one enum for the whole engine.
+///
+/// The variants fall into three groups:
+///
+/// * **builder errors** ([`EmbeddingError::UnknownType`],
+///   [`EmbeddingError::UnknownChild`], [`EmbeddingError::PathSyntax`],
+///   [`EmbeddingError::Build`]) — produced by [`EmbeddingBuilder`] and the
+///   [`TypeMapping`] constructors while *assembling* `(λ, path)`;
+/// * **validity errors** (the §4.1 conditions) — produced when *compiling*
+///   the assembled mapping into a [`CompiledEmbedding`];
+/// * **runtime errors** — produced by `apply` / `invert` / `translate` on a
+///   compiled embedding (nonconforming inputs, non-image documents,
+///   unsupported `position()` placements).
+///
+/// The enum is `#[non_exhaustive]`: match with a wildcard arm so future
+/// PRs can refine diagnostics without a breaking change.
+///
+/// [`EmbeddingBuilder`]: crate::EmbeddingBuilder
+/// [`TypeMapping`]: crate::TypeMapping
+/// [`CompiledEmbedding`]: crate::CompiledEmbedding
+#[non_exhaustive]
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub enum SchemaEmbeddingError {
+pub enum EmbeddingError {
+    /// A named element type does not exist in the schema it was looked up
+    /// in (`which` is "source" or "target").
+    UnknownType { which: &'static str, name: String },
+    /// `parent` has no production edge to a child named `child`.
+    UnknownChild { parent: String, child: String },
+    /// An edge slot index is out of range for the type's production (also
+    /// reported when a `with_paths` mapping is sized for a different
+    /// schema).
+    SlotOutOfRange {
+        ty: String,
+        slot: usize,
+        edges: usize,
+    },
+    /// An `XR` path literal failed to parse.
+    PathSyntax { path: String, reason: String },
+    /// Several builder calls failed; every individual failure is listed.
+    Build(Vec<EmbeddingError>),
     /// `λ` must map the source root to the target root.
     RootNotMappedToRoot,
     /// `λ` or the path function is missing/extra entries for a type.
@@ -63,12 +101,45 @@ pub enum SchemaEmbeddingError {
     },
     /// The paper assumes consistent DTDs (§2.1); reduce() first.
     InconsistentDtd { which: &'static str },
+    /// A `position()` qualifier sits on a non-step path or inside a Boolean
+    /// context where occurrence selection is not expressible (`Tr`'s
+    /// supported fragment covers every construction the paper relies on).
+    UnsupportedPosition(String),
 }
 
-impl fmt::Display for SchemaEmbeddingError {
+/// Legacy name of [`EmbeddingError`], kept for one PR while downstreams
+/// migrate to the unified enum.
+#[deprecated(since = "0.2.0", note = "use `EmbeddingError`")]
+pub type SchemaEmbeddingError = EmbeddingError;
+
+/// Legacy name of [`EmbeddingError`] for translation failures; the old
+/// `TranslateError::UnsupportedPosition` pattern still matches.
+#[deprecated(since = "0.2.0", note = "use `EmbeddingError`")]
+pub type TranslateError = EmbeddingError;
+
+impl fmt::Display for EmbeddingError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        use SchemaEmbeddingError::*;
+        use EmbeddingError::*;
         match self {
+            UnknownType { which, name } => {
+                write!(f, "the {which} schema has no element type {name:?}")
+            }
+            UnknownChild { parent, child } => {
+                write!(f, "type {parent:?} has no child {child:?}")
+            }
+            SlotOutOfRange { ty, slot, edges } => {
+                write!(f, "type {ty:?}: edge slot {slot} out of range ({edges} edge(s))")
+            }
+            PathSyntax { path, reason } => {
+                write!(f, "path {path:?} does not parse: {reason}")
+            }
+            Build(errors) => {
+                write!(f, "{} builder error(s):", errors.len())?;
+                for e in errors {
+                    write!(f, "\n  - {e}")?;
+                }
+                Ok(())
+            }
             RootNotMappedToRoot => write!(f, "λ must map the source root to the target root"),
             ArityMismatch { ty, expected, got } => write!(
                 f,
@@ -111,14 +182,17 @@ impl fmt::Display for SchemaEmbeddingError {
                 f,
                 "the {which} DTD has useless element types; reduce() it first (§2.1 assumes consistent DTDs)"
             ),
+            UnsupportedPosition(q) => {
+                write!(f, "unsupported position() placement in {q:?}")
+            }
         }
     }
 }
 
-impl std::error::Error for SchemaEmbeddingError {}
+impl std::error::Error for EmbeddingError {}
 
-impl From<ValidationError> for SchemaEmbeddingError {
+impl From<ValidationError> for EmbeddingError {
     fn from(e: ValidationError) -> Self {
-        SchemaEmbeddingError::SourceInvalid(e)
+        EmbeddingError::SourceInvalid(e)
     }
 }

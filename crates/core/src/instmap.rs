@@ -7,26 +7,30 @@
 //! exactly once, so the construction is linear in `|T1| + |T2|`. The node id
 //! mapping `idM` is recorded as fragments are materialized (line 6 of the
 //! paper's listing), for both element images and copied text nodes.
+//!
+//! [`CompiledEmbedding::apply_batch`] fans a slice of documents out over
+//! scoped threads: the engine is `Send + Sync`, each document is mapped
+//! independently, and results come back in input order — bit-identical to
+//! running [`CompiledEmbedding::apply`] sequentially.
 
 use xse_dtd::Production;
-use xse_xmltree::{IdMap, NodeId, XmlTree};
+use xse_xmltree::{NodeId, XmlTree};
 
 use crate::pfrag::{materialize, Fragment, HotLeaf, Terminal};
-use crate::{Embedding, MappingOutput, SchemaEmbeddingError};
+use crate::{CompiledEmbedding, EmbeddingError, MappingOutput};
 
-impl<'a> Embedding<'a> {
+impl CompiledEmbedding {
     /// Apply `σd` to a source document. The input is validated against the
     /// source DTD first; the output is guaranteed to conform to the target
     /// DTD (Theorem 4.1 — and `debug_assert`ed in tests via
     /// [`crate::preserve`]).
-    pub fn apply(&self, t1: &XmlTree) -> Result<MappingOutput, SchemaEmbeddingError> {
+    pub fn apply(&self, t1: &XmlTree) -> Result<MappingOutput, EmbeddingError> {
         self.source
             .validate(t1)
-            .map_err(SchemaEmbeddingError::SourceInvalid)?;
-        let plans = self.target.mindef_plans();
+            .map_err(EmbeddingError::SourceInvalid)?;
 
         let mut t2 = XmlTree::new(self.target.name(self.target.root()));
-        let mut idmap = IdMap::new();
+        let mut idmap = xse_xmltree::IdMap::new();
         idmap.insert(t2.root(), t1.root());
 
         // Worklist of hot nodes: (source node, its target image, source type).
@@ -42,8 +46,8 @@ impl<'a> Embedding<'a> {
             let fragment = self.fragment_of(t1, h.src, h.src_type);
             materialize(
                 fragment,
-                self.target,
-                &plans,
+                &self.target,
+                &self.plans,
                 &mut t2,
                 h.target,
                 &mut hot_buf,
@@ -60,6 +64,45 @@ impl<'a> Embedding<'a> {
             }
         }
         Ok(MappingOutput { tree: t2, idmap })
+    }
+
+    /// Apply `σd` to every document of a batch, fanning the work out over
+    /// as many scoped threads as the machine offers. Results come back in
+    /// input order and are identical to mapping each document with
+    /// [`CompiledEmbedding::apply`] — the engine is immutable and shared by
+    /// reference, so parallelism cannot change outputs.
+    pub fn apply_batch(&self, docs: &[XmlTree]) -> Vec<Result<MappingOutput, EmbeddingError>> {
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        self.apply_batch_with(docs, threads)
+    }
+
+    /// [`CompiledEmbedding::apply_batch`] with an explicit thread count
+    /// (clamped to `1..=docs.len()`; `1` degenerates to a sequential loop).
+    pub fn apply_batch_with(
+        &self,
+        docs: &[XmlTree],
+        threads: usize,
+    ) -> Vec<Result<MappingOutput, EmbeddingError>> {
+        let threads = threads.clamp(1, docs.len().max(1));
+        if threads <= 1 {
+            return docs.iter().map(|t1| self.apply(t1)).collect();
+        }
+        let mut results: Vec<Option<Result<MappingOutput, EmbeddingError>>> =
+            (0..docs.len()).map(|_| None).collect();
+        let chunk = docs.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (in_chunk, out_chunk) in docs.chunks(chunk).zip(results.chunks_mut(chunk)) {
+                scope.spawn(move || {
+                    for (t1, slot) in in_chunk.iter().zip(out_chunk.iter_mut()) {
+                        *slot = Some(self.apply(t1));
+                    }
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|r| r.expect("chunking covers every input document"))
+            .collect()
     }
 
     /// Assemble the (uncompleted) fragment of source node `v` of type `a`.
@@ -124,20 +167,15 @@ impl<'a> Embedding<'a> {
 
 #[cfg(test)]
 pub(crate) mod tests {
-    use crate::embedding::tests::{wrap, wrap_embedding};
-    use crate::{Embedding, PathMapping, TypeMapping};
+    use crate::embedding::tests::{wrap, wrap_compiled};
+    use crate::{CompiledEmbedding, EmbeddingBuilder};
     use xse_dtd::Dtd;
     use xse_xmltree::parse_xml;
-
-    fn wrap_emb<'x>(s1: &'x Dtd, s2: &'x Dtd) -> Embedding<'x> {
-        let (lambda, paths) = wrap_embedding(s1, s2);
-        Embedding::new(s1, s2, lambda, paths).unwrap()
-    }
 
     #[test]
     fn wrap_mapping_builds_expected_tree() {
         let (s1, s2) = wrap();
-        let e = wrap_emb(&s1, &s2);
+        let e = wrap_compiled(&s1, &s2);
         let t1 = parse_xml("<r><a>hi</a><b><c>1</c><c>2</c></b></r>").unwrap();
         let out = e.apply(&t1).unwrap();
         s2.validate(&out.tree).unwrap();
@@ -152,7 +190,7 @@ pub(crate) mod tests {
     #[test]
     fn wrap_mapping_with_empty_star() {
         let (s1, s2) = wrap();
-        let e = wrap_emb(&s1, &s2);
+        let e = wrap_compiled(&s1, &s2);
         let t1 = parse_xml("<r><a>z</a><b/></r>").unwrap();
         let out = e.apply(&t1).unwrap();
         s2.validate(&out.tree).unwrap();
@@ -165,12 +203,50 @@ pub(crate) mod tests {
     #[test]
     fn rejects_nonconforming_input() {
         let (s1, s2) = wrap();
-        let e = wrap_emb(&s1, &s2);
+        let e = wrap_compiled(&s1, &s2);
         let bad = parse_xml("<r><b/><a>z</a></r>").unwrap();
         assert!(matches!(
             e.apply(&bad),
-            Err(crate::SchemaEmbeddingError::SourceInvalid(_))
+            Err(crate::EmbeddingError::SourceInvalid(_))
         ));
+    }
+
+    #[test]
+    fn batch_equals_sequential_and_keeps_order() {
+        let (s1, s2) = wrap();
+        let e = wrap_compiled(&s1, &s2);
+        let docs: Vec<_> = (0..9)
+            .map(|i| {
+                let body: String = (0..i).map(|j| format!("<c>{j}</c>")).collect();
+                parse_xml(&format!("<r><a>d{i}</a><b>{body}</b></r>")).unwrap()
+            })
+            .collect();
+        let sequential: Vec<_> = docs.iter().map(|d| e.apply(d).unwrap()).collect();
+        for threads in [1, 2, 4, 32] {
+            let batch = e.apply_batch_with(&docs, threads);
+            assert_eq!(batch.len(), docs.len());
+            for (got, want) in batch.into_iter().zip(sequential.iter()) {
+                let got = got.unwrap();
+                assert_eq!(got.tree.to_xml(), want.tree.to_xml());
+                assert_eq!(got.idmap.len(), want.idmap.len());
+            }
+        }
+    }
+
+    #[test]
+    fn batch_reports_per_document_errors_in_place() {
+        let (s1, s2) = wrap();
+        let e = wrap_compiled(&s1, &s2);
+        let good = parse_xml("<r><a>x</a><b/></r>").unwrap();
+        let bad = parse_xml("<r><b/><a>x</a></r>").unwrap();
+        let docs = vec![good.clone(), bad, good];
+        let out = e.apply_batch_with(&docs, 3);
+        assert!(out[0].is_ok());
+        assert!(matches!(
+            out[1],
+            Err(crate::EmbeddingError::SourceInvalid(_))
+        ));
+        assert!(out[2].is_ok());
     }
 
     /// Example 4.2 / 4.4: the class DTD S0 into the school DTD S.
@@ -217,32 +293,28 @@ pub(crate) mod tests {
         (s0, s)
     }
 
-    pub(crate) fn fig1_embedding<'x>(s0: &'x Dtd, s: &'x Dtd) -> Embedding<'x> {
-        let lambda = TypeMapping::by_name_pairs(
-            s0,
-            s,
-            &[("db", "school"), ("class", "course"), ("type", "category")],
-        )
-        .unwrap();
-        let mut paths = PathMapping::new(s0);
-        paths
-            .edge(s0, "db", "class", "courses/current/course")
-            .edge(s0, "class", "cno", "basic/cno")
+    pub(crate) fn fig1_embedding(s0: &Dtd, s: &Dtd) -> CompiledEmbedding {
+        EmbeddingBuilder::new(s0.clone(), s.clone())
+            .map_type("db", "school")
+            .map_type("class", "course")
+            .map_type("type", "category")
+            .edge("db", "class", "courses/current/course")
+            .edge("class", "cno", "basic/cno")
             .edge(
-                s0,
                 "class",
                 "title",
                 "basic/class/semester[position() = 1]/title",
             )
-            .edge(s0, "class", "type", "category")
-            .edge(s0, "type", "regular", "mandatory/regular")
-            .edge(s0, "type", "project", "advanced/project")
-            .edge(s0, "regular", "prereq", "required/prereq")
-            .edge(s0, "prereq", "class", "course")
-            .text_edge(s0, "cno", "text()")
-            .text_edge(s0, "title", "text()")
-            .text_edge(s0, "project", "text()");
-        Embedding::new(s0, s, lambda, paths).unwrap()
+            .edge("class", "type", "category")
+            .edge("type", "regular", "mandatory/regular")
+            .edge("type", "project", "advanced/project")
+            .edge("regular", "prereq", "required/prereq")
+            .edge("prereq", "class", "course")
+            .text_edge("cno", "text()")
+            .text_edge("title", "text()")
+            .text_edge("project", "text()")
+            .build()
+            .unwrap()
     }
 
     #[test]

@@ -12,7 +12,7 @@ use xse_dtd::{Dtd, Production, TypeId};
 use xse_xmltree::{NodeId, XmlTree};
 
 use crate::resolve::ResolvedStep;
-use crate::{Embedding, SchemaEmbeddingError};
+use crate::{CompiledEmbedding, EmbeddingError};
 
 /// Follow `steps` downward from `from`, one child per step; `None` when some
 /// step has no matching child. Steps must carry canonical positions (true
@@ -35,19 +35,19 @@ pub(crate) fn navigate(
     Some(cur)
 }
 
-impl<'a> Embedding<'a> {
+impl CompiledEmbedding {
     /// Recover the source document from `σd(T)`. Runs in `O(|σd(T)|·|σ|)`
     /// (within the paper's quadratic bound).
     ///
     /// # Errors
-    /// [`SchemaEmbeddingError::TargetInvalid`] when the input does not
-    /// conform to the target DTD, [`SchemaEmbeddingError::InverseMismatch`]
+    /// [`EmbeddingError::TargetInvalid`] when the input does not
+    /// conform to the target DTD, [`EmbeddingError::InverseMismatch`]
     /// when it conforms but cannot be an image of `σd` (e.g. a hand-edited
     /// document).
-    pub fn invert(&self, t2: &XmlTree) -> Result<XmlTree, SchemaEmbeddingError> {
+    pub fn invert(&self, t2: &XmlTree) -> Result<XmlTree, EmbeddingError> {
         self.target
             .validate(t2)
-            .map_err(SchemaEmbeddingError::TargetInvalid)?;
+            .map_err(EmbeddingError::TargetInvalid)?;
         let mut t1 = XmlTree::new(self.source.name(self.source.root()));
         let t1_root = t1.root();
         // (target image, source type, recovered source node)
@@ -67,8 +67,8 @@ impl<'a> Embedding<'a> {
         t1: &mut XmlTree,
         out: NodeId,
         work: &mut Vec<(NodeId, TypeId, NodeId)>,
-    ) -> Result<(), SchemaEmbeddingError> {
-        let mismatch = |reason: String| SchemaEmbeddingError::InverseMismatch {
+    ) -> Result<(), EmbeddingError> {
+        let mismatch = |reason: String| EmbeddingError::InverseMismatch {
             at: format!(
                 "source type {} at target node {}",
                 self.source.name(a),
@@ -81,7 +81,7 @@ impl<'a> Embedding<'a> {
             Production::Empty => {}
             Production::Str => {
                 let rp = &paths[0];
-                let end = navigate(self.target, t2, tv, &rp.steps)
+                let end = navigate(&self.target, t2, tv, &rp.steps)
                     .ok_or_else(|| mismatch("str path not present".into()))?;
                 let text = t2
                     .children(end)
@@ -93,10 +93,10 @@ impl<'a> Embedding<'a> {
             Production::Concat(cs) => {
                 for (slot, &cty) in cs.iter().enumerate() {
                     let node =
-                        navigate(self.target, t2, tv, &paths[slot].steps).ok_or_else(|| {
+                        navigate(&self.target, t2, tv, &paths[slot].steps).ok_or_else(|| {
                             mismatch(format!(
                                 "child path {} not present",
-                                paths[slot].display(self.target)
+                                paths[slot].display(&self.target)
                             ))
                         })?;
                     let child = t1.add_element(out, self.source.name(cty));
@@ -106,7 +106,7 @@ impl<'a> Embedding<'a> {
             Production::Disjunction { alts, allows_empty } => {
                 let mut found: Option<(usize, NodeId)> = None;
                 for (slot, &alt) in alts.iter().enumerate() {
-                    if let Some(node) = navigate(self.target, t2, tv, &paths[slot].steps) {
+                    if let Some(node) = navigate(&self.target, t2, tv, &paths[slot].steps) {
                         if let Some((other, _)) = found {
                             return Err(mismatch(format!(
                                 "both alternatives {} and {} are navigable",
@@ -130,7 +130,7 @@ impl<'a> Embedding<'a> {
             Production::Star(b) => {
                 let rp = &paths[0];
                 let mult = rp.first_star_step().expect("validated star path");
-                let Some(parent) = navigate(self.target, t2, tv, &rp.steps[..mult]) else {
+                let Some(parent) = navigate(&self.target, t2, tv, &rp.steps[..mult]) else {
                     return Err(mismatch("star path prefix not present".into()));
                 };
                 let suffix = &rp.steps[mult + 1..];
@@ -141,7 +141,7 @@ impl<'a> Embedding<'a> {
                     let node = if suffix.is_empty() {
                         rep
                     } else {
-                        navigate(self.target, t2, rep, suffix).ok_or_else(|| {
+                        navigate(&self.target, t2, rep, suffix).ok_or_else(|| {
                             mismatch("star path suffix not present in a repetition".into())
                         })?
                     };
@@ -156,16 +156,14 @@ impl<'a> Embedding<'a> {
 
 #[cfg(test)]
 mod tests {
-    use crate::embedding::tests::{wrap, wrap_embedding};
+    use crate::embedding::tests::{wrap, wrap_compiled};
     use crate::instmap::tests::{fig1, fig1_embedding};
-    use crate::Embedding;
     use xse_xmltree::parse_xml;
 
     #[test]
     fn wrap_roundtrip() {
         let (s1, s2) = wrap();
-        let (lambda, paths) = wrap_embedding(&s1, &s2);
-        let e = Embedding::new(&s1, &s2, lambda, paths).unwrap();
+        let e = wrap_compiled(&s1, &s2);
         for xml in [
             "<r><a>hi</a><b><c>1</c><c>2</c></b></r>",
             "<r><a>z</a><b/></r>",
@@ -205,12 +203,11 @@ mod tests {
     #[test]
     fn inverse_rejects_nonconforming_target() {
         let (s1, s2) = wrap();
-        let (lambda, paths) = wrap_embedding(&s1, &s2);
-        let e = Embedding::new(&s1, &s2, lambda, paths).unwrap();
+        let e = wrap_compiled(&s1, &s2);
         let bad = parse_xml("<r><x/></r>").unwrap();
         assert!(matches!(
             e.invert(&bad),
-            Err(crate::SchemaEmbeddingError::TargetInvalid(_))
+            Err(crate::EmbeddingError::TargetInvalid(_))
         ));
     }
 
@@ -242,9 +239,6 @@ mod tests {
         .unwrap();
         s.validate(&t2).unwrap();
         let err = e.invert(&t2).unwrap_err();
-        assert!(matches!(
-            err,
-            crate::SchemaEmbeddingError::InverseMismatch { .. }
-        ));
+        assert!(matches!(err, crate::EmbeddingError::InverseMismatch { .. }));
     }
 }

@@ -13,18 +13,34 @@
 //! * **prefix-free condition** — no sibling edge's path is a prefix of
 //!   another's.
 //!
-//! From a valid embedding this crate derives, per the paper's theorems:
+//! The crate is built around a *compile once, run many times* shape:
 //!
-//! * [`Embedding::apply`] — the instance mapping `σd` (algorithm `InstMap`,
-//!   Fig. 5), **type safe** and **injective** (Theorem 4.1), linear time;
-//! * [`Embedding::invert`] — `σd⁻¹` recovering the source document
+//! * [`EmbeddingBuilder`] assembles `(λ, path)` fluently, accumulating
+//!   errors instead of panicking;
+//! * [`CompiledEmbedding`] is the validated engine — **owned** (no lifetime
+//!   parameter, both DTDs held via `Arc`), **`Send + Sync`**, with the
+//!   schema graphs, canonicalized paths, minimum-default plans and `Tr`
+//!   translation tables all precomputed at build time;
+//! * every failure anywhere in the pipeline is one
+//!   [`EmbeddingError`] (`#[non_exhaustive]`).
+//!
+//! From a compiled embedding this crate derives, per the paper's theorems:
+//!
+//! * [`CompiledEmbedding::apply`] — the instance mapping `σd` (algorithm
+//!   `InstMap`, Fig. 5), **type safe** and **injective** (Theorem 4.1),
+//!   linear time — and [`CompiledEmbedding::apply_batch`], which fans a
+//!   slice of documents out over scoped threads;
+//! * [`CompiledEmbedding::invert`] — `σd⁻¹` recovering the source document
 //!   (Theorem 4.3a);
-//! * [`Embedding::translate`] — the schema-directed query translation `Tr`
-//!   into ANFA form with `Q(T) = idM(Tr(Q)(σd(T)))` (Theorem 4.3b), of size
-//!   `O(|Q|·|σ|·|S1|)`;
+//! * [`CompiledEmbedding::translate`] — the schema-directed query
+//!   translation `Tr` into ANFA form with `Q(T) = idM(Tr(Q)(σd(T)))`
+//!   (Theorem 4.3b), of size `O(|Q|·|σ|·|S1|)`;
 //! * [`preserve`] — executable checkers for all of the above, used by the
 //!   test suites and the experiment harness;
 //! * [`multi`] — embedding *multiple* sources into one target (§4.5).
+//!
+//! The lifetime-bound [`Embedding`] type is a deprecated shim over
+//! [`CompiledEmbedding`] kept for one release.
 
 mod embedding;
 mod error;
@@ -39,8 +55,12 @@ mod sim;
 mod translate;
 mod validity;
 
-pub use embedding::{Embedding, MappingOutput, PathMapping, TypeMapping};
-pub use error::SchemaEmbeddingError;
+#[allow(deprecated)]
+pub use embedding::Embedding;
+pub use embedding::{CompiledEmbedding, EmbeddingBuilder, MappingOutput, PathMapping, TypeMapping};
+pub use error::EmbeddingError;
+#[allow(deprecated)]
+pub use error::{SchemaEmbeddingError, TranslateError};
 pub use resolve::{PathClass, ResolvedPath, ResolvedStep};
 pub use sim::SimilarityMatrix;
-pub use translate::{TranslateError, Translated};
+pub use translate::Translated;

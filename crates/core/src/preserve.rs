@@ -12,7 +12,7 @@
 use xse_rxpath::XrQuery;
 use xse_xmltree::XmlTree;
 
-use crate::Embedding;
+use crate::CompiledEmbedding;
 
 /// Outcome of one preservation check; `Err` carries a human-readable
 /// explanation of the first violation.
@@ -20,7 +20,7 @@ pub type Check = Result<(), String>;
 
 /// Theorem 4.1 (type safety): map `t1` and validate the output against the
 /// target DTD.
-pub fn check_type_safety(e: &Embedding<'_>, t1: &XmlTree) -> Check {
+pub fn check_type_safety(e: &CompiledEmbedding, t1: &XmlTree) -> Check {
     let out = e.apply(t1).map_err(|x| x.to_string())?;
     e.target()
         .validate(&out.tree)
@@ -28,7 +28,7 @@ pub fn check_type_safety(e: &Embedding<'_>, t1: &XmlTree) -> Check {
 }
 
 /// Theorem 4.1 (injectivity): every source node has exactly one image.
-pub fn check_injectivity(e: &Embedding<'_>, t1: &XmlTree) -> Check {
+pub fn check_injectivity(e: &CompiledEmbedding, t1: &XmlTree) -> Check {
     let out = e.apply(t1).map_err(|x| x.to_string())?;
     // IdMap::insert already panics on duplicates; here we check totality.
     if out.idmap.len() != t1.len() {
@@ -47,7 +47,7 @@ pub fn check_injectivity(e: &Embedding<'_>, t1: &XmlTree) -> Check {
 }
 
 /// Theorem 4.3(a) (invertibility): `σd⁻¹(σd(T)) = T`.
-pub fn check_roundtrip(e: &Embedding<'_>, t1: &XmlTree) -> Check {
+pub fn check_roundtrip(e: &CompiledEmbedding, t1: &XmlTree) -> Check {
     let out = e.apply(t1).map_err(|x| x.to_string())?;
     let back = e.invert(&out.tree).map_err(|x| x.to_string())?;
     match back.first_difference(t1) {
@@ -59,7 +59,7 @@ pub fn check_roundtrip(e: &Embedding<'_>, t1: &XmlTree) -> Check {
 /// Theorem 4.3(b) (query preservation): `Q(T) = idM(Tr(Q)(σd(T)))`, with the
 /// additional strictness that translated queries must never match padding
 /// nodes (nodes outside `idM`'s domain).
-pub fn check_query_preservation(e: &Embedding<'_>, t1: &XmlTree, q: &XrQuery) -> Check {
+pub fn check_query_preservation(e: &CompiledEmbedding, t1: &XmlTree, q: &XrQuery) -> Check {
     let out = e.apply(t1).map_err(|x| x.to_string())?;
     let tr = e.translate(q).map_err(|x| x.to_string())?;
     let got = tr.eval(&out.tree);
@@ -84,7 +84,7 @@ pub fn check_query_preservation(e: &Embedding<'_>, t1: &XmlTree, q: &XrQuery) ->
 /// Theorem 4.3(b) size bound: `|Tr(Q)| ≤ |Q| · |σ| · |S1|` (up to the
 /// constant hidden by O(·); we check against the literal product, which the
 /// construction in fact respects).
-pub fn check_translation_bound(e: &Embedding<'_>, q: &XrQuery) -> Check {
+pub fn check_translation_bound(e: &CompiledEmbedding, q: &XrQuery) -> Check {
     let tr = e.translate(q).map_err(|x| x.to_string())?;
     let bound = q.size() * e.size().max(1) * e.source().type_count().max(1);
     if tr.size() > bound {
@@ -97,7 +97,7 @@ pub fn check_translation_bound(e: &Embedding<'_>, q: &XrQuery) -> Check {
 }
 
 /// Run every checker on one instance and a batch of queries.
-pub fn check_all(e: &Embedding<'_>, t1: &XmlTree, queries: &[XrQuery]) -> Check {
+pub fn check_all(e: &CompiledEmbedding, t1: &XmlTree, queries: &[XrQuery]) -> Check {
     check_type_safety(e, t1)?;
     check_injectivity(e, t1)?;
     check_roundtrip(e, t1)?;
@@ -111,8 +111,7 @@ pub fn check_all(e: &Embedding<'_>, t1: &XmlTree, queries: &[XrQuery]) -> Check 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::embedding::tests::{wrap, wrap_embedding};
-    use crate::Embedding;
+    use crate::embedding::tests::{wrap, wrap_compiled};
     use xse_dtd::{GenConfig, InstanceGenerator};
     use xse_rxpath::parse_query;
     use xse_xmltree::parse_xml;
@@ -120,8 +119,7 @@ mod tests {
     #[test]
     fn all_guarantees_hold_on_generated_instances() {
         let (s1, s2) = wrap();
-        let (lambda, paths) = wrap_embedding(&s1, &s2);
-        let e = Embedding::new(&s1, &s2, lambda, paths).unwrap();
+        let e = wrap_compiled(&s1, &s2);
         let queries: Vec<_> = [
             "a",
             "b/c",
@@ -143,8 +141,7 @@ mod tests {
     #[test]
     fn checkers_report_failures_readably() {
         let (s1, s2) = wrap();
-        let (lambda, paths) = wrap_embedding(&s1, &s2);
-        let e = Embedding::new(&s1, &s2, lambda, paths).unwrap();
+        let e = wrap_compiled(&s1, &s2);
         let bad = parse_xml("<r><b/><a>x</a></r>").unwrap();
         let err = check_type_safety(&e, &bad).unwrap_err();
         assert!(err.contains("source"), "{err}");

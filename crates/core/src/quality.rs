@@ -1,8 +1,8 @@
 //! Embedding quality (§4.1): `qual(σ, att) = Σ_A att(A, λ(A))`.
 
-use crate::{Embedding, SimilarityMatrix};
+use crate::{CompiledEmbedding, SimilarityMatrix};
 
-impl<'a> Embedding<'a> {
+impl CompiledEmbedding {
     /// The paper's quality metric: the sum of `att(A, λ(A))` over all source
     /// types. Higher is better; the maximum is `|E1|` (every type mapped to
     /// a perfect match).
@@ -16,14 +16,13 @@ impl<'a> Embedding<'a> {
 
 #[cfg(test)]
 mod tests {
-    use crate::embedding::tests::{wrap, wrap_embedding};
-    use crate::{Embedding, SimilarityMatrix};
+    use crate::embedding::tests::{wrap, wrap_compiled};
+    use crate::SimilarityMatrix;
 
     #[test]
     fn quality_sums_lambda_similarities() {
         let (s1, s2) = wrap();
-        let (lambda, paths) = wrap_embedding(&s1, &s2);
-        let e = Embedding::new(&s1, &s2, lambda, paths).unwrap();
+        let e = wrap_compiled(&s1, &s2);
         let att = SimilarityMatrix::permissive(&s1, &s2);
         assert_eq!(e.quality(&att), 4.0, "four source types, all at 1.0");
         let mut att = SimilarityMatrix::permissive(&s1, &s2);

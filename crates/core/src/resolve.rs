@@ -17,7 +17,7 @@ use std::fmt;
 use xse_dtd::{Dtd, EdgeKind, EdgeTarget, Production, SchemaGraph, TypeId};
 use xse_rxpath::{PathStep, XrPath};
 
-use crate::SchemaEmbeddingError;
+use crate::EmbeddingError;
 
 /// The paper's path classification (§4.1).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -200,8 +200,8 @@ pub fn resolve_path(
     graph: &SchemaGraph,
     origin: TypeId,
     path: &XrPath,
-) -> Result<ResolvedPath, SchemaEmbeddingError> {
-    let err = |reason: String| SchemaEmbeddingError::PathUnresolvable {
+) -> Result<ResolvedPath, EmbeddingError> {
+    let err = |reason: String| EmbeddingError::PathUnresolvable {
         from: target.name(origin).to_string(),
         path: path.to_string(),
         reason,
@@ -417,7 +417,7 @@ mod tests {
         let (d, g) = school();
         let origin = d.type_id("course").unwrap();
         let e = resolve_path(&d, &g, origin, &XrPath::parse("nothere").unwrap()).unwrap_err();
-        assert!(matches!(e, SchemaEmbeddingError::PathUnresolvable { .. }));
+        assert!(matches!(e, EmbeddingError::PathUnresolvable { .. }));
         let e = resolve_path(&d, &g, origin, &XrPath::parse("basic/text()").unwrap()).unwrap_err();
         assert!(e.to_string().contains("str production"), "{e}");
     }

@@ -24,19 +24,18 @@
 //!   constant `k = 1`;
 //! * position qualifiers that cannot be decomposed this way (e.g. under
 //!   `¬`/`∨` at a concat context, or on a non-step path) are reported as
-//!   [`TranslateError::UnsupportedPosition`] instead of being silently
+//!   [`EmbeddingError::UnsupportedPosition`] instead of being silently
 //!   mistranslated.
 
 use std::collections::HashMap;
-use std::fmt;
 
 use xse_anfa::{Anfa, Annot, StateId, Trans};
-use xse_dtd::{Production, TypeId};
+use xse_dtd::{Dtd, Production, TypeId};
 use xse_rxpath::{Qualifier, XrQuery};
 use xse_xmltree::{NodeId, XmlTree};
 
 use crate::resolve::ResolvedPath;
-use crate::Embedding;
+use crate::{CompiledEmbedding, EmbeddingError};
 
 /// What a final state's matches correspond to on the source side —
 /// the paper's `lab(f, M, A)`.
@@ -69,28 +68,6 @@ impl Translated {
         self.anfa.size()
     }
 }
-
-/// Translation failures (all about unsupported `position()` placements; the
-/// supported fragment covers every construction the paper's algorithms
-/// rely on).
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum TranslateError {
-    /// A `position()` qualifier sits on a non-step path or inside a Boolean
-    /// context where occurrence selection is not expressible.
-    UnsupportedPosition(String),
-}
-
-impl fmt::Display for TranslateError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            TranslateError::UnsupportedPosition(q) => {
-                write!(f, "unsupported position() placement in {q:?}")
-            }
-        }
-    }
-}
-
-impl std::error::Error for TranslateError {}
 
 /// Working result of `Trl`: an automaton fragment plus labeled finals.
 struct Trl {
@@ -128,9 +105,9 @@ impl Trl {
     }
 }
 
-impl<'a> Embedding<'a> {
+impl CompiledEmbedding {
     /// Translate a source query: `Tr(Q) = Trl(Q, r1)`, pruned.
-    pub fn translate(&self, q: &XrQuery) -> Result<Translated, TranslateError> {
+    pub fn translate(&self, q: &XrQuery) -> Result<Translated, EmbeddingError> {
         let mut t = self.trl(q, self.source.root())?;
         let remap = t.anfa.prune_map();
         let labels = t
@@ -145,7 +122,7 @@ impl<'a> Embedding<'a> {
     }
 
     /// The local translation `Trl(Q1, A)`.
-    fn trl(&self, q: &XrQuery, a: TypeId) -> Result<Trl, TranslateError> {
+    fn trl(&self, q: &XrQuery, a: TypeId) -> Result<Trl, EmbeddingError> {
         Ok(match q {
             // (a) ε — empty automaton, final at start, labeled A.
             XrQuery::Empty => {
@@ -220,7 +197,7 @@ impl<'a> Embedding<'a> {
             }
         };
         let mut occ_seen = 0usize;
-        for (slot, rp) in self.paths_of(a).iter().enumerate() {
+        for slot in 0..self.paths_of(a).len() {
             let Some(cty) = child_of(slot) else { continue };
             if self.source.name(cty) != name {
                 continue;
@@ -236,8 +213,9 @@ impl<'a> Embedding<'a> {
                     continue;
                 }
             }
-            let chain = self.path_chain(
-                rp,
+            let chain = self.chain_automaton(
+                a,
+                slot,
                 occurrence.filter(|_| matches!(prod, Production::Star(_))),
             );
             let finals = out.splice(
@@ -266,8 +244,7 @@ impl<'a> Embedding<'a> {
         if !matches!(self.source.production(a), Production::Str) {
             return Trl::fail();
         }
-        let rp = &self.paths_of(a)[0];
-        let chain = self.path_chain(rp, None);
+        let chain = self.chain_automaton(a, 0, None);
         let finals: Vec<(StateId, Lab)> =
             chain.finals().into_iter().map(|f| (f, Lab::Str)).collect();
         Trl {
@@ -276,40 +253,20 @@ impl<'a> Embedding<'a> {
         }
     }
 
-    /// Compile a resolved path into a linear automaton; `mult_pos` attaches
-    /// an extra `position()` check at the multiplicity step (used when a
-    /// source star child is selected by position).
-    fn path_chain(&self, rp: &ResolvedPath, mult_pos: Option<usize>) -> Anfa {
-        let mut m = Anfa::new();
-        let mut cur = m.start();
-        let mult_idx = rp.first_star_step();
-        for (i, step) in rp.steps.iter().enumerate() {
-            let next = m.add_state();
-            m.add_transition(cur, Trans::Label(self.target.name(step.ty).into()), next);
-            if step.needs_pos_check {
-                if let Some(k) = step.pos {
-                    m.annotate(next, Annot::Position(k));
-                }
-            }
-            if Some(i) == mult_idx {
-                if let Some(k) = mult_pos {
-                    m.annotate(next, Annot::Position(k));
-                }
-            }
-            cur = next;
+    /// The linear automaton of the path at `(a, slot)`. Unpositioned chains
+    /// come straight out of the precomputed translation table; `mult_pos`
+    /// (an extra `position()` check at the multiplicity step, used when a
+    /// source star child is selected by position) forces a fresh compile.
+    fn chain_automaton(&self, a: TypeId, slot: usize, mult_pos: Option<usize>) -> Anfa {
+        match mult_pos {
+            None => self.chains[a.index()][slot].clone(),
+            Some(_) => compile_chain(&self.target, &self.resolved[a.index()][slot], mult_pos),
         }
-        if rp.text_tail {
-            let next = m.add_state();
-            m.add_transition(cur, Trans::Text, next);
-            cur = next;
-        }
-        m.set_final(cur, true);
-        m
     }
 
     /// Case (d): feed each final of `tx` (grouped by label) into the
     /// translation of `rest` at that label's type.
-    fn continue_with(&self, tx: Trl, rest: &XrQuery) -> Result<Trl, TranslateError> {
+    fn continue_with(&self, tx: Trl, rest: &XrQuery) -> Result<Trl, EmbeddingError> {
         let mut out = tx;
         let prior = std::mem::take(&mut out.finals);
         // One continuation automaton per distinct label.
@@ -363,7 +320,7 @@ impl<'a> Embedding<'a> {
     /// reachable through iterations, with every `B`-labeled final wired to
     /// that copy's start (also for already-visited types: cycles need the
     /// back edges the paper's loop leaves implicit).
-    fn trl_star(&self, p: &XrQuery, a: TypeId) -> Result<Trl, TranslateError> {
+    fn trl_star(&self, p: &XrQuery, a: TypeId) -> Result<Trl, EmbeddingError> {
         let mut out = Trl {
             anfa: Anfa::empty_query(),
             finals: Vec::new(),
@@ -406,7 +363,7 @@ impl<'a> Embedding<'a> {
     }
 
     /// Case (e) with the position() special cases.
-    fn trl_qualified(&self, p: &XrQuery, q: &Qualifier, a: TypeId) -> Result<Trl, TranslateError> {
+    fn trl_qualified(&self, p: &XrQuery, q: &Qualifier, a: TypeId) -> Result<Trl, EmbeddingError> {
         // Decompose the qualifier into top-level conjuncts, separating
         // position-only parts from position-free parts. Constant conjuncts
         // (pure true/¬true combinations) fold away first.
@@ -425,7 +382,7 @@ impl<'a> Embedding<'a> {
             } else if qualifier_is_position_free(c) {
                 pos_free.push(c);
             } else {
-                return Err(TranslateError::UnsupportedPosition(format!("{p}[{q}]")));
+                return Err(EmbeddingError::UnsupportedPosition(format!("{p}[{q}]")));
             }
         }
 
@@ -449,7 +406,7 @@ impl<'a> Embedding<'a> {
                         // Only a plain `position() = k` conjunction selects
                         // an occurrence.
                         let Some(k) = single_position(&pos_only) else {
-                            return Err(TranslateError::UnsupportedPosition(format!("{p}[{q}]")));
+                            return Err(EmbeddingError::UnsupportedPosition(format!("{p}[{q}]")));
                         };
                         self.trl_label(a, name, Some(k))
                     }
@@ -461,11 +418,11 @@ impl<'a> Embedding<'a> {
                         Some(1) => self.trl(p, a)?,
                         Some(_) => Trl::fail(),
                         None => {
-                            return Err(TranslateError::UnsupportedPosition(format!("{p}[{q}]")))
+                            return Err(EmbeddingError::UnsupportedPosition(format!("{p}[{q}]")))
                         }
                     }
                 }
-                _ => return Err(TranslateError::UnsupportedPosition(format!("{p}[{q}]"))),
+                _ => return Err(EmbeddingError::UnsupportedPosition(format!("{p}[{q}]"))),
             }
         };
 
@@ -484,7 +441,7 @@ impl<'a> Embedding<'a> {
     }
 
     /// Cases (f)–(j): qualifier → annotation, at context label `lab`.
-    fn trl_qual(&self, q: &Qualifier, lab: Lab) -> Result<Option<Annot>, TranslateError> {
+    fn trl_qual(&self, q: &Qualifier, lab: Lab) -> Result<Option<Annot>, EmbeddingError> {
         let ctx = match lab {
             Lab::Type(t) => Some(t),
             Lab::Str => None,
@@ -508,7 +465,7 @@ impl<'a> Embedding<'a> {
             Qualifier::Position(_) => {
                 // Bare positions are handled by trl_qualified; reaching here
                 // means an unsupported nesting.
-                return Err(TranslateError::UnsupportedPosition(q.to_string()));
+                return Err(EmbeddingError::UnsupportedPosition(q.to_string()));
             }
             Qualifier::Not(x) => match self.trl_qual(x, lab)? {
                 None => Annot::Exists(Box::new(Anfa::fail())), // ¬true
@@ -603,9 +560,55 @@ fn positions_to_annot(pos_only: &[&Qualifier]) -> Annot {
         .expect("nonempty")
 }
 
+/// Compile a resolved path into a linear automaton; `mult_pos` attaches
+/// an extra `position()` check at the multiplicity step (used when a
+/// source star child is selected by position).
+fn compile_chain(target: &Dtd, rp: &ResolvedPath, mult_pos: Option<usize>) -> Anfa {
+    let mut m = Anfa::new();
+    let mut cur = m.start();
+    let mult_idx = rp.first_star_step();
+    for (i, step) in rp.steps.iter().enumerate() {
+        let next = m.add_state();
+        m.add_transition(cur, Trans::Label(target.name(step.ty).into()), next);
+        if step.needs_pos_check {
+            if let Some(k) = step.pos {
+                m.annotate(next, Annot::Position(k));
+            }
+        }
+        if Some(i) == mult_idx {
+            if let Some(k) = mult_pos {
+                m.annotate(next, Annot::Position(k));
+            }
+        }
+        cur = next;
+    }
+    if rp.text_tail {
+        let next = m.add_state();
+        m.add_transition(cur, Trans::Text, next);
+        cur = next;
+    }
+    m.set_final(cur, true);
+    m
+}
+
+/// Precompile every `(source type, edge slot)` path into its base chain
+/// automaton — the translation table a [`CompiledEmbedding`] carries so
+/// `Tr` clones chains instead of rebuilding them per query.
+pub(crate) fn chain_tables(target: &Dtd, resolved: &[Vec<ResolvedPath>]) -> Vec<Vec<Anfa>> {
+    resolved
+        .iter()
+        .map(|per_type| {
+            per_type
+                .iter()
+                .map(|rp| compile_chain(target, rp, None))
+                .collect()
+        })
+        .collect()
+}
+
 /// Attach `annot` at the multiplicity state of the (single) star path of
 /// source type `a` inside a freshly built `trl_label` automaton.
-fn annotate_multiplicity(t: &mut Trl, emb: &Embedding<'_>, a: TypeId, annot: Annot) {
+fn annotate_multiplicity(t: &mut Trl, emb: &CompiledEmbedding, a: TypeId, annot: Annot) {
     let rp = &emb.paths_of(a)[0];
     let mult = rp.first_star_step().expect("star source edge");
     // trl_label built: start --ε--> chain of |steps| states; the chain
@@ -618,14 +621,13 @@ fn annotate_multiplicity(t: &mut Trl, emb: &Embedding<'_>, a: TypeId, annot: Ann
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::embedding::tests::{wrap, wrap_embedding};
+    use crate::embedding::tests::{wrap, wrap_compiled};
     use crate::instmap::tests::{fig1, fig1_embedding};
-    use crate::Embedding;
     use xse_rxpath::parse_query;
     use xse_xmltree::parse_xml;
 
     /// End-to-end check: Q(T) == idM(Tr(Q)(σd(T))).
-    fn preserved(e: &Embedding<'_>, t1: &xse_xmltree::XmlTree, queries: &[&str]) {
+    fn preserved(e: &CompiledEmbedding, t1: &xse_xmltree::XmlTree, queries: &[&str]) {
         let out = e.apply(t1).unwrap();
         for qs in queries {
             let q = parse_query(qs).unwrap();
@@ -652,8 +654,7 @@ mod tests {
     #[test]
     fn wrap_translation_preserves_queries() {
         let (s1, s2) = wrap();
-        let (lambda, paths) = wrap_embedding(&s1, &s2);
-        let e = Embedding::new(&s1, &s2, lambda, paths).unwrap();
+        let e = wrap_compiled(&s1, &s2);
         let t1 = parse_xml("<r><a>hi</a><b><c>1</c><c>2</c><c>1</c></b></r>").unwrap();
         preserved(
             &e,
@@ -760,13 +761,12 @@ mod tests {
             .empty("C")
             .build()
             .unwrap();
-        let lambda = crate::TypeMapping::by_same_name(&s1, &s2).unwrap();
-        let mut paths = crate::PathMapping::new(&s1);
-        paths
-            .edge(&s1, "r", "A", "A")
-            .edge(&s1, "A", "B", "B")
-            .edge(&s1, "B", "C", "C");
-        let e = Embedding::new(&s1, &s2, lambda, paths).unwrap();
+        let e = crate::EmbeddingBuilder::new(s1, s2)
+            .edge("r", "A", "A")
+            .edge("A", "B", "B")
+            .edge("B", "C", "C")
+            .build()
+            .unwrap();
         let t1 = parse_xml("<r><A><B/></A></r>").unwrap();
         preserved(&e, &t1, &["(A | B | C)*", "A/B", "A/B/C", ".//C"]);
     }
@@ -774,26 +774,24 @@ mod tests {
     #[test]
     fn unsupported_positions_error_cleanly() {
         let (s1, s2) = wrap();
-        let (lambda, paths) = wrap_embedding(&s1, &s2);
-        let e = Embedding::new(&s1, &s2, lambda, paths).unwrap();
+        let e = wrap_compiled(&s1, &s2);
         let q = parse_query("(a | b)[position() = 1]").unwrap();
         assert!(matches!(
             e.translate(&q),
-            Err(TranslateError::UnsupportedPosition(_))
+            Err(EmbeddingError::UnsupportedPosition(_))
         ));
         // position under Or at a concat context is also unsupported…
         let q = parse_query("a[position() = 1 or b]").unwrap();
         assert!(matches!(
             e.translate(&q),
-            Err(TranslateError::UnsupportedPosition(_))
+            Err(EmbeddingError::UnsupportedPosition(_))
         ));
     }
 
     #[test]
     fn star_context_boolean_positions_work() {
         let (s1, s2) = wrap();
-        let (lambda, paths) = wrap_embedding(&s1, &s2);
-        let e = Embedding::new(&s1, &s2, lambda, paths).unwrap();
+        let e = wrap_compiled(&s1, &s2);
         let t1 = parse_xml("<r><a>x</a><b><c>1</c><c>2</c><c>3</c></b></r>").unwrap();
         preserved(
             &e,
@@ -809,8 +807,7 @@ mod tests {
     #[test]
     fn nonexistent_labels_translate_to_fail() {
         let (s1, s2) = wrap();
-        let (lambda, paths) = wrap_embedding(&s1, &s2);
-        let e = Embedding::new(&s1, &s2, lambda, paths).unwrap();
+        let e = wrap_compiled(&s1, &s2);
         let q = parse_query("ghost/child").unwrap();
         let tr = e.translate(&q).unwrap();
         assert!(tr.anfa.is_fail());

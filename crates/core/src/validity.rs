@@ -19,7 +19,7 @@ use xse_rxpath::XrPath;
 
 use crate::embedding::TypeMapping;
 use crate::resolve::ResolvedPath;
-use crate::SchemaEmbeddingError;
+use crate::EmbeddingError;
 
 /// Normalize positions in `rp` and check the path-type condition for the
 /// single source edge `edge` (with original syntax `p` for error messages).
@@ -30,10 +30,10 @@ pub(crate) fn normalize_and_check_edge(
     edge: &Edge,
     p: &XrPath,
     rp: &mut ResolvedPath,
-) -> Result<(), SchemaEmbeddingError> {
+) -> Result<(), EmbeddingError> {
     let from = source.name(edge.parent).to_string();
     if rp.is_empty() {
-        return Err(SchemaEmbeddingError::PathUnresolvable {
+        return Err(EmbeddingError::PathUnresolvable {
             from,
             path: p.to_string(),
             reason: "an edge must map to a nonempty path (k ≥ 1)".into(),
@@ -45,7 +45,7 @@ pub(crate) fn normalize_and_check_edge(
     // Position canonicalization.
     if is_star_edge {
         let Some(mult) = rp.first_star_step() else {
-            return Err(SchemaEmbeddingError::PathKind {
+            return Err(EmbeddingError::PathKind {
                 from,
                 path: p.to_string(),
                 expected: "a STAR path",
@@ -53,7 +53,7 @@ pub(crate) fn normalize_and_check_edge(
             });
         };
         if rp.steps[mult].pos.is_some() {
-            return Err(SchemaEmbeddingError::StarPositionPinned {
+            return Err(EmbeddingError::StarPositionPinned {
                 from,
                 path: p.to_string(),
             });
@@ -76,7 +76,7 @@ pub(crate) fn normalize_and_check_edge(
     let expected: &'static str = match edge.kind {
         _ if is_str_edge => {
             if !rp.text_tail {
-                return Err(SchemaEmbeddingError::PathKind {
+                return Err(EmbeddingError::PathKind {
                     from,
                     path: p.to_string(),
                     expected: "an AND path ending with text()",
@@ -84,7 +84,7 @@ pub(crate) fn normalize_and_check_edge(
                 });
             }
             if !class.is_and() {
-                return Err(SchemaEmbeddingError::PathKind {
+                return Err(EmbeddingError::PathKind {
                     from,
                     path: p.to_string(),
                     expected: "an AND path ending with text()",
@@ -95,7 +95,7 @@ pub(crate) fn normalize_and_check_edge(
         }
         xse_dtd::EdgeKind::And { .. } => {
             if rp.text_tail {
-                return Err(SchemaEmbeddingError::PathKind {
+                return Err(EmbeddingError::PathKind {
                     from,
                     path: p.to_string(),
                     expected: "an AND path to an element type",
@@ -103,7 +103,7 @@ pub(crate) fn normalize_and_check_edge(
                 });
             }
             if !class.is_and() {
-                return Err(SchemaEmbeddingError::PathKind {
+                return Err(EmbeddingError::PathKind {
                     from,
                     path: p.to_string(),
                     expected: "an AND path",
@@ -114,7 +114,7 @@ pub(crate) fn normalize_and_check_edge(
         }
         xse_dtd::EdgeKind::Or => {
             if rp.text_tail {
-                return Err(SchemaEmbeddingError::PathKind {
+                return Err(EmbeddingError::PathKind {
                     from,
                     path: p.to_string(),
                     expected: "an OR path to an element type",
@@ -122,7 +122,7 @@ pub(crate) fn normalize_and_check_edge(
                 });
             }
             if !class.is_or() {
-                return Err(SchemaEmbeddingError::PathKind {
+                return Err(EmbeddingError::PathKind {
                     from,
                     path: p.to_string(),
                     expected: "an OR path",
@@ -133,7 +133,7 @@ pub(crate) fn normalize_and_check_edge(
         }
         xse_dtd::EdgeKind::Star => {
             if rp.text_tail {
-                return Err(SchemaEmbeddingError::PathKind {
+                return Err(EmbeddingError::PathKind {
                     from,
                     path: p.to_string(),
                     expected: "a STAR path to an element type",
@@ -141,7 +141,7 @@ pub(crate) fn normalize_and_check_edge(
                 });
             }
             if !class.is_star() {
-                return Err(SchemaEmbeddingError::PathKind {
+                return Err(EmbeddingError::PathKind {
                     from,
                     path: p.to_string(),
                     expected: "a STAR path",
@@ -157,7 +157,7 @@ pub(crate) fn normalize_and_check_edge(
     if let EdgeTarget::Type(b) = edge.target {
         let expected_ty = lambda.get(b);
         if rp.endpoint() != expected_ty {
-            return Err(SchemaEmbeddingError::PathWrongEndpoint {
+            return Err(EmbeddingError::PathWrongEndpoint {
                 from,
                 path: p.to_string(),
                 expected: target.name(expected_ty).to_string(),
@@ -174,7 +174,7 @@ pub(crate) fn check_prefix_free(
     target: &Dtd,
     a: TypeId,
     paths: &[ResolvedPath],
-) -> Result<(), SchemaEmbeddingError> {
+) -> Result<(), EmbeddingError> {
     // The condition applies to concatenations and disjunctions — the only
     // productions with sibling edges — but conflicts are impossible
     // elsewhere (single edge), so checking unconditionally is free.
@@ -182,7 +182,7 @@ pub(crate) fn check_prefix_free(
     for i in 0..paths.len() {
         for j in (i + 1)..paths.len() {
             if paths[i].conflicts_with(&paths[j]) {
-                return Err(SchemaEmbeddingError::PrefixConflict {
+                return Err(EmbeddingError::PrefixConflict {
                     ty: source.name(a).to_string(),
                     path_a: paths[i].display(target),
                     path_b: paths[j].display(target),
@@ -212,7 +212,7 @@ pub(crate) fn check_disjunction_distinguishability(
     a: TypeId,
     paths: &[crate::resolve::ResolvedPath],
     plans: &[xse_dtd::MindefPlan],
-) -> Result<(), SchemaEmbeddingError> {
+) -> Result<(), EmbeddingError> {
     use crate::pfrag::{materialize, Fragment, Terminal};
     let Production::Disjunction { alts, allows_empty } = source.production(a) else {
         return Ok(());
@@ -239,7 +239,7 @@ pub(crate) fn check_disjunction_distinguishability(
                 continue;
             }
             if crate::inverse::navigate(target, &tree, root, &p.steps).is_some() {
-                return Err(SchemaEmbeddingError::AlternativeAliased {
+                return Err(EmbeddingError::AlternativeAliased {
                     ty: source.name(a).to_string(),
                     probe: p.display(target),
                     scenario: match scn {
@@ -255,9 +255,22 @@ pub(crate) fn check_disjunction_distinguishability(
 
 #[cfg(test)]
 mod tests {
-    use crate::embedding::{Embedding, PathMapping, TypeMapping};
-    use crate::SchemaEmbeddingError;
+    use crate::embedding::{CompiledEmbedding, EmbeddingBuilder, TypeMapping};
+    use crate::EmbeddingError;
     use xse_dtd::Dtd;
+
+    fn builder(
+        s1: &Dtd,
+        s2: &Dtd,
+        lambda: TypeMapping,
+        edges: &[(&str, &str, &str)],
+    ) -> EmbeddingBuilder {
+        let mut b = EmbeddingBuilder::new(s1.clone(), s2.clone()).with_lambda(lambda);
+        for (a, c, p) in edges {
+            b = b.edge(a, c, p);
+        }
+        b
+    }
 
     /// Figure 3 of the paper: five mini scenarios for the validity
     /// conditions. Types in the source map to same-named primed types —
@@ -267,12 +280,17 @@ mod tests {
         s2: &Dtd,
         lambda: TypeMapping,
         edges: &[(&str, &str, &str)],
-    ) -> Result<usize, SchemaEmbeddingError> {
-        let mut paths = PathMapping::new(s1);
-        for (a, b, p) in edges {
-            paths.edge(s1, a, b, p);
-        }
-        Embedding::new(s1, s2, lambda, paths).map(|e| e.size())
+    ) -> Result<usize, EmbeddingError> {
+        builder(s1, s2, lambda, edges).build().map(|e| e.size())
+    }
+
+    fn compile(
+        s1: &Dtd,
+        s2: &Dtd,
+        lambda: TypeMapping,
+        edges: &[(&str, &str, &str)],
+    ) -> Result<CompiledEmbedding, EmbeddingError> {
+        builder(s1, s2, lambda, edges).build()
     }
 
     #[test]
@@ -295,7 +313,7 @@ mod tests {
         assert!(
             matches!(
                 e,
-                SchemaEmbeddingError::PathKind {
+                EmbeddingError::PathKind {
                     expected: "an AND path",
                     ..
                 }
@@ -318,7 +336,7 @@ mod tests {
         assert!(
             matches!(
                 e,
-                SchemaEmbeddingError::PathKind {
+                EmbeddingError::PathKind {
                     expected: "a STAR path",
                     ..
                 }
@@ -374,10 +392,7 @@ mod tests {
             .unwrap();
         let lambda = TypeMapping::by_same_name(&s1, &s2).unwrap();
         let e = try_embed(&s1, &s2, lambda, &[("A", "B", "B"), ("A", "C", "B/C")]).unwrap_err();
-        assert!(
-            matches!(e, SchemaEmbeddingError::PrefixConflict { .. }),
-            "{e}"
-        );
+        assert!(matches!(e, EmbeddingError::PrefixConflict { .. }), "{e}");
     }
 
     #[test]
@@ -428,7 +443,7 @@ mod tests {
         assert!(
             matches!(
                 e,
-                SchemaEmbeddingError::PathKind {
+                EmbeddingError::PathKind {
                     expected: "an OR path",
                     ..
                 }
@@ -447,7 +462,7 @@ mod tests {
             .unwrap();
         let lambda = TypeMapping::from_fn(&s1, |_| s2.root());
         let e = try_embed(&s1, &s2, lambda.clone(), &[("A", "str", "B")]).unwrap_err();
-        assert!(matches!(e, SchemaEmbeddingError::PathKind { .. }), "{e}");
+        assert!(matches!(e, EmbeddingError::PathKind { .. }), "{e}");
         let n = try_embed(&s1, &s2, lambda, &[("A", "str", "B/text()")]).unwrap();
         assert_eq!(n, 2);
     }
@@ -459,7 +474,7 @@ mod tests {
         let lambda = TypeMapping::by_same_name(&s1, &s2).unwrap();
         let e = try_embed(&s1, &s2, lambda, &[("A", "B", "B[position() = 1]")]).unwrap_err();
         assert!(
-            matches!(e, SchemaEmbeddingError::StarPositionPinned { .. }),
+            matches!(e, EmbeddingError::StarPositionPinned { .. }),
             "{e}"
         );
     }
@@ -479,9 +494,7 @@ mod tests {
             .build()
             .unwrap();
         let lambda = TypeMapping::by_same_name(&s1, &s2).unwrap();
-        let mut paths = PathMapping::new(&s1);
-        paths.edge(&s1, "A", "B", "W/B");
-        let e = Embedding::new(&s1, &s2, lambda, paths).unwrap();
+        let e = compile(&s1, &s2, lambda, &[("A", "B", "W/B")]).unwrap();
         let rp = e.path(s1.root(), 0);
         assert_eq!(rp.steps[0].pos, Some(1), "star step canonicalized");
         assert!(e.describe().contains("W[position() = 1]/B[position() = 1]"));
@@ -501,9 +514,7 @@ mod tests {
             .build()
             .unwrap();
         let lambda = TypeMapping::by_same_name(&s1, &s2).unwrap();
-        let mut paths = PathMapping::new(&s1);
-        paths.edge(&s1, "A", "B", "M/N/B");
-        let e = Embedding::new(&s1, &s2, lambda, paths).unwrap();
+        let e = compile(&s1, &s2, lambda, &[("A", "B", "M/N/B")]).unwrap();
         let rp = e.path(s1.root(), 0);
         assert_eq!(rp.steps[0].pos, None);
         assert_eq!(rp.steps[1].pos, Some(1));
@@ -523,12 +534,7 @@ mod tests {
             .build()
             .unwrap();
         let lambda = TypeMapping::by_same_name(&s1, &s2).unwrap();
-        let mut paths = PathMapping::new(&s1);
-        paths.edge(&s1, "A", "B", "X");
-        let e = Embedding::new(&s1, &s2, lambda, paths).unwrap_err();
-        assert!(
-            matches!(e, SchemaEmbeddingError::PathWrongEndpoint { .. }),
-            "{e}"
-        );
+        let e = try_embed(&s1, &s2, lambda, &[("A", "B", "X")]).unwrap_err();
+        assert!(matches!(e, EmbeddingError::PathWrongEndpoint { .. }), "{e}");
     }
 }

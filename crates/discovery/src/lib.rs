@@ -21,8 +21,10 @@
 //!   a conflict graph; a greedy + local-search WIS heuristic substitutes
 //!   for the quadratic-over-a-sphere solver of Busygin et al.);
 //! * every assembled candidate is re-validated by
-//!   [`Embedding::new`](xse_core::Embedding::new), so a returned embedding
-//!   is always sound — heuristics can only cause false negatives.
+//!   [`CompiledEmbedding::new`](xse_core::CompiledEmbedding::new), so a
+//!   returned embedding is always sound — heuristics can only cause false
+//!   negatives. [`find_embedding`] hands back the owned, `Send + Sync`
+//!   compiled engine, ready to be shared across threads.
 
 pub mod index;
 pub mod pfp;

@@ -9,14 +9,16 @@
 //! Combinations are tried up to a budget; a full failure restarts the
 //! whole assembly with a fresh random order (the paper's restart loop).
 //!
-//! Every assembled candidate passes through [`Embedding::new`], so
+//! Every assembled candidate passes through [`CompiledEmbedding::new`], so
 //! discovery never returns an invalid embedding.
+
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
-use xse_core::{Embedding, PathMapping, SchemaEmbeddingError, SimilarityMatrix, TypeMapping};
+use xse_core::{CompiledEmbedding, EmbeddingError, PathMapping, SimilarityMatrix, TypeMapping};
 use xse_dtd::{Dtd, Production, SchemaGraph, TypeId};
 
 use crate::index::ReachIndex;
@@ -80,27 +82,33 @@ pub struct DiscoveryStats {
 
 /// Find a valid schema embedding `S1 → S2` w.r.t. `att`, or `None` if the
 /// heuristics fail (the problem is NP-complete, Theorem 5.1 — failure does
-/// not prove non-existence).
-pub fn find_embedding<'a>(
-    source: &'a Dtd,
-    target: &'a Dtd,
+/// not prove non-existence). The result is an owned
+/// [`CompiledEmbedding`] — it does not borrow the input DTDs (they are
+/// cloned once into shared `Arc`s), so it can be stored, sent across
+/// threads, and reused long after discovery.
+pub fn find_embedding(
+    source: &Dtd,
+    target: &Dtd,
     att: &SimilarityMatrix,
     cfg: &DiscoveryConfig,
-) -> Option<Embedding<'a>> {
+) -> Option<CompiledEmbedding> {
     find_embedding_with_stats(source, target, att, cfg).0
 }
 
 /// [`find_embedding`] plus search counters (for the experiment harness).
-pub fn find_embedding_with_stats<'a>(
-    source: &'a Dtd,
-    target: &'a Dtd,
+pub fn find_embedding_with_stats(
+    source: &Dtd,
+    target: &Dtd,
     att: &SimilarityMatrix,
     cfg: &DiscoveryConfig,
-) -> (Option<Embedding<'a>>, DiscoveryStats) {
+) -> (Option<CompiledEmbedding>, DiscoveryStats) {
     let mut stats = DiscoveryStats::default();
     if att.dims() != (source.type_count(), target.type_count()) {
         return (None, stats);
     }
+    // One owned copy of each schema; every validated candidate shares them.
+    let source_arc = Arc::new(source.clone());
+    let target_arc = Arc::new(target.clone());
     let src_graph = SchemaGraph::new(source);
     let tgt_graph = SchemaGraph::new(target);
     let idx = ReachIndex::new(target, &tgt_graph);
@@ -130,15 +138,20 @@ pub fn find_embedding_with_stats<'a>(
             None
         };
         if let Some((lambda, paths)) = env.attempt(&mut rng, attempt, seed_lambda, &mut stats) {
-            match Embedding::new(source, target, lambda, paths) {
+            match CompiledEmbedding::new(
+                Arc::clone(&source_arc),
+                Arc::clone(&target_arc),
+                lambda,
+                paths,
+            ) {
                 Ok(e) => {
                     if e.check_similarity(att).is_ok() {
                         return (Some(e), stats);
                     }
                     stats.validation_rejects += 1;
                 }
-                Err(SchemaEmbeddingError::AlternativeAliased { .. })
-                | Err(SchemaEmbeddingError::PrefixConflict { .. }) => {
+                Err(EmbeddingError::AlternativeAliased { .. })
+                | Err(EmbeddingError::PrefixConflict { .. }) => {
                     stats.validation_rejects += 1;
                 }
                 Err(_) => {
@@ -194,7 +207,7 @@ impl<'e> Env<'e> {
             None => vec![None; n],
         };
         lambda[self.source.root().index()] = Some(self.target.root());
-        let mut paths = PathMapping::new(self.source);
+        let mut paths = PathMapping::new_with_graph(self.source, self.src_graph);
 
         for a in self.bfs_order() {
             let la = lambda[a.index()].expect("BFS order guarantees assignment");
@@ -359,7 +372,6 @@ impl<'e> Env<'e> {
             }
             Production::Str | Production::Empty => unreachable!("handled by solve_type"),
         }
-        let _ = self.src_graph;
         pfp::solve(
             self.target,
             self.tgt_graph,

@@ -90,13 +90,12 @@ impl Dtd {
     /// dropped; `B*` with unproductive `B` becomes `ε` (its only instances
     /// had zero children anyway).
     ///
-    /// # Errors
-    /// Returns `Err(())` when the root itself is unproductive — the DTD has
+    /// Returns `None` when the root itself is unproductive — the DTD has
     /// no instances at all and no consistent equivalent exists.
-    pub fn reduce(&self) -> Result<(Dtd, HashMap<TypeId, TypeId>), ()> {
+    pub fn reduce(&self) -> Option<(Dtd, HashMap<TypeId, TypeId>)> {
         let productive = self.productive_types();
         if !productive[self.root.index()] {
-            return Err(());
+            return None;
         }
         let reach = self.instance_reachable(&productive);
         let keep: Vec<TypeId> = self
@@ -152,7 +151,7 @@ impl Dtd {
             .enumerate()
             .map(|(i, d)| (d.name.clone(), TypeId::from_index(i)))
             .collect();
-        Ok((
+        Some((
             Dtd {
                 defs,
                 by_name,
@@ -235,7 +234,7 @@ mod tests {
     #[test]
     fn unproductive_root_is_an_error() {
         let d = Dtd::builder("r").concat("r", &["r"]).build().unwrap();
-        assert!(d.reduce().is_err());
+        assert!(d.reduce().is_none());
         assert!(!d.is_consistent());
     }
 

@@ -68,6 +68,7 @@ pub struct Edge {
 
 /// The graph `G_S` of a DTD: one node per element type (plus the implicit
 /// `str` leaves), and typed edges derived from the productions.
+#[derive(Clone, Debug)]
 pub struct SchemaGraph {
     /// Outgoing edges per type, indexed by `TypeId`.
     out: Vec<Vec<Edge>>,

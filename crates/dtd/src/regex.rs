@@ -73,9 +73,9 @@ impl ContentModel {
     /// Backtracking matcher over positions — content models are tiny, words
     /// can be long; memoized on (subexpression, position) to stay linear-ish.
     pub fn matches(&self, word: &[&str]) -> bool {
-        fn go<'a>(
+        fn go(
             m: &ContentModel,
-            word: &[&'a str],
+            word: &[&str],
             pos: usize,
             k: &mut dyn FnMut(usize) -> bool,
         ) -> bool {
@@ -89,9 +89,9 @@ impl ContentModel {
                     }
                 }
                 ContentModel::Seq(items) => {
-                    fn seq<'a>(
+                    fn seq(
                         items: &[ContentModel],
-                        word: &[&'a str],
+                        word: &[&str],
                         pos: usize,
                         k: &mut dyn FnMut(usize) -> bool,
                     ) -> bool {

@@ -112,14 +112,14 @@ impl fmt::Display for DtdError {
 
 impl std::error::Error for DtdError {}
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub(crate) struct TypeDef {
     pub(crate) name: String,
     pub(crate) prod: Production,
 }
 
 /// A DTD `S = (E, P, r)` in the paper's normal form.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Dtd {
     pub(crate) defs: Vec<TypeDef>,
     pub(crate) by_name: HashMap<String, TypeId>,

@@ -111,9 +111,8 @@ impl<'a> Evaluator<'a> {
                 let mut out = BTreeSet::new();
                 for &ctx in ctxs {
                     let res = self.eval_set(p, &BTreeSet::from([ctx]));
-                    let total = res.len();
                     for (i, &key) in res.iter().enumerate() {
-                        if self.holds(q, key.1, i + 1, total) {
+                        if self.holds(q, key.1, i + 1) {
                             out.insert(key);
                         }
                     }
@@ -125,7 +124,7 @@ impl<'a> Evaluator<'a> {
 
     /// Does qualifier `q` hold at node `n` with the given 1-based position
     /// in its selection list?
-    fn holds(&self, q: &Qualifier, n: NodeId, pos: usize, total: usize) -> bool {
+    fn holds(&self, q: &Qualifier, n: NodeId, pos: usize) -> bool {
         match q {
             Qualifier::True => true,
             Qualifier::Position(k) => pos == *k,
@@ -134,9 +133,9 @@ impl<'a> Evaluator<'a> {
                 .eval(p, n)
                 .iter()
                 .any(|&id| self.tree.text_value(id) == Some(c)),
-            Qualifier::Not(inner) => !self.holds(inner, n, pos, total),
-            Qualifier::And(a, b) => self.holds(a, n, pos, total) && self.holds(b, n, pos, total),
-            Qualifier::Or(a, b) => self.holds(a, n, pos, total) || self.holds(b, n, pos, total),
+            Qualifier::Not(inner) => !self.holds(inner, n, pos),
+            Qualifier::And(a, b) => self.holds(a, n, pos) && self.holds(b, n, pos),
+            Qualifier::Or(a, b) => self.holds(a, n, pos) || self.holds(b, n, pos),
         }
     }
 }

@@ -202,7 +202,7 @@ pub fn truth_mapping(source: &Dtd, copy: &NoisedCopy) -> Result<xse_core::TypeMa
 /// λ-accuracy like the paper's "correct solutions".)
 pub fn lambda_matches_truth(
     source: &Dtd,
-    emb: &xse_core::Embedding<'_>,
+    emb: &xse_core::CompiledEmbedding,
     copy: &NoisedCopy,
 ) -> bool {
     source.types().all(|t| {

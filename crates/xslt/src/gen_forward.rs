@@ -14,7 +14,7 @@
 //! A mode per source type (`fwd-A`) keeps rules apart when `λ` maps two
 //! source types to one target tag (see the crate docs).
 
-use xse_core::{Embedding, ResolvedPath, ResolvedStep};
+use xse_core::{CompiledEmbedding, ResolvedPath, ResolvedStep};
 use xse_dtd::{Dtd, MindefPlan, Production, TypeId};
 use xse_rxpath::{Qualifier, XrQuery};
 use xse_xmltree::{NodeKind, XmlTree};
@@ -24,9 +24,9 @@ use crate::{OutputNode, Pattern, Stylesheet, TemplateRule};
 /// Generate the forward (`σd`) stylesheet. Apply it with
 /// [`apply_stylesheet`](crate::apply_stylesheet)`(…, None)`; an unmoded
 /// bootstrap rule dispatches the source root into its `fwd-…` mode.
-pub fn generate_forward(e: &Embedding<'_>) -> Stylesheet {
+pub fn generate_forward(e: &CompiledEmbedding) -> Stylesheet {
     let mut sheet = Stylesheet::new();
-    let plans = e.target().mindef_plans();
+    let plans = e.mindef_plans();
     let src = e.source();
 
     // Bootstrap: route the root into its mode.
@@ -47,7 +47,7 @@ pub fn generate_forward(e: &Embedding<'_>) -> Stylesheet {
                 sheet.add(TemplateRule {
                     pattern: Pattern::element(src.name(a)),
                     mode: Some(fwd_mode(src, a)),
-                    output: vec![element(&tag, fragment_children(e, &plans, la, &[]))],
+                    output: vec![element(&tag, fragment_children(e, plans, la, &[]))],
                 });
             }
             Production::Str => {
@@ -61,7 +61,7 @@ pub fn generate_forward(e: &Embedding<'_>) -> Stylesheet {
                 sheet.add(TemplateRule {
                     pattern: Pattern::element(src.name(a)),
                     mode: Some(fwd_mode(src, a)),
-                    output: vec![element(&tag, fragment_children(e, &plans, la, &[chain]))],
+                    output: vec![element(&tag, fragment_children(e, plans, la, &[chain]))],
                 });
             }
             Production::Concat(cs) => {
@@ -94,7 +94,7 @@ pub fn generate_forward(e: &Embedding<'_>) -> Stylesheet {
                 sheet.add(TemplateRule {
                     pattern: Pattern::element(src.name(a)),
                     mode: Some(fwd_mode(src, a)),
-                    output: vec![element(&tag, fragment_children(e, &plans, la, &chains))],
+                    output: vec![element(&tag, fragment_children(e, plans, la, &chains))],
                 });
             }
             Production::Disjunction { alts, allows_empty } => {
@@ -109,14 +109,14 @@ pub fn generate_forward(e: &Embedding<'_>) -> Stylesheet {
                     sheet.add(TemplateRule {
                         pattern: Pattern::element_with(src.name(a), XrQuery::label(src.name(c))),
                         mode: Some(fwd_mode(src, a)),
-                        output: vec![element(&tag, fragment_children(e, &plans, la, &[chain]))],
+                        output: vec![element(&tag, fragment_children(e, plans, la, &[chain]))],
                     });
                 }
                 if *allows_empty {
                     sheet.add(TemplateRule {
                         pattern: Pattern::element(src.name(a)),
                         mode: Some(fwd_mode(src, a)),
-                        output: vec![element(&tag, fragment_children(e, &plans, la, &[]))],
+                        output: vec![element(&tag, fragment_children(e, plans, la, &[]))],
                     });
                 }
             }
@@ -148,7 +148,7 @@ pub fn generate_forward(e: &Embedding<'_>) -> Stylesheet {
                         &tag,
                         fragment_children_with_inner_terminal(
                             e,
-                            &plans,
+                            plans,
                             la,
                             &rp.steps[..mult],
                             prefix_chain.1,
@@ -177,7 +177,7 @@ pub fn generate_forward(e: &Embedding<'_>) -> Stylesheet {
                     };
                     element(
                         &mult_tag,
-                        fragment_children(e, &plans, mult_step.ty, &[(&suffix_path, inner)]),
+                        fragment_children(e, plans, mult_step.ty, &[(&suffix_path, inner)]),
                     )
                 };
                 sheet.add(TemplateRule {
@@ -215,7 +215,7 @@ struct FragO {
 /// `root_ty`, merging the given chains (each a resolved path plus the
 /// output to place at its endpoint).
 fn fragment_children(
-    e: &Embedding<'_>,
+    e: &CompiledEmbedding,
     plans: &[MindefPlan],
     root_ty: TypeId,
     chains: &[(&ResolvedPath, OutputNode)],
@@ -241,7 +241,7 @@ fn fragment_children(
 /// the star prefix/suffix rules, where the apply node hangs under the star
 /// parent rather than replacing an element).
 fn fragment_children_with_inner_terminal(
-    e: &Embedding<'_>,
+    e: &CompiledEmbedding,
     plans: &[MindefPlan],
     root_ty: TypeId,
     steps: &[ResolvedStep],
@@ -319,7 +319,7 @@ fn step_into<'f>(level: &'f mut Vec<FragO>, step: &ResolvedStep) -> &'f mut Vec<
 /// Mindef-complete a fragment level under a node of type `ty`, emitting
 /// ordered output nodes (the OutputNode mirror of core's materialization).
 fn complete(
-    e: &Embedding<'_>,
+    e: &CompiledEmbedding,
     plans: &[MindefPlan],
     ty: TypeId,
     mut level: Vec<FragO>,
@@ -382,7 +382,7 @@ fn complete(
     out
 }
 
-fn emit(e: &Embedding<'_>, plans: &[MindefPlan], node: FragO) -> OutputNode {
+fn emit(e: &CompiledEmbedding, plans: &[MindefPlan], node: FragO) -> OutputNode {
     let tag = e.target().name(node.ty).to_string();
     match node.terminal {
         Some(term) => term, // hot leaf: the child's rule outputs λ(B) itself

@@ -13,7 +13,7 @@
 //! 4. str — an apply selecting the text path; the built-in text rule copies
 //!    the value.
 
-use xse_core::{Embedding, ResolvedPath};
+use xse_core::{CompiledEmbedding, ResolvedPath};
 use xse_dtd::{Dtd, Production, TypeId};
 use xse_rxpath::{Qualifier, XrQuery};
 
@@ -22,7 +22,7 @@ use crate::{OutputNode, Pattern, Stylesheet, TemplateRule};
 /// Generate the inverse (`σd⁻¹`) stylesheet. Apply with
 /// [`apply_stylesheet`](crate::apply_stylesheet)`(…, None)` to a document
 /// produced by the forward mapping.
-pub fn generate_inverse(e: &Embedding<'_>) -> Stylesheet {
+pub fn generate_inverse(e: &CompiledEmbedding) -> Stylesheet {
     let mut sheet = Stylesheet::new();
     let src = e.source();
     let tgt = e.target();
@@ -153,7 +153,7 @@ fn path_query(tgt: &Dtd, rp: &ResolvedPath, open_multiplicity: bool) -> XrQuery 
 #[cfg(test)]
 mod tests {
     use crate::{apply_stylesheet, generate_forward, generate_inverse};
-    use xse_core::{Embedding, PathMapping, TypeMapping};
+    use xse_core::{CompiledEmbedding, EmbeddingBuilder};
     use xse_dtd::{Dtd, GenConfig, InstanceGenerator};
     use xse_xmltree::parse_xml;
 
@@ -180,16 +180,16 @@ mod tests {
         (s1, s2)
     }
 
-    fn wrap_embedding<'x>(s1: &'x Dtd, s2: &'x Dtd) -> Embedding<'x> {
-        let lambda = TypeMapping::by_name_pairs(s1, s2, &[("b", "w")]).unwrap();
-        let mut paths = PathMapping::new(s1);
-        paths
-            .edge(s1, "r", "a", "x/a")
-            .edge(s1, "r", "b", "y/w")
-            .edge(s1, "b", "c", "c2/c")
-            .text_edge(s1, "a", "text()")
-            .text_edge(s1, "c", "text()");
-        Embedding::new(s1, s2, lambda, paths).unwrap()
+    fn wrap_embedding(s1: &Dtd, s2: &Dtd) -> CompiledEmbedding {
+        EmbeddingBuilder::new(s1.clone(), s2.clone())
+            .map_type("b", "w")
+            .edge("r", "a", "x/a")
+            .edge("r", "b", "y/w")
+            .edge("b", "c", "c2/c")
+            .text_edge("a", "text()")
+            .text_edge("c", "text()")
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -265,31 +265,27 @@ mod tests {
             .str_type("lab")
             .build()
             .unwrap();
-        let lambda = TypeMapping::by_name_pairs(
-            &s0,
-            &s,
-            &[("db", "school"), ("class", "course"), ("type", "category")],
-        )
-        .unwrap();
-        let mut paths = PathMapping::new(&s0);
-        paths
-            .edge(&s0, "db", "class", "courses/current/course")
-            .edge(&s0, "class", "cno", "basic/cno")
+        let e = EmbeddingBuilder::new(s0, s)
+            .map_type("db", "school")
+            .map_type("class", "course")
+            .map_type("type", "category")
+            .edge("db", "class", "courses/current/course")
+            .edge("class", "cno", "basic/cno")
             .edge(
-                &s0,
                 "class",
                 "title",
                 "basic/class2/semester[position() = 1]/title",
             )
-            .edge(&s0, "class", "type", "category")
-            .edge(&s0, "type", "regular", "mandatory/regular")
-            .edge(&s0, "type", "project", "advanced/project")
-            .edge(&s0, "regular", "prereq", "required/prereq")
-            .edge(&s0, "prereq", "class", "course")
-            .text_edge(&s0, "cno", "text()")
-            .text_edge(&s0, "title", "text()")
-            .text_edge(&s0, "project", "text()");
-        let e = Embedding::new(&s0, &s, lambda, paths).unwrap();
+            .edge("class", "type", "category")
+            .edge("type", "regular", "mandatory/regular")
+            .edge("type", "project", "advanced/project")
+            .edge("regular", "prereq", "required/prereq")
+            .edge("prereq", "class", "course")
+            .text_edge("cno", "text()")
+            .text_edge("title", "text()")
+            .text_edge("project", "text()")
+            .build()
+            .unwrap();
 
         let fwd = generate_forward(&e);
         let inv = generate_inverse(&e);

@@ -7,7 +7,7 @@
 //! cargo run --example data_integration
 //! ```
 
-use xse::core::{multi, preserve, Embedding, PathMapping, TypeMapping};
+use xse::core::{multi, preserve};
 use xse::prelude::*;
 use xse::workloads::corpus;
 
@@ -18,46 +18,44 @@ fn main() {
     let s = corpus::fig1_school();
 
     // --- Example 4.2: σ1 : S0 → S, written out exactly as in the paper.
-    let lambda1 = TypeMapping::by_name_pairs(
-        &s0,
-        &s,
-        &[("db", "school"), ("class", "course"), ("type", "category")],
-    )
-    .unwrap();
-    let mut paths1 = PathMapping::new(&s0);
-    paths1
-        .edge(&s0, "db", "class", "courses/current/course")
-        .edge(&s0, "class", "cno", "basic/cno")
+    // The builder accumulates any typo'd tags or unparsable paths instead
+    // of panicking; `build()` validates the §4.1 conditions and compiles.
+    let sigma1 = EmbeddingBuilder::new(s0.clone(), s.clone())
+        .map_type("db", "school")
+        .map_type("class", "course")
+        .map_type("type", "category")
+        .edge("db", "class", "courses/current/course")
+        .edge("class", "cno", "basic/cno")
         .edge(
-            &s0,
             "class",
             "title",
             "basic/class2/semester[position() = 1]/title",
         )
-        .edge(&s0, "class", "type", "category")
-        .edge(&s0, "type", "regular", "mandatory/regular")
-        .edge(&s0, "type", "project", "advanced/project")
-        .edge(&s0, "regular", "prereq", "required/prereq")
-        .edge(&s0, "prereq", "class", "course")
-        .text_edge(&s0, "cno", "text()")
-        .text_edge(&s0, "title", "text()")
-        .text_edge(&s0, "project", "text()");
-    let sigma1 = Embedding::new(&s0, &s, lambda1, paths1).expect("Example 4.2 is valid");
+        .edge("class", "type", "category")
+        .edge("type", "regular", "mandatory/regular")
+        .edge("type", "project", "advanced/project")
+        .edge("regular", "prereq", "required/prereq")
+        .edge("prereq", "class", "course")
+        .text_edge("cno", "text()")
+        .text_edge("title", "text()")
+        .text_edge("project", "text()")
+        .build()
+        .expect("Example 4.2 is valid");
 
     // --- Example 4.9: σ2 : S1 → S.
-    let lambda2 =
-        TypeMapping::by_name_pairs(&s1, &s, &[("sdb", "school"), ("cno", "cno2")]).unwrap();
-    let mut paths2 = PathMapping::new(&s1);
-    paths2
-        .edge(&s1, "sdb", "student", "students/student")
-        .edge(&s1, "student", "ssn", "ssn")
-        .edge(&s1, "student", "name", "name")
-        .edge(&s1, "student", "taking", "taking")
-        .edge(&s1, "taking", "cno", "cno2")
-        .text_edge(&s1, "ssn", "text()")
-        .text_edge(&s1, "name", "text()")
-        .text_edge(&s1, "cno", "text()");
-    let sigma2 = Embedding::new(&s1, &s, lambda2, paths2).expect("Example 4.9 is valid");
+    let sigma2 = EmbeddingBuilder::new(s1.clone(), s.clone())
+        .map_type("sdb", "school")
+        .map_type("cno", "cno2")
+        .edge("sdb", "student", "students/student")
+        .edge("student", "ssn", "ssn")
+        .edge("student", "name", "name")
+        .edge("student", "taking", "taking")
+        .edge("taking", "cno", "cno2")
+        .text_edge("ssn", "text()")
+        .text_edge("name", "text()")
+        .text_edge("cno", "text()")
+        .build()
+        .expect("Example 4.9 is valid");
 
     // Source documents.
     let classes = parse_xml(

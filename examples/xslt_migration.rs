@@ -37,9 +37,9 @@ fn main() {
     let emb = find_embedding(&v1, v2, &att, &DiscoveryConfig::default())
         .expect("v1 embeds in its evolution");
 
-    // Generate both stylesheets.
-    let forward = generate_forward(&emb);
-    let inverse = generate_inverse(&emb);
+    // Generate both stylesheets, straight off the compiled embedding.
+    let forward = emb.generate_forward();
+    let inverse = emb.generate_inverse();
     println!(
         "-- forward stylesheet ({} rules) --\n{forward}",
         forward.len()

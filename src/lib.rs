@@ -6,17 +6,24 @@
 //! A *schema embedding* `σ = (λ, path)` maps every element type of a source
 //! DTD to a type of a target DTD and every *edge* of the source schema graph
 //! to a *path* of the target graph, subject to path-type and prefix-free
-//! validity conditions. From a valid embedding the library derives, fully
-//! automatically:
+//! validity conditions. The library is built around one artifact — the
+//! **compiled embedding**: assemble `σ` once (by hand through a fallible
+//! builder, or automatically through discovery), validate and compile it
+//! once, then run the derived operations as often as you like:
 //!
 //! * an instance-level mapping `σd` that is **type safe** (the output
-//!   conforms to the target DTD) and **injective** (Theorem 4.1);
+//!   conforms to the target DTD) and **injective** (Theorem 4.1), with a
+//!   batch mode that fans documents out over threads;
 //! * an **inverse** `σd⁻¹` recovering the source document (Theorem 4.3a);
 //! * a **query translation** `Tr` such that every regular XPath query `Q`
 //!   over the source satisfies `Q(T) = idM(Tr(Q)(σd(T)))` (Theorem 4.3b);
 //! * **XSLT stylesheets** implementing `σd` and `σd⁻¹` (Section 4.3);
 //! * heuristic **discovery** of embeddings from a similarity matrix
 //!   (Section 5 — the problem itself is NP-complete, Theorem 5.1).
+//!
+//! The compiled engine ([`CompiledEmbedding`](crate::core::CompiledEmbedding))
+//! owns its schemas via `Arc`, carries no lifetime parameter, and is
+//! `Send + Sync` — build it once, share it across threads, serve traffic.
 //!
 //! The facade re-exports the workspace crates under stable module names:
 //!
@@ -26,7 +33,7 @@
 //! | [`dtd`] | DTDs, schema graphs, validation, `mindef`, instance generation |
 //! | [`rxpath`] | regular XPath (`XR`) and the XPath fragment `X` |
 //! | [`anfa`] | annotated NFAs representing `XR` queries |
-//! | [`core`] | schema embeddings, `σd`, `σd⁻¹`, `Tr`, preservation checkers |
+//! | [`core`] | compiled embeddings, `σd`, `σd⁻¹`, `Tr`, preservation checkers |
 //! | [`xslt`] | the §4.3 XSLT processing model + stylesheet generation |
 //! | [`discovery`] | computing embeddings (prefix-free paths, heuristics) |
 //! | [`workloads`] | schema corpus, noise, similarity and query generators |
@@ -48,25 +55,45 @@
 //!      <!ELEMENT c2 (c)><!ELEMENT c (#PCDATA)>",
 //! ).unwrap();
 //!
-//! // Discover a valid embedding from a similarity matrix (§5)…
+//! // 1. Discover a valid embedding from a similarity matrix (§5). The
+//! //    result is owned and `Send + Sync` — no lifetimes, safe to store.
 //! let att = SimilarityMatrix::permissive(&source, &target);
-//! let embedding = find_embedding(&source, &target, &att, &DiscoveryConfig::default())
-//!     .expect("source embeds into target");
+//! let embedding: CompiledEmbedding =
+//!     find_embedding(&source, &target, &att, &DiscoveryConfig::default())
+//!         .expect("source embeds into target");
 //!
-//! // …then map an instance (Theorem 4.1: type safe) and invert it back
-//! // (Theorem 4.3a: information is preserved).
+//! // …or write the same embedding out by hand with the fallible builder
+//! // (errors accumulate — nothing panics on a typo'd tag or path):
+//! let embedding = EmbeddingBuilder::new(source, target.clone())
+//!     .map_type("b", "w")
+//!     .edge("r", "a", "x/a")
+//!     .edge("r", "b", "y/w")
+//!     .edge("b", "c", "c2/c")
+//!     .text_edge("a", "text()")
+//!     .text_edge("c", "text()")
+//!     .build()
+//!     .unwrap();
+//!
+//! // 2. Map an instance (Theorem 4.1: type safe) and invert it back
+//! //    (Theorem 4.3a: information is preserved).
 //! let doc = parse_xml("<r><a>hi</a><b><c>1</c><c>2</c></b></r>").unwrap();
 //! let out = embedding.apply(&doc).unwrap();
 //! target.validate(&out.tree).unwrap();
 //! let back = embedding.invert(&out.tree).unwrap();
 //! assert!(back.equals(&doc));
 //!
-//! // Queries translate too (Theorem 4.3b): Q(T) = idM(Tr(Q)(σd(T))).
+//! // 3. Queries translate too (Theorem 4.3b): Q(T) = idM(Tr(Q)(σd(T))).
 //! let q = parse_query("b/c[position() = 2]/text()").unwrap();
 //! let translated = embedding.translate(&q).unwrap();
 //! let direct = q.eval(&doc);
 //! let mapped: Vec<_> = out.idmap.map_result(translated.eval(&out.tree)).collect();
 //! assert_eq!(direct, mapped);
+//!
+//! // 4. Batches fan out over scoped threads — same results, in order.
+//! let docs = vec![doc.clone(), doc.clone(), doc];
+//! for result in embedding.apply_batch(&docs) {
+//!     assert!(target.validate(&result.unwrap().tree).is_ok());
+//! }
 //! ```
 
 pub use xse_anfa as anfa;
@@ -79,13 +106,20 @@ pub use xse_xmltree as xmltree;
 pub use xse_xslt as xslt;
 
 /// One-stop imports for examples and applications.
+///
+/// The surface is panic-free by construction: embeddings are assembled with
+/// the fallible [`EmbeddingBuilder`](xse_core::EmbeddingBuilder) and every
+/// failure is an [`EmbeddingError`](xse_core::EmbeddingError). (The
+/// deprecated lifetime-bound `Embedding` shim is intentionally *not* here;
+/// reach it as `xse::core::Embedding` during migration.)
 pub mod prelude {
     pub use xse_core::{
-        Embedding, MappingOutput, PathMapping, SchemaEmbeddingError, SimilarityMatrix, TypeMapping,
+        CompiledEmbedding, EmbeddingBuilder, EmbeddingError, MappingOutput, SimilarityMatrix,
+        TypeMapping,
     };
     pub use xse_discovery::{find_embedding, DiscoveryConfig, Strategy};
     pub use xse_dtd::{Dtd, Production, TypeId};
     pub use xse_rxpath::{parse_query, XrQuery};
     pub use xse_xmltree::{parse_xml, IdMap, NodeId, TreeBuilder, XmlTree};
-    pub use xse_xslt::{generate_forward, generate_inverse, Stylesheet};
+    pub use xse_xslt::{generate_forward, generate_inverse, Stylesheet, StylesheetGen};
 }

@@ -118,37 +118,20 @@ fn translated_queries_never_match_padding() {
     }
 }
 
+/// The Example 4.2 embedding, pinned explicitly (shared fixture — one
+/// authoritative copy of the builder chain lives in `xse_bench::fixtures`).
+fn fig1_embedding() -> CompiledEmbedding {
+    let (s0, s) = xse_bench::fixtures::fig1_pair();
+    xse_bench::fixtures::fig1_embedding(&s0, &s)
+}
+
 /// Inverse detects tampered documents instead of fabricating sources.
 #[test]
 fn inverse_rejects_tampering() {
-    let (s0, s) = (corpus::fig1_class(), corpus::fig1_school());
-    // The Example 4.2 embedding, pinned explicitly (a discovered one could
-    // legitimately route around the tampered region).
-    let lambda = TypeMapping::by_name_pairs(
-        &s0,
-        &s,
-        &[("db", "school"), ("class", "course"), ("type", "category")],
-    )
-    .unwrap();
-    let mut paths = PathMapping::new(&s0);
-    paths
-        .edge(&s0, "db", "class", "courses/current/course")
-        .edge(&s0, "class", "cno", "basic/cno")
-        .edge(
-            &s0,
-            "class",
-            "title",
-            "basic/class2/semester[position() = 1]/title",
-        )
-        .edge(&s0, "class", "type", "category")
-        .edge(&s0, "type", "regular", "mandatory/regular")
-        .edge(&s0, "type", "project", "advanced/project")
-        .edge(&s0, "regular", "prereq", "required/prereq")
-        .edge(&s0, "prereq", "class", "course")
-        .text_edge(&s0, "cno", "text()")
-        .text_edge(&s0, "title", "text()")
-        .text_edge(&s0, "project", "text()");
-    let emb = Embedding::new(&s0, &s, lambda, paths).unwrap();
+    let s = corpus::fig1_school();
+    // Pinned explicitly (a discovered embedding could legitimately route
+    // around the tampered region).
+    let emb = fig1_embedding();
     // A conforming school document that σd cannot have produced: its
     // `class2` holds no semester, but σd always materializes semester[1].
     let t2 = parse_xml(
@@ -162,4 +145,85 @@ fn inverse_rejects_tampering() {
     .unwrap();
     s.validate(&t2).unwrap();
     assert!(emb.invert(&t2).is_err());
+}
+
+/// Acceptance for the compiled engine: it is owned (`'static`),
+/// `Send + Sync`, survives its input schemas, and `apply_batch` over 64+
+/// generated documents produces byte-identical trees to sequential `apply`.
+#[test]
+fn compiled_embedding_is_owned_and_batch_matches_sequential() {
+    fn assert_engine<T: Send + Sync + 'static>(t: T) -> T {
+        t
+    }
+    // Build inside a block so the source DTDs are dropped before use: an
+    // owned engine must not borrow them.
+    let emb = {
+        let emb = fig1_embedding();
+        assert_engine(emb)
+    };
+
+    let gen = InstanceGenerator::new(
+        emb.source(),
+        GenConfig {
+            max_nodes: 200,
+            ..GenConfig::default()
+        },
+    );
+    let docs: Vec<XmlTree> = (0..64u64).map(|seed| gen.generate(seed)).collect();
+    assert!(docs.len() >= 64);
+
+    let sequential: Vec<String> = docs
+        .iter()
+        .map(|d| emb.apply(d).unwrap().tree.to_xml())
+        .collect();
+    for threads in [
+        1,
+        3,
+        std::thread::available_parallelism().map_or(4, |n| n.get()),
+    ] {
+        let batch = emb.apply_batch_with(&docs, threads);
+        let batch_xml: Vec<String> = batch
+            .into_iter()
+            .map(|r| r.unwrap().tree.to_xml())
+            .collect();
+        assert_eq!(batch_xml, sequential, "threads = {threads}");
+    }
+    // The default entry point agrees too.
+    let auto: Vec<String> = emb
+        .apply_batch(&docs)
+        .into_iter()
+        .map(|r| r.unwrap().tree.to_xml())
+        .collect();
+    assert_eq!(auto, sequential);
+}
+
+/// A discovered embedding is equally owned: share it across scoped threads
+/// without cloning (the ROADMAP's "compile once, serve many" shape).
+#[test]
+fn discovered_embedding_is_shared_across_threads() {
+    let src = corpus::fig1_class();
+    let copy = noised_copy(&src, NoiseConfig::level(0.3), 5);
+    let att = simgen::exact(&src, &copy);
+    let emb = find_embedding(&src, &copy.target, &att, &DiscoveryConfig::default()).unwrap();
+    let gen = InstanceGenerator::new(&src, GenConfig::default());
+    let docs: Vec<XmlTree> = (0..8u64).map(|s| gen.generate(s)).collect();
+    let expected: Vec<String> = docs
+        .iter()
+        .map(|d| emb.apply(d).unwrap().tree.to_xml())
+        .collect();
+    let shared = &emb;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = docs
+            .iter()
+            .zip(expected.iter())
+            .map(|(doc, want)| {
+                scope.spawn(move || {
+                    assert_eq!(shared.apply(doc).unwrap().tree.to_xml(), *want);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
 }

@@ -147,3 +147,84 @@ proptest! {
         }
     }
 }
+
+// §4.5 multi-source helpers: round-trip and validation-preservation
+// properties over randomized schemas and instances.
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// `split_instance ∘ combine_instances = id` on random per-source
+    /// documents, and the combined instance validates against the combined
+    /// DTD built from prefixed sources.
+    #[test]
+    fn multi_combine_then_split_is_identity(
+        n1 in 4usize..16,
+        n2 in 4usize..16,
+        seed in 0u64..200,
+    ) {
+        use xse::core::multi;
+        let d1 = multi::prefix_types(&scale::random_schema(n1, seed), "p_");
+        let d2 = multi::prefix_types(&scale::random_schema(n2, seed ^ 0x9E37), "q_");
+        let combined_dtd = multi::combine_sources("sources", &[&d1, &d2]).unwrap();
+        let t1 = multi::prefix_instance(
+            &InstanceGenerator::new(
+                &scale::random_schema(n1, seed),
+                GenConfig { max_nodes: 120, ..GenConfig::default() },
+            )
+            .generate(seed),
+            "p_",
+        );
+        let t2 = multi::prefix_instance(
+            &InstanceGenerator::new(
+                &scale::random_schema(n2, seed ^ 0x9E37),
+                GenConfig { max_nodes: 120, ..GenConfig::default() },
+            )
+            .generate(seed ^ 1),
+            "q_",
+        );
+        let both = multi::combine_instances("sources", &[&t1, &t2]);
+        prop_assert!(combined_dtd.validate(&both).is_ok());
+        let parts = multi::split_instance(&both);
+        prop_assert_eq!(parts.len(), 2);
+        prop_assert!(parts[0].equals(&t1));
+        prop_assert!(parts[1].equals(&t2));
+    }
+
+    /// `prefix_instance` preserves validation: a valid instance of `S`
+    /// stays valid against `prefix_types(S)` (and stays equal through a
+    /// serialize/parse round-trip).
+    #[test]
+    fn multi_prefix_instance_preserves_validation(
+        n in 4usize..24,
+        seed in 0u64..300,
+    ) {
+        use xse::core::multi;
+        let dtd = scale::random_schema(n, seed);
+        let t = InstanceGenerator::new(
+            &dtd,
+            GenConfig { max_nodes: 150, ..GenConfig::default() },
+        )
+        .generate(seed);
+        prop_assert!(dtd.validate(&t).is_ok());
+        let pd = multi::prefix_types(&dtd, "px_");
+        let pt = multi::prefix_instance(&t, "px_");
+        prop_assert!(pd.validate(&pt).is_ok());
+        let reparsed = parse_xml(&pt.to_xml()).unwrap();
+        prop_assert!(reparsed.equals(&pt));
+    }
+
+    /// Name collisions are always rejected by `combine_sources`, and always
+    /// fixed by prefixing — for arbitrary random schemas, not just the
+    /// corpus fixtures.
+    #[test]
+    fn multi_collisions_rejected_then_fixed(n in 4usize..16, seed in 0u64..200) {
+        use xse::core::multi;
+        let dtd = scale::random_schema(n, seed);
+        prop_assert!(multi::combine_sources("sources", &[&dtd, &dtd]).is_err());
+        let a = multi::prefix_types(&dtd, "a_");
+        let b = multi::prefix_types(&dtd, "b_");
+        let combined = multi::combine_sources("sources", &[&a, &b]).unwrap();
+        prop_assert!(combined.is_consistent());
+        prop_assert_eq!(combined.type_count(), 1 + 2 * dtd.type_count());
+    }
+}
