@@ -1,8 +1,11 @@
 //! EXP-A/EXP-B micro-slice: one discovery call per strategy on a noised
-//! corpus schema (the full sweeps live in the `report` binary).
+//! corpus schema (the full sweeps live in the `report` binary), followed
+//! by a per-strategy breakdown of *why* restart attempts die (the
+//! rejection-kind counters of `DiscoveryStats`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use xse_discovery::{find_embedding, DiscoveryConfig, Strategy};
+use xse_bench::experiments::STRATEGIES;
+use xse_discovery::{find_embedding, find_embedding_with_stats, DiscoveryConfig};
 use xse_workloads::corpus;
 use xse_workloads::noise::{noised_copy, NoiseConfig};
 use xse_workloads::simgen::{ambiguous, SimConfig};
@@ -21,11 +24,7 @@ fn bench(c: &mut Criterion) {
     );
     let mut g = c.benchmark_group("discovery_accuracy");
     g.sample_size(10);
-    for strategy in [
-        Strategy::Random,
-        Strategy::QualityOrdered,
-        Strategy::IndependentSet,
-    ] {
+    for strategy in STRATEGIES {
         g.bench_with_input(
             BenchmarkId::new("news-0.3-noise", format!("{strategy:?}")),
             &strategy,
@@ -39,6 +38,29 @@ fn bench(c: &mut Criterion) {
         );
     }
     g.finish();
+
+    // Why do attempts die? One stats-collecting run per strategy —
+    // sequential, so the counters describe the deterministic search
+    // prefix rather than scheduling-dependent speculative attempts.
+    println!("discovery_accuracy: rejection breakdown (attempts / pfp solves / rejects prefix+sim+other)");
+    for strategy in STRATEGIES {
+        let cfg = DiscoveryConfig {
+            strategy,
+            threads: 1,
+            ..DiscoveryConfig::default()
+        };
+        let (e, s) = find_embedding_with_stats(&src, &copy.target, &att, &cfg);
+        println!(
+            "  {strategy:?}: found={} attempts={} local_solves={} rejects={} ({} prefix, {} similarity, {} other)",
+            e.is_some(),
+            s.attempts,
+            s.local_solves,
+            s.validation_rejects,
+            s.rejects_prefix,
+            s.rejects_similarity,
+            s.rejects_other,
+        );
+    }
 }
 
 criterion_group!(benches, bench);

@@ -1,25 +1,40 @@
-//! EXP-C micro-slice: discovery runtime vs. schema size.
+//! EXP-C micro-slice: discovery runtime vs. schema size and worker
+//! threads (the parallel restart engine).
+//!
+//! Set `XSE_SCALE_SMOKE=1` for the CI smoke sweep: one small size, few
+//! restarts, but both the sequential and the parallel engine paths.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xse_bench::experiments::thread_sweep;
 use xse_discovery::{find_embedding, DiscoveryConfig};
 use xse_workloads::noise::{noised_copy, NoiseConfig};
 use xse_workloads::scale::random_schema;
 use xse_workloads::simgen::exact;
 
 fn bench(c: &mut Criterion) {
+    let smoke = std::env::var_os("XSE_SCALE_SMOKE").is_some();
+    let sizes: &[usize] = if smoke { &[20] } else { &[20, 60, 120, 200] };
+    let restarts = if smoke { 4 } else { 8 };
     let mut g = c.benchmark_group("discovery_scale");
     g.sample_size(10);
-    for n in [20usize, 60, 120] {
+    for &n in sizes {
         let src = random_schema(n, n as u64);
         let copy = noised_copy(&src, NoiseConfig::level(0.25), 17);
         let att = exact(&src, &copy);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            let cfg = DiscoveryConfig {
-                restarts: 8,
-                ..DiscoveryConfig::default()
-            };
-            b.iter(|| find_embedding(&src, &copy.target, &att, &cfg).is_some())
-        });
+        for threads in thread_sweep() {
+            g.bench_with_input(
+                BenchmarkId::new(format!("n{n}"), format!("t{threads}")),
+                &threads,
+                |b, &threads| {
+                    let cfg = DiscoveryConfig {
+                        restarts,
+                        threads,
+                        ..DiscoveryConfig::default()
+                    };
+                    b.iter(|| find_embedding(&src, &copy.target, &att, &cfg).is_some())
+                },
+            );
+        }
     }
     g.finish();
 }

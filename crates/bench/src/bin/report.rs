@@ -1,6 +1,6 @@
 //! Regenerate every table and figure of EXPERIMENTS.md.
 //!
-//! Usage: `report [all|exp-a|exp-b|exp-c|tab-1|tab-2|tab-3|tab-4|fig-t|exp-e|abl-1|fig1]`
+//! Usage: `report [all|exp-a|exp-b|exp-c|exp-p|tab-1|tab-2|tab-3|tab-4|fig-t|exp-e|abl-1|fig1]`
 
 use xse_bench::experiments as x;
 use xse_bench::pct;
@@ -19,6 +19,9 @@ fn main() {
     }
     if all || what == "exp-c" {
         exp_c();
+    }
+    if all || what == "exp-p" {
+        exp_p();
     }
     if all || what == "tab-1" {
         tab1();
@@ -88,6 +91,22 @@ fn exp_c() {
             r.millis[1],
             r.millis[2],
             r.found.iter().all(|&b| b)
+        );
+    }
+    println!();
+}
+
+fn exp_p() {
+    println!(
+        "## EXP-P: parallel restart engine (random schemas, noise 0.3, ambiguity 4, 48 restarts)\n"
+    );
+    let threads = xse_bench::experiments::thread_sweep();
+    println!("| |S1| types | threads | ms | found | attempts | speedup vs 1 |");
+    println!("|---|---|---|---|---|---|");
+    for r in x::exp_p(&[50, 100, 200, 400], &threads) {
+        println!(
+            "| {} | {} | {:.1} | {} | {} | {:.2}× |",
+            r.size, r.threads, r.millis, r.found, r.attempts, r.speedup
         );
     }
     println!();

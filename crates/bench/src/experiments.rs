@@ -32,6 +32,18 @@ pub const STRATEGIES: [Strategy; 3] = [
     Strategy::IndependentSet,
 ];
 
+/// Thread counts for the parallel-engine sweeps (EXP-P and the
+/// `discovery_scale` bench): always 1 (sequential path) and 2 (parallel
+/// path, even on a single-core box), then 4 and the machine's available
+/// parallelism, deduplicated.
+pub fn thread_sweep() -> Vec<usize> {
+    let max = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut t = vec![1, 2, 4, max];
+    t.sort_unstable();
+    t.dedup();
+    t
+}
+
 /// EXP-A: success vs. similarity-matrix ambiguity (spurious candidates per
 /// source type), at fixed structural noise.
 pub fn exp_a(trials: usize) -> Vec<RateRow> {
@@ -176,6 +188,82 @@ pub fn exp_c(sizes: &[usize]) -> Vec<ScaleRow> {
             }
         })
         .collect()
+}
+
+/// One row of EXP-P: the parallel restart engine at one `(size, threads)`
+/// coordinate.
+pub struct ParallelRow {
+    /// Source schema size (element types).
+    pub size: usize,
+    /// Worker threads (`DiscoveryConfig::threads`).
+    pub threads: usize,
+    /// Discovery wall time (ms).
+    pub millis: f64,
+    /// Whether an embedding was found.
+    pub found: bool,
+    /// Restart attempts started across all workers.
+    pub attempts: usize,
+    /// `threads = 1` wall time at the same size divided by this row's.
+    pub speedup: f64,
+}
+
+/// EXP-P: discovery wall-clock vs. worker threads on large random schemas
+/// with an ambiguous `att`, so several restarts fail before one succeeds —
+/// the regime the parallel restart engine targets. The returned embedding
+/// is asserted byte-identical across every thread count (the engine's
+/// deterministic winner-selection rule).
+pub fn exp_p(sizes: &[usize], thread_counts: &[usize]) -> Vec<ParallelRow> {
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let src = scale::random_schema(n, n as u64);
+        let copy = noised_copy(&src, NoiseConfig::level(0.3), 17);
+        // Accurate but ambiguous att: four spurious mid-score candidates
+        // per type. The truth stays top-ranked, yet enough early attempts
+        // wander off that the winner lands at attempt 2–14 across the
+        // sweep — restarts genuinely matter.
+        let att = ambiguous(
+            &src,
+            &copy,
+            SimConfig {
+                accuracy: 1.0,
+                ambiguity: 4.0,
+            },
+            n as u64 ^ 0x5EED,
+        );
+        let mut base_ms = 0.0;
+        let mut base_describe: Option<Option<String>> = None;
+        for &threads in thread_counts {
+            let cfg = DiscoveryConfig {
+                restarts: 48,
+                threads,
+                ..DiscoveryConfig::default()
+            };
+            let t0 = Instant::now();
+            let (e, stats) = find_embedding_with_stats(&src, &copy.target, &att, &cfg);
+            let millis = t0.elapsed().as_secs_f64() * 1000.0;
+            let describe = e.as_ref().map(|e| e.describe());
+            match &base_describe {
+                None => {
+                    base_ms = millis;
+                    base_describe = Some(describe.clone());
+                }
+                Some(b) => assert_eq!(
+                    *b, describe,
+                    "size {n}: threads={threads} diverged from threads={}",
+                    thread_counts[0]
+                ),
+            }
+            rows.push(ParallelRow {
+                size: n,
+                threads,
+                millis,
+                found: e.is_some(),
+                attempts: stats.attempts,
+                speedup: base_ms / millis,
+            });
+        }
+    }
+    rows
 }
 
 /// One row of TAB-1: per-schema discovery on a noised copy.

@@ -64,9 +64,13 @@ impl SimilarityMatrix {
         self.data[a.index() * self.cols + b.index()]
     }
 
-    /// Set `att(A, B)` (clamped into `[0, 1]`).
+    /// Set `att(A, B)` (clamped into `[0, 1]`). A `NaN` similarity — which
+    /// `clamp` would propagate — is treated as "no information" and stored
+    /// as `0`, so a single bad entry from an upstream matcher disables that
+    /// pair instead of poisoning every downstream float comparison.
     pub fn set(&mut self, a: TypeId, b: TypeId, v: f64) {
-        self.data[a.index() * self.cols + b.index()] = v.clamp(0.0, 1.0);
+        let v = if v.is_nan() { 0.0 } else { v.clamp(0.0, 1.0) };
+        self.data[a.index() * self.cols + b.index()] = v;
     }
 
     /// Target candidates for source type `a` with `att > 0`, best first.
@@ -77,7 +81,7 @@ impl SimilarityMatrix {
             .map(|b| (b, self.get(a, b)))
             .filter(|&(_, v)| v > 0.0)
             .collect();
-        out.sort_by(|x, y| y.1.partial_cmp(&x.1).unwrap().then(x.0.cmp(&y.0)));
+        out.sort_by(|x, y| y.1.total_cmp(&x.1).then(x.0.cmp(&y.0)));
         out
     }
 

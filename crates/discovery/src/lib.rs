@@ -25,6 +25,12 @@
 //!   returned embedding is always sound — heuristics can only cause false
 //!   negatives. [`find_embedding`] hands back the owned, `Send + Sync`
 //!   compiled engine, ready to be shared across threads.
+//!
+//! Restart attempts are embarrassingly parallel and run on a scoped-thread
+//! engine ([`DiscoveryConfig::threads`]): every attempt seeds its RNG from
+//! `(seed, attempt_index)` alone and the lowest successful attempt index
+//! wins, so the discovered embedding is byte-identical for every thread
+//! count.
 
 pub mod index;
 pub mod pfp;

@@ -12,7 +12,10 @@
 //! Every assembled candidate passes through [`CompiledEmbedding::new`], so
 //! discovery never returns an invalid embedding.
 
-use std::sync::Arc;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -54,6 +57,15 @@ pub struct DiscoveryConfig {
     pub pfp: PfpConfig,
     /// Pool size per source type for the Independent-Set strategy.
     pub pool_per_type: usize,
+    /// Worker threads for the restart engine: `0` (the default) spawns one
+    /// worker per available core, `1` runs fully sequentially on the
+    /// caller's thread. Restart attempts are embarrassingly parallel —
+    /// every attempt index derives its RNG from `(seed, index)` alone, and
+    /// the engine returns the success with the **lowest attempt index** —
+    /// so the discovered embedding is byte-identical for every thread
+    /// count. Only the [`DiscoveryStats`] counters may differ: parallel
+    /// workers can start (and then abandon) attempts beyond the winner.
+    pub threads: usize,
 }
 
 impl Default for DiscoveryConfig {
@@ -65,19 +77,61 @@ impl Default for DiscoveryConfig {
             max_combos: 64,
             pfp: PfpConfig::default(),
             pool_per_type: 6,
+            threads: 0,
         }
     }
 }
 
-/// Counters reported by [`find_embedding_with_stats`].
+/// Counters reported by [`find_embedding_with_stats`]. Workers accumulate
+/// counters independently; [`DiscoveryStats::merge`] folds them together.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct DiscoveryStats {
-    /// Restart attempts consumed.
+    /// Restart attempts started (summed across workers).
     pub attempts: usize,
     /// Local-embedding (pfp) solves.
     pub local_solves: usize,
-    /// Candidate embeddings rejected by final validation.
+    /// WIS λ-seed derivations (Independent-Set strategy: one per attempt).
+    pub wis_seeds: usize,
+    /// Candidate embeddings rejected by final validation — the sum of the
+    /// three `rejects_*` kinds below.
     pub validation_rejects: usize,
+    /// Rejected for prefix-freeness violations (a path covering a prefix
+    /// of another, or aliased disjunction alternatives).
+    pub rejects_prefix: usize,
+    /// Rejected because `att(A, λ(A)) = 0` for some source type `A`.
+    pub rejects_similarity: usize,
+    /// Rejected by any other validation failure.
+    pub rejects_other: usize,
+}
+
+impl DiscoveryStats {
+    /// Fold another worker's counters into `self`.
+    pub fn merge(&mut self, other: &DiscoveryStats) {
+        self.attempts += other.attempts;
+        self.local_solves += other.local_solves;
+        self.wis_seeds += other.wis_seeds;
+        self.validation_rejects += other.validation_rejects;
+        self.rejects_prefix += other.rejects_prefix;
+        self.rejects_similarity += other.rejects_similarity;
+        self.rejects_other += other.rejects_other;
+    }
+}
+
+/// The RNG for one restart attempt, derived from `(seed, attempt)` alone —
+/// never from which worker runs the attempt or from what ran before it —
+/// so sequential and parallel engines explore identical per-attempt search
+/// trees.
+fn attempt_rng(seed: u64, attempt: usize) -> StdRng {
+    StdRng::seed_from_u64(seed ^ (attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Resolve [`DiscoveryConfig::threads`] (`0` = available parallelism).
+fn effective_threads(cfg: &DiscoveryConfig) -> usize {
+    if cfg.threads == 0 {
+        thread::available_parallelism().map_or(1, NonZeroUsize::get)
+    } else {
+        cfg.threads
+    }
 }
 
 /// Find a valid schema embedding `S1 → S2` w.r.t. `att`, or `None` if the
@@ -86,6 +140,18 @@ pub struct DiscoveryStats {
 /// [`CompiledEmbedding`] — it does not borrow the input DTDs (they are
 /// cloned once into shared `Arc`s), so it can be stored, sent across
 /// threads, and reused long after discovery.
+///
+/// # Parallelism and determinism
+///
+/// Restart attempts run on [`DiscoveryConfig::threads`] scoped workers.
+/// Each attempt index `i` seeds its own RNG from `(cfg.seed, i)`, and the
+/// engine's **winner-selection rule** is: among all attempts that produce
+/// a validated embedding, the one with the *lowest attempt index* wins —
+/// exactly the attempt a sequential run would have stopped at. Workers
+/// publish the best winning index through an atomic bound and abandon
+/// attempts that can no longer win. Consequently `find_embedding` returns
+/// a byte-identical embedding for every `threads` value given the same
+/// `DiscoveryConfig`.
 pub fn find_embedding(
     source: &Dtd,
     target: &Dtd,
@@ -102,9 +168,8 @@ pub fn find_embedding_with_stats(
     att: &SimilarityMatrix,
     cfg: &DiscoveryConfig,
 ) -> (Option<CompiledEmbedding>, DiscoveryStats) {
-    let mut stats = DiscoveryStats::default();
     if att.dims() != (source.type_count(), target.type_count()) {
-        return (None, stats);
+        return (None, DiscoveryStats::default());
     }
     // One owned copy of each schema; every validated candidate shares them.
     let source_arc = Arc::new(source.clone());
@@ -112,65 +177,86 @@ pub fn find_embedding_with_stats(
     let src_graph = SchemaGraph::new(source);
     let tgt_graph = SchemaGraph::new(target);
     let idx = ReachIndex::new(target, &tgt_graph);
+    // Lowest attempt index that has produced a validated embedding so far;
+    // attempts above it can no longer win and are cancelled.
+    let bound = AtomicUsize::new(usize::MAX);
     let env = Env {
         source,
         target,
+        source_arc: &source_arc,
+        target_arc: &target_arc,
         src_graph: &src_graph,
         tgt_graph: &tgt_graph,
         idx: &idx,
         att,
         cfg,
+        bound: &bound,
     };
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let total = cfg.restarts.max(1);
+    let workers = effective_threads(cfg).min(total);
 
-    // Seed λ-assignments from the Independent-Set pool when requested.
-    let wis_seed = if cfg.strategy == Strategy::IndependentSet {
-        env.wis_lambda_seed(&mut rng, &mut stats)
-    } else {
-        None
-    };
-
-    for attempt in 0..cfg.restarts.max(1) {
-        stats.attempts = attempt + 1;
-        let seed_lambda = if attempt == 0 {
-            wis_seed.as_deref()
-        } else {
-            None
-        };
-        if let Some((lambda, paths)) = env.attempt(&mut rng, attempt, seed_lambda, &mut stats) {
-            match CompiledEmbedding::new(
-                Arc::clone(&source_arc),
-                Arc::clone(&target_arc),
-                lambda,
-                paths,
-            ) {
-                Ok(e) => {
-                    if e.check_similarity(att).is_ok() {
-                        return (Some(e), stats);
-                    }
-                    stats.validation_rejects += 1;
-                }
-                Err(EmbeddingError::AlternativeAliased { .. })
-                | Err(EmbeddingError::PrefixConflict { .. }) => {
-                    stats.validation_rejects += 1;
-                }
-                Err(_) => {
-                    stats.validation_rejects += 1;
-                }
+    if workers <= 1 {
+        // Sequential path: attempts in index order, first success wins —
+        // by construction the same winner the parallel engine selects.
+        let mut stats = DiscoveryStats::default();
+        for attempt in 0..total {
+            stats.attempts += 1;
+            if let Some(e) = env.run_attempt(attempt, &mut stats) {
+                return (Some(e), stats);
             }
         }
+        return (None, stats);
     }
-    (None, stats)
+
+    // Parallel engine: workers claim attempt indices from a shared counter
+    // and record successes; the lowest successful index wins. Indices are
+    // claimed in order and an index is only skipped when it lies above an
+    // already-known success, so every attempt below the winner runs to
+    // completion and fails deterministically — the winner is exactly the
+    // attempt the sequential loop would have returned.
+    let next = AtomicUsize::new(0);
+    let found: Mutex<Vec<(usize, CompiledEmbedding)>> = Mutex::new(Vec::new());
+    let merged = Mutex::new(DiscoveryStats::default());
+    thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| {
+                let mut local = DiscoveryStats::default();
+                loop {
+                    let attempt = next.fetch_add(1, Ordering::Relaxed);
+                    if attempt >= total || attempt > bound.load(Ordering::Acquire) {
+                        break;
+                    }
+                    local.attempts += 1;
+                    if let Some(e) = env.run_attempt(attempt, &mut local) {
+                        bound.fetch_min(attempt, Ordering::AcqRel);
+                        found.lock().unwrap().push((attempt, e));
+                    }
+                }
+                merged.lock().unwrap().merge(&local);
+            });
+        }
+    });
+    let stats = merged.into_inner().unwrap();
+    let winner = found
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .min_by_key(|&(attempt, _)| attempt)
+        .map(|(_, e)| e);
+    (winner, stats)
 }
 
 struct Env<'e> {
     source: &'e Dtd,
     target: &'e Dtd,
+    source_arc: &'e Arc<Dtd>,
+    target_arc: &'e Arc<Dtd>,
     src_graph: &'e SchemaGraph,
     tgt_graph: &'e SchemaGraph,
     idx: &'e ReachIndex,
     att: &'e SimilarityMatrix,
     cfg: &'e DiscoveryConfig,
+    bound: &'e AtomicUsize,
 }
 
 impl<'e> Env<'e> {
@@ -193,7 +279,52 @@ impl<'e> Env<'e> {
         order
     }
 
-    /// One assembly attempt: assign λ and paths type by type.
+    /// Run attempt `attempt` end to end on the calling thread: derive its
+    /// RNG from `(seed, attempt)`, assemble a candidate, validate it.
+    /// `&self`-pure — safe to call from any worker concurrently.
+    fn run_attempt(&self, attempt: usize, stats: &mut DiscoveryStats) -> Option<CompiledEmbedding> {
+        let mut rng = attempt_rng(self.cfg.seed, attempt);
+        // Independent-Set derives a freshly shuffled λ-seed for *every*
+        // restart: seeding only attempt 0 would silently degrade every
+        // later restart to the Random strategy.
+        let wis_seed = if self.cfg.strategy == Strategy::IndependentSet {
+            stats.wis_seeds += 1;
+            self.wis_lambda_seed(&mut rng)
+        } else {
+            None
+        };
+        let (lambda, paths) = self.attempt(&mut rng, attempt, wis_seed.as_deref(), stats)?;
+        match CompiledEmbedding::new(
+            Arc::clone(self.source_arc),
+            Arc::clone(self.target_arc),
+            lambda,
+            paths,
+        ) {
+            Ok(e) => {
+                if e.check_similarity(self.att).is_ok() {
+                    return Some(e);
+                }
+                stats.validation_rejects += 1;
+                stats.rejects_similarity += 1;
+            }
+            Err(err) => {
+                stats.validation_rejects += 1;
+                match err {
+                    EmbeddingError::PrefixConflict { .. }
+                    | EmbeddingError::AlternativeAliased { .. } => stats.rejects_prefix += 1,
+                    EmbeddingError::SimilarityZero { .. } => stats.rejects_similarity += 1,
+                    _ => stats.rejects_other += 1,
+                }
+            }
+        }
+        None
+    }
+
+    /// One assembly attempt: assign λ and paths type by type. `seed_lambda`
+    /// (from the Independent-Set pool) is *advisory*: a seeded image is
+    /// tried first for its type, but the search falls back to the other
+    /// candidates — greedy assembly has no cross-type backtracking, so a
+    /// hard-pinned seed could never be repaired when it is infeasible.
     fn attempt(
         &self,
         rng: &mut StdRng,
@@ -202,16 +333,27 @@ impl<'e> Env<'e> {
         stats: &mut DiscoveryStats,
     ) -> Option<(TypeMapping, PathMapping)> {
         let n = self.source.type_count();
-        let mut lambda: Vec<Option<TypeId>> = match seed_lambda {
-            Some(s) => s.to_vec(),
-            None => vec![None; n],
-        };
+        let mut lambda: Vec<Option<TypeId>> = vec![None; n];
         lambda[self.source.root().index()] = Some(self.target.root());
         let mut paths = PathMapping::new_with_graph(self.source, self.src_graph);
 
         for a in self.bfs_order() {
+            // Early-cancel: a sibling worker has already validated a
+            // success at a lower index, so this attempt cannot win.
+            if attempt > self.bound.load(Ordering::Relaxed) {
+                return None;
+            }
             let la = lambda[a.index()].expect("BFS order guarantees assignment");
-            if !self.solve_type(rng, attempt, a, la, &mut lambda, &mut paths, stats) {
+            if !self.solve_type(
+                rng,
+                attempt,
+                a,
+                la,
+                seed_lambda,
+                &mut lambda,
+                &mut paths,
+                stats,
+            ) {
                 return None;
             }
         }
@@ -228,6 +370,7 @@ impl<'e> Env<'e> {
         attempt: usize,
         a: TypeId,
         la: TypeId,
+        seed_lambda: Option<&[Option<TypeId>]>,
         lambda: &mut [Option<TypeId>],
         paths: &mut PathMapping,
         stats: &mut DiscoveryStats,
@@ -291,13 +434,24 @@ impl<'e> Env<'e> {
                     .iter()
                     .map(|&(t, w)| (rng.random::<f64>() * bias + w, t))
                     .collect();
-                keyed.sort_by(|x, y| y.0.partial_cmp(&x.0).unwrap());
+                // total_cmp: a NaN weight (possible only through a buggy
+                // upstream matrix) must never panic the search.
+                keyed.sort_by(|x, y| y.0.total_cmp(&x.0));
                 cands = keyed.into_iter().map(|(w, t)| (t, w)).collect();
             }
             if cands.is_empty() {
                 return false;
             }
-            cand_lists.push(cands.into_iter().map(|(t, _)| t).collect());
+            let mut list: Vec<TypeId> = cands.into_iter().map(|(t, _)| t).collect();
+            // Promote the Independent-Set suggestion (when present) to the
+            // front of the candidate list: tried first, repaired by search.
+            if let Some(want) = seed_lambda.and_then(|s| s[c.index()]) {
+                if let Some(p) = list.iter().position(|&t| t == want) {
+                    list.remove(p);
+                    list.insert(0, want);
+                }
+            }
+            cand_lists.push(list);
         }
 
         // Iterate combinations in mixed-radix order up to the budget.
@@ -386,11 +540,7 @@ impl<'e> Env<'e> {
     /// Independent-Set seeding: a pool of (type, λ-choice) vertices weighted
     /// by `att`, conflicts between different choices for the same type;
     /// the heavy independent set fixes initial λ assignments.
-    fn wis_lambda_seed(
-        &self,
-        rng: &mut StdRng,
-        stats: &mut DiscoveryStats,
-    ) -> Option<Vec<Option<TypeId>>> {
+    fn wis_lambda_seed(&self, rng: &mut StdRng) -> Option<Vec<Option<TypeId>>> {
         let n = self.source.type_count();
         let mut vertices: Vec<(TypeId, TypeId, f64)> = Vec::new();
         for a in self.source.types() {
@@ -406,7 +556,6 @@ impl<'e> Env<'e> {
                 }
             }
         }
-        stats.local_solves += vertices.len() / 4; // rough accounting
         let mut g = ConflictGraph::new(vertices.iter().map(|v| v.2).collect());
         for i in 0..vertices.len() {
             for j in (i + 1)..vertices.len() {
@@ -614,5 +763,117 @@ mod tests {
         let a = find_embedding(&s1, &s2, &att, &cfg).unwrap().describe();
         let b = find_embedding(&s1, &s2, &att, &cfg).unwrap().describe();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_winner() {
+        let (s1, s2) = wrap_pair();
+        let att = SimilarityMatrix::permissive(&s1, &s2);
+        for strategy in [
+            Strategy::Random,
+            Strategy::QualityOrdered,
+            Strategy::IndependentSet,
+        ] {
+            let sequential = DiscoveryConfig {
+                strategy,
+                threads: 1,
+                ..DiscoveryConfig::default()
+            };
+            let parallel = DiscoveryConfig {
+                threads: 8,
+                ..sequential.clone()
+            };
+            let a = find_embedding(&s1, &s2, &att, &sequential)
+                .unwrap_or_else(|| panic!("{strategy:?} sequential failed"))
+                .describe();
+            let b = find_embedding(&s1, &s2, &att, &parallel)
+                .unwrap_or_else(|| panic!("{strategy:?} parallel failed"))
+                .describe();
+            assert_eq!(a, b, "{strategy:?}: threads=1 vs threads=8 diverged");
+        }
+    }
+
+    #[test]
+    fn nan_similarity_entry_is_ignored_not_fatal() {
+        let (s1, s2) = wrap_pair();
+        let mut att = SimilarityMatrix::permissive(&s1, &s2);
+        let c = s1.type_id("c").unwrap();
+        let c_tgt = s2.type_id("c").unwrap();
+        att.set(c, c_tgt, f64::NAN);
+        // The NaN entry is stored as 0 — the pair is disabled, nothing
+        // panics, and discovery routes `c` to another str-typed image.
+        assert_eq!(att.get(c, c_tgt), 0.0);
+        for strategy in [
+            Strategy::Random,
+            Strategy::QualityOrdered,
+            Strategy::IndependentSet,
+        ] {
+            let cfg = DiscoveryConfig {
+                strategy,
+                ..DiscoveryConfig::default()
+            };
+            if let Some(e) = find_embedding(&s1, &s2, &att, &cfg) {
+                assert!(att.get(c, e.lambda(c)) > 0.0, "{strategy:?} used NaN pair");
+            }
+        }
+    }
+
+    #[test]
+    fn wis_seed_is_rederived_every_restart() {
+        // An unembeddable pair exhausts every restart; under the
+        // Independent-Set strategy each attempt must derive its own
+        // freshly shuffled WIS seed (seeding only attempt 0 silently
+        // degrades every later restart to Random).
+        let s1 = Dtd::builder("r")
+            .concat("r", &["a", "b"])
+            .empty("a")
+            .empty("b")
+            .build()
+            .unwrap();
+        let s2 = Dtd::builder("r")
+            .disjunction_opt("r", &["x"])
+            .disjunction_opt("x", &["r2"])
+            .empty("r2")
+            .build()
+            .unwrap();
+        let att = SimilarityMatrix::permissive(&s1, &s2);
+        let cfg = DiscoveryConfig {
+            strategy: Strategy::IndependentSet,
+            threads: 1,
+            ..DiscoveryConfig::default()
+        };
+        let (found, stats) = find_embedding_with_stats(&s1, &s2, &att, &cfg);
+        assert!(found.is_none());
+        assert_eq!(stats.attempts, cfg.restarts);
+        assert_eq!(stats.wis_seeds, cfg.restarts, "one WIS seed per attempt");
+    }
+
+    #[test]
+    fn parallel_exhaustion_counts_every_attempt() {
+        let s1 = Dtd::builder("r")
+            .concat("r", &["a", "b"])
+            .empty("a")
+            .empty("b")
+            .build()
+            .unwrap();
+        let s2 = Dtd::builder("r")
+            .disjunction_opt("r", &["x"])
+            .disjunction_opt("x", &["r2"])
+            .empty("r2")
+            .build()
+            .unwrap();
+        let att = SimilarityMatrix::permissive(&s1, &s2);
+        let cfg = DiscoveryConfig {
+            threads: 8,
+            ..DiscoveryConfig::default()
+        };
+        let (found, stats) = find_embedding_with_stats(&s1, &s2, &att, &cfg);
+        assert!(found.is_none());
+        assert_eq!(stats.attempts, cfg.restarts, "no attempt skipped or lost");
+        assert_eq!(
+            stats.validation_rejects,
+            stats.rejects_prefix + stats.rejects_similarity + stats.rejects_other,
+            "reject kinds must sum to the total"
+        );
     }
 }

@@ -50,9 +50,13 @@ impl ConflictGraph {
         let n = self.len();
         let mut order: Vec<usize> = (0..n).collect();
         order.sort_by(|&a, &b| {
-            let ka = self.weights[a] / (self.adj[a].len() as f64 + 1.0);
-            let kb = self.weights[b] / (self.adj[b].len() as f64 + 1.0);
-            kb.partial_cmp(&ka).unwrap().then(a.cmp(&b))
+            // NaN keys map to -inf (f64::max ignores a NaN operand) so a
+            // garbage weight sorts last in the descending order instead of
+            // panicking — or, worse, winning: +NaN outranks +inf in
+            // total_cmp's total order.
+            let ka = (self.weights[a] / (self.adj[a].len() as f64 + 1.0)).max(f64::NEG_INFINITY);
+            let kb = (self.weights[b] / (self.adj[b].len() as f64 + 1.0)).max(f64::NEG_INFINITY);
+            kb.total_cmp(&ka).then(a.cmp(&b))
         });
         let mut selected = vec![false; n];
         let mut blocked = vec![0u32; n];
@@ -145,6 +149,16 @@ mod tests {
         }
         let total: f64 = s.iter().map(|&v| g.weights[v]).sum();
         assert!(total >= 2.0);
+    }
+
+    #[test]
+    fn nan_weight_loses_to_any_real_weight() {
+        // A NaN weight must sort last in the greedy order (not first, as
+        // +NaN would under a bare descending total_cmp) and must never
+        // displace a real-weighted neighbor.
+        let mut g = ConflictGraph::new(vec![f64::NAN, 1.0]);
+        g.add_conflict(0, 1);
+        assert_eq!(g.heavy_independent_set(), vec![1]);
     }
 
     #[test]

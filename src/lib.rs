@@ -19,7 +19,10 @@
 //!   over the source satisfies `Q(T) = idM(Tr(Q)(σd(T)))` (Theorem 4.3b);
 //! * **XSLT stylesheets** implementing `σd` and `σd⁻¹` (Section 4.3);
 //! * heuristic **discovery** of embeddings from a similarity matrix
-//!   (Section 5 — the problem itself is NP-complete, Theorem 5.1).
+//!   (Section 5 — the problem itself is NP-complete, Theorem 5.1). The
+//!   restart search runs on a parallel engine
+//!   ([`DiscoveryConfig::threads`](crate::discovery::DiscoveryConfig::threads))
+//!   that returns a byte-identical embedding for every thread count.
 //!
 //! The compiled engine ([`CompiledEmbedding`](crate::core::CompiledEmbedding))
 //! owns its schemas via `Arc`, carries no lifetime parameter, and is
@@ -117,7 +120,9 @@ pub mod prelude {
         CompiledEmbedding, EmbeddingBuilder, EmbeddingError, MappingOutput, SimilarityMatrix,
         TypeMapping,
     };
-    pub use xse_discovery::{find_embedding, DiscoveryConfig, Strategy};
+    pub use xse_discovery::{
+        find_embedding, find_embedding_with_stats, DiscoveryConfig, DiscoveryStats, Strategy,
+    };
     pub use xse_dtd::{Dtd, Production, TypeId};
     pub use xse_rxpath::{parse_query, XrQuery};
     pub use xse_xmltree::{parse_xml, IdMap, NodeId, TreeBuilder, XmlTree};

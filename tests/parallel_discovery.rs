@@ -1,0 +1,144 @@
+//! Parallel-vs-sequential determinism of the discovery restart engine.
+//!
+//! `DiscoveryConfig::threads` must never change *what* is discovered:
+//! every attempt index seeds its RNG from `(seed, index)` alone and the
+//! lowest successful index wins, so `threads = 1` and `threads = 8` must
+//! produce byte-identical `describe()` output for the same config — across
+//! a hand-written wrap pair, the paper's Figure 1 school pair, and a
+//! 200-type random schema, on both success and exhaustion paths.
+
+use xse::prelude::*;
+use xse::workloads::noise::{noised_copy, NoiseConfig};
+use xse::workloads::scale::random_schema;
+use xse::workloads::simgen::{ambiguous, exact, SimConfig};
+
+/// `describe()` under `threads = 1` and `threads = 8` (None = not found).
+fn describe_1_vs_8(
+    source: &Dtd,
+    target: &Dtd,
+    att: &SimilarityMatrix,
+    cfg: &DiscoveryConfig,
+) -> (Option<String>, Option<String>) {
+    let sequential = DiscoveryConfig {
+        threads: 1,
+        ..cfg.clone()
+    };
+    let parallel = DiscoveryConfig {
+        threads: 8,
+        ..cfg.clone()
+    };
+    (
+        find_embedding(source, target, att, &sequential).map(|e| e.describe()),
+        find_embedding(source, target, att, &parallel).map(|e| e.describe()),
+    )
+}
+
+#[test]
+fn wrap_pair_is_thread_count_invariant() {
+    let source = Dtd::parse(
+        "<!ELEMENT r (a, b)><!ELEMENT a (#PCDATA)>\
+         <!ELEMENT b (c)*><!ELEMENT c (#PCDATA)>",
+    )
+    .unwrap();
+    let target = Dtd::parse(
+        "<!ELEMENT r (x, y)><!ELEMENT x (a, pad)><!ELEMENT a (#PCDATA)>\
+         <!ELEMENT pad (#PCDATA)><!ELEMENT y (w)><!ELEMENT w (c2)*>\
+         <!ELEMENT c2 (c)><!ELEMENT c (#PCDATA)>",
+    )
+    .unwrap();
+    let att = SimilarityMatrix::permissive(&source, &target);
+    for strategy in [
+        Strategy::Random,
+        Strategy::QualityOrdered,
+        Strategy::IndependentSet,
+    ] {
+        let cfg = DiscoveryConfig {
+            strategy,
+            ..DiscoveryConfig::default()
+        };
+        let (seq, par) = describe_1_vs_8(&source, &target, &att, &cfg);
+        assert!(seq.is_some(), "{strategy:?}: wrap pair must embed");
+        assert_eq!(seq, par, "{strategy:?} diverged across thread counts");
+    }
+}
+
+#[test]
+fn fig1_school_pair_is_thread_count_invariant() {
+    let s0 = xse::workloads::corpus::fig1_class();
+    let s = xse::workloads::corpus::fig1_school();
+    // Name-based matrix with the paper's cross-name pairs allowed.
+    let mut att = SimilarityMatrix::by_name(&s0, &s, 0.0);
+    att.set(s0.type_id("db").unwrap(), s.root(), 1.0);
+    att.set(
+        s0.type_id("class").unwrap(),
+        s.type_id("course").unwrap(),
+        1.0,
+    );
+    att.set(
+        s0.type_id("type").unwrap(),
+        s.type_id("category").unwrap(),
+        1.0,
+    );
+    let cfg = DiscoveryConfig {
+        restarts: 60,
+        ..DiscoveryConfig::default()
+    };
+    let (seq, par) = describe_1_vs_8(&s0, &s, &att, &cfg);
+    assert!(seq.is_some(), "the Example 4.2 embedding exists");
+    assert_eq!(seq, par, "Figure 1 pair diverged across thread counts");
+}
+
+#[test]
+fn random_schema_200_is_thread_count_invariant() {
+    let src = random_schema(200, 200);
+    let copy = noised_copy(&src, NoiseConfig::level(0.25), 17);
+
+    // Exact ground-truth att: the easy, unambiguous regime.
+    let att = exact(&src, &copy);
+    let cfg = DiscoveryConfig::default();
+    let (seq, par) = describe_1_vs_8(&src, &copy.target, &att, &cfg);
+    assert!(seq.is_some(), "noised self-copy with exact att must embed");
+    assert_eq!(seq, par, "n=200 exact att diverged across thread counts");
+
+    // Ambiguous att: restarts actually fail, so the winner-selection rule
+    // (lowest attempt index) is exercised for real.
+    let att = ambiguous(
+        &src,
+        &copy,
+        SimConfig {
+            accuracy: 0.85,
+            ambiguity: 2.0,
+        },
+        0x5EED,
+    );
+    let cfg = DiscoveryConfig {
+        restarts: 16,
+        ..DiscoveryConfig::default()
+    };
+    let (seq, par) = describe_1_vs_8(&src, &copy.target, &att, &cfg);
+    assert_eq!(
+        seq, par,
+        "n=200 ambiguous att diverged across thread counts"
+    );
+}
+
+#[test]
+fn parallel_exhaustion_returns_none_with_correct_attempts() {
+    // Source needs two prefix-free AND paths; target offers a single unary
+    // chain of disjunctions — unembeddable, so every restart is consumed.
+    let source = Dtd::parse("<!ELEMENT r (a, b)><!ELEMENT a EMPTY><!ELEMENT b EMPTY>").unwrap();
+    let target = Dtd::parse("<!ELEMENT r (x)?><!ELEMENT x (r2)?><!ELEMENT r2 EMPTY>").unwrap();
+    let att = SimilarityMatrix::permissive(&source, &target);
+    for threads in [1usize, 8] {
+        let cfg = DiscoveryConfig {
+            threads,
+            ..DiscoveryConfig::default()
+        };
+        let (found, stats) = find_embedding_with_stats(&source, &target, &att, &cfg);
+        assert!(found.is_none(), "threads={threads}: pair is unembeddable");
+        assert_eq!(
+            stats.attempts, cfg.restarts,
+            "threads={threads}: exhaustion must consume every restart"
+        );
+    }
+}
