@@ -14,10 +14,15 @@
 //! running [`CompiledEmbedding::apply`] sequentially.
 
 use xse_dtd::Production;
-use xse_xmltree::{NodeId, XmlTree};
+use xse_xmltree::{NodeId, TagId, XmlTree};
 
-use crate::pfrag::{materialize, Fragment, HotLeaf, Terminal};
+use crate::pfrag::{materialize, Emitter, Fragment, HotLeaf, Terminal};
 use crate::{CompiledEmbedding, EmbeddingError, MappingOutput};
+
+/// Per-thread chunking floor for [`CompiledEmbedding::apply_batch`]: with
+/// fewer total source nodes than this per thread, spawn overhead dominates
+/// and the batch falls back to fewer threads (or a plain sequential loop).
+const MIN_NODES_PER_THREAD: usize = 8192;
 
 impl CompiledEmbedding {
     /// Apply `σd` to a source document. The input is validated against the
@@ -29,8 +34,27 @@ impl CompiledEmbedding {
             .validate(t1)
             .map_err(EmbeddingError::SourceInvalid)?;
 
-        let mut t2 = XmlTree::new(self.target.name(self.target.root()));
-        let mut idmap = xse_xmltree::IdMap::new();
+        // The output grows linearly with the source (fragments are
+        // schema-bounded); reserve 2× nodes up front so the arena rarely
+        // reallocates, and intern the whole target tag alphabet once so the
+        // emit loop never hashes a string.
+        let mut t2 = XmlTree::with_capacity(
+            self.target.name(self.target.root()),
+            t1.len() * 2,
+            t1.text_bytes() + 16,
+        );
+        let tags: Vec<TagId> = self
+            .target
+            .types()
+            .map(|ty| t2.intern_tag(self.target.name(ty)))
+            .collect();
+        let em = Emitter {
+            target: &self.target,
+            plans: &self.plans,
+            tags: &tags,
+            src: Some(t1),
+        };
+        let mut idmap = xse_xmltree::IdMap::with_capacity(t1.len() * 2, t1.len());
         idmap.insert(t2.root(), t1.root());
 
         // Worklist of hot nodes: (source node, its target image, source type).
@@ -46,8 +70,7 @@ impl CompiledEmbedding {
             let fragment = self.fragment_of(t1, h.src, h.src_type);
             materialize(
                 fragment,
-                &self.target,
-                &self.plans,
+                &em,
                 &mut t2,
                 h.target,
                 &mut hot_buf,
@@ -58,11 +81,12 @@ impl CompiledEmbedding {
                 work.push(leaf);
             }
             for tc in text_buf.drain(..) {
-                if let Some(src) = tc.src {
-                    idmap.insert(tc.target, src);
-                }
+                idmap.insert(tc.target, tc.src);
             }
         }
+        // Compact the sibling links into CSR spans now, so consumers start
+        // with slice-backed children() immediately.
+        t2.freeze();
         Ok(MappingOutput { tree: t2, idmap })
     }
 
@@ -76,22 +100,38 @@ impl CompiledEmbedding {
         self.apply_batch_with(docs, threads)
     }
 
-    /// [`CompiledEmbedding::apply_batch`] with an explicit thread count
-    /// (clamped to `1..=docs.len()`; `1` degenerates to a sequential loop).
+    /// [`CompiledEmbedding::apply_batch`] with an explicit thread count.
+    ///
+    /// The effective parallelism is clamped to `1..=docs.len()` *and* by the
+    /// total work: tiny batches (fewer than `MIN_NODES_PER_THREAD` source
+    /// nodes per thread) use fewer threads, down to a plain sequential loop,
+    /// so the batch path is never slower than sequential on small inputs.
+    /// Chunks are contiguous and balanced by node counts, not document
+    /// counts, so one huge document does not serialize the batch.
     pub fn apply_batch_with(
         &self,
         docs: &[XmlTree],
         threads: usize,
     ) -> Vec<Result<MappingOutput, EmbeddingError>> {
-        let threads = threads.clamp(1, docs.len().max(1));
+        let sizes: Vec<usize> = docs.iter().map(|t1| t1.len()).collect();
+        let total: usize = sizes.iter().sum();
+        let threads = threads
+            .clamp(1, docs.len().max(1))
+            .min((total / MIN_NODES_PER_THREAD).max(1));
         if threads <= 1 {
             return docs.iter().map(|t1| self.apply(t1)).collect();
         }
+        let ends = chunk_ends(&sizes, threads);
         let mut results: Vec<Option<Result<MappingOutput, EmbeddingError>>> =
             (0..docs.len()).map(|_| None).collect();
-        let chunk = docs.len().div_ceil(threads);
         std::thread::scope(|scope| {
-            for (in_chunk, out_chunk) in docs.chunks(chunk).zip(results.chunks_mut(chunk)) {
+            let mut docs_rest = docs;
+            let mut out_rest = &mut results[..];
+            let mut prev = 0;
+            for &end in &ends {
+                let (in_chunk, dr) = docs_rest.split_at(end - prev);
+                let (out_chunk, or) = out_rest.split_at_mut(end - prev);
+                (docs_rest, out_rest, prev) = (dr, or, end);
                 scope.spawn(move || {
                     for (t1, slot) in in_chunk.iter().zip(out_chunk.iter_mut()) {
                         *slot = Some(self.apply(t1));
@@ -112,15 +152,10 @@ impl CompiledEmbedding {
         match self.source.production(a) {
             Production::Empty => {}
             Production::Str => {
+                // The value is copied from the source at materialization
+                // time — the fragment only references the text node.
                 let text_node = t1.children(v)[0];
-                let value = t1.text_value(text_node).unwrap_or_default().to_string();
-                frag.add_chain(
-                    &paths[0],
-                    Terminal::Text {
-                        value,
-                        src: Some(text_node),
-                    },
-                );
+                frag.add_chain(&paths[0], Terminal::Text { src: text_node });
             }
             Production::Concat(cs) => {
                 for (slot, (&child, &cty)) in t1.children(v).iter().zip(cs.iter()).enumerate() {
@@ -162,6 +197,60 @@ impl CompiledEmbedding {
             }
         }
         frag
+    }
+}
+
+/// Cut `sizes` into at most `parts` contiguous chunks of roughly equal
+/// weight, returning the exclusive end index of each chunk. Every item is
+/// covered; chunks are nonempty.
+fn chunk_ends(sizes: &[usize], parts: usize) -> Vec<usize> {
+    let total: usize = sizes.iter().sum();
+    let target = total.div_ceil(parts.max(1)).max(1);
+    let mut ends = Vec::with_capacity(parts);
+    let mut acc = 0;
+    for (i, &s) in sizes.iter().enumerate() {
+        acc += s;
+        if acc >= target {
+            ends.push(i + 1);
+            acc = 0;
+        }
+    }
+    if ends.last() != Some(&sizes.len()) && !sizes.is_empty() {
+        ends.push(sizes.len());
+    }
+    ends
+}
+
+#[cfg(test)]
+mod chunk_tests {
+    use super::chunk_ends;
+
+    #[test]
+    fn covers_all_items_without_empty_chunks() {
+        for (sizes, parts) in [
+            (vec![1usize; 10], 3),
+            (vec![100, 1, 1, 1, 1, 1], 4),
+            (vec![5], 8),
+            (vec![0, 0, 7, 0], 2),
+        ] {
+            let ends = chunk_ends(&sizes, parts);
+            assert!(ends.len() <= parts.max(1), "{sizes:?} → {ends:?}");
+            assert_eq!(*ends.last().unwrap(), sizes.len());
+            let mut prev = 0;
+            for &e in &ends {
+                assert!(e > prev, "empty chunk in {ends:?}");
+                prev = e;
+            }
+        }
+    }
+
+    #[test]
+    fn balances_by_weight_not_count() {
+        // One huge document followed by many small ones: the huge one gets
+        // its own chunk instead of dragging half the batch with it.
+        let sizes = [1000, 10, 10, 10, 10, 10, 10, 10, 10, 10, 10];
+        let ends = chunk_ends(&sizes, 2);
+        assert_eq!(ends[0], 1, "heavy head is isolated: {ends:?}");
     }
 }
 

@@ -9,7 +9,7 @@
 //! Stars walk the children of the multiplicity node in document order.
 
 use xse_dtd::{Dtd, Production, TypeId};
-use xse_xmltree::{NodeId, XmlTree};
+use xse_xmltree::{NodeId, TagId, XmlTree};
 
 use crate::resolve::ResolvedStep;
 use crate::{CompiledEmbedding, EmbeddingError};
@@ -35,6 +35,33 @@ pub(crate) fn navigate(
     Some(cur)
 }
 
+/// [`navigate`] with the document's tag ids pre-resolved per target type:
+/// `tags[ty.index()]` is `ty`'s tag in `tree`'s symbol table (`None` when
+/// the tag never occurs in the document — then no step of that type can
+/// match). Label checks become integer compares on the invert hot path.
+fn navigate_tagged(
+    tree: &XmlTree,
+    tags: &[Option<TagId>],
+    from: NodeId,
+    steps: &[ResolvedStep],
+) -> Option<NodeId> {
+    let mut cur = from;
+    for step in steps {
+        let k = step
+            .pos
+            .expect("navigation requires canonical positions on every step");
+        let want = tags[step.ty.index()]?;
+        cur = tree.children_with_tag_id(cur, want).nth(k - 1)?;
+    }
+    Some(cur)
+}
+
+/// Navigation alphabet of one invert run: the target types' tags resolved
+/// against the input document's symbol table.
+struct Nav {
+    target_tags: Vec<Option<TagId>>,
+}
+
 impl CompiledEmbedding {
     /// Recover the source document from `σd(T)`. Runs in `O(|σd(T)|·|σ|)`
     /// (within the paper's quadratic bound).
@@ -48,20 +75,43 @@ impl CompiledEmbedding {
         self.target
             .validate(t2)
             .map_err(EmbeddingError::TargetInvalid)?;
-        let mut t1 = XmlTree::new(self.source.name(self.source.root()));
+        // Resolve the navigation alphabet against the document once (target
+        // tags → the document's TagIds) and intern the source alphabet into
+        // the output once, so the rebuild loop never hashes a string.
+        let nav = Nav {
+            target_tags: self
+                .target
+                .types()
+                .map(|ty| t2.tag_id(self.target.name(ty)))
+                .collect(),
+        };
+        let mut t1 = XmlTree::with_capacity(
+            self.source.name(self.source.root()),
+            t2.len() / 2 + 1,
+            t2.text_bytes(),
+        );
+        let source_tags: Vec<TagId> = self
+            .source
+            .types()
+            .map(|ty| t1.intern_tag(self.source.name(ty)))
+            .collect();
         let t1_root = t1.root();
         // (target image, source type, recovered source node)
         let mut work: Vec<(NodeId, TypeId, NodeId)> =
             vec![(t2.root(), self.source.root(), t1_root)];
         while let Some((tv, a, out)) = work.pop() {
-            self.invert_node(t2, tv, a, &mut t1, out, &mut work)?;
+            self.invert_node(t2, &nav, &source_tags, tv, a, &mut t1, out, &mut work)?;
         }
+        t1.freeze();
         Ok(t1)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn invert_node(
         &self,
         t2: &XmlTree,
+        nav: &Nav,
+        source_tags: &[TagId],
         tv: NodeId,
         a: TypeId,
         t1: &mut XmlTree,
@@ -81,7 +131,7 @@ impl CompiledEmbedding {
             Production::Empty => {}
             Production::Str => {
                 let rp = &paths[0];
-                let end = navigate(&self.target, t2, tv, &rp.steps)
+                let end = navigate_tagged(t2, &nav.target_tags, tv, &rp.steps)
                     .ok_or_else(|| mismatch("str path not present".into()))?;
                 let text = t2
                     .children(end)
@@ -92,21 +142,23 @@ impl CompiledEmbedding {
             }
             Production::Concat(cs) => {
                 for (slot, &cty) in cs.iter().enumerate() {
-                    let node =
-                        navigate(&self.target, t2, tv, &paths[slot].steps).ok_or_else(|| {
+                    let node = navigate_tagged(t2, &nav.target_tags, tv, &paths[slot].steps)
+                        .ok_or_else(|| {
                             mismatch(format!(
                                 "child path {} not present",
                                 paths[slot].display(&self.target)
                             ))
                         })?;
-                    let child = t1.add_element(out, self.source.name(cty));
+                    let child = t1.add_element_tag(out, source_tags[cty.index()]);
                     work.push((node, cty, child));
                 }
             }
             Production::Disjunction { alts, allows_empty } => {
                 let mut found: Option<(usize, NodeId)> = None;
                 for (slot, &alt) in alts.iter().enumerate() {
-                    if let Some(node) = navigate(&self.target, t2, tv, &paths[slot].steps) {
+                    if let Some(node) =
+                        navigate_tagged(t2, &nav.target_tags, tv, &paths[slot].steps)
+                    {
                         if let Some((other, _)) = found {
                             return Err(mismatch(format!(
                                 "both alternatives {} and {} are navigable",
@@ -120,7 +172,7 @@ impl CompiledEmbedding {
                 match found {
                     Some((slot, node)) => {
                         let cty = alts[slot];
-                        let child = t1.add_element(out, self.source.name(cty));
+                        let child = t1.add_element_tag(out, source_tags[cty.index()]);
                         work.push((node, cty, child));
                     }
                     None if *allows_empty => {}
@@ -130,7 +182,8 @@ impl CompiledEmbedding {
             Production::Star(b) => {
                 let rp = &paths[0];
                 let mult = rp.first_star_step().expect("validated star path");
-                let Some(parent) = navigate(&self.target, t2, tv, &rp.steps[..mult]) else {
+                let Some(parent) = navigate_tagged(t2, &nav.target_tags, tv, &rp.steps[..mult])
+                else {
                     return Err(mismatch("star path prefix not present".into()));
                 };
                 let suffix = &rp.steps[mult + 1..];
@@ -141,11 +194,11 @@ impl CompiledEmbedding {
                     let node = if suffix.is_empty() {
                         rep
                     } else {
-                        navigate(&self.target, t2, rep, suffix).ok_or_else(|| {
+                        navigate_tagged(t2, &nav.target_tags, rep, suffix).ok_or_else(|| {
                             mismatch("star path suffix not present in a repetition".into())
                         })?
                     };
-                    let child = t1.add_element(out, self.source.name(*b));
+                    let child = t1.add_element_tag(out, source_tags[b.index()]);
                     work.push((node, *b, child));
                 }
             }

@@ -15,7 +15,7 @@
 //! default padding could alias a choice and break invertibility.
 
 use xse_dtd::{Dtd, MindefPlan, Production, TypeId};
-use xse_xmltree::{NodeId, XmlTree};
+use xse_xmltree::{NodeId, TagId, XmlTree};
 
 use crate::resolve::{ResolvedPath, ResolvedStep};
 
@@ -25,9 +25,10 @@ pub(crate) enum Terminal {
     /// A hot leaf: the image of source node `src` (of source type
     /// `src_type`), to be expanded by the next `InstMap` round.
     Hot { src: NodeId, src_type: TypeId },
-    /// A text value (the end of a `str` edge chain); `src` is the source
-    /// text node (absent in static fragments).
-    Text { value: String, src: Option<NodeId> },
+    /// The end of a `str` edge chain: a reference to the source text node
+    /// whose value is copied at materialization time (never constructed for
+    /// static fragments, which carry no instance values).
+    Text { src: NodeId },
     /// An opaque placeholder standing for "arbitrary instance content"
     /// in static fragments.
     Opaque,
@@ -163,7 +164,30 @@ pub(crate) struct HotLeaf {
 /// node), recorded into `idM` so `text()` query results map back.
 pub(crate) struct TextCopy {
     pub(crate) target: NodeId,
-    pub(crate) src: Option<NodeId>,
+    pub(crate) src: NodeId,
+}
+
+/// The per-apply materialization context: the immutable engine state plus
+/// the output tree's pre-interned tag table (`tags[ty.index()]` is the tag
+/// of target type `ty` in the output's symbol table) and the source tree
+/// for copying text values (`None` for static fragments).
+pub(crate) struct Emitter<'a> {
+    pub(crate) target: &'a Dtd,
+    pub(crate) plans: &'a [MindefPlan],
+    pub(crate) tags: &'a [TagId],
+    pub(crate) src: Option<&'a XmlTree>,
+}
+
+impl Emitter<'_> {
+    fn copy_text(&self, tree: &mut XmlTree, at: NodeId, src: NodeId, texts: &mut Vec<TextCopy>) {
+        let value = self
+            .src
+            .expect("text terminals require a source tree")
+            .text_value(src)
+            .unwrap_or_default();
+        let t = tree.add_text(at, value);
+        texts.push(TextCopy { target: t, src });
+    }
 }
 
 /// Materialize `fragment` under the existing node `at` of `tree`:
@@ -171,20 +195,16 @@ pub(crate) struct TextCopy {
 /// leaves and text copies.
 pub(crate) fn materialize(
     fragment: Fragment,
-    target: &Dtd,
-    plans: &[MindefPlan],
+    em: &Emitter<'_>,
     tree: &mut XmlTree,
     at: NodeId,
     hot: &mut Vec<HotLeaf>,
     texts: &mut Vec<TextCopy>,
 ) {
-    if matches!(target.production(fragment.root_ty), Production::Str) {
+    if matches!(em.target.production(fragment.root_ty), Production::Str) {
         debug_assert!(fragment.children.is_empty());
         match fragment.root_text {
-            Some(Terminal::Text { value, src }) => {
-                let t = tree.add_text(at, value);
-                texts.push(TextCopy { target: t, src });
-            }
+            Some(Terminal::Text { src }) => em.copy_text(tree, at, src, texts),
             Some(other) => unreachable!("str root with terminal {other:?}"),
             None => {
                 // λ(A) needs text but A has no str edge: default value.
@@ -197,8 +217,7 @@ pub(crate) fn materialize(
     materialize_children(
         fragment.children,
         fragment.root_ty,
-        target,
-        plans,
+        em,
         tree,
         at,
         hot,
@@ -208,18 +227,16 @@ pub(crate) fn materialize(
 
 /// Complete-and-emit the children of a non-hot fragment node of type `ty`
 /// at tree node `at`.
-#[allow(clippy::too_many_arguments)]
 fn materialize_children(
     mut frag_children: Vec<FragNode>,
     ty: TypeId,
-    target: &Dtd,
-    plans: &[MindefPlan],
+    em: &Emitter<'_>,
     tree: &mut XmlTree,
     at: NodeId,
     hot: &mut Vec<HotLeaf>,
     texts: &mut Vec<TextCopy>,
 ) {
-    match target.production(ty) {
+    match em.target.production(ty) {
         Production::Str => {
             // Only reachable for nodes with no chains through them (chains
             // cannot traverse a str-typed node); required text gets the
@@ -237,9 +254,10 @@ fn materialize_children(
             for (slot, &cty) in cs.iter().enumerate() {
                 if iter.peek().is_some_and(|c| c.slot == slot) {
                     let child = iter.next().unwrap();
-                    emit(child, target, plans, tree, at, hot, texts);
+                    emit(child, em, tree, at, hot, texts);
                 } else {
-                    target.mindef_into(plans, cty, tree, at);
+                    em.target
+                        .mindef_into_tagged(em.plans, em.tags, cty, tree, at);
                 }
             }
             debug_assert!(iter.next().is_none(), "chain slot outside production");
@@ -247,9 +265,10 @@ fn materialize_children(
         Production::Disjunction { allows_empty, .. } => match frag_children.len() {
             0 => {
                 if !allows_empty {
-                    match &plans[ty.index()] {
+                    match &em.plans[ty.index()] {
                         MindefPlan::OneChild(c) => {
-                            target.mindef_into(plans, *c, tree, at);
+                            em.target
+                                .mindef_into_tagged(em.plans, em.tags, *c, tree, at);
                         }
                         other => unreachable!("disjunction plan {other:?}"),
                     }
@@ -257,7 +276,7 @@ fn materialize_children(
             }
             1 => {
                 let child = frag_children.into_iter().next().unwrap();
-                emit(child, target, plans, tree, at, hot, texts);
+                emit(child, em, tree, at, hot, texts);
             }
             n => unreachable!("{n} chains under one OR node — validation is broken"),
         },
@@ -268,10 +287,11 @@ fn materialize_children(
             for child in frag_children {
                 debug_assert!(child.pos >= next_pos, "duplicate star positions");
                 while next_pos < child.pos {
-                    target.mindef_into(plans, *b, tree, at);
+                    em.target
+                        .mindef_into_tagged(em.plans, em.tags, *b, tree, at);
                     next_pos += 1;
                 }
-                emit(child, target, plans, tree, at, hot, texts);
+                emit(child, em, tree, at, hot, texts);
                 next_pos += 1;
             }
         }
@@ -280,14 +300,13 @@ fn materialize_children(
 
 fn emit(
     node: FragNode,
-    target: &Dtd,
-    plans: &[MindefPlan],
+    em: &Emitter<'_>,
     tree: &mut XmlTree,
     at: NodeId,
     hot: &mut Vec<HotLeaf>,
     texts: &mut Vec<TextCopy>,
 ) {
-    let id = tree.add_element(at, target.name(node.ty));
+    let id = tree.add_element_tag(at, em.tags[node.ty.index()]);
     match node.terminal {
         Some(Terminal::Hot { src, src_type }) => {
             debug_assert!(node.children.is_empty(), "hot leaves have no chains");
@@ -302,13 +321,12 @@ fn emit(
             // distinguishability check, where navigation can never descend
             // into it (prefix-freeness).
         }
-        Some(Terminal::Text { value, src }) => {
-            debug_assert!(matches!(target.production(node.ty), Production::Str));
-            let t = tree.add_text(id, value);
-            texts.push(TextCopy { target: t, src });
+        Some(Terminal::Text { src }) => {
+            debug_assert!(matches!(em.target.production(node.ty), Production::Str));
+            em.copy_text(tree, id, src, texts);
         }
         None => {
-            materialize_children(node.children, node.ty, target, plans, tree, id, hot, texts);
+            materialize_children(node.children, node.ty, em, tree, id, hot, texts);
         }
     }
 }

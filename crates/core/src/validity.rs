@@ -213,7 +213,7 @@ pub(crate) fn check_disjunction_distinguishability(
     paths: &[crate::resolve::ResolvedPath],
     plans: &[xse_dtd::MindefPlan],
 ) -> Result<(), EmbeddingError> {
-    use crate::pfrag::{materialize, Fragment, Terminal};
+    use crate::pfrag::{materialize, Emitter, Fragment, Terminal};
     let Production::Disjunction { alts, allows_empty } = source.production(a) else {
         return Ok(());
     };
@@ -231,9 +231,20 @@ pub(crate) fn check_disjunction_distinguishability(
             frag.add_chain(&paths[j], Terminal::Opaque);
         }
         let mut tree = xse_xmltree::XmlTree::new(target.name(origin));
+        let tags: Vec<xse_xmltree::TagId> = target
+            .types()
+            .map(|ty| tree.intern_tag(target.name(ty)))
+            .collect();
+        let em = Emitter {
+            target,
+            plans,
+            tags: &tags,
+            // Static fragments carry no instance values.
+            src: None,
+        };
         let root = tree.root();
         let (mut hot, mut texts) = (Vec::new(), Vec::new());
-        materialize(frag, target, plans, &mut tree, root, &mut hot, &mut texts);
+        materialize(frag, &em, &mut tree, root, &mut hot, &mut texts);
         for (i, p) in paths.iter().enumerate() {
             if scn == Some(i) {
                 continue;

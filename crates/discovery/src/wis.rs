@@ -3,7 +3,7 @@
 //! The third assembly strategy reduces `Assemble-Embedding` to maximum
 //! weighted independent set over a conflict graph of candidate local
 //! mappings. The paper plugs in the quadratic-over-a-sphere heuristic of
-//! Busygin et al. [2002]; we substitute greedy selection by
+//! Busygin et al. (2002); we substitute greedy selection by
 //! weight/(degree+1) followed by 1-swap local search — the standard WIS
 //! workhorse — which serves the same role as a black-box WIS oracle.
 

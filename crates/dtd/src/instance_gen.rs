@@ -76,10 +76,26 @@ impl<'a> InstanceGenerator<'a> {
     /// yields the same document.
     pub fn generate(&self, seed: u64) -> XmlTree {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut tree = XmlTree::new(self.dtd.name(self.dtd.root()));
+        let mut tree = XmlTree::with_capacity(
+            self.dtd.name(self.dtd.root()),
+            self.config.max_nodes,
+            self.config.max_nodes * 4,
+        );
+        let tags: Vec<xse_xmltree::TagId> = self
+            .dtd
+            .types()
+            .map(|t| tree.intern_tag(self.dtd.name(t)))
+            .collect();
         let root = tree.root();
         let mut budget = self.config.max_nodes as isize;
-        self.fill(&mut rng, &mut tree, root, self.dtd.root(), &mut budget);
+        self.fill(
+            &mut rng,
+            &mut tree,
+            &tags,
+            root,
+            self.dtd.root(),
+            &mut budget,
+        );
         tree
     }
 
@@ -94,6 +110,7 @@ impl<'a> InstanceGenerator<'a> {
         &self,
         rng: &mut StdRng,
         tree: &mut XmlTree,
+        tags: &[xse_xmltree::TagId],
         node: NodeId,
         t: TypeId,
         budget: &mut isize,
@@ -109,8 +126,8 @@ impl<'a> InstanceGenerator<'a> {
             }
             Production::Concat(cs) => {
                 for &c in cs.clone().iter() {
-                    let child = tree.add_element(node, self.dtd.name(c));
-                    self.fill(rng, tree, child, c, budget);
+                    let child = tree.add_element_tag(node, tags[c.index()]);
+                    self.fill(rng, tree, tags, child, c, budget);
                 }
             }
             Production::Disjunction { alts, allows_empty } => {
@@ -137,8 +154,8 @@ impl<'a> InstanceGenerator<'a> {
                 } else {
                     viable[rng.random_range(0..viable.len())]
                 };
-                let child = tree.add_element(node, self.dtd.name(pick));
-                self.fill(rng, tree, child, pick, budget);
+                let child = tree.add_element_tag(node, tags[pick.index()]);
+                self.fill(rng, tree, tags, child, pick, budget);
             }
             Production::Star(b) => {
                 if self.min_size[b.index()] == usize::MAX {
@@ -156,8 +173,8 @@ impl<'a> InstanceGenerator<'a> {
                     n
                 };
                 for _ in 0..n {
-                    let child = tree.add_element(node, self.dtd.name(*b));
-                    self.fill(rng, tree, child, *b, budget);
+                    let child = tree.add_element_tag(node, tags[b.index()]);
+                    self.fill(rng, tree, tags, child, *b, budget);
                 }
             }
         }

@@ -7,7 +7,7 @@
 //! disjunction picks the *smallest* already-finished alternative w.r.t. the
 //! fixed order on types (here: declaration order, i.e. `TypeId` order).
 
-use xse_xmltree::{NodeId, XmlTree};
+use xse_xmltree::{NodeId, TagId, XmlTree};
 
 use crate::{Dtd, Production, TypeId, DEFAULT_STRING};
 
@@ -116,6 +116,42 @@ impl Dtd {
     ) -> NodeId {
         let node = tree.add_element(parent, self.name(a));
         self.mindef_children_with(plans, a, tree, node);
+        node
+    }
+
+    /// [`Dtd::mindef_into`] with the tree's tag table precomputed:
+    /// `tags[ty.index()]` must be `ty`'s name interned in `tree`'s symbol
+    /// table. This is the instance-mapping hot path — default padding is
+    /// emitted without any string hashing.
+    pub fn mindef_into_tagged(
+        &self,
+        plans: &[MindefPlan],
+        tags: &[TagId],
+        a: TypeId,
+        tree: &mut XmlTree,
+        parent: NodeId,
+    ) -> NodeId {
+        let node = tree.add_element_tag(parent, tags[a.index()]);
+        match &plans[a.index()] {
+            MindefPlan::Text => {
+                tree.add_text(node, DEFAULT_STRING);
+            }
+            MindefPlan::Leaf => {}
+            MindefPlan::AllChildren(cs) => {
+                for &c in cs {
+                    self.mindef_into_tagged(plans, tags, c, tree, node);
+                }
+            }
+            MindefPlan::OneChild(c) => {
+                self.mindef_into_tagged(plans, tags, *c, tree, node);
+            }
+            MindefPlan::None => {
+                panic!(
+                    "mindef({}) requested for an unproductive type — reduce() the DTD first",
+                    self.name(a)
+                )
+            }
+        }
         node
     }
 

@@ -59,9 +59,14 @@ impl<'a> Evaluator<'a> {
             XrQuery::Empty => ctxs.clone(),
             XrQuery::Label(l) => {
                 let mut out = BTreeSet::new();
-                for &(_, v) in ctxs {
-                    for c in self.tree.children_with_tag(v, l) {
-                        out.insert(self.key(c));
+                // Resolve the label against the document's symbol table once
+                // per step, not once per context node; an unknown label
+                // matches nothing.
+                if let Some(want) = self.tree.tag_id(l) {
+                    for &(_, v) in ctxs {
+                        for c in self.tree.children_with_tag_id(v, want) {
+                            out.insert(self.key(c));
+                        }
                     }
                 }
                 out

@@ -1,4 +1,4 @@
-//! Regular XPath — the class `XR` of Marx [2004] used throughout
+//! Regular XPath — the class `XR` of Marx (2004) used throughout
 //! Fan & Bohannon §2.2 — and the XPath fragment `X`.
 //!
 //! ```text

@@ -107,8 +107,12 @@ impl<'a> Parser<'a> {
         if self.peek() != Some(b'<') {
             return self.err("expected root element");
         }
+        // Cheap size estimate so the arena never reallocates mid-parse:
+        // every element contributes at least one '<' (open or self-closing
+        // tag), and text payload is bounded by the input length.
+        let lt_count = self.input.iter().filter(|&&b| b == b'<').count();
         let name = self.parse_open_tag()?;
-        let mut tree = XmlTree::new(name.0);
+        let mut tree = XmlTree::with_capacity(name.0, lt_count.max(1), self.input.len() / 4);
         let root = tree.root();
         if !name.1 {
             self.parse_content(&mut tree, root)?;
@@ -122,7 +126,7 @@ impl<'a> Parser<'a> {
 
     /// Parse `<name>` / `<name/>`, returning the name and whether it was
     /// self-closing. `self.pos` must be at `<`.
-    fn parse_open_tag(&mut self) -> Result<(String, bool), ParseError> {
+    fn parse_open_tag(&mut self) -> Result<(&'a str, bool), ParseError> {
         self.pos += 1; // consume '<'
         let name = self.parse_name()?;
         self.skip_ws();
@@ -145,7 +149,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn parse_name(&mut self) -> Result<String, ParseError> {
+    fn parse_name(&mut self) -> Result<&'a str, ParseError> {
         let start = self.pos;
         while let Some(c) = self.peek() {
             if c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b':') {
@@ -157,7 +161,8 @@ impl<'a> Parser<'a> {
         if self.pos == start {
             return self.err("expected a name");
         }
-        Ok(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())
+        // The accept loop above admits ASCII only, so the bytes are UTF-8.
+        Ok(std::str::from_utf8(&self.input[start..self.pos]).expect("names are ASCII"))
     }
 
     fn parse_content(&mut self, tree: &mut XmlTree, parent: NodeId) -> Result<(), ParseError> {
@@ -228,10 +233,11 @@ impl<'a> Parser<'a> {
 
     fn flush_text(tree: &mut XmlTree, parent: NodeId, text: &mut String) {
         if text.chars().any(|c| !c.is_whitespace()) {
-            tree.add_text(parent, std::mem::take(text));
-        } else {
-            text.clear();
+            // Bytes are copied into the tree's shared buffer, so the scratch
+            // String keeps its capacity across flushes.
+            tree.add_text(parent, text.as_str());
         }
+        text.clear();
     }
 
     fn parse_entity(&mut self) -> Result<char, ParseError> {

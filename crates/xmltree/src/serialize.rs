@@ -51,7 +51,7 @@ impl XmlTree {
                 }
             }
         };
-        match &self.node(id).kind {
+        match self.kind(id) {
             NodeKind::Text(v) => {
                 pad(out, depth);
                 out.push_str(&escape_text(v));

@@ -1,0 +1,104 @@
+use std::collections::HashMap;
+use std::fmt;
+
+/// Interned element-tag identifier, valid within one [`SymbolTable`] (and
+/// therefore within one [`crate::XmlTree`]).
+///
+/// Comparing two `TagId`s from the same table is equivalent to comparing the
+/// tag strings, which turns per-node label checks on hot paths (validation,
+/// navigation, query evaluation) into integer compares.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TagId(pub(crate) u32);
+
+impl TagId {
+    /// The numeric index of this tag in its table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for TagId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Interning table mapping element tags to dense [`TagId`]s.
+///
+/// A document has few distinct tags (one per element type of its schema), so
+/// the table stays tiny even for multi-million-node trees; every element
+/// node stores a 4-byte `TagId` instead of owning its tag string.
+#[derive(Clone, Debug, Default)]
+pub struct SymbolTable {
+    names: Vec<Box<str>>,
+    lookup: HashMap<Box<str>, TagId>,
+}
+
+impl SymbolTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `name`, returning its id (existing or freshly assigned).
+    pub fn intern(&mut self, name: &str) -> TagId {
+        if let Some(&id) = self.lookup.get(name) {
+            return id;
+        }
+        let id = TagId(u32::try_from(self.names.len()).expect("more than u32::MAX distinct tags"));
+        self.names.push(name.into());
+        self.lookup.insert(name.into(), id);
+        id
+    }
+
+    /// Look up an already-interned tag without interning it.
+    pub fn get(&self, name: &str) -> Option<TagId> {
+        self.lookup.get(name).copied()
+    }
+
+    /// The tag string of `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` does not belong to this table.
+    pub fn name(&self, id: TagId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of distinct tags interned.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` iff no tag has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("a");
+        let b = t.intern("b");
+        assert_ne!(a, b);
+        assert_eq!(t.intern("a"), a);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.name(a), "a");
+        assert_eq!(t.name(b), "b");
+        assert_eq!((a.index(), b.index()), (0, 1));
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut t = SymbolTable::new();
+        assert!(t.is_empty());
+        assert_eq!(t.get("x"), None);
+        let x = t.intern("x");
+        assert_eq!(t.get("x"), Some(x));
+        assert_eq!(t.len(), 1);
+    }
+}

@@ -56,6 +56,9 @@ pub fn apply_stylesheet(
     match roots.as_slice() {
         [PendingNode::Element { tag, children }] => {
             let mut out = XmlTree::new(tag.as_str());
+            // The pending forest mirrors the output 1:1; reserving from the
+            // source size keeps arena growth amortized for big documents.
+            out.reserve(source.len(), source.text_bytes());
             let root = out.root();
             for c in children {
                 materialize(c, &mut out, root);
@@ -95,7 +98,7 @@ fn materialize(p: &PendingNode, out: &mut XmlTree, at: NodeId) {
             }
         }
         PendingNode::Text(s) => {
-            out.add_text(at, s.clone());
+            out.add_text(at, s);
         }
     }
 }

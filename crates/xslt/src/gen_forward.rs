@@ -397,8 +397,8 @@ fn emit(e: &CompiledEmbedding, plans: &[MindefPlan], node: FragO) -> OutputNode 
 fn mindef_output(target: &Dtd, ty: TypeId) -> OutputNode {
     let tree = target.mindef(ty);
     fn conv(tree: &XmlTree, n: xse_xmltree::NodeId) -> OutputNode {
-        match tree.node(n).kind() {
-            NodeKind::Text(v) => OutputNode::Text(v.clone()),
+        match tree.kind(n) {
+            NodeKind::Text(v) => OutputNode::Text(v.to_string()),
             NodeKind::Element(tag) => OutputNode::Element {
                 tag: tag.to_string(),
                 children: tree.children(n).iter().map(|&c| conv(tree, c)).collect(),

@@ -42,6 +42,48 @@ proptest! {
         prop_assert!(pretty.equals(&t));
     }
 
+    /// `parse_xml(serialize(t)) = t` (paper tree equality — isomorphism
+    /// ignoring ids) over the named workload corpus schemas, not just
+    /// random ones.
+    #[test]
+    fn corpus_xml_roundtrip(seed in 0u64..200) {
+        for (name, dtd) in xse::workloads::corpus::corpus() {
+            let gen = InstanceGenerator::new(
+                &dtd,
+                GenConfig { max_nodes: 120, ..GenConfig::default() },
+            );
+            let t = gen.generate(seed);
+            let back = parse_xml(&t.to_xml()).unwrap();
+            prop_assert!(back.equals(&t), "{}: {:?}", name, back.first_difference(&t));
+            let pretty = parse_xml(&t.to_xml_pretty()).unwrap();
+            prop_assert!(pretty.equals(&t), "{} (pretty)", name);
+        }
+    }
+
+    /// Freezing (CSR-compacting) a tree is observationally invisible:
+    /// equality, `dom(T)` (the id set), document order and serialization
+    /// are all unchanged, and the tree stays mutable afterwards.
+    #[test]
+    fn freeze_preserves_tree_observations(n in 5usize..30, seed in 0u64..500) {
+        let dtd = scale::random_schema(n, seed);
+        let gen = InstanceGenerator::new(
+            &dtd,
+            GenConfig { max_nodes: 150, ..GenConfig::default() },
+        );
+        let t = gen.generate(seed ^ 0x51);
+        let mut frozen = t.clone();
+        frozen.freeze();
+        prop_assert!(frozen.equals(&t));
+        prop_assert_eq!(frozen.len(), t.len(), "dom(T) is stable");
+        let before: Vec<NodeId> = t.preorder().collect();
+        let after: Vec<NodeId> = frozen.preorder().collect();
+        prop_assert_eq!(before, after, "document order and ids are stable");
+        prop_assert_eq!(frozen.to_xml(), t.to_xml());
+        // Mutation after freeze invalidates and re-compacts transparently.
+        let extra = frozen.add_element(frozen.root(), "post_freeze");
+        prop_assert_eq!(frozen.children(frozen.root()).last(), Some(&extra));
+    }
+
     /// Theorems 4.1 + 4.3(a): discovered embeddings over noised copies are
     /// type safe, injective and invertible on random instances.
     #[test]
