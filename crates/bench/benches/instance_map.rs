@@ -10,7 +10,63 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use xse_bench::fixtures;
 use xse_dtd::{GenConfig, InstanceGenerator};
 
+/// Regression gate for the invert hot path's label-offset index: on a wide
+/// node, `nth_child_with_tag_id` (binary search over the per-node tag
+/// groups) must not lose to the linear `children_with_tag_id(..).nth(k)`
+/// sibling scan it replaced. The margin is enormous on wide fan-outs
+/// (`O(log c)` vs `O(c)`), so this asserts a plain ≤ with median-of-3
+/// timing — if the index silently degrades to a scan, the gate trips.
+fn assert_indexed_nav_beats_scan() {
+    use xse_xmltree::XmlTree;
+    let mut t = XmlTree::new("r");
+    let a = t.intern_tag("a");
+    let b = t.intern_tag("b");
+    for i in 0..8_192 {
+        t.add_element_tag(t.root(), if i % 2 == 0 { a } else { b });
+    }
+    t.freeze();
+    let positions: Vec<usize> = (0..64).map(|i| i * 64).collect();
+    // Correctness first: the index answers exactly what the scan answers.
+    for &k in &positions {
+        assert_eq!(
+            t.nth_child_with_tag_id(t.root(), a, k),
+            t.children_with_tag_id(t.root(), a).nth(k),
+            "indexed nav diverges from scan at k = {k}"
+        );
+    }
+    let _ = t.nth_child_with_tag_id(t.root(), a, 0); // index built, not timed
+    let median = |f: &dyn Fn() -> usize| {
+        let mut samples: Vec<std::time::Duration> = (0..3)
+            .map(|_| {
+                let t0 = std::time::Instant::now();
+                std::hint::black_box(f());
+                t0.elapsed()
+            })
+            .collect();
+        samples.sort();
+        samples[1]
+    };
+    let t_scan = median(&|| {
+        positions
+            .iter()
+            .filter_map(|&k| t.children_with_tag_id(t.root(), a).nth(k))
+            .count()
+    });
+    let t_index = median(&|| {
+        positions
+            .iter()
+            .filter_map(|&k| t.nth_child_with_tag_id(t.root(), a, k))
+            .count()
+    });
+    assert!(
+        t_index <= t_scan,
+        "label-offset index slower than sibling scan on a wide node: \
+         {t_index:?} vs {t_scan:?}"
+    );
+}
+
 fn bench(c: &mut Criterion) {
+    assert_indexed_nav_beats_scan();
     let smoke = std::env::var_os("XSE_SCALE_SMOKE").is_some();
     let (s0, s) = fixtures::fig1_pair();
     let e = fixtures::fig1_embedding(&s0, &s);

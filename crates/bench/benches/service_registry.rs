@@ -1,0 +1,123 @@
+//! Serving-layer micro-slice: the registry's warm hit path vs. a fresh
+//! compile, plus the full `handle_request` dispatcher round-trip.
+//!
+//! `XSE_SCALE_SMOKE=1` shrinks sample counts so CI can run the whole bench
+//! as a regression gate; the correctness assertions (warm hits share one
+//! `Arc`, warm lookup at least 10× faster than evict-and-recompile) run in
+//! both modes.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xse_service::loadgen::loadgen_discovery;
+use xse_service::{handle_request, EmbeddingRegistry, RegistryConfig, Request, Response};
+
+fn wrap_pair() -> (String, String) {
+    let s1 =
+        "<!ELEMENT r (a, b)>\n<!ELEMENT a (#PCDATA)>\n<!ELEMENT b (c*)>\n<!ELEMENT c (#PCDATA)>";
+    let s2 = "<!ELEMENT r (x, y)>\n<!ELEMENT x (a)>\n<!ELEMENT a (#PCDATA)>\n<!ELEMENT y (w)>\n<!ELEMENT w (c2*)>\n<!ELEMENT c2 (c)>\n<!ELEMENT c (#PCDATA)>";
+    (s1.to_string(), s2.to_string())
+}
+
+fn registry() -> Arc<EmbeddingRegistry> {
+    Arc::new(EmbeddingRegistry::new(RegistryConfig {
+        discovery: loadgen_discovery(),
+        ..RegistryConfig::default()
+    }))
+}
+
+/// Regression gate for the serving claim: resolving an already-compiled
+/// pair (hash-memoized text lookup + `Arc` clone) must be at least 10×
+/// faster than evicting and recompiling it. The real margin is orders of
+/// magnitude; if the hit path ever re-parses or re-runs discovery, this
+/// trips long before the e2e latency gate does.
+fn assert_warm_hit_beats_recompile() {
+    let (s, t) = wrap_pair();
+    let reg = registry();
+    let (_, first) = reg.get_or_compile(&s, &t).unwrap();
+    let (_, second) = reg.get_or_compile(&s, &t).unwrap();
+    assert!(
+        Arc::ptr_eq(&first, &second),
+        "warm hits must share one compiled engine"
+    );
+    let median = |f: &dyn Fn()| {
+        let mut samples: Vec<std::time::Duration> = (0..3)
+            .map(|_| {
+                let t0 = std::time::Instant::now();
+                f();
+                t0.elapsed()
+            })
+            .collect();
+        samples.sort();
+        samples[1]
+    };
+    let t_warm = median(&|| {
+        for _ in 0..32 {
+            std::hint::black_box(reg.get_or_compile(&s, &t).unwrap());
+        }
+    });
+    let t_cold = median(&|| {
+        for _ in 0..32 {
+            reg.evict(&s, &t).unwrap();
+            std::hint::black_box(reg.get_or_compile(&s, &t).unwrap());
+        }
+    });
+    assert!(
+        t_warm * 10 <= t_cold,
+        "warm hit path ({t_warm:?}/32 ops) not 10x faster than \
+         evict-and-recompile ({t_cold:?}/32 ops)"
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    assert_warm_hit_beats_recompile();
+
+    let smoke = std::env::var_os("XSE_SCALE_SMOKE").is_some();
+    let (s, t) = wrap_pair();
+    let mut g = c.benchmark_group("service_registry");
+    g.sample_size(if smoke { 10 } else { 20 });
+
+    let warm = registry();
+    warm.get_or_compile(&s, &t).unwrap();
+    g.bench_function("get_or_compile/warm", |b| {
+        b.iter(|| warm.get_or_compile(&s, &t).unwrap().1.size())
+    });
+
+    g.bench_function("get_or_compile/cold", |b| {
+        b.iter(|| {
+            warm.evict(&s, &t).unwrap();
+            warm.get_or_compile(&s, &t).unwrap().1.size()
+        })
+    });
+
+    let served = registry();
+    let doc = "<r><a>hi</a><b><c>1</c><c>2</c></b></r>";
+    let apply = Request::Apply {
+        source_dtd: s.clone(),
+        target_dtd: t.clone(),
+        xml: doc.to_string(),
+    };
+    g.bench_function("handle_request/apply", |b| {
+        b.iter(|| match handle_request(&served, &apply) {
+            Response::Document { xml } => xml.len(),
+            other => panic!("{other:?}"),
+        })
+    });
+
+    let translate = Request::Translate {
+        source_dtd: s.clone(),
+        target_dtd: t.clone(),
+        query: "b/c".to_string(),
+    };
+    g.bench_function("handle_request/translate", |b| {
+        b.iter(|| match handle_request(&served, &translate) {
+            Response::Translated { size, states } => size + states,
+            other => panic!("{other:?}"),
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

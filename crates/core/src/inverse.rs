@@ -38,7 +38,9 @@ pub(crate) fn navigate(
 /// [`navigate`] with the document's tag ids pre-resolved per target type:
 /// `tags[ty.index()]` is `ty`'s tag in `tree`'s symbol table (`None` when
 /// the tag never occurs in the document — then no step of that type can
-/// match). Label checks become integer compares on the invert hot path.
+/// match). Label checks become integer compares, and each canonical-position
+/// step resolves through the tree's label-offset index
+/// ([`XmlTree::nth_child_with_tag_id`]) instead of scanning siblings.
 fn navigate_tagged(
     tree: &XmlTree,
     tags: &[Option<TagId>],
@@ -51,7 +53,7 @@ fn navigate_tagged(
             .pos
             .expect("navigation requires canonical positions on every step");
         let want = tags[step.ty.index()]?;
-        cur = tree.children_with_tag_id(cur, want).nth(k - 1)?;
+        cur = tree.nth_child_with_tag_id(cur, want, k - 1)?;
     }
     Some(cur)
 }

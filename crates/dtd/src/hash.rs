@@ -1,0 +1,274 @@
+//! Canonical content hashing of DTDs.
+//!
+//! A serving layer keys shared [`CompiledEmbedding`] engines by the *content*
+//! of their schema pair, so the key must be identical for every process that
+//! sees an equivalent schema — regardless of declaration order, of pointer
+//! identities, or of dead types left over from editing. [`Dtd::content_hash`]
+//! therefore hashes a **normalized serialization of the reduced DTD**:
+//!
+//! 1. useless types are removed first ([`Dtd::reduce`]) — two schemas that
+//!    differ only in unreachable/unproductive types describe the same
+//!    instance set and hash identically;
+//! 2. types are serialized sorted by name (declaration order is invisible);
+//! 3. disjunction alternatives are serialized sorted by name (the paper
+//!    treats `B1 + … + Bn` as a set of distinct alternatives);
+//! 4. concatenation child order is preserved (it is semantically ordered);
+//! 5. the root is recorded explicitly.
+//!
+//! The digest is a 128-bit FNV-1a over that string: a fixed public function
+//! with no per-process seed, so hashes agree across processes, builds and
+//! machines. FNV is not collision-resistant against adversaries; registry
+//! keys are a cache-correctness concern, not an authentication one, and
+//! 128 bits make accidental collisions negligible.
+//!
+//! [`CompiledEmbedding`]: https://docs.rs/xse-core
+
+use std::fmt;
+
+use crate::{Dtd, Production};
+
+/// A stable 128-bit content hash of a (reduced, normalized) DTD.
+///
+/// Equal hashes ⇔ equal canonical serializations (up to FNV collisions),
+/// across processes. Display/`to_hex` renders 32 lowercase hex digits.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DtdHash(u128);
+
+impl DtdHash {
+    /// The raw 128-bit digest.
+    pub fn as_u128(self) -> u128 {
+        self.0
+    }
+
+    /// Lowercase hex rendering (32 digits), the wire/stats format.
+    pub fn to_hex(self) -> String {
+        format!("{:032x}", self.0)
+    }
+
+    /// Parse the [`DtdHash::to_hex`] rendering back.
+    pub fn from_hex(s: &str) -> Option<DtdHash> {
+        if s.len() != 32 {
+            return None;
+        }
+        u128::from_str_radix(s, 16).ok().map(DtdHash)
+    }
+}
+
+impl fmt::Display for DtdHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+impl fmt::Debug for DtdHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DtdHash({:032x})", self.0)
+    }
+}
+
+/// 128-bit FNV-1a (public, unseeded — deliberately process-independent).
+fn fnv1a_128(bytes: &[u8]) -> u128 {
+    const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+    const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= u128::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+impl Dtd {
+    /// Normalized serialization: one line per type, **sorted by type name**,
+    /// with disjunction alternatives sorted by name; a `root` header pins
+    /// the root type. Declaration order never appears, so two permuted
+    /// constructions of the same schema serialize identically.
+    ///
+    /// This is a *hashing* format, not a parseable one — use
+    /// [`Dtd`]'s `Display` (`to_string()`) for `<!ELEMENT …>` output.
+    pub fn canonical_string(&self) -> String {
+        use std::fmt::Write as _;
+        let mut lines: Vec<String> = Vec::with_capacity(self.type_count());
+        for t in self.types() {
+            let mut line = String::new();
+            let _ = write!(line, "{}=", self.name(t));
+            match self.production(t) {
+                Production::Str => line.push_str("str"),
+                Production::Empty => line.push('e'),
+                Production::Concat(cs) => {
+                    line.push('(');
+                    for (i, c) in cs.iter().enumerate() {
+                        if i > 0 {
+                            line.push(',');
+                        }
+                        line.push_str(self.name(*c));
+                    }
+                    line.push(')');
+                }
+                Production::Disjunction { alts, allows_empty } => {
+                    let mut names: Vec<&str> = alts.iter().map(|c| self.name(*c)).collect();
+                    names.sort_unstable();
+                    line.push('(');
+                    for (i, n) in names.iter().enumerate() {
+                        if i > 0 {
+                            line.push('|');
+                        }
+                        line.push_str(n);
+                    }
+                    if *allows_empty {
+                        line.push_str("|e");
+                    }
+                    line.push(')');
+                }
+                Production::Star(b) => {
+                    let _ = write!(line, "({})*", self.name(*b));
+                }
+            }
+            lines.push(line);
+        }
+        lines.sort_unstable();
+        let mut out = format!("root={}\n", self.name(self.root()));
+        for l in lines {
+            out.push_str(&l);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Stable content hash of this schema: FNV-1a-128 of the *reduced*
+    /// DTD's [`Dtd::canonical_string`]. Identical across processes and
+    /// declaration orders; schemas differing only in useless types collide
+    /// on purpose. A DTD with an unproductive root (no instances at all)
+    /// falls back to hashing its own canonical form.
+    pub fn content_hash(&self) -> DtdHash {
+        let canon = match self.reduce() {
+            Some((reduced, _)) => reduced.canonical_string(),
+            None => self.canonical_string(),
+        };
+        DtdHash(fnv1a_128(canon.as_bytes()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permuted_declarations_collide() {
+        // Same schema, types declared in a different order.
+        let a = Dtd::builder("r")
+            .concat("r", &["x", "y"])
+            .str_type("x")
+            .star("y", "z")
+            .str_type("z")
+            .build()
+            .unwrap();
+        let b = Dtd::builder("r")
+            .str_type("z")
+            .star("y", "z")
+            .str_type("x")
+            .concat("r", &["x", "y"])
+            .build()
+            .unwrap();
+        assert_eq!(a.canonical_string(), b.canonical_string());
+        assert_eq!(a.content_hash(), b.content_hash());
+    }
+
+    #[test]
+    fn permuted_disjunction_alternatives_collide() {
+        let a = Dtd::builder("r")
+            .disjunction("r", &["p", "q"])
+            .empty("p")
+            .empty("q")
+            .build()
+            .unwrap();
+        let b = Dtd::builder("r")
+            .disjunction("r", &["q", "p"])
+            .empty("q")
+            .empty("p")
+            .build()
+            .unwrap();
+        assert_eq!(a.content_hash(), b.content_hash());
+    }
+
+    #[test]
+    fn concat_order_is_significant() {
+        let a = Dtd::builder("r")
+            .concat("r", &["x", "y"])
+            .empty("x")
+            .empty("y")
+            .build()
+            .unwrap();
+        let b = Dtd::builder("r")
+            .concat("r", &["y", "x"])
+            .empty("x")
+            .empty("y")
+            .build()
+            .unwrap();
+        assert_ne!(a.content_hash(), b.content_hash());
+    }
+
+    #[test]
+    fn useless_types_do_not_affect_the_hash() {
+        let clean = Dtd::builder("r")
+            .concat("r", &["a"])
+            .str_type("a")
+            .build()
+            .unwrap();
+        let with_orphan = Dtd::builder("r")
+            .concat("r", &["a"])
+            .str_type("a")
+            .str_type("orphan")
+            .build()
+            .unwrap();
+        assert_eq!(clean.content_hash(), with_orphan.content_hash());
+    }
+
+    #[test]
+    fn different_roots_differ() {
+        let a = Dtd::builder("r")
+            .concat("r", &["s"])
+            .concat("s", &["r2"])
+            .empty("r2")
+            .build()
+            .unwrap();
+        // Structurally similar but rooted elsewhere (names shifted so both
+        // are consistent).
+        let b = Dtd::builder("s")
+            .concat("s", &["r2"])
+            .empty("r2")
+            .build()
+            .unwrap();
+        assert_ne!(a.content_hash(), b.content_hash());
+    }
+
+    #[test]
+    fn parse_roundtrip_is_hash_stable() {
+        // Display → parse → hash matches the original's hash (the wire
+        // protocol ships DTDs as text and both sides must agree on keys).
+        let d = Dtd::parse(
+            "<!ELEMENT r (a, b)><!ELEMENT a (#PCDATA)>\
+             <!ELEMENT b (c)*><!ELEMENT c (#PCDATA)>",
+        )
+        .unwrap();
+        let reparsed = Dtd::parse(&d.to_string()).unwrap();
+        assert_eq!(d.content_hash(), reparsed.content_hash());
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let d = Dtd::builder("r").str_type("r").build().unwrap();
+        let h = d.content_hash();
+        assert_eq!(DtdHash::from_hex(&h.to_hex()), Some(h));
+        assert_eq!(h.to_hex().len(), 32);
+        assert!(DtdHash::from_hex("xyz").is_none());
+    }
+
+    #[test]
+    fn unproductive_root_still_hashes() {
+        let d = Dtd::builder("r").concat("r", &["r"]).build().unwrap();
+        // reduce() is None; the fallback hashes the raw canonical form.
+        let h = d.content_hash();
+        assert_ne!(h.as_u128(), 0);
+    }
+}

@@ -23,13 +23,17 @@
 //! * **conformance validation** of [`XmlTree`]s ([`Dtd::validate`]);
 //! * **minimum default instances** `mindef(A)` (§4.2), the constant
 //!   fragments the instance mapping uses to pad required target structure;
-//! * seeded **random instance generation** for tests and benchmarks.
+//! * seeded **random instance generation** for tests and benchmarks;
+//! * **canonical content hashing** ([`Dtd::content_hash`], [`DtdHash`]):
+//!   a process-stable digest of the reduced DTD's normalized serialization,
+//!   used by serving layers as a registry key.
 //!
 //! [`XmlTree`]: xse_xmltree::XmlTree
 
 mod consistency;
 mod display;
 mod graph;
+mod hash;
 mod instance_gen;
 mod mindef;
 mod parse;
@@ -38,6 +42,7 @@ mod types;
 mod validate;
 
 pub use graph::{Edge, EdgeKind, EdgeTarget, SchemaGraph};
+pub use hash::DtdHash;
 pub use instance_gen::{GenConfig, InstanceGenerator};
 pub use mindef::MindefPlan;
 pub use parse::DtdParseError;

@@ -1,0 +1,166 @@
+//! `xse-loadgen`: replay a traffic mix against the embedding service.
+//!
+//! ```text
+//! xse-loadgen [--mix NAME] [--ops N] [--pairs N] [--seed N]
+//!             [--capacity N] [--workers N] [--cold]
+//!             [--addr HOST:PORT | --spawn-server | --in-process]
+//!             [--check]
+//! ```
+//!
+//! * `--mix` — `translate-heavy` (default), `apply-heavy`, `mixed`, or
+//!   `cold-cache-adversarial`.
+//! * `--addr` targets a running server; `--spawn-server` starts one on an
+//!   ephemeral port and drives it over TCP; the default is in-process.
+//! * `--cold` evicts (untimed) before every timed op.
+//! * `--check` exits non-zero unless the replay had positive QPS and zero
+//!   protocol errors — the CI smoke gate.
+//!
+//! The summary is printed to stdout as a single JSON line.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use xse_service::loadgen::{self, Endpoint, LoadConfig};
+use xse_service::{Client, EmbeddingRegistry, RegistryConfig, Server, ServerConfig};
+use xse_workloads::traffic::TrafficMix;
+
+struct Args {
+    mix: TrafficMix,
+    ops: usize,
+    pairs: usize,
+    seed: u64,
+    capacity: usize,
+    workers: usize,
+    cold: bool,
+    addr: Option<String>,
+    spawn_server: bool,
+    check: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        mix: TrafficMix::translate_heavy(),
+        ops: 400,
+        pairs: 8,
+        seed: 42,
+        capacity: 64,
+        workers: 4,
+        cold: false,
+        addr: None,
+        spawn_server: false,
+        check: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--mix" => {
+                let name = value("--mix")?;
+                args.mix =
+                    TrafficMix::by_name(&name).ok_or_else(|| format!("unknown mix '{name}'"))?;
+            }
+            "--ops" => args.ops = parse_num(&value("--ops")?)?,
+            "--pairs" => args.pairs = parse_num(&value("--pairs")?)?,
+            "--seed" => args.seed = parse_num(&value("--seed")?)? as u64,
+            "--capacity" => args.capacity = parse_num(&value("--capacity")?)?,
+            "--workers" => args.workers = parse_num(&value("--workers")?)?,
+            "--cold" => args.cold = true,
+            "--addr" => args.addr = Some(value("--addr")?),
+            "--spawn-server" => args.spawn_server = true,
+            "--in-process" => {}
+            "--check" => args.check = true,
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    if args.addr.is_some() && args.spawn_server {
+        return Err("--addr and --spawn-server are mutually exclusive".into());
+    }
+    Ok(args)
+}
+
+fn parse_num(s: &str) -> Result<usize, String> {
+    s.parse().map_err(|_| format!("not a number: '{s}'"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("xse-loadgen: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    eprintln!(
+        "xse-loadgen: building {} schema pairs (seed {})...",
+        args.pairs, args.seed
+    );
+    let pairs = loadgen::build_pairs(args.pairs, args.seed);
+
+    let registry = || {
+        Arc::new(EmbeddingRegistry::new(RegistryConfig {
+            capacity: args.capacity,
+            discovery: loadgen::loadgen_discovery(),
+            ..RegistryConfig::default()
+        }))
+    };
+
+    // `_server` must outlive the endpoint; dropping it joins the pool.
+    let mut _server = None;
+    let mut endpoint = if let Some(addr) = &args.addr {
+        match Client::connect(addr.as_str()) {
+            Ok(c) => Endpoint::Tcp(c),
+            Err(e) => {
+                eprintln!("xse-loadgen: connect {addr}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else if args.spawn_server {
+        let handle = match Server::bind(
+            ("127.0.0.1", 0),
+            registry(),
+            ServerConfig {
+                workers: args.workers,
+            },
+        ) {
+            Ok(h) => h,
+            Err(e) => {
+                eprintln!("xse-loadgen: bind: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let addr = handle.addr();
+        eprintln!("xse-loadgen: spawned server on {addr}");
+        _server = Some(handle);
+        match Client::connect(addr) {
+            Ok(c) => Endpoint::Tcp(c),
+            Err(e) => {
+                eprintln!("xse-loadgen: connect {addr}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        Endpoint::InProcess(registry())
+    };
+
+    let summary = loadgen::run(
+        &mut endpoint,
+        &pairs,
+        &LoadConfig {
+            mix: args.mix,
+            ops: args.ops,
+            seed: args.seed,
+            cold: args.cold,
+        },
+    );
+    println!("{}", summary.to_json());
+
+    if args.check && (summary.qps <= 0.0 || summary.protocol_errors > 0 || summary.ops == 0) {
+        eprintln!(
+            "xse-loadgen: check FAILED (qps {:.2}, protocol_errors {}, ops {})",
+            summary.qps, summary.protocol_errors, summary.ops
+        );
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}

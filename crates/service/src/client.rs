@@ -1,0 +1,168 @@
+//! Blocking TCP client for the embedding service.
+
+use std::io::{BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::proto::{read_frame, write_frame, FrameError, Request, Response, StatsWire};
+use crate::ServiceError;
+
+/// One connection to a running [`Server`](crate::Server). Requests are
+/// strictly sequential per connection (the protocol has no request ids);
+/// open one client per concurrent caller.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connect to a server.
+    ///
+    /// # Errors
+    /// [`ServiceError::Io`] when the connection cannot be established.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ServiceError> {
+        let conn = TcpStream::connect(addr).map_err(|e| ServiceError::Io(e.to_string()))?;
+        let read_half = conn
+            .try_clone()
+            .map_err(|e| ServiceError::Io(e.to_string()))?;
+        Ok(Client {
+            reader: BufReader::new(read_half),
+            writer: BufWriter::new(conn),
+        })
+    }
+
+    /// Send one request and wait for its response frame.
+    ///
+    /// # Errors
+    /// [`ServiceError::Io`] on socket failure, [`ServiceError::Protocol`]
+    /// when the peer's response frame violates the encoding. A
+    /// [`Response::Error`] is a *successful* call — match on it (or use
+    /// the typed helpers, which surface it as [`ServiceError::Remote`]).
+    pub fn call(&mut self, req: &Request) -> Result<Response, ServiceError> {
+        write_frame(&mut self.writer, &req.encode())
+            .map_err(|e| ServiceError::Io(e.to_string()))?;
+        let payload = read_frame(&mut self.reader).map_err(|e| match e {
+            FrameError::TooLarge(n) => {
+                ServiceError::Protocol(format!("server announced a {n}-byte frame"))
+            }
+            FrameError::Eof => ServiceError::Io("server closed the connection".into()),
+            FrameError::Io(e) => ServiceError::Io(e.to_string()),
+        })?;
+        Response::decode(&payload)
+            .ok_or_else(|| ServiceError::Protocol("undecodable response payload".into()))
+    }
+
+    /// `compile`: returns `(source_hash, target_hash, |σ|)`.
+    ///
+    /// # Errors
+    /// Transport errors as in [`Client::call`]; server-side failures as
+    /// [`ServiceError::Remote`].
+    pub fn compile(
+        &mut self,
+        source_dtd: &str,
+        target_dtd: &str,
+    ) -> Result<(String, String, u64), ServiceError> {
+        match self.call(&Request::Compile {
+            source_dtd: source_dtd.into(),
+            target_dtd: target_dtd.into(),
+        })? {
+            Response::Compiled {
+                source_hash,
+                target_hash,
+                size,
+            } => Ok((source_hash, target_hash, size)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// `apply`: σd on a source document, returning the target XML.
+    ///
+    /// # Errors
+    /// As in [`Client::compile`].
+    pub fn apply(
+        &mut self,
+        source_dtd: &str,
+        target_dtd: &str,
+        xml: &str,
+    ) -> Result<String, ServiceError> {
+        match self.call(&Request::Apply {
+            source_dtd: source_dtd.into(),
+            target_dtd: target_dtd.into(),
+            xml: xml.into(),
+        })? {
+            Response::Document { xml } => Ok(xml),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// `invert`: σd⁻¹ on a target document, returning the source XML.
+    ///
+    /// # Errors
+    /// As in [`Client::compile`].
+    pub fn invert(
+        &mut self,
+        source_dtd: &str,
+        target_dtd: &str,
+        xml: &str,
+    ) -> Result<String, ServiceError> {
+        match self.call(&Request::Invert {
+            source_dtd: source_dtd.into(),
+            target_dtd: target_dtd.into(),
+            xml: xml.into(),
+        })? {
+            Response::Document { xml } => Ok(xml),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// `translate`: returns `(|Tr(Q)|, state count)`.
+    ///
+    /// # Errors
+    /// As in [`Client::compile`].
+    pub fn translate(
+        &mut self,
+        source_dtd: &str,
+        target_dtd: &str,
+        query: &str,
+    ) -> Result<(u64, u64), ServiceError> {
+        match self.call(&Request::Translate {
+            source_dtd: source_dtd.into(),
+            target_dtd: target_dtd.into(),
+            query: query.into(),
+        })? {
+            Response::Translated { size, states } => Ok((size, states)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// `stats`: the registry's aggregate counters.
+    ///
+    /// # Errors
+    /// As in [`Client::compile`].
+    pub fn stats(&mut self) -> Result<StatsWire, ServiceError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// `evict`: returns whether the pair was cached.
+    ///
+    /// # Errors
+    /// As in [`Client::compile`].
+    pub fn evict(&mut self, source_dtd: &str, target_dtd: &str) -> Result<bool, ServiceError> {
+        match self.call(&Request::Evict {
+            source_dtd: source_dtd.into(),
+            target_dtd: target_dtd.into(),
+        })? {
+            Response::Evicted { existed } => Ok(existed),
+            other => Err(unexpected(other)),
+        }
+    }
+}
+
+fn unexpected(resp: Response) -> ServiceError {
+    match resp {
+        Response::Error { code, message } => ServiceError::Remote { code, message },
+        other => ServiceError::Protocol(format!("unexpected response: {other:?}")),
+    }
+}

@@ -1,0 +1,399 @@
+//! Embedding service: a concurrent registry of compiled schema
+//! embeddings, a `std`-only TCP wire protocol, and a load generator.
+//!
+//! The paper's scenario — many applications written against an old schema
+//! `S1`, data and queries served against an evolved schema `S2` — is a
+//! *serving* problem once embeddings exist: compilation (discovery) is
+//! expensive and rare, while `apply` / `invert` / `translate` are cheap
+//! and constant. This crate packages the workspace's engine accordingly:
+//!
+//! * [`EmbeddingRegistry`] — a concurrent cache keyed by the canonical
+//!   content hashes of the (source, target) DTD pair, with single-flight
+//!   compilation and LRU eviction ([`registry`] docs).
+//! * [`Server`] / [`Client`] — a length-prefixed binary protocol over
+//!   `std::net::TcpStream` with a bounded worker pool. No async runtime.
+//! * [`loadgen`] — replays [`TrafficMix`](xse_workloads::traffic) request
+//!   mixes built from the workloads corpora against an in-process registry
+//!   or a TCP endpoint, and reports per-op latency percentiles, QPS and
+//!   hit rates.
+//!
+//! # Wire format
+//!
+//! Every message is one **frame**:
+//!
+//! ```text
+//! +----------------+---------------------------+
+//! | len: u32 (BE)  | payload: `len` bytes      |
+//! +----------------+---------------------------+
+//! ```
+//!
+//! `len` counts payload bytes only and must not exceed
+//! [`MAX_FRAME_LEN`] (16 MiB); a larger announcement is answered with an
+//! error frame (code `FrameTooLarge`) and the connection is closed without
+//! reading the body. The payload's first byte is the **opcode**; all
+//! variable-length fields are `u32`-BE length-prefixed UTF-8 strings and
+//! all integers are big-endian.
+//!
+//! Request opcodes (client → server; `s`/`t` abbreviate the source and
+//! target DTD texts):
+//!
+//! | opcode | name        | fields                  |
+//! |--------|-------------|-------------------------|
+//! | `0x01` | `compile`   | `s`, `t`                |
+//! | `0x02` | `apply`     | `s`, `t`, `xml`         |
+//! | `0x03` | `invert`    | `s`, `t`, `xml`         |
+//! | `0x04` | `translate` | `s`, `t`, `query`       |
+//! | `0x05` | `stats`     | —                       |
+//! | `0x06` | `evict`     | `s`, `t`                |
+//!
+//! Response opcodes (server → client):
+//!
+//! | opcode | name         | fields                                        |
+//! |--------|--------------|-----------------------------------------------|
+//! | `0x81` | `compiled`   | `source_hash`, `target_hash`, `size: u64`     |
+//! | `0x82` | `document`   | `xml`                                         |
+//! | `0x83` | `translated` | `size: u64`, `states: u64`                    |
+//! | `0x84` | `stats`      | 7 × `u64` (see [`proto::StatsWire`])          |
+//! | `0x85` | `evicted`    | `existed: u8`                                 |
+//! | `0xFF` | `error`      | `code: u8`, `message`                         |
+//!
+//! Error codes ([`proto::ErrorCode`]): `1` frame too large (connection
+//! closes), `2` malformed payload, `3` unknown opcode, `4` bad DTD, `5`
+//! bad document, `6` bad query, `7` no embedding found, `8` engine error,
+//! `9` not found (reserved). Every error except `1` leaves the connection
+//! open for further requests, and none of them poison the registry.
+//!
+//! The `translate` response deliberately returns automaton *metrics*
+//! (`|Tr(Q)|` and state count) rather than a rendered query: translation
+//! to an executable target-side automaton is PTIME (Theorem 4.3b) and is
+//! what a caller evaluates, while rendering back to XR syntax via state
+//! elimination is worst-case exponential and belongs to an explicit
+//! offline endpoint if ever needed.
+
+pub mod client;
+pub mod loadgen;
+pub mod proto;
+pub mod registry;
+pub mod server;
+
+pub use client::Client;
+pub use proto::{ErrorCode, Request, Response, MAX_FRAME_LEN};
+pub use registry::{EmbeddingRegistry, PairKey, RegistryConfig, RegistryStats};
+pub use server::{Server, ServerConfig, ServerHandle};
+
+use xse_core::EmbeddingError;
+use xse_xmltree::parse_xml;
+
+/// Service-level failure, shared by the in-process API and the client.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ServiceError {
+    /// A DTD text failed to parse.
+    BadDtd(String),
+    /// A document failed to parse or to validate against its schema.
+    BadDocument(String),
+    /// A query failed to parse.
+    BadQuery(String),
+    /// Discovery found no information-preserving embedding for the pair.
+    NoEmbedding,
+    /// The engine failed on an otherwise well-formed request.
+    Engine(String),
+    /// Client side: socket-level failure.
+    Io(String),
+    /// Client side: the peer broke the framing/encoding rules.
+    Protocol(String),
+    /// Client side: the server answered with an error frame.
+    Remote {
+        /// Structured code from the error frame.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::BadDtd(m) => write!(f, "bad DTD: {m}"),
+            ServiceError::BadDocument(m) => write!(f, "bad document: {m}"),
+            ServiceError::BadQuery(m) => write!(f, "bad query: {m}"),
+            ServiceError::NoEmbedding => write!(f, "no information-preserving embedding found"),
+            ServiceError::Engine(m) => write!(f, "engine error: {m}"),
+            ServiceError::Io(m) => write!(f, "i/o error: {m}"),
+            ServiceError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ServiceError::Remote { code, message } => {
+                write!(f, "server error ({code:?}): {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl ServiceError {
+    /// The wire code this error maps to.
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            ServiceError::BadDtd(_) => ErrorCode::BadDtd,
+            ServiceError::BadDocument(_) => ErrorCode::BadDocument,
+            ServiceError::BadQuery(_) => ErrorCode::BadQuery,
+            ServiceError::NoEmbedding => ErrorCode::NoEmbedding,
+            ServiceError::Engine(_)
+            | ServiceError::Io(_)
+            | ServiceError::Protocol(_)
+            | ServiceError::Remote { .. } => ErrorCode::EngineError,
+        }
+    }
+
+    /// Render as an error response frame payload.
+    pub fn to_response(&self) -> Response {
+        Response::Error {
+            code: self.code(),
+            message: self.to_string(),
+        }
+    }
+}
+
+/// Execute one request against a registry. This is the single dispatcher
+/// both the TCP server and the in-process load-generator endpoint share,
+/// so the two paths cannot drift.
+pub fn handle_request(registry: &EmbeddingRegistry, req: &Request) -> Response {
+    match try_handle(registry, req) {
+        Ok(resp) => resp,
+        Err(e) => e.to_response(),
+    }
+}
+
+fn try_handle(registry: &EmbeddingRegistry, req: &Request) -> Result<Response, ServiceError> {
+    match req {
+        Request::Compile {
+            source_dtd,
+            target_dtd,
+        } => {
+            let (key, engine) = registry.get_or_compile(source_dtd, target_dtd)?;
+            Ok(Response::Compiled {
+                source_hash: key.source.to_hex(),
+                target_hash: key.target.to_hex(),
+                size: engine.size() as u64,
+            })
+        }
+        Request::Apply {
+            source_dtd,
+            target_dtd,
+            xml,
+        } => {
+            let (_, engine) = registry.get_or_compile(source_dtd, target_dtd)?;
+            let doc = parse_xml(xml).map_err(|e| ServiceError::BadDocument(e.to_string()))?;
+            let out = engine.apply(&doc).map_err(engine_error)?;
+            Ok(Response::Document {
+                xml: out.tree.to_xml(),
+            })
+        }
+        Request::Invert {
+            source_dtd,
+            target_dtd,
+            xml,
+        } => {
+            let (_, engine) = registry.get_or_compile(source_dtd, target_dtd)?;
+            let doc = parse_xml(xml).map_err(|e| ServiceError::BadDocument(e.to_string()))?;
+            let out = engine.invert(&doc).map_err(engine_error)?;
+            Ok(Response::Document { xml: out.to_xml() })
+        }
+        Request::Translate {
+            source_dtd,
+            target_dtd,
+            query,
+        } => {
+            let (_, engine) = registry.get_or_compile(source_dtd, target_dtd)?;
+            let q = xse_rxpath::parse_query(query)
+                .map_err(|e| ServiceError::BadQuery(e.to_string()))?;
+            let tr = engine.translate(&q).map_err(engine_error)?;
+            Ok(Response::Translated {
+                size: tr.size() as u64,
+                states: tr.anfa.state_count() as u64,
+            })
+        }
+        Request::Stats => {
+            let s = registry.stats();
+            Ok(Response::Stats(proto::StatsWire {
+                hits: s.hits,
+                misses: s.misses,
+                compiles: s.compiles,
+                single_flight_waits: s.single_flight_waits,
+                evictions: s.evictions,
+                entries: s.entries,
+                compile_nanos: s.compile_nanos,
+            }))
+        }
+        Request::Evict {
+            source_dtd,
+            target_dtd,
+        } => {
+            let existed = registry.evict(source_dtd, target_dtd)?;
+            Ok(Response::Evicted { existed })
+        }
+    }
+}
+
+/// Map engine failures onto wire semantics: invalid input documents are
+/// the *caller's* fault (`BadDocument`), everything else is an engine
+/// error.
+fn engine_error(e: EmbeddingError) -> ServiceError {
+    match e {
+        EmbeddingError::SourceInvalid(_) | EmbeddingError::TargetInvalid(_) => {
+            ServiceError::BadDocument(e.to_string())
+        }
+        other => ServiceError::Engine(other.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xse_discovery::DiscoveryConfig;
+
+    fn registry() -> EmbeddingRegistry {
+        EmbeddingRegistry::new(RegistryConfig {
+            capacity: 8,
+            discovery: DiscoveryConfig {
+                threads: 1,
+                ..DiscoveryConfig::default()
+            },
+            ..RegistryConfig::default()
+        })
+    }
+
+    fn wrap_pair() -> (String, String) {
+        let s1 = "<!ELEMENT r (a, b)>\n<!ELEMENT a (#PCDATA)>\n<!ELEMENT b (c*)>\n<!ELEMENT c (#PCDATA)>";
+        let s2 = "<!ELEMENT r (x, y)>\n<!ELEMENT x (a)>\n<!ELEMENT a (#PCDATA)>\n<!ELEMENT y (w)>\n<!ELEMENT w (c2*)>\n<!ELEMENT c2 (c)>\n<!ELEMENT c (#PCDATA)>";
+        (s1.to_string(), s2.to_string())
+    }
+
+    #[test]
+    fn dispatcher_covers_every_opcode() {
+        let reg = registry();
+        let (s, t) = wrap_pair();
+        let compiled = handle_request(
+            &reg,
+            &Request::Compile {
+                source_dtd: s.clone(),
+                target_dtd: t.clone(),
+            },
+        );
+        let Response::Compiled { size, .. } = compiled else {
+            panic!("{compiled:?}");
+        };
+        assert!(size > 0);
+
+        let applied = handle_request(
+            &reg,
+            &Request::Apply {
+                source_dtd: s.clone(),
+                target_dtd: t.clone(),
+                xml: "<r><a>hi</a><b><c>1</c></b></r>".into(),
+            },
+        );
+        let Response::Document { xml } = applied else {
+            panic!("{applied:?}");
+        };
+        let inverted = handle_request(
+            &reg,
+            &Request::Invert {
+                source_dtd: s.clone(),
+                target_dtd: t.clone(),
+                xml,
+            },
+        );
+        let Response::Document { xml: back } = inverted else {
+            panic!("{inverted:?}");
+        };
+        assert_eq!(back, "<r><a>hi</a><b><c>1</c></b></r>");
+
+        let translated = handle_request(
+            &reg,
+            &Request::Translate {
+                source_dtd: s.clone(),
+                target_dtd: t.clone(),
+                query: "b/c".into(),
+            },
+        );
+        assert!(
+            matches!(translated, Response::Translated { size, states } if size > 0 && states > 0),
+            "{translated:?}"
+        );
+
+        let stats = handle_request(&reg, &Request::Stats);
+        let Response::Stats(w) = stats else {
+            panic!("{stats:?}");
+        };
+        assert_eq!(w.compiles, 1, "one pair, one compile: {w:?}");
+        assert_eq!(w.entries, 1);
+
+        let evicted = handle_request(
+            &reg,
+            &Request::Evict {
+                source_dtd: s,
+                target_dtd: t,
+            },
+        );
+        assert_eq!(evicted, Response::Evicted { existed: true });
+    }
+
+    #[test]
+    fn dispatcher_maps_failures_to_codes() {
+        let reg = registry();
+        let (s, t) = wrap_pair();
+        let bad_dtd = handle_request(
+            &reg,
+            &Request::Compile {
+                source_dtd: "<!ELEMENT".into(),
+                target_dtd: t.clone(),
+            },
+        );
+        assert!(
+            matches!(
+                bad_dtd,
+                Response::Error {
+                    code: ErrorCode::BadDtd,
+                    ..
+                }
+            ),
+            "{bad_dtd:?}"
+        );
+        let bad_doc = handle_request(
+            &reg,
+            &Request::Apply {
+                source_dtd: s.clone(),
+                target_dtd: t.clone(),
+                xml: "<r><nope/></r>".into(),
+            },
+        );
+        assert!(
+            matches!(
+                bad_doc,
+                Response::Error {
+                    code: ErrorCode::BadDocument,
+                    ..
+                }
+            ),
+            "{bad_doc:?}"
+        );
+        let bad_query = handle_request(
+            &reg,
+            &Request::Translate {
+                source_dtd: s,
+                target_dtd: t,
+                query: "///".into(),
+            },
+        );
+        assert!(
+            matches!(
+                bad_query,
+                Response::Error {
+                    code: ErrorCode::BadQuery,
+                    ..
+                }
+            ),
+            "{bad_query:?}"
+        );
+    }
+}

@@ -1,0 +1,476 @@
+//! Load generator: replays [`TrafficMix`] request streams against an
+//! in-process registry or a TCP endpoint.
+//!
+//! Fixtures are *embeddable by construction*: each [`SchemaPair`] takes a
+//! corpus (or synthetic) DTD as the source and a
+//! [`noised_copy`](xse_workloads::noise::noised_copy()) of it as the target,
+//! retrying noise seeds until discovery verifiably succeeds — so the replay
+//! measures serving behaviour, not discovery failure rates. Setup also
+//! pre-computes source documents, their images under `σd` (for `invert`
+//! traffic), and translatable queries, all serialized to text exactly as a
+//! remote client would hold them.
+//!
+//! The replay itself is deterministic per `(mix, seed, pairs)`: op kinds,
+//! pair choices and payload choices all come from one seeded
+//! [`StdRng`]. `cold` mode issues an **untimed** evict for the chosen pair
+//! before every timed op, forcing each request to pay the compile path —
+//! the baseline against which the warm cache's speedup is measured.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xse_discovery::{find_embedding, DiscoveryConfig};
+use xse_dtd::{Dtd, GenConfig, InstanceGenerator};
+use xse_workloads::corpus::corpus;
+use xse_workloads::noise::{noised_copy, NoiseConfig};
+use xse_workloads::querygen::{random_queries, QueryConfig};
+use xse_workloads::scale;
+use xse_workloads::traffic::{ServiceOp, TrafficMix};
+
+use crate::proto::{Request, Response, StatsWire};
+use crate::registry::{default_similarity, EmbeddingRegistry};
+use crate::{Client, ServiceError};
+
+/// One source/target schema pair with pre-generated request payloads.
+pub struct SchemaPair {
+    /// Corpus name (or `scale-N` for synthetic schemas).
+    pub name: String,
+    /// Source DTD text.
+    pub source_text: String,
+    /// Target DTD text (a noised, embeddable copy of the source).
+    pub target_text: String,
+    /// Source documents, serialized.
+    pub docs: Vec<String>,
+    /// The same documents mapped through `σd`, serialized (inputs for
+    /// `invert` traffic).
+    pub target_docs: Vec<String>,
+    /// Source-side XR queries that translate successfully.
+    pub queries: Vec<String>,
+}
+
+/// The discovery configuration the generator (and any server replaying
+/// its fixtures) should use: single-threaded restarts keep per-request
+/// compile cost predictable under concurrent load, and discovery results
+/// are identical for every thread count anyway.
+pub fn loadgen_discovery() -> DiscoveryConfig {
+    DiscoveryConfig {
+        threads: 1,
+        ..DiscoveryConfig::default()
+    }
+}
+
+/// Build `count` embeddable schema pairs: the workloads corpus first,
+/// then synthetic schemas once the corpus is exhausted. Noise seeds are
+/// retried (and the noise level lowered) until discovery succeeds; as a
+/// last resort the pair degrades to an identity pair (target = source),
+/// which is always embeddable.
+pub fn build_pairs(count: usize, seed: u64) -> Vec<SchemaPair> {
+    let named: Vec<(String, Dtd)> = corpus()
+        .into_iter()
+        .map(|(n, d)| (n.to_string(), d))
+        .chain((0..count).map(|i| {
+            let n = 12 + 3 * i;
+            (
+                format!("scale-{n}"),
+                scale::random_schema(n, seed ^ i as u64),
+            )
+        }))
+        .take(count)
+        .collect();
+    named
+        .into_iter()
+        .enumerate()
+        .map(|(i, (name, source))| build_pair(name, &source, seed.wrapping_add(i as u64)))
+        .collect()
+}
+
+fn build_pair(name: String, source: &Dtd, seed: u64) -> SchemaPair {
+    let cfg = loadgen_discovery();
+    let mut chosen: Option<(Dtd, xse_core::CompiledEmbedding)> = None;
+    // Setup must predict the registry's verdict exactly, so verification
+    // uses the registry's own similarity heuristic and discovery config
+    // (discovery is deterministic per seed, independent of thread count).
+    'search: for (attempt, level) in [
+        (0u64, 0.3),
+        (1, 0.3),
+        (2, 0.3),
+        (3, 0.2),
+        (4, 0.2),
+        (5, 0.1),
+        (6, 0.1),
+        (7, 0.05),
+    ] {
+        let noised = noised_copy(
+            source,
+            NoiseConfig::level(level),
+            seed.wrapping_mul(31) + attempt,
+        );
+        let att = default_similarity(source, &noised.target);
+        if let Some(e) = find_embedding(source, &noised.target, &att, &cfg) {
+            chosen = Some((noised.target, e));
+            break 'search;
+        }
+    }
+    let (target, engine) = chosen.unwrap_or_else(|| {
+        // Identity fallback: a schema always embeds into itself.
+        let att = default_similarity(source, source);
+        let e = find_embedding(source, source, &att, &cfg)
+            .expect("identity embedding must always exist");
+        (source.clone(), e)
+    });
+
+    let gen = InstanceGenerator::new(
+        source,
+        GenConfig {
+            max_nodes: 120,
+            ..GenConfig::default()
+        },
+    );
+    let mut docs = Vec::new();
+    let mut target_docs = Vec::new();
+    for i in 0..3u64 {
+        let doc = gen.generate(seed.wrapping_add(1000 + i));
+        if let Ok(out) = engine.apply(&doc) {
+            docs.push(doc.to_xml());
+            target_docs.push(out.tree.to_xml());
+        }
+    }
+    // Serving-shaped queries: short navigations with occasional
+    // qualifiers, the high-QPS lookups a translation tier fields (deep
+    // star/union analytics queries belong to the offline benches).
+    let qcfg = QueryConfig {
+        max_depth: 3,
+        qualifier_p: 0.15,
+        union_p: 0.1,
+        star_p: 0.1,
+    };
+    let queries: Vec<String> = random_queries(source, qcfg, seed, 12)
+        .into_iter()
+        .filter(|q| engine.translate(q).is_ok())
+        .take(6)
+        .map(|q| q.to_string())
+        .collect();
+    SchemaPair {
+        name,
+        source_text: source.to_string(),
+        target_text: target.to_string(),
+        docs,
+        target_docs,
+        queries,
+    }
+}
+
+/// Where requests are sent: in-process dispatch or a TCP connection.
+pub enum Endpoint {
+    /// Direct calls into [`handle_request`](crate::handle_request) — no
+    /// sockets, measures the registry + engine alone.
+    InProcess(Arc<EmbeddingRegistry>),
+    /// A connected client — measures the full wire path.
+    Tcp(Client),
+}
+
+impl Endpoint {
+    fn exec(&mut self, req: &Request) -> Result<Response, ServiceError> {
+        match self {
+            Endpoint::InProcess(reg) => Ok(crate::handle_request(reg, req)),
+            Endpoint::Tcp(client) => client.call(req),
+        }
+    }
+}
+
+/// Replay parameters.
+#[derive(Clone, Debug)]
+pub struct LoadConfig {
+    /// The traffic mix to sample.
+    pub mix: TrafficMix,
+    /// Timed operations to issue.
+    pub ops: usize,
+    /// RNG seed (the whole replay is deterministic per seed).
+    pub seed: u64,
+    /// Evict the chosen pair (untimed) before every timed op, forcing the
+    /// cold compile path.
+    pub cold: bool,
+}
+
+/// Latency digest for one op kind.
+#[derive(Clone, Copy, Debug)]
+pub struct OpDigest {
+    /// Timed requests of this kind.
+    pub count: u64,
+    /// Median latency.
+    pub p50_nanos: u64,
+    /// 99th-percentile latency.
+    pub p99_nanos: u64,
+}
+
+/// Machine-readable result of one replay.
+pub struct LoadSummary {
+    /// Mix name.
+    pub mix: String,
+    /// Timed operations issued.
+    pub ops: u64,
+    /// Wall-clock time of the timed section.
+    pub elapsed_nanos: u64,
+    /// Timed operations per second.
+    pub qps: f64,
+    /// Registry hit rate at the end of the run (hits / resolutions).
+    pub hit_rate: f64,
+    /// Transport-level failures (socket errors, undecodable frames).
+    pub protocol_errors: u64,
+    /// Structured error responses (the request reached the server and was
+    /// answered with an error frame).
+    pub op_errors: u64,
+    /// Per-op latency digests, in [`ServiceOp::ALL`] order, `None` when
+    /// the op never ran.
+    pub per_op: Vec<(ServiceOp, Option<OpDigest>)>,
+    /// Registry counters after the run.
+    pub registry: StatsWire,
+    /// Latency digest across *all* timed ops (the warm/cold comparison
+    /// metric).
+    pub overall_digest: Option<OpDigest>,
+}
+
+impl LoadSummary {
+    /// Render as a single-line JSON object.
+    pub fn to_json(&self) -> String {
+        let mut per_op = String::new();
+        for (op, digest) in &self.per_op {
+            let Some(d) = digest else { continue };
+            if !per_op.is_empty() {
+                per_op.push(',');
+            }
+            per_op.push_str(&format!(
+                "\"{}\":{{\"count\":{},\"p50_nanos\":{},\"p99_nanos\":{}}}",
+                op.name(),
+                d.count,
+                d.p50_nanos,
+                d.p99_nanos
+            ));
+        }
+        let overall = self
+            .overall_digest
+            .map(|d| {
+                format!(
+                    "{{\"count\":{},\"p50_nanos\":{},\"p99_nanos\":{}}}",
+                    d.count, d.p50_nanos, d.p99_nanos
+                )
+            })
+            .unwrap_or_else(|| "null".into());
+        format!(
+            "{{\"mix\":\"{}\",\"ops\":{},\"elapsed_nanos\":{},\"qps\":{:.2},\
+             \"hit_rate\":{:.4},\"protocol_errors\":{},\"op_errors\":{},\
+             \"overall\":{overall},\"per_op\":{{{per_op}}},\
+             \"registry\":{{\"hits\":{},\"misses\":{},\"compiles\":{},\
+             \"single_flight_waits\":{},\"evictions\":{},\"entries\":{},\
+             \"compile_nanos\":{}}}}}",
+            self.mix,
+            self.ops,
+            self.elapsed_nanos,
+            self.qps,
+            self.hit_rate,
+            self.protocol_errors,
+            self.op_errors,
+            self.registry.hits,
+            self.registry.misses,
+            self.registry.compiles,
+            self.registry.single_flight_waits,
+            self.registry.evictions,
+            self.registry.entries,
+            self.registry.compile_nanos,
+        )
+    }
+}
+
+/// Replay `cfg.ops` sampled operations against `endpoint`.
+///
+/// Transport failures are counted and abort the replay early (a broken
+/// TCP connection cannot carry further requests); structured error
+/// responses are counted and the replay continues.
+pub fn run(endpoint: &mut Endpoint, pairs: &[SchemaPair], cfg: &LoadConfig) -> LoadSummary {
+    assert!(!pairs.is_empty(), "load generation needs at least one pair");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut latencies: Vec<Vec<u64>> = vec![Vec::new(); ServiceOp::ALL.len()];
+    let mut protocol_errors = 0u64;
+    let mut op_errors = 0u64;
+    let mut issued = 0u64;
+
+    let t0 = Instant::now();
+    for _ in 0..cfg.ops {
+        let pair = &pairs[rng.random_range(0..pairs.len())];
+        let op = cfg.mix.sample(&mut rng);
+        let req = match build_request(pair, op, &mut rng) {
+            Some(r) => r,
+            // A pair can lack payloads for this op (e.g. no translatable
+            // queries survived setup); degrade to a cache touch.
+            None => Request::Compile {
+                source_dtd: pair.source_text.clone(),
+                target_dtd: pair.target_text.clone(),
+            },
+        };
+        if cfg.cold {
+            // Untimed: drop the entry so the timed op compiles.
+            let evict = Request::Evict {
+                source_dtd: pair.source_text.clone(),
+                target_dtd: pair.target_text.clone(),
+            };
+            if endpoint.exec(&evict).is_err() {
+                protocol_errors += 1;
+                break;
+            }
+        }
+        let start = Instant::now();
+        let result = endpoint.exec(&req);
+        let nanos = start.elapsed().as_nanos() as u64;
+        match result {
+            Ok(Response::Error { .. }) => op_errors += 1,
+            Ok(_) => {}
+            Err(_) => {
+                protocol_errors += 1;
+                break;
+            }
+        }
+        issued += 1;
+        let slot = ServiceOp::ALL
+            .iter()
+            .position(|&o| o == op)
+            .expect("in ALL");
+        latencies[slot].push(nanos);
+    }
+    let elapsed_nanos = t0.elapsed().as_nanos() as u64;
+
+    let registry = match endpoint.exec(&Request::Stats) {
+        Ok(Response::Stats(s)) => s,
+        _ => StatsWire::default(),
+    };
+    let resolutions = registry.hits + registry.misses + registry.single_flight_waits;
+    let hit_rate = if resolutions == 0 {
+        0.0
+    } else {
+        registry.hits as f64 / resolutions as f64
+    };
+
+    let mut all: Vec<u64> = latencies.iter().flatten().copied().collect();
+    let per_op = ServiceOp::ALL
+        .iter()
+        .zip(latencies.iter_mut())
+        .map(|(&op, lat)| (op, digest(lat)))
+        .collect();
+    LoadSummary {
+        mix: cfg.mix.name().to_string(),
+        ops: issued,
+        elapsed_nanos,
+        qps: if elapsed_nanos == 0 {
+            0.0
+        } else {
+            issued as f64 * 1e9 / elapsed_nanos as f64
+        },
+        hit_rate,
+        protocol_errors,
+        op_errors,
+        per_op,
+        registry,
+        overall_digest: digest(&mut all),
+    }
+}
+
+fn digest(lat: &mut [u64]) -> Option<OpDigest> {
+    if lat.is_empty() {
+        return None;
+    }
+    lat.sort_unstable();
+    let pick = |p: f64| lat[((lat.len() - 1) as f64 * p).round() as usize];
+    Some(OpDigest {
+        count: lat.len() as u64,
+        p50_nanos: pick(0.50),
+        p99_nanos: pick(0.99),
+    })
+}
+
+fn build_request(pair: &SchemaPair, op: ServiceOp, rng: &mut StdRng) -> Option<Request> {
+    let (s, t) = (pair.source_text.clone(), pair.target_text.clone());
+    Some(match op {
+        ServiceOp::Compile => Request::Compile {
+            source_dtd: s,
+            target_dtd: t,
+        },
+        ServiceOp::Apply => Request::Apply {
+            source_dtd: s,
+            target_dtd: t,
+            xml: pick(&pair.docs, rng)?.clone(),
+        },
+        ServiceOp::Invert => Request::Invert {
+            source_dtd: s,
+            target_dtd: t,
+            xml: pick(&pair.target_docs, rng)?.clone(),
+        },
+        ServiceOp::Translate => Request::Translate {
+            source_dtd: s,
+            target_dtd: t,
+            query: pick(&pair.queries, rng)?.clone(),
+        },
+        ServiceOp::Stats => Request::Stats,
+        ServiceOp::Evict => Request::Evict {
+            source_dtd: s,
+            target_dtd: t,
+        },
+    })
+}
+
+fn pick<'a, T>(items: &'a [T], rng: &mut StdRng) -> Option<&'a T> {
+    if items.is_empty() {
+        None
+    } else {
+        Some(&items[rng.random_range(0..items.len())])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::RegistryConfig;
+
+    #[test]
+    fn pairs_are_embeddable_with_payloads() {
+        let pairs = build_pairs(3, 7);
+        assert_eq!(pairs.len(), 3);
+        for p in &pairs {
+            assert!(!p.docs.is_empty(), "{} has no documents", p.name);
+            assert_eq!(p.docs.len(), p.target_docs.len());
+            // Each pair must compile through the registry path too.
+            let reg = EmbeddingRegistry::new(RegistryConfig {
+                capacity: 2,
+                discovery: loadgen_discovery(),
+                ..RegistryConfig::default()
+            });
+            reg.get_or_compile(&p.source_text, &p.target_text)
+                .unwrap_or_else(|e| panic!("{}: {e}", p.name));
+        }
+    }
+
+    #[test]
+    fn replay_is_deterministic_and_clean() {
+        let pairs = build_pairs(2, 11);
+        let reg = Arc::new(EmbeddingRegistry::new(RegistryConfig {
+            capacity: 8,
+            discovery: loadgen_discovery(),
+            ..RegistryConfig::default()
+        }));
+        let cfg = LoadConfig {
+            mix: TrafficMix::mixed(),
+            ops: 60,
+            seed: 5,
+            cold: false,
+        };
+        let mut ep = Endpoint::InProcess(Arc::clone(&reg));
+        let summary = run(&mut ep, &pairs, &cfg);
+        assert_eq!(summary.ops, 60);
+        assert_eq!(summary.protocol_errors, 0);
+        assert_eq!(summary.op_errors, 0, "{}", summary.to_json());
+        assert!(summary.qps > 0.0);
+        let json = summary.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"mix\":\"mixed\""), "{json}");
+    }
+}

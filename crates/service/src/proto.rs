@@ -1,0 +1,579 @@
+//! Wire protocol: framing, opcodes, and request/response codecs.
+//!
+//! Everything here is plain `std` byte-pushing — the format is fully
+//! described in the crate-level docs ([`crate`]). In short: every message
+//! is one *frame* (`u32` big-endian payload length, then the payload), the
+//! payload's first byte is the opcode, and all variable-length fields are
+//! `u32`-BE length-prefixed UTF-8 strings.
+
+use std::io::{self, Read, Write};
+
+/// Hard cap on a frame's payload length (16 MiB). A peer announcing more
+/// is answered with [`ErrorCode::FrameTooLarge`] and disconnected — the
+/// declared bytes are never read, so a hostile header cannot make the
+/// server buffer unbounded input.
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// Request opcodes (first payload byte, client → server).
+pub mod op {
+    /// Compile (or look up) the embedding for a DTD pair.
+    pub const COMPILE: u8 = 0x01;
+    /// Map a source document through `σd`.
+    pub const APPLY: u8 = 0x02;
+    /// Recover a source document through `σd⁻¹`.
+    pub const INVERT: u8 = 0x03;
+    /// Translate a source query to the target schema.
+    pub const TRANSLATE: u8 = 0x04;
+    /// Fetch registry statistics.
+    pub const STATS: u8 = 0x05;
+    /// Drop the pair's cached embedding.
+    pub const EVICT: u8 = 0x06;
+}
+
+/// Response opcodes (first payload byte, server → client).
+pub mod resp {
+    /// Embedding compiled / found: hashes + size.
+    pub const COMPILED: u8 = 0x81;
+    /// A document (apply / invert result).
+    pub const DOCUMENT: u8 = 0x82;
+    /// Translation metrics.
+    pub const TRANSLATED: u8 = 0x83;
+    /// Registry statistics.
+    pub const STATS: u8 = 0x84;
+    /// Eviction acknowledgement.
+    pub const EVICTED: u8 = 0x85;
+    /// Structured error.
+    pub const ERROR: u8 = 0xFF;
+}
+
+/// Structured error codes carried by [`Response::Error`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// Declared frame length exceeds [`MAX_FRAME_LEN`]; connection closes.
+    FrameTooLarge = 1,
+    /// Payload too short / length fields inconsistent / invalid UTF-8.
+    Malformed = 2,
+    /// First payload byte is not a known request opcode.
+    UnknownOpcode = 3,
+    /// A DTD field failed to parse or reduce.
+    BadDtd = 4,
+    /// A document field failed to parse or validate.
+    BadDocument = 5,
+    /// A query field failed to parse.
+    BadQuery = 6,
+    /// Discovery found no information-preserving embedding for the pair.
+    NoEmbedding = 7,
+    /// The engine rejected an otherwise well-formed request (apply/invert
+    /// failure, internal error).
+    EngineError = 8,
+    /// Evict targeted a pair that was not cached.
+    NotFound = 9,
+}
+
+impl ErrorCode {
+    /// Decode a wire byte.
+    pub fn from_u8(b: u8) -> Option<ErrorCode> {
+        Some(match b {
+            1 => ErrorCode::FrameTooLarge,
+            2 => ErrorCode::Malformed,
+            3 => ErrorCode::UnknownOpcode,
+            4 => ErrorCode::BadDtd,
+            5 => ErrorCode::BadDocument,
+            6 => ErrorCode::BadQuery,
+            7 => ErrorCode::NoEmbedding,
+            8 => ErrorCode::EngineError,
+            9 => ErrorCode::NotFound,
+            _ => return None,
+        })
+    }
+}
+
+/// A decoded client request.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Request {
+    /// Ensure the pair's embedding is compiled and cached.
+    Compile {
+        source_dtd: String,
+        target_dtd: String,
+    },
+    /// `σd`: map `xml` (a source document) to the target schema.
+    Apply {
+        source_dtd: String,
+        target_dtd: String,
+        xml: String,
+    },
+    /// `σd⁻¹`: recover the source document from `xml` (a target document).
+    Invert {
+        source_dtd: String,
+        target_dtd: String,
+        xml: String,
+    },
+    /// `Tr`: translate `query` (source-side XR) to the target schema.
+    Translate {
+        source_dtd: String,
+        target_dtd: String,
+        query: String,
+    },
+    /// Registry statistics snapshot.
+    Stats,
+    /// Drop the pair's cached embedding.
+    Evict {
+        source_dtd: String,
+        target_dtd: String,
+    },
+}
+
+/// Registry counters as they travel on the wire (seven `u64`s, BE).
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
+pub struct StatsWire {
+    /// Cache hits.
+    pub hits: u64,
+    /// Cache misses that triggered a compile.
+    pub misses: u64,
+    /// Completed compilations.
+    pub compiles: u64,
+    /// Requests that waited on another request's in-flight compile.
+    pub single_flight_waits: u64,
+    /// Entries dropped by LRU pressure or explicit evict.
+    pub evictions: u64,
+    /// Entries currently cached.
+    pub entries: u64,
+    /// Total nanoseconds spent compiling.
+    pub compile_nanos: u64,
+}
+
+/// A decoded server response.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Response {
+    /// The pair's embedding is cached; hashes identify the canonical DTDs.
+    Compiled {
+        source_hash: String,
+        target_hash: String,
+        size: u64,
+    },
+    /// A serialized document (apply / invert output).
+    Document { xml: String },
+    /// Translation metrics: `|Tr(Q)|` and the automaton's state count.
+    Translated { size: u64, states: u64 },
+    /// Registry statistics.
+    Stats(StatsWire),
+    /// Eviction acknowledgement (`existed` = whether the pair was cached).
+    Evicted { existed: bool },
+    /// Structured failure.
+    Error { code: ErrorCode, message: String },
+}
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Underlying socket/file error.
+    Io(io::Error),
+    /// Peer announced a payload over [`MAX_FRAME_LEN`] bytes long.
+    TooLarge(usize),
+    /// Clean end-of-stream before a full frame arrived (0 bytes read means
+    /// the peer simply closed; mid-frame EOF is also reported here).
+    Eof,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame i/o error: {e}"),
+            FrameError::TooLarge(n) => {
+                write!(f, "frame of {n} bytes exceeds the {MAX_FRAME_LEN}-byte cap")
+            }
+            FrameError::Eof => write!(f, "connection closed before a full frame"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            FrameError::Eof
+        } else {
+            FrameError::Io(e)
+        }
+    }
+}
+
+/// Write one frame: `u32`-BE payload length, then the payload.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    debug_assert!(payload.len() <= MAX_FRAME_LEN);
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one frame's payload, enforcing [`MAX_FRAME_LEN`] *before* reading
+/// the body.
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, FrameError> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let n = u32::from_be_bytes(len) as usize;
+    if n > MAX_FRAME_LEN {
+        return Err(FrameError::TooLarge(n));
+    }
+    let mut payload = vec![0u8; n];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    buf.extend_from_slice(&(s.len() as u32).to_be_bytes());
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+/// Cursor over a payload; every getter fails soft so a truncated inner
+/// field becomes a decode error, never a panic.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, at: 0 }
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        let b = *self.buf.get(self.at)?;
+        self.at += 1;
+        Some(b)
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        let bytes = self.buf.get(self.at..self.at + 8)?;
+        self.at += 8;
+        Some(u64::from_be_bytes(bytes.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Option<String> {
+        let len = self.buf.get(self.at..self.at + 4)?;
+        let len = u32::from_be_bytes(len.try_into().unwrap()) as usize;
+        self.at += 4;
+        let bytes = self.buf.get(self.at..self.at + len)?;
+        self.at += len;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+
+    fn done(&self) -> bool {
+        self.at == self.buf.len()
+    }
+}
+
+impl Request {
+    /// Encode into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Request::Compile {
+                source_dtd,
+                target_dtd,
+            } => {
+                buf.push(op::COMPILE);
+                put_str(&mut buf, source_dtd);
+                put_str(&mut buf, target_dtd);
+            }
+            Request::Apply {
+                source_dtd,
+                target_dtd,
+                xml,
+            } => {
+                buf.push(op::APPLY);
+                put_str(&mut buf, source_dtd);
+                put_str(&mut buf, target_dtd);
+                put_str(&mut buf, xml);
+            }
+            Request::Invert {
+                source_dtd,
+                target_dtd,
+                xml,
+            } => {
+                buf.push(op::INVERT);
+                put_str(&mut buf, source_dtd);
+                put_str(&mut buf, target_dtd);
+                put_str(&mut buf, xml);
+            }
+            Request::Translate {
+                source_dtd,
+                target_dtd,
+                query,
+            } => {
+                buf.push(op::TRANSLATE);
+                put_str(&mut buf, source_dtd);
+                put_str(&mut buf, target_dtd);
+                put_str(&mut buf, query);
+            }
+            Request::Stats => buf.push(op::STATS),
+            Request::Evict {
+                source_dtd,
+                target_dtd,
+            } => {
+                buf.push(op::EVICT);
+                put_str(&mut buf, source_dtd);
+                put_str(&mut buf, target_dtd);
+            }
+        }
+        buf
+    }
+
+    /// Decode a frame payload. `Err` carries the structured code to answer
+    /// with ([`ErrorCode::Malformed`] or [`ErrorCode::UnknownOpcode`]).
+    pub fn decode(payload: &[u8]) -> Result<Request, ErrorCode> {
+        let mut c = Cursor::new(payload);
+        let opcode = c.u8().ok_or(ErrorCode::Malformed)?;
+        let req = match opcode {
+            op::COMPILE => Request::Compile {
+                source_dtd: c.str().ok_or(ErrorCode::Malformed)?,
+                target_dtd: c.str().ok_or(ErrorCode::Malformed)?,
+            },
+            op::APPLY => Request::Apply {
+                source_dtd: c.str().ok_or(ErrorCode::Malformed)?,
+                target_dtd: c.str().ok_or(ErrorCode::Malformed)?,
+                xml: c.str().ok_or(ErrorCode::Malformed)?,
+            },
+            op::INVERT => Request::Invert {
+                source_dtd: c.str().ok_or(ErrorCode::Malformed)?,
+                target_dtd: c.str().ok_or(ErrorCode::Malformed)?,
+                xml: c.str().ok_or(ErrorCode::Malformed)?,
+            },
+            op::TRANSLATE => Request::Translate {
+                source_dtd: c.str().ok_or(ErrorCode::Malformed)?,
+                target_dtd: c.str().ok_or(ErrorCode::Malformed)?,
+                query: c.str().ok_or(ErrorCode::Malformed)?,
+            },
+            op::STATS => Request::Stats,
+            op::EVICT => Request::Evict {
+                source_dtd: c.str().ok_or(ErrorCode::Malformed)?,
+                target_dtd: c.str().ok_or(ErrorCode::Malformed)?,
+            },
+            _ => return Err(ErrorCode::UnknownOpcode),
+        };
+        if !c.done() {
+            return Err(ErrorCode::Malformed);
+        }
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Encode into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Response::Compiled {
+                source_hash,
+                target_hash,
+                size,
+            } => {
+                buf.push(resp::COMPILED);
+                put_str(&mut buf, source_hash);
+                put_str(&mut buf, target_hash);
+                put_u64(&mut buf, *size);
+            }
+            Response::Document { xml } => {
+                buf.push(resp::DOCUMENT);
+                put_str(&mut buf, xml);
+            }
+            Response::Translated { size, states } => {
+                buf.push(resp::TRANSLATED);
+                put_u64(&mut buf, *size);
+                put_u64(&mut buf, *states);
+            }
+            Response::Stats(s) => {
+                buf.push(resp::STATS);
+                for v in [
+                    s.hits,
+                    s.misses,
+                    s.compiles,
+                    s.single_flight_waits,
+                    s.evictions,
+                    s.entries,
+                    s.compile_nanos,
+                ] {
+                    put_u64(&mut buf, v);
+                }
+            }
+            Response::Evicted { existed } => {
+                buf.push(resp::EVICTED);
+                buf.push(u8::from(*existed));
+            }
+            Response::Error { code, message } => {
+                buf.push(resp::ERROR);
+                buf.push(*code as u8);
+                put_str(&mut buf, message);
+            }
+        }
+        buf
+    }
+
+    /// Decode a frame payload; `None` on any malformation (clients treat
+    /// that as a protocol error).
+    pub fn decode(payload: &[u8]) -> Option<Response> {
+        let mut c = Cursor::new(payload);
+        let resp = match c.u8()? {
+            resp::COMPILED => Response::Compiled {
+                source_hash: c.str()?,
+                target_hash: c.str()?,
+                size: c.u64()?,
+            },
+            resp::DOCUMENT => Response::Document { xml: c.str()? },
+            resp::TRANSLATED => Response::Translated {
+                size: c.u64()?,
+                states: c.u64()?,
+            },
+            resp::STATS => Response::Stats(StatsWire {
+                hits: c.u64()?,
+                misses: c.u64()?,
+                compiles: c.u64()?,
+                single_flight_waits: c.u64()?,
+                evictions: c.u64()?,
+                entries: c.u64()?,
+                compile_nanos: c.u64()?,
+            }),
+            resp::EVICTED => Response::Evicted {
+                existed: c.u8()? != 0,
+            },
+            resp::ERROR => Response::Error {
+                code: ErrorCode::from_u8(c.u8()?)?,
+                message: c.str()?,
+            },
+            _ => return None,
+        };
+        if !c.done() {
+            return None;
+        }
+        Some(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_req(req: Request) {
+        assert_eq!(Request::decode(&req.encode()), Ok(req));
+    }
+
+    fn roundtrip_resp(resp: Response) {
+        assert_eq!(Response::decode(&resp.encode()), Some(resp));
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        let d = "<!ELEMENT r (a)>".to_string();
+        roundtrip_req(Request::Compile {
+            source_dtd: d.clone(),
+            target_dtd: d.clone(),
+        });
+        roundtrip_req(Request::Apply {
+            source_dtd: d.clone(),
+            target_dtd: d.clone(),
+            xml: "<r><a/></r>".into(),
+        });
+        roundtrip_req(Request::Invert {
+            source_dtd: d.clone(),
+            target_dtd: d.clone(),
+            xml: "<r/>".into(),
+        });
+        roundtrip_req(Request::Translate {
+            source_dtd: d.clone(),
+            target_dtd: d.clone(),
+            query: "//a".into(),
+        });
+        roundtrip_req(Request::Stats);
+        roundtrip_req(Request::Evict {
+            source_dtd: d.clone(),
+            target_dtd: d,
+        });
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_resp(Response::Compiled {
+            source_hash: "00ff".into(),
+            target_hash: "abcd".into(),
+            size: 42,
+        });
+        roundtrip_resp(Response::Document { xml: "<r/>".into() });
+        roundtrip_resp(Response::Translated { size: 7, states: 3 });
+        roundtrip_resp(Response::Stats(StatsWire {
+            hits: 1,
+            misses: 2,
+            compiles: 3,
+            single_flight_waits: 4,
+            evictions: 5,
+            entries: 6,
+            compile_nanos: 7,
+        }));
+        roundtrip_resp(Response::Evicted { existed: true });
+        roundtrip_resp(Response::Error {
+            code: ErrorCode::BadDtd,
+            message: "nope".into(),
+        });
+    }
+
+    #[test]
+    fn truncated_payloads_decode_to_malformed() {
+        let full = Request::Apply {
+            source_dtd: "<!ELEMENT r (a)>".into(),
+            target_dtd: "<!ELEMENT r (a)>".into(),
+            xml: "<r><a/></r>".into(),
+        }
+        .encode();
+        for cut in [0, 1, 3, full.len() / 2, full.len() - 1] {
+            let got = Request::decode(&full[..cut]);
+            assert!(
+                matches!(got, Err(ErrorCode::Malformed)),
+                "cut at {cut}: {got:?}"
+            );
+        }
+        // Trailing garbage is also malformed, not silently ignored.
+        let mut padded = full.clone();
+        padded.push(0);
+        assert_eq!(Request::decode(&padded), Err(ErrorCode::Malformed));
+    }
+
+    #[test]
+    fn unknown_opcode_is_distinguished() {
+        assert_eq!(Request::decode(&[0x7E]), Err(ErrorCode::UnknownOpcode));
+    }
+
+    #[test]
+    fn frame_layer_roundtrips_and_caps() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        assert_eq!(buf, [&[0, 0, 0, 5][..], b"hello"].concat());
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap(), b"hello");
+
+        // Oversized header: rejected before any body bytes are read.
+        let huge = ((MAX_FRAME_LEN + 1) as u32).to_be_bytes();
+        let mut r = &huge[..];
+        assert!(matches!(read_frame(&mut r), Err(FrameError::TooLarge(_))));
+
+        // Clean close and mid-frame close both map to Eof.
+        let mut r: &[u8] = &[];
+        assert!(matches!(read_frame(&mut r), Err(FrameError::Eof)));
+        let mut r: &[u8] = &[0, 0, 0, 9, b'x'];
+        assert!(matches!(read_frame(&mut r), Err(FrameError::Eof)));
+    }
+
+    #[test]
+    fn invalid_utf8_is_malformed() {
+        // COMPILE with a source string whose bytes are not UTF-8.
+        let mut buf = vec![op::COMPILE];
+        buf.extend_from_slice(&2u32.to_be_bytes());
+        buf.extend_from_slice(&[0xFF, 0xFE]);
+        buf.extend_from_slice(&0u32.to_be_bytes());
+        assert_eq!(Request::decode(&buf), Err(ErrorCode::Malformed));
+    }
+}

@@ -1,0 +1,618 @@
+//! The embedding registry: a concurrent, capacity-bounded cache from DTD
+//! pairs to compiled embeddings.
+//!
+//! # Keying
+//!
+//! Entries are keyed by [`PairKey`] — the *canonical content hashes*
+//! ([`DtdHash`]) of the reduced source and target DTDs — so two clients
+//! sending the same schemas with reordered declarations or permuted
+//! disjunction alternatives share one cache entry.
+//!
+//! # Single-flight compilation
+//!
+//! Discovery is the expensive operation the cache exists to amortize, so
+//! the registry guarantees that N concurrent requests for the same
+//! uncached pair trigger exactly **one** `find_embedding` run: the first
+//! request installs a `Pending` slot and compiles outside the lock; the
+//! rest block on a condvar and are counted as
+//! [`RegistryStats::single_flight_waits`]. A failed or panicked compile
+//! removes the `Pending` slot (no negative caching) and wakes all waiters,
+//! so a transient failure never wedges the key.
+//!
+//! # Eviction
+//!
+//! When a completed compile pushes the cache over
+//! [`RegistryConfig::capacity`], the `Ready` entry with the oldest
+//! `last_used` tick is dropped (`Pending` slots are never evicted — someone
+//! is waiting on them). Explicit [`EmbeddingRegistry::evict`] uses the same
+//! accounting.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use xse_core::{CompiledEmbedding, SimilarityMatrix};
+use xse_discovery::{find_embedding, DiscoveryConfig};
+use xse_dtd::{Dtd, DtdHash};
+
+use crate::ServiceError;
+
+/// Cache key: canonical content hashes of the (source, target) DTD pair.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct PairKey {
+    /// Hash of the reduced source DTD.
+    pub source: DtdHash,
+    /// Hash of the reduced target DTD.
+    pub target: DtdHash,
+}
+
+/// The registry's default similarity heuristic:
+/// [`SimilarityMatrix::by_name`] with a 0.25 fallback. A serving layer
+/// only ever sees the two DTD texts, so name agreement is the strongest
+/// signal available; the fallback keeps renamed types reachable for the
+/// structural search.
+pub fn default_similarity(source: &Dtd, target: &Dtd) -> SimilarityMatrix {
+    SimilarityMatrix::by_name(source, target, 0.25)
+}
+
+/// Registry construction knobs.
+#[derive(Clone, Debug)]
+pub struct RegistryConfig {
+    /// Maximum number of cached (`Ready`) embeddings; the least recently
+    /// used entry is evicted when a compile exceeds it. Minimum 1.
+    pub capacity: usize,
+    /// Discovery configuration used for every compile.
+    pub discovery: DiscoveryConfig,
+    /// Builds the similarity matrix `att` for each compile (default:
+    /// [`default_similarity`]).
+    pub sim: fn(&Dtd, &Dtd) -> SimilarityMatrix,
+}
+
+impl Default for RegistryConfig {
+    fn default() -> Self {
+        RegistryConfig {
+            capacity: 64,
+            discovery: DiscoveryConfig::default(),
+            sim: default_similarity,
+        }
+    }
+}
+
+/// Aggregate registry counters (a point-in-time snapshot).
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
+pub struct RegistryStats {
+    /// Requests served from a cached embedding.
+    pub hits: u64,
+    /// Requests that found no entry and started a compile.
+    pub misses: u64,
+    /// Compiles that completed successfully.
+    pub compiles: u64,
+    /// Requests that blocked on another request's in-flight compile
+    /// (neither a hit nor a miss).
+    pub single_flight_waits: u64,
+    /// Entries dropped (LRU pressure + explicit evictions).
+    pub evictions: u64,
+    /// `Ready` entries currently cached.
+    pub entries: u64,
+    /// Total wall-clock nanoseconds spent inside `find_embedding`.
+    pub compile_nanos: u64,
+}
+
+impl RegistryStats {
+    /// Fraction of resolution requests served from cache:
+    /// `hits / (hits + misses + single_flight_waits)`; `0.0` when idle.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses + self.single_flight_waits;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Per-entry counters, exposed by [`EmbeddingRegistry::entry_stats`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct EntryStats {
+    /// Times this entry served a request after its compile.
+    pub hits: u64,
+    /// Wall-clock nanoseconds its compile took.
+    pub compile_nanos: u64,
+    /// LRU tick of the most recent use (higher = more recent).
+    pub last_used: u64,
+}
+
+struct Entry {
+    engine: Arc<CompiledEmbedding>,
+    hits: u64,
+    compile_nanos: u64,
+    last_used: u64,
+}
+
+enum Slot {
+    /// A compile for this key is in flight; waiters sleep on the condvar.
+    Pending,
+    Ready(Entry),
+}
+
+/// Cap on the text → hash memo ([`Inner::text_keys`]); the memo is
+/// cleared wholesale when full (texts re-canonicalize on their next use),
+/// bounding memory against clients that stream never-repeating DTD texts.
+const TEXT_KEY_CAP: usize = 1024;
+
+#[derive(Default)]
+struct Inner {
+    map: HashMap<PairKey, Slot>,
+    /// Memo: exact DTD text → canonical hash. The warm path resolves both
+    /// texts here with two string lookups, skipping the parse + reduce +
+    /// canonical-serialization work entirely; only texts never seen before
+    /// (or evicted from the memo) pay it.
+    text_keys: HashMap<String, DtdHash>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    compiles: u64,
+    single_flight_waits: u64,
+    evictions: u64,
+    compile_nanos: u64,
+}
+
+impl Inner {
+    fn ready_count(&self) -> usize {
+        self.map
+            .values()
+            .filter(|s| matches!(s, Slot::Ready(_)))
+            .count()
+    }
+
+    /// Evict `Ready` entries (never `keep`) until at most `capacity` remain.
+    fn enforce_capacity(&mut self, capacity: usize, keep: PairKey) {
+        while self.ready_count() > capacity {
+            let victim = self
+                .map
+                .iter()
+                .filter_map(|(k, s)| match s {
+                    Slot::Ready(e) if *k != keep => Some((*k, e.last_used)),
+                    _ => None,
+                })
+                .min_by_key(|&(_, used)| used)
+                .map(|(k, _)| k);
+            match victim {
+                Some(k) => {
+                    self.map.remove(&k);
+                    self.evictions += 1;
+                }
+                // Only `keep` and pendings are left; nothing evictable.
+                None => break,
+            }
+        }
+    }
+}
+
+/// Concurrent map from DTD pairs to compiled embeddings, with
+/// single-flight compilation and LRU eviction. See the [module
+/// docs](self) for the design.
+pub struct EmbeddingRegistry {
+    inner: Mutex<Inner>,
+    compiled: Condvar,
+    config: RegistryConfig,
+}
+
+/// Removes the `Pending` slot if the compile unwinds or fails, so waiters
+/// are never left sleeping on a key nobody is working on.
+struct PendingGuard<'a> {
+    registry: &'a EmbeddingRegistry,
+    key: PairKey,
+    armed: bool,
+}
+
+impl Drop for PendingGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            let mut inner = self.registry.inner.lock().unwrap();
+            if matches!(inner.map.get(&self.key), Some(Slot::Pending)) {
+                inner.map.remove(&self.key);
+            }
+            drop(inner);
+            self.registry.compiled.notify_all();
+        }
+    }
+}
+
+impl EmbeddingRegistry {
+    /// An empty registry with the given configuration (`capacity` is
+    /// clamped to at least 1).
+    pub fn new(mut config: RegistryConfig) -> Self {
+        config.capacity = config.capacity.max(1);
+        EmbeddingRegistry {
+            inner: Mutex::new(Inner::default()),
+            compiled: Condvar::new(),
+            config,
+        }
+    }
+
+    /// The registry's configuration.
+    pub fn config(&self) -> &RegistryConfig {
+        &self.config
+    }
+
+    /// Parse both DTD texts and return the pair's cache key without
+    /// touching the cache.
+    pub fn key_for(source_dtd: &str, target_dtd: &str) -> Result<PairKey, ServiceError> {
+        let source = parse_dtd(source_dtd, "source")?;
+        let target = parse_dtd(target_dtd, "target")?;
+        Ok(PairKey {
+            source: source.content_hash(),
+            target: target.content_hash(),
+        })
+    }
+
+    /// Resolve the pair to a compiled embedding: cache hit, single-flight
+    /// wait, or a fresh `find_embedding` run.
+    ///
+    /// # Errors
+    /// [`ServiceError::BadDtd`] when either text fails to parse,
+    /// [`ServiceError::NoEmbedding`] when discovery exhausts its restarts
+    /// without finding an information-preserving embedding (not cached —
+    /// a later identical request retries).
+    pub fn get_or_compile(
+        &self,
+        source_dtd: &str,
+        target_dtd: &str,
+    ) -> Result<(PairKey, Arc<CompiledEmbedding>), ServiceError> {
+        // Resolve texts to the canonical key via the memo when possible;
+        // `parsed` stays None on the memoized path and is only needed if
+        // this request ends up compiling.
+        let memo_key = {
+            let inner = self.inner.lock().unwrap();
+            match (
+                inner.text_keys.get(source_dtd),
+                inner.text_keys.get(target_dtd),
+            ) {
+                (Some(&s), Some(&t)) => Some(PairKey {
+                    source: s,
+                    target: t,
+                }),
+                _ => None,
+            }
+        };
+        let (key, mut parsed) = match memo_key {
+            Some(key) => (key, None),
+            None => {
+                let source = parse_dtd(source_dtd, "source")?;
+                let target = parse_dtd(target_dtd, "target")?;
+                let key = PairKey {
+                    source: source.content_hash(),
+                    target: target.content_hash(),
+                };
+                let mut inner = self.inner.lock().unwrap();
+                if inner.text_keys.len() + 2 > TEXT_KEY_CAP {
+                    inner.text_keys.clear();
+                }
+                inner.text_keys.insert(source_dtd.to_string(), key.source);
+                inner.text_keys.insert(target_dtd.to_string(), key.target);
+                (key, Some((source, target)))
+            }
+        };
+
+        let mut waited = false;
+        {
+            enum SlotState {
+                Ready,
+                Pending,
+                Absent,
+            }
+            let mut inner = self.inner.lock().unwrap();
+            loop {
+                let state = match inner.map.get(&key) {
+                    Some(Slot::Ready(_)) => SlotState::Ready,
+                    Some(Slot::Pending) => SlotState::Pending,
+                    None => SlotState::Absent,
+                };
+                if matches!(state, SlotState::Ready) {
+                    inner.tick += 1;
+                    inner.hits += 1;
+                    let tick = inner.tick;
+                    let Some(Slot::Ready(e)) = inner.map.get_mut(&key) else {
+                        unreachable!("slot changed under the lock");
+                    };
+                    e.hits += 1;
+                    e.last_used = tick;
+                    return Ok((key, Arc::clone(&e.engine)));
+                }
+                if matches!(state, SlotState::Pending) {
+                    if !waited {
+                        waited = true;
+                        inner.single_flight_waits += 1;
+                    }
+                    inner = self.compiled.wait(inner).unwrap();
+                } else {
+                    inner.misses += 1;
+                    inner.map.insert(key, Slot::Pending);
+                    break;
+                }
+            }
+        }
+
+        // We own the Pending slot; compile outside the lock. The memoized
+        // path skipped parsing — do it now (both texts parsed successfully
+        // when they entered the memo, but propagate errors regardless).
+        let mut guard = PendingGuard {
+            registry: self,
+            key,
+            armed: true,
+        };
+        let (source, target) = match parsed.take() {
+            Some(pair) => pair,
+            None => (
+                parse_dtd(source_dtd, "source")?,
+                parse_dtd(target_dtd, "target")?,
+            ),
+        };
+        let att = (self.config.sim)(&source, &target);
+        let t0 = Instant::now();
+        let found = find_embedding(&source, &target, &att, &self.config.discovery);
+        let nanos = t0.elapsed().as_nanos() as u64;
+
+        let Some(embedding) = found else {
+            // Guard's Drop removes the Pending slot and wakes waiters.
+            return Err(ServiceError::NoEmbedding);
+        };
+        guard.armed = false;
+
+        let engine = Arc::new(embedding);
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.compiles += 1;
+        inner.compile_nanos += nanos;
+        inner.map.insert(
+            key,
+            Slot::Ready(Entry {
+                engine: Arc::clone(&engine),
+                hits: 0,
+                compile_nanos: nanos,
+                last_used: tick,
+            }),
+        );
+        inner.enforce_capacity(self.config.capacity, key);
+        drop(inner);
+        self.compiled.notify_all();
+        Ok((key, engine))
+    }
+
+    /// Drop the pair's cached embedding. Returns whether an entry existed
+    /// (`Pending` slots are left alone and reported as absent).
+    ///
+    /// # Errors
+    /// [`ServiceError::BadDtd`] when either text fails to parse.
+    pub fn evict(&self, source_dtd: &str, target_dtd: &str) -> Result<bool, ServiceError> {
+        let key = Self::key_for(source_dtd, target_dtd)?;
+        Ok(self.evict_key(key))
+    }
+
+    /// [`EmbeddingRegistry::evict`] by precomputed key.
+    pub fn evict_key(&self, key: PairKey) -> bool {
+        let mut inner = self.inner.lock().unwrap();
+        if matches!(inner.map.get(&key), Some(Slot::Ready(_))) {
+            inner.map.remove(&key);
+            inner.evictions += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Point-in-time aggregate counters.
+    pub fn stats(&self) -> RegistryStats {
+        let inner = self.inner.lock().unwrap();
+        RegistryStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            compiles: inner.compiles,
+            single_flight_waits: inner.single_flight_waits,
+            evictions: inner.evictions,
+            entries: inner.ready_count() as u64,
+            compile_nanos: inner.compile_nanos,
+        }
+    }
+
+    /// Per-entry counters for every cached embedding (unordered).
+    pub fn entry_stats(&self) -> Vec<(PairKey, EntryStats)> {
+        let inner = self.inner.lock().unwrap();
+        inner
+            .map
+            .iter()
+            .filter_map(|(k, s)| match s {
+                Slot::Ready(e) => Some((
+                    *k,
+                    EntryStats {
+                        hits: e.hits,
+                        compile_nanos: e.compile_nanos,
+                        last_used: e.last_used,
+                    },
+                )),
+                Slot::Pending => None,
+            })
+            .collect()
+    }
+}
+
+fn parse_dtd(text: &str, which: &'static str) -> Result<Dtd, ServiceError> {
+    Dtd::parse(text).map_err(|e| ServiceError::BadDtd(format!("{which} DTD: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Identity-embeddable pair: the wrap fixture from the core crate's
+    /// tests, rendered as DTD text.
+    fn wrap_pair() -> (String, String) {
+        let s1 = "<!ELEMENT r (a, b)>\n<!ELEMENT a (#PCDATA)>\n<!ELEMENT b (c*)>\n<!ELEMENT c (#PCDATA)>";
+        let s2 = "<!ELEMENT r (x, y)>\n<!ELEMENT x (a)>\n<!ELEMENT a (#PCDATA)>\n<!ELEMENT y (w)>\n<!ELEMENT w (c2*)>\n<!ELEMENT c2 (c)>\n<!ELEMENT c (#PCDATA)>";
+        (s1.to_string(), s2.to_string())
+    }
+
+    fn small_registry(capacity: usize) -> EmbeddingRegistry {
+        EmbeddingRegistry::new(RegistryConfig {
+            capacity,
+            discovery: DiscoveryConfig {
+                threads: 1,
+                ..DiscoveryConfig::default()
+            },
+            ..RegistryConfig::default()
+        })
+    }
+
+    #[test]
+    fn hit_after_miss_shares_the_arc() {
+        let reg = small_registry(4);
+        let (s, t) = wrap_pair();
+        let (k1, e1) = reg.get_or_compile(&s, &t).unwrap();
+        let (k2, e2) = reg.get_or_compile(&s, &t).unwrap();
+        assert_eq!(k1, k2);
+        assert!(Arc::ptr_eq(&e1, &e2));
+        let st = reg.stats();
+        assert_eq!((st.hits, st.misses, st.compiles), (1, 1, 1));
+        assert_eq!(st.entries, 1);
+        assert!(st.compile_nanos > 0);
+        assert!(st.hit_rate() > 0.49 && st.hit_rate() < 0.51);
+    }
+
+    #[test]
+    fn permuted_dtd_text_is_the_same_key() {
+        let reg = small_registry(4);
+        let (s, t) = wrap_pair();
+        // Same source schema, declarations listed in a different order
+        // (root stays first — the parser roots at the first declaration).
+        let s_permuted =
+            "<!ELEMENT r (a, b)>\n<!ELEMENT b (c*)>\n<!ELEMENT c (#PCDATA)>\n<!ELEMENT a (#PCDATA)>";
+        let (_, e1) = reg.get_or_compile(&s, &t).unwrap();
+        let (_, e2) = reg.get_or_compile(s_permuted, &t).unwrap();
+        assert!(Arc::ptr_eq(&e1, &e2), "permuted DTD text missed the cache");
+        assert_eq!(reg.stats().compiles, 1);
+    }
+
+    #[test]
+    fn bad_dtd_is_rejected_and_not_cached() {
+        let reg = small_registry(4);
+        let (s, _) = wrap_pair();
+        let err = reg.get_or_compile(&s, "<!ELEMENT").unwrap_err();
+        assert!(matches!(err, ServiceError::BadDtd(_)), "{err:?}");
+        assert_eq!(reg.stats().misses, 0);
+        assert_eq!(reg.stats().entries, 0);
+    }
+
+    #[test]
+    fn no_embedding_is_not_negatively_cached() {
+        let reg = small_registry(4);
+        // Source demands two distinct #PCDATA children; a single-type
+        // target has nowhere injective to put them.
+        let s = "<!ELEMENT r (a, b)>\n<!ELEMENT a (#PCDATA)>\n<!ELEMENT b (#PCDATA)>";
+        let t = "<!ELEMENT r (#PCDATA)>";
+        for _ in 0..2 {
+            let err = reg.get_or_compile(s, t).unwrap_err();
+            assert!(matches!(err, ServiceError::NoEmbedding), "{err:?}");
+        }
+        let st = reg.stats();
+        // Both attempts were misses (no Pending/Ready left behind).
+        assert_eq!(st.misses, 2);
+        assert_eq!(st.entries, 0);
+        assert_eq!(st.compiles, 0);
+    }
+
+    #[test]
+    fn lru_evicts_the_oldest_entry() {
+        let reg = small_registry(2);
+        // Three distinct identity pairs (a schema always embeds into
+        // itself), so each compiles under its own key.
+        let schemas = [
+            "<!ELEMENT r (a)>\n<!ELEMENT a (#PCDATA)>",
+            "<!ELEMENT r (b)>\n<!ELEMENT b (#PCDATA)>",
+            "<!ELEMENT r (c)>\n<!ELEMENT c (#PCDATA)>",
+        ];
+        let k0 = reg.get_or_compile(schemas[0], schemas[0]).unwrap().0;
+        let k1 = reg.get_or_compile(schemas[1], schemas[1]).unwrap().0;
+        assert_ne!(k0, k1);
+        // Touch k0 so k1 becomes the LRU victim.
+        reg.get_or_compile(schemas[0], schemas[0]).unwrap();
+        let k2 = reg.get_or_compile(schemas[2], schemas[2]).unwrap().0;
+        assert_ne!(k2, k0);
+        assert_ne!(k2, k1);
+        let st = reg.stats();
+        assert_eq!(st.entries, 2, "{st:?}");
+        assert_eq!(st.evictions, 1, "{st:?}");
+        // k0 (recently touched) and k2 (new) survive; k1 is gone.
+        let keys: Vec<PairKey> = reg.entry_stats().into_iter().map(|(k, _)| k).collect();
+        assert!(keys.contains(&k0) && keys.contains(&k2) && !keys.contains(&k1));
+    }
+
+    #[test]
+    fn explicit_evict_roundtrip() {
+        let reg = small_registry(4);
+        let (s, t) = wrap_pair();
+        reg.get_or_compile(&s, &t).unwrap();
+        assert!(reg.evict(&s, &t).unwrap());
+        assert!(!reg.evict(&s, &t).unwrap(), "double evict must be a no-op");
+        let st = reg.stats();
+        assert_eq!(st.entries, 0);
+        assert_eq!(st.evictions, 1);
+        // Recompile works and bumps the compile counter.
+        reg.get_or_compile(&s, &t).unwrap();
+        assert_eq!(reg.stats().compiles, 2);
+    }
+
+    #[test]
+    fn sixteen_concurrent_requests_compile_once() {
+        let reg = std::sync::Arc::new(small_registry(4));
+        let (s, t) = wrap_pair();
+        let go = std::sync::Barrier::new(16);
+        let engines: Vec<Arc<CompiledEmbedding>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..16)
+                .map(|_| {
+                    let reg = Arc::clone(&reg);
+                    let (s, t) = (s.clone(), t.clone());
+                    let go = &go;
+                    scope.spawn(move || {
+                        go.wait();
+                        reg.get_or_compile(&s, &t).unwrap().1
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // Exactly one compile; every thread got the same Arc.
+        let st = reg.stats();
+        assert_eq!(st.compiles, 1, "{st:?}");
+        assert_eq!(st.misses, 1, "{st:?}");
+        assert_eq!(st.hits + st.single_flight_waits, 15, "{st:?}");
+        for e in &engines[1..] {
+            assert!(Arc::ptr_eq(&engines[0], e));
+        }
+    }
+
+    #[test]
+    fn failed_compile_wakes_waiters() {
+        // All 8 threads race an impossible pair; every one must return
+        // NoEmbedding (none may hang on a dropped Pending slot).
+        let reg = Arc::new(small_registry(4));
+        let s = "<!ELEMENT r (a, b)>\n<!ELEMENT a (#PCDATA)>\n<!ELEMENT b (#PCDATA)>";
+        let t = "<!ELEMENT r (#PCDATA)>";
+        let failures = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let reg = Arc::clone(&reg);
+                let failures = &failures;
+                scope.spawn(move || {
+                    if matches!(reg.get_or_compile(s, t), Err(ServiceError::NoEmbedding)) {
+                        failures.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(failures.load(Ordering::Relaxed), 8);
+        assert_eq!(reg.stats().entries, 0);
+    }
+}

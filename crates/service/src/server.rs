@@ -1,0 +1,196 @@
+//! `std`-only TCP server: one accept thread plus a bounded worker pool.
+//!
+//! Connections are accepted on a dedicated thread and pushed onto a
+//! `Mutex<VecDeque<TcpStream>>`; `workers` pool threads pop connections
+//! and run each one to completion (connection-per-worker, not
+//! request-per-worker — the protocol is strictly request/response per
+//! connection, so interleaving buys nothing). Shutdown flips an
+//! `AtomicBool` and unblocks the accept loop with a loopback connect, then
+//! joins every thread; in-flight requests finish before their worker
+//! exits.
+
+use std::collections::VecDeque;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use crate::proto::{read_frame, write_frame, ErrorCode, FrameError, Request, Response};
+use crate::registry::EmbeddingRegistry;
+
+/// Server construction knobs.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Worker threads serving connections (minimum 1).
+    pub workers: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig { workers: 4 }
+    }
+}
+
+/// The embedding service's TCP front end. Construct with [`Server::bind`];
+/// the returned [`ServerHandle`] owns the threads.
+pub struct Server;
+
+/// A running server: address accessor plus explicit shutdown/join.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    queue: Arc<ConnQueue>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+struct ConnQueue {
+    deque: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+}
+
+impl Server {
+    /// Bind `addr` (use port 0 for an ephemeral port) and start serving
+    /// `registry` with `config.workers` pool threads.
+    ///
+    /// # Errors
+    /// Propagates the bind failure.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        registry: Arc<EmbeddingRegistry>,
+        config: ServerConfig,
+    ) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let queue = Arc::new(ConnQueue {
+            deque: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+        });
+
+        let accept = {
+            let shutdown = Arc::clone(&shutdown);
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || {
+                for conn in listener.incoming() {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(conn) = conn else { continue };
+                    let mut q = queue.deque.lock().unwrap();
+                    q.push_back(conn);
+                    drop(q);
+                    queue.ready.notify_one();
+                }
+            })
+        };
+
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let shutdown = Arc::clone(&shutdown);
+                let queue = Arc::clone(&queue);
+                let registry = Arc::clone(&registry);
+                std::thread::spawn(move || loop {
+                    let conn = {
+                        let mut q = queue.deque.lock().unwrap();
+                        loop {
+                            if let Some(conn) = q.pop_front() {
+                                break Some(conn);
+                            }
+                            if shutdown.load(Ordering::SeqCst) {
+                                break None;
+                            }
+                            q = queue.ready.wait(q).unwrap();
+                        }
+                    };
+                    match conn {
+                        Some(conn) => serve_connection(conn, &registry),
+                        None => return,
+                    }
+                })
+            })
+            .collect();
+
+        Ok(ServerHandle {
+            addr,
+            shutdown,
+            queue,
+            accept: Some(accept),
+            workers,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, finish in-flight connections, join all threads.
+    /// Idempotent; also invoked by `Drop`.
+    pub fn shutdown(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop: it only re-checks the flag per incoming
+        // connection, so hand it one.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        self.queue.ready.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Run one connection to completion: strict request/response frames.
+fn serve_connection(conn: TcpStream, registry: &EmbeddingRegistry) {
+    let Ok(read_half) = conn.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(conn);
+    loop {
+        let payload = match read_frame(&mut reader) {
+            Ok(p) => p,
+            Err(FrameError::Eof) => return,
+            Err(FrameError::Io(_)) => return,
+            Err(FrameError::TooLarge(n)) => {
+                // The announced body was never read, so the stream is out
+                // of sync: answer with a structured error, then close.
+                let resp = Response::Error {
+                    code: ErrorCode::FrameTooLarge,
+                    message: format!("declared frame of {n} bytes exceeds the cap"),
+                };
+                let _ = write_frame(&mut writer, &resp.encode());
+                let _ = writer.flush();
+                return;
+            }
+        };
+        let resp = match Request::decode(&payload) {
+            Ok(req) => crate::handle_request(registry, &req),
+            // Framing stays intact on a malformed *payload* — only this
+            // request is poisoned — so answer and keep the connection.
+            Err(code) => Response::Error {
+                code,
+                message: match code {
+                    ErrorCode::UnknownOpcode => "unknown request opcode".into(),
+                    _ => "malformed request payload".into(),
+                },
+            },
+        };
+        if write_frame(&mut writer, &resp.encode()).is_err() {
+            return;
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! End-to-end service tests: TCP round-trips, protocol error paths, the
+//! eviction/recompile determinism property, and the warm-vs-cold cache
+//! acceptance gate.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use xse_dtd::{GenConfig, InstanceGenerator};
+use xse_service::loadgen::{self, Endpoint, LoadConfig};
+use xse_service::proto::{op, read_frame, write_frame};
+use xse_service::{
+    Client, EmbeddingRegistry, ErrorCode, RegistryConfig, Request, Response, Server, ServerConfig,
+    ServiceError,
+};
+use xse_workloads::traffic::TrafficMix;
+
+fn wrap_pair() -> (String, String) {
+    let s1 =
+        "<!ELEMENT r (a, b)>\n<!ELEMENT a (#PCDATA)>\n<!ELEMENT b (c*)>\n<!ELEMENT c (#PCDATA)>";
+    let s2 = "<!ELEMENT r (x, y)>\n<!ELEMENT x (a)>\n<!ELEMENT a (#PCDATA)>\n<!ELEMENT y (w)>\n<!ELEMENT w (c2*)>\n<!ELEMENT c2 (c)>\n<!ELEMENT c (#PCDATA)>";
+    (s1.to_string(), s2.to_string())
+}
+
+fn test_registry(capacity: usize) -> Arc<EmbeddingRegistry> {
+    Arc::new(EmbeddingRegistry::new(RegistryConfig {
+        capacity,
+        discovery: loadgen::loadgen_discovery(),
+        ..RegistryConfig::default()
+    }))
+}
+
+fn spawn_server(capacity: usize) -> xse_service::ServerHandle {
+    Server::bind(
+        ("127.0.0.1", 0),
+        test_registry(capacity),
+        ServerConfig { workers: 2 },
+    )
+    .expect("bind ephemeral port")
+}
+
+#[test]
+fn tcp_round_trip_all_ops() {
+    let server = spawn_server(8);
+    let mut client = Client::connect(server.addr()).unwrap();
+    let (s, t) = wrap_pair();
+
+    let (sh, th, size) = client.compile(&s, &t).unwrap();
+    assert_ne!(sh, th);
+    assert!(size > 0);
+
+    let doc = "<r><a>hi</a><b><c>1</c><c>2</c></b></r>";
+    let image = client.apply(&s, &t, doc).unwrap();
+    assert_ne!(image, doc);
+    let back = client.invert(&s, &t, &image).unwrap();
+    assert_eq!(back, doc, "apply→invert must round-trip over the wire");
+
+    let (tr_size, tr_states) = client.translate(&s, &t, "b/c").unwrap();
+    assert!(tr_size > 0 && tr_states > 0);
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.compiles, 1, "{stats:?}");
+    assert_eq!(stats.entries, 1);
+
+    assert!(client.evict(&s, &t).unwrap());
+    assert!(!client.evict(&s, &t).unwrap());
+}
+
+#[test]
+fn tcp_concurrent_clients_single_flight() {
+    let server = spawn_server(8);
+    let addr = server.addr();
+    let (s, t) = wrap_pair();
+    // More clients than pool workers: queued connections must still be
+    // served, and the uncached pair must compile exactly once.
+    std::thread::scope(|scope| {
+        for _ in 0..6 {
+            let (s, t) = (s.clone(), t.clone());
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                client.compile(&s, &t).unwrap();
+            });
+        }
+    });
+    let mut client = Client::connect(addr).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.compiles, 1, "{stats:?}");
+    assert_eq!(
+        stats.hits + stats.misses + stats.single_flight_waits,
+        6,
+        "{stats:?}"
+    );
+}
+
+#[test]
+fn oversized_frame_gets_error_then_close_and_server_survives() {
+    let server = spawn_server(8);
+    let mut raw = TcpStream::connect(server.addr()).unwrap();
+    // Announce a payload over the 16 MiB cap; send no body.
+    raw.write_all(&(xse_service::MAX_FRAME_LEN as u32 + 1).to_be_bytes())
+        .unwrap();
+    raw.flush().unwrap();
+    let payload = read_frame(&mut raw).expect("structured error response");
+    let resp = Response::decode(&payload).expect("decodable error");
+    assert!(
+        matches!(
+            resp,
+            Response::Error {
+                code: ErrorCode::FrameTooLarge,
+                ..
+            }
+        ),
+        "{resp:?}"
+    );
+    // The connection is closed after the error...
+    let mut rest = Vec::new();
+    raw.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty());
+    // ...but the server keeps serving new connections.
+    let (s, t) = wrap_pair();
+    let mut client = Client::connect(server.addr()).unwrap();
+    client.compile(&s, &t).unwrap();
+}
+
+#[test]
+fn truncated_payload_gets_malformed_and_connection_stays_usable() {
+    let server = spawn_server(8);
+    let mut raw = TcpStream::connect(server.addr()).unwrap();
+    // A COMPILE whose string field announces 100 bytes but carries 3: the
+    // frame itself is complete, so only the request is poisoned.
+    let mut payload = vec![op::COMPILE];
+    payload.extend_from_slice(&100u32.to_be_bytes());
+    payload.extend_from_slice(b"abc");
+    write_frame(&mut raw, &payload).unwrap();
+    let resp = Response::decode(&read_frame(&mut raw).unwrap()).unwrap();
+    assert!(
+        matches!(
+            resp,
+            Response::Error {
+                code: ErrorCode::Malformed,
+                ..
+            }
+        ),
+        "{resp:?}"
+    );
+    // Same connection, valid request: still served.
+    let (s, t) = wrap_pair();
+    let req = Request::Compile {
+        source_dtd: s,
+        target_dtd: t,
+    };
+    write_frame(&mut raw, &req.encode()).unwrap();
+    let resp = Response::decode(&read_frame(&mut raw).unwrap()).unwrap();
+    assert!(matches!(resp, Response::Compiled { .. }), "{resp:?}");
+}
+
+#[test]
+fn unknown_opcode_and_bad_dtd_are_structured_errors() {
+    let server = spawn_server(8);
+    let mut raw = TcpStream::connect(server.addr()).unwrap();
+    write_frame(&mut raw, &[0x7E]).unwrap();
+    let resp = Response::decode(&read_frame(&mut raw).unwrap()).unwrap();
+    assert!(
+        matches!(
+            resp,
+            Response::Error {
+                code: ErrorCode::UnknownOpcode,
+                ..
+            }
+        ),
+        "{resp:?}"
+    );
+    // Same connection: a malformed DTD is a BadDtd error response...
+    let mut client = Client::connect(server.addr()).unwrap();
+    let (s, _) = wrap_pair();
+    let err = client.compile(&s, "<!ELEMENT broken").unwrap_err();
+    assert!(
+        matches!(
+            err,
+            ServiceError::Remote {
+                code: ErrorCode::BadDtd,
+                ..
+            }
+        ),
+        "{err:?}"
+    );
+    // ...and neither incident poisoned the registry.
+    let (s, t) = wrap_pair();
+    client.compile(&s, &t).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.compiles, 1);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Evicting an entry and recompiling it must be invisible to callers:
+    /// the recompiled embedding maps every document to byte-identical
+    /// output (discovery is deterministic, so a cache loss can never
+    /// change answers).
+    #[test]
+    fn evict_then_recompile_is_byte_identical(seed in 0u64..400) {
+        let (s, t) = wrap_pair();
+        let reg = test_registry(4);
+        let source = xse_dtd::Dtd::parse(&s).unwrap();
+        let gen = InstanceGenerator::new(
+            &source,
+            GenConfig { max_nodes: 80, ..GenConfig::default() },
+        );
+        let doc = gen.generate(seed);
+        let xml = doc.to_xml();
+
+        let before = match xse_service::handle_request(&reg, &Request::Apply {
+            source_dtd: s.clone(), target_dtd: t.clone(), xml: xml.clone(),
+        }) {
+            Response::Document { xml } => xml,
+            other => panic!("{other:?}"),
+        };
+        prop_assert!(reg.evict(&s, &t).unwrap());
+        let after = match xse_service::handle_request(&reg, &Request::Apply {
+            source_dtd: s.clone(), target_dtd: t.clone(), xml,
+        }) {
+            Response::Document { xml } => xml,
+            other => panic!("{other:?}"),
+        };
+        prop_assert_eq!(before, after);
+        prop_assert_eq!(reg.stats().compiles, 2);
+    }
+}
+
+/// The headline serving claim: on a translate-heavy mix over 8 schema
+/// pairs, the warm cache's overall p50 must be at least 10× lower than
+/// the cold-cache (evict-before-every-op) mode, with a ≥ 90% hit rate.
+#[test]
+fn warm_cache_p50_at_least_10x_better_than_cold() {
+    let pairs = loadgen::build_pairs(8, 42);
+    assert!(pairs.len() >= 8);
+
+    let warm = loadgen::run(
+        &mut Endpoint::InProcess(test_registry(64)),
+        &pairs,
+        &LoadConfig {
+            mix: TrafficMix::translate_heavy(),
+            ops: 300,
+            seed: 42,
+            cold: false,
+        },
+    );
+    let cold = loadgen::run(
+        &mut Endpoint::InProcess(test_registry(64)),
+        &pairs,
+        &LoadConfig {
+            mix: TrafficMix::translate_heavy(),
+            ops: 40,
+            seed: 42,
+            cold: true,
+        },
+    );
+    assert_eq!(warm.protocol_errors + cold.protocol_errors, 0);
+    assert_eq!(warm.op_errors + cold.op_errors, 0, "{}", warm.to_json());
+    let warm_p50 = warm.overall_digest.expect("warm ops ran").p50_nanos;
+    let cold_p50 = cold.overall_digest.expect("cold ops ran").p50_nanos;
+    assert!(
+        warm_p50 * 10 <= cold_p50,
+        "warm p50 {warm_p50}ns not 10x better than cold p50 {cold_p50}ns \
+         (warm: {}, cold: {})",
+        warm.to_json(),
+        cold.to_json()
+    );
+    assert!(
+        warm.hit_rate >= 0.90,
+        "warm hit rate {} below 90%: {}",
+        warm.hit_rate,
+        warm.to_json()
+    );
+}

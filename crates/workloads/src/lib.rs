@@ -19,3 +19,4 @@ pub mod noise;
 pub mod querygen;
 pub mod scale;
 pub mod simgen;
+pub mod traffic;

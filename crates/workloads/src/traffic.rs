@@ -1,0 +1,214 @@
+//! Traffic-mix sampling for the embedding service.
+//!
+//! The realistic serving workload ("Ensuring Query Compatibility with
+//! Evolving XML Schemas": many clients repeatedly translating queries
+//! against a small population of schema pairs) is a *mix* of operations,
+//! not a single op in a loop. A [`TrafficMix`] is a weighted distribution
+//! over the service's operations; the load generator samples it per request
+//! with a seeded RNG, so a mix name + seed fully determines the replayed
+//! traffic.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// One service operation kind, as sampled by a [`TrafficMix`].
+///
+/// These mirror the wire opcodes of `xse-service` but live here so workload
+/// definitions don't depend on the serving crate.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum ServiceOp {
+    /// Ensure the pair's embedding is compiled/cached (a warm-up touch).
+    Compile,
+    /// Map a source document to the target schema (`σd`).
+    Apply,
+    /// Recover a source document from a target one (`σd⁻¹`).
+    Invert,
+    /// Translate a source query to the target schema (`Tr`).
+    Translate,
+    /// Fetch registry statistics.
+    Stats,
+    /// Evict the pair's embedding from the registry.
+    Evict,
+}
+
+impl ServiceOp {
+    /// All operation kinds, in the fixed order used by [`TrafficMix`]
+    /// weights.
+    pub const ALL: [ServiceOp; 6] = [
+        ServiceOp::Compile,
+        ServiceOp::Apply,
+        ServiceOp::Invert,
+        ServiceOp::Translate,
+        ServiceOp::Stats,
+        ServiceOp::Evict,
+    ];
+
+    /// Stable lowercase name (summary/JSON key).
+    pub fn name(self) -> &'static str {
+        match self {
+            ServiceOp::Compile => "compile",
+            ServiceOp::Apply => "apply",
+            ServiceOp::Invert => "invert",
+            ServiceOp::Translate => "translate",
+            ServiceOp::Stats => "stats",
+            ServiceOp::Evict => "evict",
+        }
+    }
+}
+
+/// A weighted distribution over [`ServiceOp`]s.
+///
+/// Weights are integers (per-mille style, though only ratios matter); a
+/// zero weight disables the op. The named constructors are the mixes the
+/// ROADMAP calls for; [`TrafficMix::by_name`] resolves the CLI spelling.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TrafficMix {
+    name: &'static str,
+    /// Indexed by [`ServiceOp::ALL`] order.
+    weights: [u32; 6],
+}
+
+impl TrafficMix {
+    /// Query-translation dominated: the schema-evolution serving workload.
+    pub fn translate_heavy() -> Self {
+        TrafficMix {
+            name: "translate-heavy",
+            //        comp  appl  invr  trns  stat  evct
+            weights: [0, 80, 40, 840, 40, 0],
+        }
+    }
+
+    /// Document-migration dominated: bulk `σd` with some inversions.
+    pub fn apply_heavy() -> Self {
+        TrafficMix {
+            name: "apply-heavy",
+            weights: [0, 700, 180, 80, 40, 0],
+        }
+    }
+
+    /// Every data-path op roughly equally represented.
+    pub fn mixed() -> Self {
+        TrafficMix {
+            name: "mixed",
+            weights: [60, 280, 280, 280, 60, 40],
+        }
+    }
+
+    /// Adversarial for the registry: evictions are a first-class part of
+    /// the traffic, so the cache keeps losing entries it just compiled.
+    pub fn cold_cache_adversarial() -> Self {
+        TrafficMix {
+            name: "cold-cache-adversarial",
+            weights: [100, 150, 100, 300, 50, 300],
+        }
+    }
+
+    /// All named mixes.
+    pub fn all() -> Vec<TrafficMix> {
+        vec![
+            TrafficMix::translate_heavy(),
+            TrafficMix::apply_heavy(),
+            TrafficMix::mixed(),
+            TrafficMix::cold_cache_adversarial(),
+        ]
+    }
+
+    /// Resolve a CLI name (as printed by [`TrafficMix::name`]).
+    pub fn by_name(name: &str) -> Option<TrafficMix> {
+        TrafficMix::all().into_iter().find(|m| m.name == name)
+    }
+
+    /// The mix's stable name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The weight of one op.
+    pub fn weight(&self, op: ServiceOp) -> u32 {
+        let i = ServiceOp::ALL
+            .iter()
+            .position(|&o| o == op)
+            .expect("in ALL");
+        self.weights[i]
+    }
+
+    /// A custom mix (weights in [`ServiceOp::ALL`] order; must not all be
+    /// zero).
+    pub fn custom(name: &'static str, weights: [u32; 6]) -> Self {
+        assert!(
+            weights.iter().any(|&w| w > 0),
+            "traffic mix needs at least one positive weight"
+        );
+        TrafficMix { name, weights }
+    }
+
+    /// Sample one operation (deterministic per RNG state).
+    pub fn sample(&self, rng: &mut StdRng) -> ServiceOp {
+        let total: u32 = self.weights.iter().sum();
+        debug_assert!(total > 0, "mix has no positive weight");
+        let mut roll = rng.random_range(0..total);
+        for (i, &w) in self.weights.iter().enumerate() {
+            if roll < w {
+                return ServiceOp::ALL[i];
+            }
+            roll -= w;
+        }
+        unreachable!("roll exceeds total weight")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn sampling_tracks_weights() {
+        let mix = TrafficMix::translate_heavy();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts: BTreeMap<&str, u32> = BTreeMap::new();
+        for _ in 0..4_000 {
+            *counts.entry(mix.sample(&mut rng).name()).or_default() += 1;
+        }
+        // Translate dominates; disabled ops never appear.
+        assert!(counts["translate"] > 2_800, "{counts:?}");
+        assert!(!counts.contains_key("evict"), "{counts:?}");
+        assert!(!counts.contains_key("compile"), "{counts:?}");
+        // Every positive-weight op shows up at this sample size.
+        for op in [ServiceOp::Apply, ServiceOp::Invert, ServiceOp::Stats] {
+            assert!(counts.contains_key(op.name()), "{op:?} missing: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let mix = TrafficMix::mixed();
+        let run = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..100).map(|_| mix.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn by_name_roundtrips_all_mixes() {
+        for mix in TrafficMix::all() {
+            assert_eq!(TrafficMix::by_name(mix.name()), Some(mix.clone()));
+        }
+        assert_eq!(TrafficMix::by_name("nope"), None);
+    }
+
+    #[test]
+    fn adversarial_mix_evicts() {
+        assert!(TrafficMix::cold_cache_adversarial().weight(ServiceOp::Evict) > 0);
+        assert_eq!(TrafficMix::translate_heavy().weight(ServiceOp::Evict), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive weight")]
+    fn custom_rejects_all_zero() {
+        let _ = TrafficMix::custom("zero", [0; 6]);
+    }
+}

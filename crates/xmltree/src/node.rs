@@ -82,6 +82,27 @@ struct Csr {
     spans: Vec<u32>,
 }
 
+/// Label-offset index over the CSR: per parent, the same child span as
+/// [`Csr`] but **stably sorted by tag**, with a parallel array of the tags.
+/// Within one parent the children of each tag form a contiguous run in
+/// document order, so "the `k`-th child labeled `t`" is a binary search for
+/// the run plus an offset — `O(log c)` instead of the `O(c)` sibling scan —
+/// which is what canonical-position navigation on the invert hot path does
+/// per step. Built lazily on the first wide-fanout lookup (small parents
+/// are cheaper to scan; see [`XmlTree::nth_child_with_tag_id`]).
+#[derive(Clone, Debug)]
+struct TagIndex {
+    /// Children per parent span, stably sorted by tag slot value.
+    edges: Vec<NodeId>,
+    /// `tags[i]` is the tag slot of `edges[i]` (text nodes sort last).
+    tags: Vec<u32>,
+}
+
+/// Fan-out at or below this uses the linear sibling scan even when an index
+/// exists: for a handful of children the scan is faster than two binary
+/// searches, and most real parents are small.
+const SMALL_FANOUT: usize = 16;
+
 /// An ordered, node-labeled XML tree with stable node ids, stored as a
 /// struct-of-arrays arena.
 ///
@@ -97,6 +118,7 @@ pub struct XmlTree {
     nodes: Vec<NodeRec>,
     text: String,
     csr: OnceLock<Csr>,
+    tag_index: OnceLock<TagIndex>,
 }
 
 impl XmlTree {
@@ -128,6 +150,7 @@ impl XmlTree {
             nodes: node_vec,
             text: String::with_capacity(text_bytes),
             csr: OnceLock::new(),
+            tag_index: OnceLock::new(),
         }
     }
 
@@ -180,10 +203,14 @@ impl XmlTree {
         &self.nodes[id.index()]
     }
 
-    /// Drop the CSR cache (called by every mutation).
+    /// Drop the CSR cache and its label-offset index (called by every
+    /// mutation).
     fn invalidate(&mut self) {
         if self.csr.get_mut().is_some() {
             self.csr = OnceLock::new();
+        }
+        if self.tag_index.get_mut().is_some() {
+            self.tag_index = OnceLock::new();
         }
     }
 
@@ -450,6 +477,45 @@ impl XmlTree {
             .filter(move |&c| self.nodes[c.index()].tag == tag.0)
     }
 
+    fn build_tag_index(&self) -> TagIndex {
+        let csr = self.csr();
+        let mut edges = csr.edges.clone();
+        // Stable per-span sort by tag: within a parent, each tag's children
+        // stay in document order, so run offset == same-label position.
+        for (p, rec) in self.nodes.iter().enumerate() {
+            let start = csr.spans[p] as usize;
+            let end = start + rec.child_count as usize;
+            edges[start..end].sort_by_key(|&c| self.nodes[c.index()].tag);
+        }
+        let tags = edges.iter().map(|&c| self.nodes[c.index()].tag).collect();
+        TagIndex { edges, tags }
+    }
+
+    /// The `k`-th (0-based) element child of `id` labeled `tag`, in document
+    /// order — `children_with_tag_id(id, tag).nth(k)` without the sibling
+    /// scan.
+    ///
+    /// Small fan-outs use the linear scan directly. The first lookup on a
+    /// wide parent builds a per-node label-offset index over the CSR
+    /// (children grouped by tag; `O(|T| log c)`, cached until the next
+    /// mutation), after which every canonical-position step is a binary
+    /// search — the invert hot path's `nth(k)` stops being `O(c)`.
+    pub fn nth_child_with_tag_id(&self, id: NodeId, tag: TagId, k: usize) -> Option<NodeId> {
+        let count = self.rec(id).child_count as usize;
+        if k >= count {
+            return None;
+        }
+        if count <= SMALL_FANOUT {
+            return self.children_with_tag_id(id, tag).nth(k);
+        }
+        let idx = self.tag_index.get_or_init(|| self.build_tag_index());
+        let start = self.csr().spans[id.index()] as usize;
+        let span = &idx.tags[start..start + count];
+        let lo = span.partition_point(|&t| t < tag.0);
+        let hi = span.partition_point(|&t| t <= tag.0);
+        idx.edges[start + lo..start + hi].get(k).copied()
+    }
+
     /// 1-based position of `id` among its same-tag siblings (the paper's
     /// `position()` for a step labeled with `id`'s tag). The root has
     /// position 1. Text nodes are counted among text siblings.
@@ -705,6 +771,58 @@ mod tests {
         assert_eq!(by_id, vec![a, c]);
         let txt = t.add_text(t.root(), "v");
         assert_eq!(t.node_tag_id(txt), None);
+    }
+
+    #[test]
+    fn nth_child_with_tag_id_agrees_with_scan() {
+        // Both below and above the SMALL_FANOUT cutoff, against text nodes
+        // and interleaved tags, including after mutations (invalidation).
+        for width in [3usize, 5, 40, 200] {
+            let mut t = XmlTree::new("r");
+            let a = t.intern_tag("a");
+            let b = t.intern_tag("b");
+            for i in 0..width {
+                if i % 3 == 0 {
+                    t.add_element_tag(t.root(), b);
+                } else {
+                    t.add_element_tag(t.root(), a);
+                }
+                if i % 5 == 0 {
+                    t.add_text(t.root(), "x");
+                }
+            }
+            for tag in [a, b] {
+                let scan: Vec<_> = t.children_with_tag_id(t.root(), tag).collect();
+                for k in 0..scan.len() + 2 {
+                    assert_eq!(
+                        t.nth_child_with_tag_id(t.root(), tag, k),
+                        scan.get(k).copied(),
+                        "width {width}, k {k}"
+                    );
+                }
+            }
+            // Mutate (invalidates the index), then re-query.
+            let extra = t.add_element_tag(t.root(), a);
+            let scan: Vec<_> = t.children_with_tag_id(t.root(), a).collect();
+            assert_eq!(
+                t.nth_child_with_tag_id(t.root(), a, scan.len() - 1),
+                Some(extra)
+            );
+        }
+    }
+
+    #[test]
+    fn nth_child_with_tag_id_unknown_tag_and_empty() {
+        let mut t = XmlTree::new("r");
+        let ghost = t.intern_tag("ghost");
+        assert_eq!(t.nth_child_with_tag_id(t.root(), ghost, 0), None);
+        let a = t.intern_tag("a");
+        for _ in 0..50 {
+            t.add_element_tag(t.root(), a);
+        }
+        assert_eq!(t.nth_child_with_tag_id(t.root(), ghost, 0), None);
+        assert_eq!(t.nth_child_with_tag_id(t.root(), a, 50), None);
+        assert!(t.nth_child_with_tag_id(t.root(), a, 49).is_some());
     }
 
     #[test]

@@ -39,7 +39,8 @@
 //! | [`core`] | compiled embeddings, `σd`, `σd⁻¹`, `Tr`, preservation checkers |
 //! | [`xslt`] | the §4.3 XSLT processing model + stylesheet generation |
 //! | [`discovery`] | computing embeddings (prefix-free paths, heuristics) |
-//! | [`workloads`] | schema corpus, noise, similarity and query generators |
+//! | [`workloads`] | schema corpus, noise, similarity, query and traffic generators |
+//! | [`service`] | embedding registry, TCP wire protocol, load generator |
 //!
 //! ## Quickstart
 //!
@@ -98,12 +99,47 @@
 //!     assert!(target.validate(&result.unwrap().tree).is_ok());
 //! }
 //! ```
+//!
+//! ## Serving
+//!
+//! Compilation (discovery) is the expensive step; everything derived from
+//! a [`CompiledEmbedding`](crate::core::CompiledEmbedding) is cheap. The
+//! [`service`] crate packages that asymmetry for long-running processes:
+//! an [`EmbeddingRegistry`](crate::service::EmbeddingRegistry) caches
+//! compiled embeddings keyed by the *canonical content hashes*
+//! ([`DtdHash`](crate::dtd::DtdHash)) of the reduced DTD pair — permuted
+//! but equivalent DTD texts share one entry — with single-flight
+//! compilation (N concurrent requests for an uncached pair compile once)
+//! and LRU eviction. A `std`-only TCP server and client
+//! ([`service::Server`] / [`service::Client`]) expose `compile`,
+//! `apply`, `invert`, `translate`, `stats` and `evict` over a
+//! length-prefixed binary protocol (documented in [`service`]), and the
+//! `xse-loadgen` binary replays
+//! [`TrafficMix`](crate::workloads::traffic::TrafficMix) workloads against
+//! either endpoint, reporting per-op latency percentiles, QPS and cache
+//! hit rates:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use xse::prelude::*;
+//!
+//! let registry = Arc::new(EmbeddingRegistry::new(RegistryConfig::default()));
+//! let source = "<!ELEMENT r (a)>\n<!ELEMENT a (#PCDATA)>";
+//! // Same schema, spelled differently: one cache entry, one compile.
+//! let source_permuted = "<!ELEMENT r (a)><!ELEMENT a (#PCDATA)>";
+//! let (key, engine) = registry.get_or_compile(source, source).unwrap();
+//! let (key2, _) = registry.get_or_compile(source_permuted, source).unwrap();
+//! assert_eq!(key, key2);
+//! assert_eq!(registry.stats().compiles, 1);
+//! assert!(engine.apply(&parse_xml("<r><a>x</a></r>").unwrap()).is_ok());
+//! ```
 
 pub use xse_anfa as anfa;
 pub use xse_core as core;
 pub use xse_discovery as discovery;
 pub use xse_dtd as dtd;
 pub use xse_rxpath as rxpath;
+pub use xse_service as service;
 pub use xse_workloads as workloads;
 pub use xse_xmltree as xmltree;
 pub use xse_xslt as xslt;
@@ -125,6 +161,7 @@ pub mod prelude {
     };
     pub use xse_dtd::{Dtd, Production, TypeId};
     pub use xse_rxpath::{parse_query, XrQuery};
+    pub use xse_service::{EmbeddingRegistry, RegistryConfig};
     pub use xse_xmltree::{parse_xml, IdMap, NodeId, TreeBuilder, XmlTree};
     pub use xse_xslt::{generate_forward, generate_inverse, Stylesheet, StylesheetGen};
 }
