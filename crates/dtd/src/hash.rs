@@ -47,7 +47,9 @@ impl DtdHash {
 
     /// Parse the [`DtdHash::to_hex`] rendering back.
     pub fn from_hex(s: &str) -> Option<DtdHash> {
-        if s.len() != 32 {
+        // from_str_radix alone would accept a leading '+', letting
+        // non-canonical 32-char strings through.
+        if s.len() != 32 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
             return None;
         }
         u128::from_str_radix(s, 16).ok().map(DtdHash)
@@ -262,6 +264,11 @@ mod tests {
         assert_eq!(DtdHash::from_hex(&h.to_hex()), Some(h));
         assert_eq!(h.to_hex().len(), 32);
         assert!(DtdHash::from_hex("xyz").is_none());
+        // Non-canonical 32-char strings must not parse: from_str_radix
+        // alone would accept a leading sign.
+        assert!(DtdHash::from_hex("+0000000000000000000000000000000").is_none());
+        assert!(DtdHash::from_hex("-0000000000000000000000000000000").is_none());
+        assert!(DtdHash::from_hex(" 0000000000000000000000000000000").is_none());
     }
 
     #[test]

@@ -201,8 +201,21 @@ impl From<io::Error> for FrameError {
 }
 
 /// Write one frame: `u32`-BE payload length, then the payload.
+///
+/// # Errors
+/// `InvalidInput` when the payload exceeds [`MAX_FRAME_LEN`] — an
+/// oversized payload must fail loudly rather than wrap in the `u32`
+/// length cast and desynchronize the stream.
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
-    debug_assert!(payload.len() <= MAX_FRAME_LEN);
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "payload of {} bytes exceeds the {MAX_FRAME_LEN}-byte frame cap",
+                payload.len()
+            ),
+        ));
+    }
     w.write_all(&(payload.len() as u32).to_be_bytes())?;
     w.write_all(payload)?;
     w.flush()
@@ -559,6 +572,14 @@ mod tests {
         let huge = ((MAX_FRAME_LEN + 1) as u32).to_be_bytes();
         let mut r = &huge[..];
         assert!(matches!(read_frame(&mut r), Err(FrameError::TooLarge(_))));
+
+        // Oversized payload on the write side: fails loudly (InvalidInput)
+        // with nothing written, instead of wrapping the u32 length cast.
+        let mut sink = Vec::new();
+        let big = vec![0u8; MAX_FRAME_LEN + 1];
+        let err = write_frame(&mut sink, &big).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(sink.is_empty());
 
         // Clean close and mid-frame close both map to Eof.
         let mut r: &[u8] = &[];

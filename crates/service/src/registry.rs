@@ -311,7 +311,13 @@ impl EmbeddingRegistry {
                 };
                 if matches!(state, SlotState::Ready) {
                     inner.tick += 1;
-                    inner.hits += 1;
+                    // A thread that slept on the in-flight compile was
+                    // already counted as a single-flight wait — counting
+                    // the aggregate hit too would double-count the request
+                    // and inflate hit_rate(). Per-entry usage still ticks.
+                    if !waited {
+                        inner.hits += 1;
+                    }
                     let tick = inner.tick;
                     let Some(Slot::Ready(e)) = inner.map.get_mut(&key) else {
                         unreachable!("slot changed under the lock");

@@ -140,6 +140,11 @@ impl ServerHandle {
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
+        // Take and release the queue lock before notifying: a worker that
+        // loaded shutdown==false is either still holding the lock (it will
+        // reach wait() before we can acquire, so the notify lands) or
+        // already waiting — either way no wakeup is missed.
+        drop(self.queue.deque.lock().unwrap());
         self.queue.ready.notify_all();
         for h in self.workers.drain(..) {
             let _ = h.join();
