@@ -32,7 +32,9 @@
 mod automaton;
 mod build;
 mod eval;
+mod plan;
 mod prune;
 mod to_xr;
 
 pub use automaton::{Anfa, Annot, BuildError, StateId, Trans};
+pub use plan::{CompiledAnfa, EvalScratch};

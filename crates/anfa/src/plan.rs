@@ -1,0 +1,567 @@
+//! Compiled ANFA evaluation plans: tag-id transition tables plus a
+//! single-pass, allocation-free product search.
+//!
+//! [`Anfa::eval`] explores `(state, node)` pairs through pointer-chasing
+//! enum transitions, a `HashSet` dedup, and a final preorder-rank sort.
+//! [`CompiledAnfa`] lowers the automaton once into flat CSR transition
+//! tables — label edges as `(symbol, target)` pairs over an interned
+//! symbol table, ε/text/wildcard edges as plain target arrays — and
+//! exploits a structural invariant of ANFA construction: every non-ε
+//! transition moves strictly parent → child, and ε stays in place. A
+//! node's admitted state set therefore depends only on its parent's, so
+//! one top-down preorder DFS with per-depth state *bitsets* evaluates the
+//! whole automaton: no pair dedup, no rank sort (preorder *is* document
+//! order), and with an [`EvalScratch`] pool, no per-node allocation.
+//!
+//! Symbols are resolved to the tree's [`TagId`]s once per evaluation, so
+//! the hot loop compares integers, never strings. Annotation sub-automata
+//! compile recursively and share the symbol table; `Exists`-style gates
+//! run the same DFS with an early exit on the first hit.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use xse_xmltree::{NodeId, TagId, XmlTree};
+
+use crate::{Anfa, Annot, Trans};
+
+/// Sentinel for "state has no annotation" in [`Tables::annot_of`].
+const NO_ANNOT: u32 = u32::MAX;
+
+/// An [`Anfa`] lowered to flat transition tables for repeated evaluation.
+///
+/// Compile once with [`CompiledAnfa::compile`], then evaluate many times
+/// with [`eval`](CompiledAnfa::eval) or — to reuse scratch buffers across
+/// calls — [`eval_with`](CompiledAnfa::eval_with). Results agree exactly
+/// with [`Anfa::eval`] (document order, deduplicated).
+#[derive(Clone, Debug)]
+pub struct CompiledAnfa {
+    /// Interned label alphabet, shared by annotation sub-plans.
+    syms: Vec<Arc<str>>,
+    /// Maximum `Exists`/`ExistsValue` nesting depth: the number of extra
+    /// scratch frames an evaluation may need beyond the top-level one.
+    nest: usize,
+    tables: Tables,
+}
+
+/// CSR transition tables for one automaton (the main plan or an
+/// annotation sub-plan). All state ids are local to this table set.
+#[derive(Clone, Debug)]
+struct Tables {
+    start: u32,
+    /// Bitset words per state set: `states.div_ceil(64)`.
+    words: usize,
+    /// Final states as a bitset (`words` entries).
+    finals: Vec<u64>,
+    /// Per-state spans into `label_edge` (`label_off[s]..label_off[s+1]`).
+    label_off: Vec<u32>,
+    /// Label edges as (symbol index, target state).
+    label_edge: Vec<(u32, u32)>,
+    eps_off: Vec<u32>,
+    eps_to: Vec<u32>,
+    text_off: Vec<u32>,
+    text_to: Vec<u32>,
+    any_off: Vec<u32>,
+    any_to: Vec<u32>,
+    /// Per-state index into `annots`, or [`NO_ANNOT`].
+    annot_of: Vec<u32>,
+    annots: Vec<CompiledAnnot>,
+}
+
+/// A compiled state annotation `θ(s)`.
+#[derive(Clone, Debug)]
+enum CompiledAnnot {
+    Exists(Box<Tables>),
+    ExistsValue(Box<Tables>, String),
+    Position(usize),
+    Not(Box<CompiledAnnot>),
+    And(Box<CompiledAnnot>, Box<CompiledAnnot>),
+    Or(Box<CompiledAnnot>, Box<CompiledAnnot>),
+}
+
+/// Reusable evaluation buffers. One scratch serves any number of plans
+/// and trees; it only ever grows. Sharing one across the translations of
+/// a workload removes every allocation from the eval hot loop.
+#[derive(Debug, Default)]
+pub struct EvalScratch {
+    /// Per-symbol resolution of the plan's alphabet against one tree.
+    tag_map: Vec<Option<TagId>>,
+    /// One frame per annotation nesting level (frame 0 = main automaton).
+    frames: Vec<Frame>,
+}
+
+/// Buffers for one DFS: a per-depth bitset arena, the node stack, and
+/// the ε-closure worklist.
+#[derive(Debug, Default)]
+struct Frame {
+    /// Depth-indexed state-set arena: depth `d` owns
+    /// `arena[d*words..(d+1)*words]`. A subtree rooted at depth `d` only
+    /// writes depths `> d`, so an ancestor's set stays intact while its
+    /// later children are processed.
+    arena: Vec<u64>,
+    /// DFS stack of (node, depth); children pushed in reverse for
+    /// preorder (= document order) traversal.
+    stack: Vec<(NodeId, u32)>,
+    /// ε-closure worklist of newly admitted states.
+    work: Vec<u32>,
+}
+
+impl EvalScratch {
+    /// Fresh, empty buffers.
+    pub fn new() -> Self {
+        EvalScratch::default()
+    }
+}
+
+/// Label-symbol interner shared across an automaton and its annotation
+/// sub-automata, so one per-eval `tag_map` serves every nested plan.
+#[derive(Default)]
+struct Interner {
+    syms: Vec<Arc<str>>,
+    map: HashMap<Arc<str>, u32>,
+}
+
+impl Interner {
+    fn intern(&mut self, s: &Arc<str>) -> u32 {
+        if let Some(&i) = self.map.get(s) {
+            return i;
+        }
+        let i = u32::try_from(self.syms.len()).expect("label alphabet larger than u32::MAX");
+        self.syms.push(Arc::clone(s));
+        self.map.insert(Arc::clone(s), i);
+        i
+    }
+}
+
+impl CompiledAnfa {
+    /// Lower `a` into flat transition tables.
+    pub fn compile(a: &Anfa) -> CompiledAnfa {
+        let mut interner = Interner::default();
+        let mut nest = 0;
+        let tables = compile_tables(a, &mut interner, &mut nest, 0);
+        CompiledAnfa {
+            syms: interner.syms,
+            nest,
+            tables,
+        }
+    }
+
+    /// Number of states in the main automaton (annotation sub-plans not
+    /// counted).
+    pub fn state_count(&self) -> usize {
+        self.tables.annot_of.len()
+    }
+
+    /// Evaluate at context node `ctx`; results in document order. Agrees
+    /// with [`Anfa::eval`] on the source automaton.
+    pub fn eval(&self, tree: &XmlTree, ctx: NodeId) -> Vec<NodeId> {
+        let mut scratch = EvalScratch::new();
+        let mut out = Vec::new();
+        self.eval_with(tree, ctx, &mut scratch, &mut out);
+        out
+    }
+
+    /// Evaluate at the root.
+    pub fn eval_root(&self, tree: &XmlTree) -> Vec<NodeId> {
+        self.eval(tree, tree.root())
+    }
+
+    /// Evaluate at `ctx`, reusing `scratch` across calls and writing the
+    /// document-ordered result into `out` (cleared first). This is the
+    /// allocation-free hot path: after warmup neither the scratch nor the
+    /// output reallocates.
+    pub fn eval_with(
+        &self,
+        tree: &XmlTree,
+        ctx: NodeId,
+        scratch: &mut EvalScratch,
+        out: &mut Vec<NodeId>,
+    ) {
+        out.clear();
+        scratch.tag_map.clear();
+        scratch
+            .tag_map
+            .extend(self.syms.iter().map(|s| tree.tag_id(s)));
+        if scratch.frames.len() < self.nest + 1 {
+            scratch.frames.resize_with(self.nest + 1, Frame::default);
+        }
+        self.tables
+            .run(tree, ctx, &scratch.tag_map, &mut scratch.frames, &mut |n| {
+                out.push(n);
+                false
+            });
+    }
+}
+
+/// Lower one automaton; `level` is its annotation nesting depth.
+fn compile_tables(a: &Anfa, interner: &mut Interner, nest: &mut usize, level: usize) -> Tables {
+    let n = a.state_count();
+    let words = n.div_ceil(64).max(1);
+    let mut t = Tables {
+        start: a.start().index() as u32,
+        words,
+        finals: vec![0u64; words],
+        label_off: Vec::with_capacity(n + 1),
+        label_edge: Vec::new(),
+        eps_off: Vec::with_capacity(n + 1),
+        eps_to: Vec::new(),
+        text_off: Vec::with_capacity(n + 1),
+        text_to: Vec::new(),
+        any_off: Vec::with_capacity(n + 1),
+        any_to: Vec::new(),
+        annot_of: Vec::with_capacity(n),
+        annots: Vec::new(),
+    };
+    for i in 0..n {
+        let s = crate::StateId::from_index(i);
+        t.label_off.push(t.label_edge.len() as u32);
+        t.eps_off.push(t.eps_to.len() as u32);
+        t.text_off.push(t.text_to.len() as u32);
+        t.any_off.push(t.any_to.len() as u32);
+        for (tr, to) in a.transitions(s) {
+            let to = to.index() as u32;
+            match tr {
+                Trans::Eps => t.eps_to.push(to),
+                Trans::Label(l) => t.label_edge.push((interner.intern(l), to)),
+                Trans::Text => t.text_to.push(to),
+                Trans::Any => t.any_to.push(to),
+            }
+        }
+        if a.is_final(s) {
+            t.finals[i / 64] |= 1u64 << (i % 64);
+        }
+        match a.annot(s) {
+            None => t.annot_of.push(NO_ANNOT),
+            Some(an) => {
+                t.annot_of.push(t.annots.len() as u32);
+                let ca = compile_annot(an, interner, nest, level);
+                t.annots.push(ca);
+            }
+        }
+    }
+    t.label_off.push(t.label_edge.len() as u32);
+    t.eps_off.push(t.eps_to.len() as u32);
+    t.text_off.push(t.text_to.len() as u32);
+    t.any_off.push(t.any_to.len() as u32);
+    t
+}
+
+fn compile_annot(
+    a: &Annot,
+    interner: &mut Interner,
+    nest: &mut usize,
+    level: usize,
+) -> CompiledAnnot {
+    match a {
+        Annot::Exists(m) => {
+            *nest = (*nest).max(level + 1);
+            CompiledAnnot::Exists(Box::new(compile_tables(m, interner, nest, level + 1)))
+        }
+        Annot::ExistsValue(m, c) => {
+            *nest = (*nest).max(level + 1);
+            CompiledAnnot::ExistsValue(
+                Box::new(compile_tables(m, interner, nest, level + 1)),
+                c.clone(),
+            )
+        }
+        Annot::Position(k) => CompiledAnnot::Position(*k),
+        Annot::Not(x) => CompiledAnnot::Not(Box::new(compile_annot(x, interner, nest, level))),
+        Annot::And(x, y) => CompiledAnnot::And(
+            Box::new(compile_annot(x, interner, nest, level)),
+            Box::new(compile_annot(y, interner, nest, level)),
+        ),
+        Annot::Or(x, y) => CompiledAnnot::Or(
+            Box::new(compile_annot(x, interner, nest, level)),
+            Box::new(compile_annot(y, interner, nest, level)),
+        ),
+    }
+}
+
+impl Tables {
+    /// Preorder product search from `ctx`. Calls `on_hit` for every node
+    /// that admits a final state, in document order; stops and returns
+    /// `true` as soon as `on_hit` does.
+    fn run(
+        &self,
+        tree: &XmlTree,
+        ctx: NodeId,
+        tag_map: &[Option<TagId>],
+        frames: &mut [Frame],
+        on_hit: &mut dyn FnMut(NodeId) -> bool,
+    ) -> bool {
+        let (frame, rest) = frames
+            .split_first_mut()
+            .expect("EvalScratch frame pool exhausted");
+        let words = self.words;
+        frame.stack.clear();
+        frame.work.clear();
+        if frame.arena.len() < words {
+            frame.arena.resize(words, 0);
+        }
+
+        // Depth 0: admit the start state at the context node, ε-close.
+        {
+            let set = &mut frame.arena[..words];
+            set.fill(0);
+            self.admit(self.start, ctx, tree, tag_map, set, &mut frame.work, rest);
+            self.close(ctx, tree, tag_map, set, &mut frame.work, rest);
+            if self.intersects_finals(set) && on_hit(ctx) {
+                return true;
+            }
+            if set.iter().any(|&w| w != 0) {
+                for &c in tree.children(ctx).iter().rev() {
+                    frame.stack.push((c, 1));
+                }
+            }
+        }
+
+        while let Some((n, d)) = frame.stack.pop() {
+            let d = d as usize;
+            if frame.arena.len() < (d + 1) * words {
+                frame.arena.resize((d + 1) * words, 0);
+            }
+            let (lo, hi) = frame.arena.split_at_mut(d * words);
+            let parent = &lo[(d - 1) * words..];
+            let set = &mut hi[..words];
+            set.fill(0);
+
+            // Candidates: the parent's admitted states' child-moving edges.
+            let child_tag = tree.node_tag_id(n);
+            for (w, &pw) in parent.iter().enumerate() {
+                let mut bits = pw;
+                while bits != 0 {
+                    let s = (w * 64 + bits.trailing_zeros() as usize) as u32;
+                    bits &= bits - 1;
+                    let si = s as usize;
+                    match child_tag {
+                        Some(t) => {
+                            let span = self.label_off[si] as usize..self.label_off[si + 1] as usize;
+                            for &(sym, to) in &self.label_edge[span] {
+                                if tag_map[sym as usize] == Some(t) {
+                                    self.admit(to, n, tree, tag_map, set, &mut frame.work, rest);
+                                }
+                            }
+                        }
+                        None => {
+                            let span = self.text_off[si] as usize..self.text_off[si + 1] as usize;
+                            for &to in &self.text_to[span] {
+                                self.admit(to, n, tree, tag_map, set, &mut frame.work, rest);
+                            }
+                        }
+                    }
+                    let span = self.any_off[si] as usize..self.any_off[si + 1] as usize;
+                    for &to in &self.any_to[span] {
+                        self.admit(to, n, tree, tag_map, set, &mut frame.work, rest);
+                    }
+                }
+            }
+            self.close(n, tree, tag_map, set, &mut frame.work, rest);
+
+            if self.intersects_finals(set) && on_hit(n) {
+                return true;
+            }
+            if set.iter().any(|&w| w != 0) {
+                for &c in tree.children(n).iter().rev() {
+                    frame.stack.push((c, (d + 1) as u32));
+                }
+            }
+        }
+        false
+    }
+
+    fn intersects_finals(&self, set: &[u64]) -> bool {
+        set.iter().zip(&self.finals).any(|(&a, &b)| a & b != 0)
+    }
+
+    /// Admit state `s` at node `n` if new and its annotation holds;
+    /// newly admitted states join the ε-closure worklist.
+    #[allow(clippy::too_many_arguments)]
+    fn admit(
+        &self,
+        s: u32,
+        n: NodeId,
+        tree: &XmlTree,
+        tag_map: &[Option<TagId>],
+        set: &mut [u64],
+        work: &mut Vec<u32>,
+        rest: &mut [Frame],
+    ) {
+        let (w, b) = (s as usize / 64, s as usize % 64);
+        if set[w] & (1u64 << b) != 0 {
+            return;
+        }
+        let ai = self.annot_of[s as usize];
+        if ai != NO_ANNOT && !self.annots[ai as usize].holds(tree, n, tag_map, rest) {
+            // Annotations are deterministic per node, so not caching the
+            // failure is sound (mirrors `Anfa::eval`'s admit).
+            return;
+        }
+        set[w] |= 1u64 << b;
+        work.push(s);
+    }
+
+    /// Drain the worklist through ε-edges (which stay at `n`).
+    fn close(
+        &self,
+        n: NodeId,
+        tree: &XmlTree,
+        tag_map: &[Option<TagId>],
+        set: &mut [u64],
+        work: &mut Vec<u32>,
+        rest: &mut [Frame],
+    ) {
+        while let Some(s) = work.pop() {
+            let si = s as usize;
+            let span = self.eps_off[si] as usize..self.eps_off[si + 1] as usize;
+            for i in span {
+                self.admit(self.eps_to[i], n, tree, tag_map, set, work, rest);
+            }
+        }
+    }
+}
+
+impl CompiledAnnot {
+    fn holds(
+        &self,
+        tree: &XmlTree,
+        n: NodeId,
+        tag_map: &[Option<TagId>],
+        frames: &mut [Frame],
+    ) -> bool {
+        match self {
+            CompiledAnnot::Exists(t) => t.run(tree, n, tag_map, frames, &mut |_| true),
+            CompiledAnnot::ExistsValue(t, c) => t.run(tree, n, tag_map, frames, &mut |id| {
+                tree.text_value(id) == Some(c.as_str())
+            }),
+            CompiledAnnot::Position(k) => tree.position_among_same_label(n) == *k,
+            CompiledAnnot::Not(x) => !x.holds(tree, n, tag_map, frames),
+            CompiledAnnot::And(x, y) => {
+                x.holds(tree, n, tag_map, frames) && y.holds(tree, n, tag_map, frames)
+            }
+            CompiledAnnot::Or(x, y) => {
+                x.holds(tree, n, tag_map, frames) || y.holds(tree, n, tag_map, frames)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{CompiledAnfa, EvalScratch};
+    use crate::Anfa;
+    use xse_rxpath::parse_query;
+    use xse_xmltree::parse_xml;
+
+    /// The compiled plan must agree exactly with interpreted ANFA eval
+    /// (which itself agrees with the direct XR evaluator).
+    fn agree(xml: &str, queries: &[&str]) {
+        let tree = parse_xml(xml).unwrap();
+        let mut scratch = EvalScratch::new();
+        let mut out = Vec::new();
+        for q in queries {
+            let parsed = parse_query(q).unwrap();
+            let anfa = Anfa::from_query(&parsed).unwrap();
+            let direct = anfa.eval_root(&tree);
+            let plan = CompiledAnfa::compile(&anfa);
+            assert_eq!(plan.eval_root(&tree), direct, "query {q} disagrees");
+            // Scratch-pooled path must match too (shared across queries).
+            plan.eval_with(&tree, tree.root(), &mut scratch, &mut out);
+            assert_eq!(out, direct, "query {q} disagrees via eval_with");
+        }
+    }
+
+    #[test]
+    fn agrees_with_anfa_eval_on_school_doc() {
+        agree(
+            "<db>\
+               <class><cno>CS240</cno><type><regular/></type></class>\
+               <class><cno>CS331</cno><type><project/></type></class>\
+               <class><cno>CS550</cno><type><regular/></type></class>\
+             </db>",
+            &[
+                ".",
+                "class",
+                "class/cno",
+                "class/cno/text()",
+                "class[cno/text() = 'CS331']",
+                "class[type/regular]/cno",
+                "class[position() = 2]",
+                "class[not type/project]",
+                "class[type/regular and cno/text() = 'CS240']/cno",
+                "class | class/cno",
+                "class[true]",
+                "class[cno[position() = 1]]",
+            ],
+        );
+    }
+
+    #[test]
+    fn agrees_on_recursive_star_queries() {
+        agree(
+            "<r><A><B><A><B><A/></B><C/></A></B><C/></A></r>",
+            &[
+                "A/(B/A)*",
+                "(A/B)*",
+                "A/(B/A)*/C",
+                "A/(B[position() = 1]/A)*",
+                ".*",
+                "(A | B | C)*",
+            ],
+        );
+    }
+
+    #[test]
+    fn agrees_on_descendant_or_self() {
+        agree(
+            "<r><A><B/><C><B/></C></A></r>",
+            &[".//B", "A//B", ".//.", "A//.", ".//B[position() = 1]"],
+        );
+    }
+
+    #[test]
+    fn agrees_on_nested_qualifiers() {
+        agree(
+            "<r><a><b><c>x</c></b></a><a><b><c>y</c></b></a></r>",
+            &[
+                "a[b[c/text() = 'y']]",
+                "a[b[c]]/b/c/text()",
+                "a[not b[c/text() = 'x']]",
+            ],
+        );
+    }
+
+    #[test]
+    fn fail_plan_returns_nothing() {
+        let tree = parse_xml("<r><a/></r>").unwrap();
+        assert!(CompiledAnfa::compile(&Anfa::fail())
+            .eval_root(&tree)
+            .is_empty());
+    }
+
+    #[test]
+    fn results_are_doc_ordered_and_deduped() {
+        let tree = parse_xml("<r><a/><b/><a/></r>").unwrap();
+        let anfa = Anfa::from_query(&parse_query("a | a | (a | b)").unwrap()).unwrap();
+        let r = CompiledAnfa::compile(&anfa).eval_root(&tree);
+        assert_eq!(r.len(), 3);
+        assert!(r.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn scratch_reuse_across_trees_and_plans() {
+        let t1 = parse_xml("<r><a><b/></a></r>").unwrap();
+        let t2 = parse_xml("<q><x><a/></x><a/></q>").unwrap();
+        let p1 = CompiledAnfa::compile(&Anfa::from_query(&parse_query("a/b").unwrap()).unwrap());
+        let p2 = CompiledAnfa::compile(&Anfa::from_query(&parse_query(".//a").unwrap()).unwrap());
+        let mut scratch = EvalScratch::new();
+        let mut out = Vec::new();
+        for _ in 0..3 {
+            p1.eval_with(&t1, t1.root(), &mut scratch, &mut out);
+            assert_eq!(out.len(), 1);
+            p2.eval_with(&t2, t2.root(), &mut scratch, &mut out);
+            assert_eq!(out.len(), 2);
+            p2.eval_with(&t1, t1.root(), &mut scratch, &mut out);
+            assert_eq!(out.len(), 1);
+        }
+    }
+}

@@ -111,7 +111,7 @@ fn bench(c: &mut Criterion) {
     };
     g.bench_function("handle_request/translate", |b| {
         b.iter(|| match handle_request(&served, &translate) {
-            Response::Translated { size, states } => size + states,
+            Response::Translated { size, states, .. } => size + states,
             other => panic!("{other:?}"),
         })
     });

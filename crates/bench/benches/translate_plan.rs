@@ -1,0 +1,127 @@
+//! Translation-plan micro-slice: warm plan-cache lookups vs. per-call
+//! compilation, and table-driven plan evaluation vs. the interpreted ANFA
+//! evaluator, on the Figure 1 embedding.
+//!
+//! `XSE_SCALE_SMOKE=1` shrinks sample counts so CI can run the whole bench
+//! as a regression gate; the correctness assertions (warm lookup at least
+//! 5× faster than a cold compile, plan eval no slower than direct eval)
+//! run in both modes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xse_anfa::EvalScratch;
+use xse_bench::fixtures;
+use xse_dtd::{GenConfig, InstanceGenerator};
+use xse_rxpath::parse_query;
+use xse_xmltree::XmlTree;
+
+const QUERY: &str = "class[cno/text() = 'CS331']/(type/regular/prereq/class)*";
+
+fn median(f: &dyn Fn()) -> std::time::Duration {
+    let mut samples: Vec<std::time::Duration> = (0..3)
+        .map(|_| {
+            let t0 = std::time::Instant::now();
+            f();
+            t0.elapsed()
+        })
+        .collect();
+    samples.sort();
+    samples[1]
+}
+
+/// Regression gate for the plan cache: translating an already-seen query
+/// shape (canonical-key lookup + `Arc` clone) must be at least 5× faster
+/// than compiling the translation from scratch. The real margin is orders
+/// of magnitude; if the hit path ever re-runs `Tr` + pruning + table
+/// construction, this trips long before any e2e latency gate does.
+fn assert_warm_plan_beats_cold() {
+    let (s0, s) = fixtures::fig1_pair();
+    let e = fixtures::fig1_embedding(&s0, &s);
+    let q = parse_query(QUERY).unwrap();
+    e.translate(&q).unwrap(); // prime the cache
+    let t_warm = median(&|| {
+        for _ in 0..32 {
+            std::hint::black_box(e.translate(&q).unwrap().size());
+        }
+    });
+    let t_cold = median(&|| {
+        for _ in 0..32 {
+            std::hint::black_box(e.compile_translation(&q).unwrap().size());
+        }
+    });
+    assert!(
+        t_warm * 5 <= t_cold,
+        "warm plan lookup ({t_warm:?}/32 ops) not 5x faster than \
+         per-call translation ({t_cold:?}/32 ops)"
+    );
+}
+
+/// The point of pre-compiling: evaluating the translated query through the
+/// plan's transition tables must not be slower than interpreting the ANFA
+/// directly on the same image.
+fn assert_plan_eval_beats_direct(tr: &xse_core::TranslatePlan, image: &XmlTree) {
+    let t_plan = median(&|| {
+        for _ in 0..8 {
+            std::hint::black_box(tr.eval(image).len());
+        }
+    });
+    let t_direct = median(&|| {
+        for _ in 0..8 {
+            std::hint::black_box(tr.anfa.eval_root(image).len());
+        }
+    });
+    assert!(
+        t_plan <= t_direct,
+        "plan eval ({t_plan:?}/8 ops) trails direct ANFA eval \
+         ({t_direct:?}/8 ops)"
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    assert_warm_plan_beats_cold();
+
+    let (s0, s) = fixtures::fig1_pair();
+    let e = fixtures::fig1_embedding(&s0, &s);
+    let q = parse_query(QUERY).unwrap();
+    let tr = e.translate(&q).unwrap();
+
+    // A mid-sized image to evaluate against: generate a source instance
+    // and push it through σd.
+    let gen = InstanceGenerator::new(
+        &s0,
+        GenConfig {
+            max_nodes: 400,
+            ..GenConfig::default()
+        },
+    );
+    let image = e.apply(&gen.generate(7)).unwrap().tree;
+    assert_plan_eval_beats_direct(&tr, &image);
+
+    let smoke = std::env::var_os("XSE_SCALE_SMOKE").is_some();
+    let mut g = c.benchmark_group("translate_plan");
+    g.sample_size(if smoke { 10 } else { 20 });
+
+    g.bench_function("translate/warm", |b| {
+        b.iter(|| e.translate(&q).unwrap().size())
+    });
+    g.bench_function("translate/cold", |b| {
+        b.iter(|| e.compile_translation(&q).unwrap().size())
+    });
+
+    g.bench_function("eval/plan", |b| b.iter(|| tr.eval(&image).len()));
+    let mut scratch = EvalScratch::new();
+    let mut out = Vec::new();
+    g.bench_function("eval/plan_scratch", |b| {
+        b.iter(|| {
+            tr.eval_with(&image, &mut scratch, &mut out);
+            out.len()
+        })
+    });
+    g.bench_function("eval/direct", |b| {
+        b.iter(|| tr.anfa.eval_root(&image).len())
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

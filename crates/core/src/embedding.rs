@@ -438,6 +438,9 @@ pub struct CompiledEmbedding {
     /// chain — the translation table `Tr` copies from instead of
     /// recompiling paths per query.
     pub(crate) chains: Vec<Vec<xse_anfa::Anfa>>,
+    /// Bounded cache of compiled [`TranslatePlan`](crate::TranslatePlan)s,
+    /// keyed by canonical query shape.
+    pub(crate) plan_cache: crate::translate::PlanCache,
 }
 
 // The engine is shared across threads by `apply_batch` and by servers; keep
@@ -542,6 +545,7 @@ impl CompiledEmbedding {
             resolved,
             plans,
             chains,
+            plan_cache: crate::translate::PlanCache::default(),
         })
     }
 

@@ -63,4 +63,4 @@ pub use error::EmbeddingError;
 pub use error::{SchemaEmbeddingError, TranslateError};
 pub use resolve::{PathClass, ResolvedPath, ResolvedStep};
 pub use sim::SimilarityMatrix;
-pub use translate::Translated;
+pub use translate::{Lab, PlanCacheStats, TranslatePlan};

@@ -28,10 +28,11 @@
 //!   mistranslated.
 
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
-use xse_anfa::{Anfa, Annot, StateId, Trans};
+use xse_anfa::{Anfa, Annot, CompiledAnfa, EvalScratch, StateId, Trans};
 use xse_dtd::{Dtd, Production, TypeId};
-use xse_rxpath::{Qualifier, XrQuery};
+use xse_rxpath::{shape_key, Qualifier, XrQuery};
 use xse_xmltree::{NodeId, XmlTree};
 
 use crate::resolve::ResolvedPath;
@@ -47,25 +48,135 @@ pub enum Lab {
     Str,
 }
 
-/// A translated query: the target-side ANFA plus the final-state labels.
-pub struct Translated {
-    /// The automaton `Tr(Q)`; evaluate with [`Translated::eval`].
+/// A compiled translation plan: the pre-pruned target-side ANFA `Tr(Q)`,
+/// its final-state labels, and the flat [`CompiledAnfa`] transition tables
+/// evaluation runs on.
+///
+/// Plans are what [`CompiledEmbedding::translate`] caches and returns —
+/// compile once per query *shape*, evaluate on any number of target
+/// documents. [`eval`](TranslatePlan::eval) runs the table-driven
+/// evaluator (faster than interpreting the automaton);
+/// [`eval_with`](TranslatePlan::eval_with) additionally reuses scratch
+/// buffers across calls for an allocation-free hot loop.
+pub struct TranslatePlan {
+    /// The automaton `Tr(Q)`, pruned.
     pub anfa: Anfa,
     /// `lab()` — final state → source-side label.
     pub labels: HashMap<StateId, Lab>,
+    /// Flat transition tables compiled from `anfa`.
+    plan: CompiledAnfa,
 }
 
-impl Translated {
+impl TranslatePlan {
     /// Evaluate on a target document at the root (then map results back
     /// through `idM` to compare with the source-side evaluation).
     pub fn eval(&self, t2: &XmlTree) -> Vec<NodeId> {
-        self.anfa.eval_root(t2)
+        self.plan.eval_root(t2)
+    }
+
+    /// Evaluate at the root, reusing `scratch` and writing into `out`
+    /// (cleared first) — no allocation after warmup.
+    pub fn eval_with(&self, t2: &XmlTree, scratch: &mut EvalScratch, out: &mut Vec<NodeId>) {
+        self.plan.eval_with(t2, t2.root(), scratch, out);
     }
 
     /// Size `|Tr(Q)|` (states + transitions + annotation sub-automata) —
     /// bounded by `O(|Q|·|σ|·|S1|)` per Theorem 4.3(b).
     pub fn size(&self) -> usize {
         self.anfa.size()
+    }
+
+    /// Number of states of `Tr(Q)`'s main automaton.
+    pub fn state_count(&self) -> usize {
+        self.anfa.state_count()
+    }
+}
+
+/// Hit/miss/occupancy counters of one embedding's plan cache. Counters
+/// are cumulative over the engine's lifetime; `entries` is the current
+/// occupancy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Translations answered from the cache.
+    pub hits: u64,
+    /// Translations that compiled a fresh plan (including failed
+    /// compiles, which are not cached).
+    pub misses: u64,
+    /// Plans currently cached.
+    pub entries: u64,
+}
+
+/// Plans cached beyond this per-embedding bound evict the least recently
+/// used entry.
+const PLAN_CACHE_CAP: usize = 256;
+
+/// Bounded per-embedding plan cache keyed by canonical query shape
+/// ([`shape_key`]). Interior-mutable so `translate` stays `&self`; the
+/// lock is only held for lookups and inserts, never during compilation.
+#[derive(Default)]
+pub(crate) struct PlanCache {
+    inner: Mutex<PlanCacheInner>,
+}
+
+#[derive(Default)]
+struct PlanCacheInner {
+    map: HashMap<String, (Arc<TranslatePlan>, u64)>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl PlanCache {
+    fn lookup(&self, key: &str) -> Option<Arc<TranslatePlan>> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(key) {
+            Some((plan, used)) => {
+                *used = tick;
+                let plan = Arc::clone(plan);
+                inner.hits += 1;
+                Some(plan)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert `plan` under `key`, unless a racing translation of the same
+    /// shape got there first — then the incumbent wins, so every caller
+    /// shares one plan per shape.
+    fn insert(&self, key: String, plan: Arc<TranslatePlan>) -> Arc<TranslatePlan> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some((existing, used)) = inner.map.get_mut(&key) {
+            *used = tick;
+            return Arc::clone(existing);
+        }
+        inner.map.insert(key, (Arc::clone(&plan), tick));
+        if inner.map.len() > PLAN_CACHE_CAP {
+            if let Some(oldest) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&oldest);
+            }
+        }
+        plan
+    }
+
+    fn stats(&self) -> PlanCacheStats {
+        let inner = self.inner.lock().unwrap();
+        PlanCacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            entries: inner.map.len() as u64,
+        }
     }
 }
 
@@ -106,8 +217,39 @@ impl Trl {
 }
 
 impl CompiledEmbedding {
-    /// Translate a source query: `Tr(Q) = Trl(Q, r1)`, pruned.
-    pub fn translate(&self, q: &XrQuery) -> Result<Translated, EmbeddingError> {
+    /// Translate a source query into a shared [`TranslatePlan`]:
+    /// compile-or-lookup in the embedding's bounded plan cache, keyed by
+    /// the query's canonical shape ([`shape_key`]). Repeated translations
+    /// of equivalent queries return the same `Arc` without recompiling;
+    /// [`CompiledEmbedding::plan_stats`] reports the hit/miss counters.
+    ///
+    /// Translation is deterministic, so a cached plan is byte-identical
+    /// to a fresh [`compile_translation`](Self::compile_translation) of
+    /// the same query.
+    ///
+    /// # Errors
+    /// Propagates translation failures (e.g. unsupported `position()`
+    /// shapes); failures are not cached.
+    pub fn translate(&self, q: &XrQuery) -> Result<Arc<TranslatePlan>, EmbeddingError> {
+        let key = shape_key(q);
+        if let Some(plan) = self.plan_cache.lookup(&key) {
+            return Ok(plan);
+        }
+        // Compile outside the cache lock: translation can be expensive and
+        // is deterministic, so a racing duplicate compile is benign (the
+        // first insert wins).
+        let plan = Arc::new(self.compile_translation(q)?);
+        Ok(self.plan_cache.insert(key, plan))
+    }
+
+    /// Translate a source query unconditionally — `Tr(Q) = Trl(Q, r1)`,
+    /// pruned and compiled to transition tables — bypassing the plan
+    /// cache. This is the raw one-shot path [`translate`](Self::translate)
+    /// amortizes away; benchmarks use it as the cold baseline.
+    ///
+    /// # Errors
+    /// Propagates translation failures.
+    pub fn compile_translation(&self, q: &XrQuery) -> Result<TranslatePlan, EmbeddingError> {
         let mut t = self.trl(q, self.source.root())?;
         let remap = t.anfa.prune_map();
         let labels = t
@@ -115,10 +257,17 @@ impl CompiledEmbedding {
             .into_iter()
             .filter_map(|(f, lab)| remap[f.index()].map(|nf| (nf, lab)))
             .collect();
-        Ok(Translated {
+        let plan = CompiledAnfa::compile(&t.anfa);
+        Ok(TranslatePlan {
             anfa: t.anfa,
             labels,
+            plan,
         })
+    }
+
+    /// This embedding's plan-cache counters.
+    pub fn plan_stats(&self) -> PlanCacheStats {
+        self.plan_cache.stats()
     }
 
     /// The local translation `Trl(Q1, A)`.
@@ -802,6 +951,104 @@ mod tests {
                 "b/c[position() = 2 and text() = '2']",
             ],
         );
+    }
+
+    #[test]
+    fn plan_cache_shares_plans_across_equivalent_queries() {
+        let (s1, s2) = wrap();
+        let e = wrap_compiled(&s1, &s2);
+        let q1 = parse_query("b/c").unwrap();
+        let first = e.translate(&q1).unwrap();
+        assert_eq!(
+            e.plan_stats(),
+            crate::PlanCacheStats {
+                hits: 0,
+                misses: 1,
+                entries: 1
+            }
+        );
+        let second = e.translate(&q1).unwrap();
+        assert!(
+            std::sync::Arc::ptr_eq(&first, &second),
+            "repeat translation must share one plan"
+        );
+        // A different spelling of the same shape also hits.
+        let q2 = parse_query("./b[true]/c").unwrap();
+        let third = e.translate(&q2).unwrap();
+        assert!(std::sync::Arc::ptr_eq(&first, &third));
+        assert_eq!(
+            e.plan_stats(),
+            crate::PlanCacheStats {
+                hits: 2,
+                misses: 1,
+                entries: 1
+            }
+        );
+        // Failures are counted as misses but never cached.
+        let bad = parse_query("(a | b)[position() = 1]").unwrap();
+        assert!(e.translate(&bad).is_err());
+        assert!(e.translate(&bad).is_err());
+        let stats = e.plan_stats();
+        assert_eq!((stats.misses, stats.entries), (3, 1));
+    }
+
+    #[test]
+    fn plan_eval_matches_interpreted_anfa_eval() {
+        let (s1, s2) = wrap();
+        let e = wrap_compiled(&s1, &s2);
+        let t1 = parse_xml("<r><a>hi</a><b><c>1</c><c>2</c><c>1</c></b></r>").unwrap();
+        let out = e.apply(&t1).unwrap();
+        for qs in [
+            "b/c",
+            "b/c[text() = '1']",
+            "b/c[position() = 2]/text()",
+            "a | b/c",
+            "b[not c]",
+        ] {
+            let tr = e.translate(&parse_query(qs).unwrap()).unwrap();
+            assert_eq!(
+                tr.eval(&out.tree),
+                tr.anfa.eval_root(&out.tree),
+                "plan eval of {qs} diverges from interpreted eval"
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_translation_is_byte_identical_to_sequential() {
+        let (s0, s) = fig1();
+        let e = std::sync::Arc::new(fig1_embedding(&s0, &s));
+        let queries = [
+            "class/cno/text()",
+            "class[cno/text() = 'CS331']/(type/regular/prereq/class)*",
+            ".//cno",
+            "class[type/project]/title",
+        ];
+        // Sequential reference: raw compiles, no cache involved.
+        let reference: Vec<String> = queries
+            .iter()
+            .map(|qs| {
+                let tr = e.compile_translation(&parse_query(qs).unwrap()).unwrap();
+                let mut labels: Vec<_> = tr.labels.iter().map(|(s, l)| (*s, *l)).collect();
+                labels.sort_by_key(|(s, _)| s.index());
+                format!("{}{labels:?}", tr.anfa)
+            })
+            .collect();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let e = std::sync::Arc::clone(&e);
+                let reference = &reference;
+                scope.spawn(move || {
+                    for (qs, want) in queries.iter().zip(reference) {
+                        let tr = e.translate(&parse_query(qs).unwrap()).unwrap();
+                        let mut labels: Vec<_> = tr.labels.iter().map(|(s, l)| (*s, *l)).collect();
+                        labels.sort_by_key(|(s, _)| s.index());
+                        let got = format!("{}{labels:?}", tr.anfa);
+                        assert_eq!(&got, want, "{qs}: threaded translation diverged");
+                    }
+                });
+            }
+        });
     }
 
     #[test]

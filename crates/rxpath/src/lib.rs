@@ -23,9 +23,11 @@ mod ast;
 mod display;
 mod eval;
 mod parser;
+mod shape;
 mod xrpath;
 
 pub use ast::{Qualifier, XrQuery};
 pub use eval::{eval_at, eval_at_root, Evaluator};
 pub use parser::{parse_query, QueryParseError};
+pub use shape::{normalize_query, shape_key};
 pub use xrpath::{PathStep, XrPath};

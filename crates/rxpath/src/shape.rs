@@ -1,0 +1,131 @@
+//! Canonical query-shape keys for translation-plan caching.
+//!
+//! Two textually different queries often denote the same `XR` expression
+//! (`a[true]` vs `a`, `./a` vs `a`, `not not q` vs `q`). A plan cache
+//! keyed on the raw text would compile one plan per spelling;
+//! [`shape_key`] instead normalizes the AST with semantics-preserving
+//! rewrites and renders the result in the parser's concrete syntax, so
+//! equivalent spellings share one cache entry. Every rewrite preserves
+//! query results on all trees — equal keys therefore guarantee
+//! interchangeable translation plans.
+
+use crate::{Qualifier, XrQuery};
+
+/// Canonical cache key: the [`normalize_query`]d AST rendered via
+/// `Display` (which round-trips through the parser).
+pub fn shape_key(q: &XrQuery) -> String {
+    normalize_query(q).to_string()
+}
+
+/// Apply semantics-preserving normalizations: drop `[true]` qualifiers,
+/// flatten `ε` out of compositions, collapse `ε*` to `ε`, and cancel
+/// double negations. The result evaluates identically on every tree.
+pub fn normalize_query(q: &XrQuery) -> XrQuery {
+    match q {
+        XrQuery::Empty | XrQuery::Label(_) | XrQuery::Text | XrQuery::DescOrSelf => q.clone(),
+        // `then` folds ε on either side.
+        XrQuery::Seq(a, b) => normalize_query(a).then(normalize_query(b)),
+        XrQuery::Union(a, b) => normalize_query(a).or(normalize_query(b)),
+        XrQuery::Star(p) => match normalize_query(p) {
+            // ε* = ε.
+            XrQuery::Empty => XrQuery::Empty,
+            p => p.star(),
+        },
+        XrQuery::Qualified(p, q) => {
+            let p = normalize_query(p);
+            match normalize_qualifier(q) {
+                // p[true] = p.
+                Qualifier::True => p,
+                q => p.with(q),
+            }
+        }
+    }
+}
+
+fn normalize_qualifier(q: &Qualifier) -> Qualifier {
+    match q {
+        Qualifier::True | Qualifier::Position(_) => q.clone(),
+        Qualifier::Path(p) => Qualifier::Path(Box::new(normalize_query(p))),
+        Qualifier::TextEq(p, c) => Qualifier::TextEq(Box::new(normalize_query(p)), c.clone()),
+        Qualifier::Not(x) => match normalize_qualifier(x) {
+            // ¬¬q = q.
+            Qualifier::Not(inner) => *inner,
+            x => Qualifier::Not(Box::new(x)),
+        },
+        Qualifier::And(a, b) => {
+            let (a, b) = (normalize_qualifier(a), normalize_qualifier(b));
+            match (a, b) {
+                // true ∧ q = q.
+                (Qualifier::True, x) | (x, Qualifier::True) => x,
+                (a, b) => Qualifier::And(Box::new(a), Box::new(b)),
+            }
+        }
+        Qualifier::Or(a, b) => Qualifier::Or(
+            Box::new(normalize_qualifier(a)),
+            Box::new(normalize_qualifier(b)),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{normalize_query, shape_key};
+    use crate::parse_query;
+
+    fn key(s: &str) -> String {
+        shape_key(&parse_query(s).unwrap())
+    }
+
+    #[test]
+    fn equivalent_spellings_share_a_key() {
+        assert_eq!(key("a[true]"), key("a"));
+        assert_eq!(key("./a/."), key("a"));
+        assert_eq!(key("a[not not b]"), key("a[b]"));
+        assert_eq!(key("a[true and b]"), key("a[b]"));
+        assert_eq!(key(".*/a"), key("a"));
+    }
+
+    #[test]
+    fn distinct_queries_keep_distinct_keys() {
+        assert_ne!(key("a"), key("b"));
+        assert_ne!(key("a/b"), key("a[b]"));
+        assert_ne!(key("a[position() = 1]"), key("a[position() = 2]"));
+        assert_ne!(key("a*"), key("a"));
+        assert_ne!(key("a[not b]"), key("a[b]"));
+    }
+
+    #[test]
+    fn keys_reparse_to_the_normal_form() {
+        for s in [
+            "a[true]/b",
+            "class[cno/text() = 'CS331']/(type/regular/prereq/class)*",
+            "a | b[not not c]",
+            "a//b",
+        ] {
+            let q = parse_query(s).unwrap();
+            let norm = normalize_query(&q);
+            let reparsed = parse_query(&norm.to_string()).unwrap();
+            assert_eq!(normalize_query(&reparsed), norm, "{s}");
+        }
+    }
+
+    #[test]
+    fn normalization_preserves_evaluation() {
+        use xse_xmltree::parse_xml;
+        let tree = parse_xml(
+            "<db><class><cno>CS331</cno><type><regular/></type></class>\
+             <class><cno>CS240</cno></class></db>",
+        )
+        .unwrap();
+        for s in [
+            "class[true]",
+            "./class/cno/.",
+            "class[not not type]",
+            "class[true and cno/text() = 'CS331']",
+            ".*/class",
+        ] {
+            let q = parse_query(s).unwrap();
+            assert_eq!(q.eval(&tree), normalize_query(&q).eval(&tree), "{s}");
+        }
+    }
+}

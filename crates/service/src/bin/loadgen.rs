@@ -7,13 +7,14 @@
 //!             [--check]
 //! ```
 //!
-//! * `--mix` — `translate-heavy` (default), `apply-heavy`, `mixed`, or
-//!   `cold-cache-adversarial`.
+//! * `--mix` — `translate-heavy` (default), `repeated-query`,
+//!   `apply-heavy`, `mixed`, or `cold-cache-adversarial`.
 //! * `--addr` targets a running server; `--spawn-server` starts one on an
 //!   ephemeral port and drives it over TCP; the default is in-process.
 //! * `--cold` evicts (untimed) before every timed op.
 //! * `--check` exits non-zero unless the replay had positive QPS and zero
-//!   protocol errors — the CI smoke gate.
+//!   protocol errors — the CI smoke gate. On the `repeated-query` mix
+//!   (warm) it additionally requires a ≥ 95% translation-plan hit rate.
 //!
 //! The summary is printed to stdout as a single JSON line.
 
@@ -147,7 +148,7 @@ fn main() -> ExitCode {
         &mut endpoint,
         &pairs,
         &LoadConfig {
-            mix: args.mix,
+            mix: args.mix.clone(),
             ops: args.ops,
             seed: args.seed,
             cold: args.cold,
@@ -159,6 +160,15 @@ fn main() -> ExitCode {
         eprintln!(
             "xse-loadgen: check FAILED (qps {:.2}, protocol_errors {}, ops {})",
             summary.qps, summary.protocol_errors, summary.ops
+        );
+        return ExitCode::from(1);
+    }
+    // The repeated-query mix exists to exercise plan reuse; a warm replay
+    // that misses the plan cache is a regression even if it stays fast.
+    if args.check && args.mix.zipf_queries() && !args.cold && summary.plan_hit_rate < 0.95 {
+        eprintln!(
+            "xse-loadgen: check FAILED (plan hit rate {:.4} below 0.95)",
+            summary.plan_hit_rate
         );
         return ExitCode::from(1);
     }

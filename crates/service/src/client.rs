@@ -6,6 +6,20 @@ use std::net::{TcpStream, ToSocketAddrs};
 use crate::proto::{read_frame, write_frame, FrameError, Request, Response, StatsWire};
 use crate::ServiceError;
 
+/// Typed `translate` response: automaton metrics plus the serving
+/// engine's cumulative plan-cache counters at the time of the call.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TranslateReply {
+    /// Size of the translated automaton, `|Tr(Q)|`.
+    pub size: u64,
+    /// Number of ANFA states after pruning.
+    pub states: u64,
+    /// Engine's plan-cache hits so far (this call included).
+    pub plan_hits: u64,
+    /// Engine's plan-cache misses so far (this call included).
+    pub plan_misses: u64,
+}
+
 /// One connection to a running [`Server`](crate::Server). Requests are
 /// strictly sequential per connection (the protocol has no request ids);
 /// open one client per concurrent caller.
@@ -114,7 +128,7 @@ impl Client {
         }
     }
 
-    /// `translate`: returns `(|Tr(Q)|, state count)`.
+    /// `translate`: automaton metrics plus plan-cache counters.
     ///
     /// # Errors
     /// As in [`Client::compile`].
@@ -123,13 +137,23 @@ impl Client {
         source_dtd: &str,
         target_dtd: &str,
         query: &str,
-    ) -> Result<(u64, u64), ServiceError> {
+    ) -> Result<TranslateReply, ServiceError> {
         match self.call(&Request::Translate {
             source_dtd: source_dtd.into(),
             target_dtd: target_dtd.into(),
             query: query.into(),
         })? {
-            Response::Translated { size, states } => Ok((size, states)),
+            Response::Translated {
+                size,
+                states,
+                plan_hits,
+                plan_misses,
+            } => Ok(TranslateReply {
+                size,
+                states,
+                plan_hits,
+                plan_misses,
+            }),
             other => Err(unexpected(other)),
         }
     }

@@ -52,8 +52,8 @@
 //! |--------|--------------|-----------------------------------------------|
 //! | `0x81` | `compiled`   | `source_hash`, `target_hash`, `size: u64`     |
 //! | `0x82` | `document`   | `xml`                                         |
-//! | `0x83` | `translated` | `size: u64`, `states: u64`                    |
-//! | `0x84` | `stats`      | 7 × `u64` (see [`proto::StatsWire`])          |
+//! | `0x83` | `translated` | `size`, `states`, `plan_hits`, `plan_misses` (`u64` each) |
+//! | `0x84` | `stats`      | 10 × `u64` (see [`proto::StatsWire`])         |
 //! | `0x85` | `evicted`    | `existed: u8`                                 |
 //! | `0xFF` | `error`      | `code: u8`, `message`                         |
 //!
@@ -68,7 +68,10 @@
 //! to an executable target-side automaton is PTIME (Theorem 4.3b) and is
 //! what a caller evaluates, while rendering back to XR syntax via state
 //! elimination is worst-case exponential and belongs to an explicit
-//! offline endpoint if ever needed.
+//! offline endpoint if ever needed. It also carries the serving engine's
+//! cumulative plan-cache counters (`plan_hits`, `plan_misses`), so a
+//! client can observe whether its query was served from a cached
+//! [`TranslatePlan`](xse_core::TranslatePlan) without a second round-trip.
 
 pub mod client;
 pub mod loadgen;
@@ -76,7 +79,7 @@ pub mod proto;
 pub mod registry;
 pub mod server;
 
-pub use client::Client;
+pub use client::{Client, TranslateReply};
 pub use proto::{ErrorCode, Request, Response, MAX_FRAME_LEN};
 pub use registry::{EmbeddingRegistry, PairKey, RegistryConfig, RegistryStats};
 pub use server::{Server, ServerConfig, ServerHandle};
@@ -207,9 +210,12 @@ fn try_handle(registry: &EmbeddingRegistry, req: &Request) -> Result<Response, S
             let q = xse_rxpath::parse_query(query)
                 .map_err(|e| ServiceError::BadQuery(e.to_string()))?;
             let tr = engine.translate(&q).map_err(engine_error)?;
+            let plan = engine.plan_stats();
             Ok(Response::Translated {
                 size: tr.size() as u64,
                 states: tr.anfa.state_count() as u64,
+                plan_hits: plan.hits,
+                plan_misses: plan.misses,
             })
         }
         Request::Stats => {
@@ -222,6 +228,9 @@ fn try_handle(registry: &EmbeddingRegistry, req: &Request) -> Result<Response, S
                 evictions: s.evictions,
                 entries: s.entries,
                 compile_nanos: s.compile_nanos,
+                plan_hits: s.plan_hits,
+                plan_misses: s.plan_misses,
+                plan_entries: s.plan_entries,
             }))
         }
         Request::Evict {
@@ -317,8 +326,32 @@ mod tests {
             },
         );
         assert!(
-            matches!(translated, Response::Translated { size, states } if size > 0 && states > 0),
+            matches!(
+                translated,
+                Response::Translated { size, states, plan_hits: 0, plan_misses: 1 }
+                    if size > 0 && states > 0
+            ),
             "{translated:?}"
+        );
+        // The same query again is served from the cached plan.
+        let again = handle_request(
+            &reg,
+            &Request::Translate {
+                source_dtd: s.clone(),
+                target_dtd: t.clone(),
+                query: "b/c".into(),
+            },
+        );
+        assert!(
+            matches!(
+                again,
+                Response::Translated {
+                    plan_hits: 1,
+                    plan_misses: 1,
+                    ..
+                }
+            ),
+            "{again:?}"
         );
 
         let stats = handle_request(&reg, &Request::Stats);

@@ -217,6 +217,10 @@ pub struct LoadSummary {
     pub qps: f64,
     /// Registry hit rate at the end of the run (hits / resolutions).
     pub hit_rate: f64,
+    /// Translation-plan cache hit rate at the end of the run
+    /// (`plan_hits / (plan_hits + plan_misses)`; `0.0` when no
+    /// translations ran).
+    pub plan_hit_rate: f64,
     /// Transport-level failures (socket errors, undecodable frames).
     pub protocol_errors: u64,
     /// Structured error responses (the request reached the server and was
@@ -260,16 +264,19 @@ impl LoadSummary {
             .unwrap_or_else(|| "null".into());
         format!(
             "{{\"mix\":\"{}\",\"ops\":{},\"elapsed_nanos\":{},\"qps\":{:.2},\
-             \"hit_rate\":{:.4},\"protocol_errors\":{},\"op_errors\":{},\
+             \"hit_rate\":{:.4},\"plan_hit_rate\":{:.4},\
+             \"protocol_errors\":{},\"op_errors\":{},\
              \"overall\":{overall},\"per_op\":{{{per_op}}},\
              \"registry\":{{\"hits\":{},\"misses\":{},\"compiles\":{},\
              \"single_flight_waits\":{},\"evictions\":{},\"entries\":{},\
-             \"compile_nanos\":{}}}}}",
+             \"compile_nanos\":{},\"plan_hits\":{},\"plan_misses\":{},\
+             \"plan_entries\":{}}}}}",
             self.mix,
             self.ops,
             self.elapsed_nanos,
             self.qps,
             self.hit_rate,
+            self.plan_hit_rate,
             self.protocol_errors,
             self.op_errors,
             self.registry.hits,
@@ -279,6 +286,9 @@ impl LoadSummary {
             self.registry.evictions,
             self.registry.entries,
             self.registry.compile_nanos,
+            self.registry.plan_hits,
+            self.registry.plan_misses,
+            self.registry.plan_entries,
         )
     }
 }
@@ -300,7 +310,7 @@ pub fn run(endpoint: &mut Endpoint, pairs: &[SchemaPair], cfg: &LoadConfig) -> L
     for _ in 0..cfg.ops {
         let pair = &pairs[rng.random_range(0..pairs.len())];
         let op = cfg.mix.sample(&mut rng);
-        let req = match build_request(pair, op, &mut rng) {
+        let req = match build_request(pair, op, &mut rng, cfg.mix.zipf_queries()) {
             Some(r) => r,
             // A pair can lack payloads for this op (e.g. no translatable
             // queries survived setup); degrade to a cache touch.
@@ -350,6 +360,12 @@ pub fn run(endpoint: &mut Endpoint, pairs: &[SchemaPair], cfg: &LoadConfig) -> L
     } else {
         registry.hits as f64 / resolutions as f64
     };
+    let translations = registry.plan_hits + registry.plan_misses;
+    let plan_hit_rate = if translations == 0 {
+        0.0
+    } else {
+        registry.plan_hits as f64 / translations as f64
+    };
 
     let mut all: Vec<u64> = latencies.iter().flatten().copied().collect();
     let per_op = ServiceOp::ALL
@@ -367,6 +383,7 @@ pub fn run(endpoint: &mut Endpoint, pairs: &[SchemaPair], cfg: &LoadConfig) -> L
             issued as f64 * 1e9 / elapsed_nanos as f64
         },
         hit_rate,
+        plan_hit_rate,
         protocol_errors,
         op_errors,
         per_op,
@@ -388,7 +405,12 @@ fn digest(lat: &mut [u64]) -> Option<OpDigest> {
     })
 }
 
-fn build_request(pair: &SchemaPair, op: ServiceOp, rng: &mut StdRng) -> Option<Request> {
+fn build_request(
+    pair: &SchemaPair,
+    op: ServiceOp,
+    rng: &mut StdRng,
+    zipf_queries: bool,
+) -> Option<Request> {
     let (s, t) = (pair.source_text.clone(), pair.target_text.clone());
     Some(match op {
         ServiceOp::Compile => Request::Compile {
@@ -408,7 +430,11 @@ fn build_request(pair: &SchemaPair, op: ServiceOp, rng: &mut StdRng) -> Option<R
         ServiceOp::Translate => Request::Translate {
             source_dtd: s,
             target_dtd: t,
-            query: pick(&pair.queries, rng)?.clone(),
+            query: if zipf_queries {
+                pick_zipf(&pair.queries, rng)?.clone()
+            } else {
+                pick(&pair.queries, rng)?.clone()
+            },
         },
         ServiceOp::Stats => Request::Stats,
         ServiceOp::Evict => Request::Evict {
@@ -424,6 +450,25 @@ fn pick<'a, T>(items: &'a [T], rng: &mut StdRng) -> Option<&'a T> {
     } else {
         Some(&items[rng.random_range(0..items.len())])
     }
+}
+
+/// Zipf-ish choice: the i-th item is drawn with probability ∝ 1/(i+1)
+/// (fixed-point harmonic weights), so early items dominate the stream.
+fn pick_zipf<'a, T>(items: &'a [T], rng: &mut StdRng) -> Option<&'a T> {
+    if items.is_empty() {
+        return None;
+    }
+    const SCALE: u32 = 840; // divisible by 1..=8, exact for small lists
+    let weights: Vec<u32> = (0..items.len()).map(|i| SCALE / (i as u32 + 1)).collect();
+    let total: u32 = weights.iter().sum();
+    let mut roll = rng.random_range(0..total);
+    for (item, &w) in items.iter().zip(&weights) {
+        if roll < w {
+            return Some(item);
+        }
+        roll -= w;
+    }
+    unreachable!("roll exceeds total weight")
 }
 
 #[cfg(test)]
@@ -472,5 +517,33 @@ mod tests {
         let json = summary.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
         assert!(json.contains("\"mix\":\"mixed\""), "{json}");
+        assert!(json.contains("\"plan_hit_rate\""), "{json}");
+    }
+
+    #[test]
+    fn repeated_query_mix_mostly_hits_the_plan_cache() {
+        let pairs = build_pairs(2, 11);
+        let reg = Arc::new(EmbeddingRegistry::new(RegistryConfig {
+            capacity: 8,
+            discovery: loadgen_discovery(),
+            ..RegistryConfig::default()
+        }));
+        let cfg = LoadConfig {
+            mix: TrafficMix::repeated_query(),
+            ops: 300,
+            seed: 5,
+            cold: false,
+        };
+        let summary = run(&mut Endpoint::InProcess(Arc::clone(&reg)), &pairs, &cfg);
+        assert_eq!(summary.protocol_errors + summary.op_errors, 0);
+        // Two pairs hold at most 12 distinct queries between them, so with
+        // ~280 translates nearly all land on cached plans.
+        assert!(
+            summary.plan_hit_rate >= 0.90,
+            "plan hit rate {} too low: {}",
+            summary.plan_hit_rate,
+            summary.to_json()
+        );
+        assert!(summary.registry.plan_hits > summary.registry.plan_misses * 5);
     }
 }

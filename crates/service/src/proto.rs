@@ -124,7 +124,7 @@ pub enum Request {
     },
 }
 
-/// Registry counters as they travel on the wire (seven `u64`s, BE).
+/// Registry counters as they travel on the wire (ten `u64`s, BE).
 #[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
 pub struct StatsWire {
     /// Cache hits.
@@ -141,6 +141,13 @@ pub struct StatsWire {
     pub entries: u64,
     /// Total nanoseconds spent compiling.
     pub compile_nanos: u64,
+    /// Translation-plan cache hits, aggregated across all engines the
+    /// registry ever held (evicted engines' counters are retained).
+    pub plan_hits: u64,
+    /// Translation-plan cache misses, aggregated the same way.
+    pub plan_misses: u64,
+    /// Plans currently cached across live engines.
+    pub plan_entries: u64,
 }
 
 /// A decoded server response.
@@ -154,8 +161,15 @@ pub enum Response {
     },
     /// A serialized document (apply / invert output).
     Document { xml: String },
-    /// Translation metrics: `|Tr(Q)|` and the automaton's state count.
-    Translated { size: u64, states: u64 },
+    /// Translation metrics: `|Tr(Q)|`, the automaton's state count, and
+    /// the serving engine's cumulative plan-cache counters (so a client
+    /// can observe whether its query hit a cached plan).
+    Translated {
+        size: u64,
+        states: u64,
+        plan_hits: u64,
+        plan_misses: u64,
+    },
     /// Registry statistics.
     Stats(StatsWire),
     /// Eviction acknowledgement (`existed` = whether the pair was cached).
@@ -396,10 +410,17 @@ impl Response {
                 buf.push(resp::DOCUMENT);
                 put_str(&mut buf, xml);
             }
-            Response::Translated { size, states } => {
+            Response::Translated {
+                size,
+                states,
+                plan_hits,
+                plan_misses,
+            } => {
                 buf.push(resp::TRANSLATED);
                 put_u64(&mut buf, *size);
                 put_u64(&mut buf, *states);
+                put_u64(&mut buf, *plan_hits);
+                put_u64(&mut buf, *plan_misses);
             }
             Response::Stats(s) => {
                 buf.push(resp::STATS);
@@ -411,6 +432,9 @@ impl Response {
                     s.evictions,
                     s.entries,
                     s.compile_nanos,
+                    s.plan_hits,
+                    s.plan_misses,
+                    s.plan_entries,
                 ] {
                     put_u64(&mut buf, v);
                 }
@@ -442,6 +466,8 @@ impl Response {
             resp::TRANSLATED => Response::Translated {
                 size: c.u64()?,
                 states: c.u64()?,
+                plan_hits: c.u64()?,
+                plan_misses: c.u64()?,
             },
             resp::STATS => Response::Stats(StatsWire {
                 hits: c.u64()?,
@@ -451,6 +477,9 @@ impl Response {
                 evictions: c.u64()?,
                 entries: c.u64()?,
                 compile_nanos: c.u64()?,
+                plan_hits: c.u64()?,
+                plan_misses: c.u64()?,
+                plan_entries: c.u64()?,
             }),
             resp::EVICTED => Response::Evicted {
                 existed: c.u8()? != 0,
@@ -517,7 +546,12 @@ mod tests {
             size: 42,
         });
         roundtrip_resp(Response::Document { xml: "<r/>".into() });
-        roundtrip_resp(Response::Translated { size: 7, states: 3 });
+        roundtrip_resp(Response::Translated {
+            size: 7,
+            states: 3,
+            plan_hits: 9,
+            plan_misses: 1,
+        });
         roundtrip_resp(Response::Stats(StatsWire {
             hits: 1,
             misses: 2,
@@ -526,6 +560,9 @@ mod tests {
             evictions: 5,
             entries: 6,
             compile_nanos: 7,
+            plan_hits: 8,
+            plan_misses: 9,
+            plan_entries: 10,
         }));
         roundtrip_resp(Response::Evicted { existed: true });
         roundtrip_resp(Response::Error {

@@ -31,7 +31,7 @@ use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
-use xse_core::{CompiledEmbedding, SimilarityMatrix};
+use xse_core::{CompiledEmbedding, PlanCacheStats, SimilarityMatrix};
 use xse_discovery::{find_embedding, DiscoveryConfig};
 use xse_dtd::{Dtd, DtdHash};
 
@@ -96,6 +96,16 @@ pub struct RegistryStats {
     pub entries: u64,
     /// Total wall-clock nanoseconds spent inside `find_embedding`.
     pub compile_nanos: u64,
+    /// Translation-plan cache hits summed over live engines *plus* every
+    /// engine evicted so far (plan counters are folded into a retired
+    /// accumulator when their engine leaves the cache, so the aggregate
+    /// never goes backwards).
+    pub plan_hits: u64,
+    /// Translation-plan cache misses, accumulated the same way.
+    pub plan_misses: u64,
+    /// Plans currently cached across live engines (evicting an engine
+    /// drops its plans, so this *does* shrink on eviction).
+    pub plan_entries: u64,
 }
 
 impl RegistryStats {
@@ -109,6 +119,17 @@ impl RegistryStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Fraction of translations served from a cached plan:
+    /// `plan_hits / (plan_hits + plan_misses)`; `0.0` when idle.
+    pub fn plan_hit_rate(&self) -> f64 {
+        let total = self.plan_hits + self.plan_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.plan_hits as f64 / total as f64
+        }
+    }
 }
 
 /// Per-entry counters, exposed by [`EmbeddingRegistry::entry_stats`].
@@ -120,6 +141,8 @@ pub struct EntryStats {
     pub compile_nanos: u64,
     /// LRU tick of the most recent use (higher = more recent).
     pub last_used: u64,
+    /// The engine's translation-plan cache counters.
+    pub plan: PlanCacheStats,
 }
 
 struct Entry {
@@ -155,6 +178,10 @@ struct Inner {
     single_flight_waits: u64,
     evictions: u64,
     compile_nanos: u64,
+    /// Plan-cache hit/miss totals of engines already evicted; folded in by
+    /// [`Inner::retire`] so aggregate plan stats survive eviction.
+    retired_plan_hits: u64,
+    retired_plan_misses: u64,
 }
 
 impl Inner {
@@ -163,6 +190,19 @@ impl Inner {
             .values()
             .filter(|s| matches!(s, Slot::Ready(_)))
             .count()
+    }
+
+    /// Remove `key`, folding the entry's plan counters into the retired
+    /// accumulators. Evicting the engine drops its `Arc` (and with it the
+    /// plan cache, once outstanding clones go away) — the counters are the
+    /// only thing that outlives it.
+    fn retire(&mut self, key: PairKey) {
+        if let Some(Slot::Ready(e)) = self.map.remove(&key) {
+            let plan = e.engine.plan_stats();
+            self.retired_plan_hits += plan.hits;
+            self.retired_plan_misses += plan.misses;
+        }
+        self.evictions += 1;
     }
 
     /// Evict `Ready` entries (never `keep`) until at most `capacity` remain.
@@ -178,10 +218,7 @@ impl Inner {
                 .min_by_key(|&(_, used)| used)
                 .map(|(k, _)| k);
             match victim {
-                Some(k) => {
-                    self.map.remove(&k);
-                    self.evictions += 1;
-                }
+                Some(k) => self.retire(k),
                 // Only `keep` and pendings are left; nothing evictable.
                 None => break,
             }
@@ -401,17 +438,28 @@ impl EmbeddingRegistry {
     pub fn evict_key(&self, key: PairKey) -> bool {
         let mut inner = self.inner.lock().unwrap();
         if matches!(inner.map.get(&key), Some(Slot::Ready(_))) {
-            inner.map.remove(&key);
-            inner.evictions += 1;
+            inner.retire(key);
             true
         } else {
             false
         }
     }
 
-    /// Point-in-time aggregate counters.
+    /// Point-in-time aggregate counters. Plan counters sum the live
+    /// engines' caches plus the retired totals of evicted engines.
     pub fn stats(&self) -> RegistryStats {
         let inner = self.inner.lock().unwrap();
+        let mut plan_hits = inner.retired_plan_hits;
+        let mut plan_misses = inner.retired_plan_misses;
+        let mut plan_entries = 0;
+        for slot in inner.map.values() {
+            if let Slot::Ready(e) = slot {
+                let plan = e.engine.plan_stats();
+                plan_hits += plan.hits;
+                plan_misses += plan.misses;
+                plan_entries += plan.entries;
+            }
+        }
         RegistryStats {
             hits: inner.hits,
             misses: inner.misses,
@@ -420,6 +468,9 @@ impl EmbeddingRegistry {
             evictions: inner.evictions,
             entries: inner.ready_count() as u64,
             compile_nanos: inner.compile_nanos,
+            plan_hits,
+            plan_misses,
+            plan_entries,
         }
     }
 
@@ -436,6 +487,7 @@ impl EmbeddingRegistry {
                         hits: e.hits,
                         compile_nanos: e.compile_nanos,
                         last_used: e.last_used,
+                        plan: e.engine.plan_stats(),
                     },
                 )),
                 Slot::Pending => None,
@@ -568,6 +620,40 @@ mod tests {
         // Recompile works and bumps the compile counter.
         reg.get_or_compile(&s, &t).unwrap();
         assert_eq!(reg.stats().compiles, 2);
+    }
+
+    #[test]
+    fn plan_counters_survive_eviction() {
+        let reg = small_registry(4);
+        let (s, t) = wrap_pair();
+        let (_, engine) = reg.get_or_compile(&s, &t).unwrap();
+        let q = xse_rxpath::parse_query("b/c").unwrap();
+        engine.translate(&q).unwrap(); // compile miss
+        engine.translate(&q).unwrap(); // cached hit
+        let st = reg.stats();
+        assert_eq!((st.plan_hits, st.plan_misses, st.plan_entries), (1, 1, 1));
+        let per_entry = reg.entry_stats();
+        assert_eq!(per_entry.len(), 1);
+        assert_eq!(per_entry[0].1.plan.entries, 1);
+
+        // Eviction drops the plans but folds the hit/miss totals into the
+        // registry-wide aggregate.
+        assert!(reg.evict(&s, &t).unwrap());
+        let st = reg.stats();
+        assert_eq!(
+            (st.plan_hits, st.plan_misses, st.plan_entries),
+            (1, 1, 0),
+            "{st:?}"
+        );
+
+        // A recompiled engine starts cold and keeps accumulating on top.
+        let (_, fresh) = reg.get_or_compile(&s, &t).unwrap();
+        assert!(!Arc::ptr_eq(&engine, &fresh));
+        fresh.translate(&q).unwrap();
+        fresh.translate(&q).unwrap();
+        let st = reg.stats();
+        assert_eq!((st.plan_hits, st.plan_misses, st.plan_entries), (2, 2, 1));
+        assert!(st.plan_hit_rate() > 0.49 && st.plan_hit_rate() < 0.51);
     }
 
     #[test]

@@ -56,8 +56,8 @@ fn tcp_round_trip_all_ops() {
     let back = client.invert(&s, &t, &image).unwrap();
     assert_eq!(back, doc, "apply→invert must round-trip over the wire");
 
-    let (tr_size, tr_states) = client.translate(&s, &t, "b/c").unwrap();
-    assert!(tr_size > 0 && tr_states > 0);
+    let tr = client.translate(&s, &t, "b/c").unwrap();
+    assert!(tr.size > 0 && tr.states > 0);
 
     let stats = client.stats().unwrap();
     assert_eq!(stats.compiles, 1, "{stats:?}");
@@ -192,6 +192,58 @@ fn unknown_opcode_and_bad_dtd_are_structured_errors() {
     assert_eq!(stats.compiles, 1);
 }
 
+#[test]
+fn tcp_repeated_translate_hits_the_plan_cache() {
+    let server = spawn_server(8);
+    let mut client = Client::connect(server.addr()).unwrap();
+    let (s, t) = wrap_pair();
+
+    // First translate compiles the plan; the counters over the wire show
+    // the miss. Spelled two equivalent ways, the second call must land on
+    // the same cached plan (shape keys are canonical).
+    let first = client.translate(&s, &t, "b/c").unwrap();
+    assert_eq!((first.plan_hits, first.plan_misses), (0, 1), "{first:?}");
+    let second = client.translate(&s, &t, "./b[true]/c").unwrap();
+    assert_eq!((second.plan_hits, second.plan_misses), (1, 1), "{second:?}");
+    assert_eq!((first.size, first.states), (second.size, second.states));
+
+    // A distinct shape is a fresh miss.
+    let third = client.translate(&s, &t, "b").unwrap();
+    assert_eq!((third.plan_hits, third.plan_misses), (1, 2), "{third:?}");
+
+    // The aggregate stats frame carries the same counters plus the number
+    // of live cached plans.
+    let stats = client.stats().unwrap();
+    assert_eq!(
+        (stats.plan_hits, stats.plan_misses, stats.plan_entries),
+        (1, 2, 2),
+        "{stats:?}"
+    );
+}
+
+#[test]
+fn tcp_translate_after_evict_is_equivalent_and_plan_stats_survive() {
+    let server = spawn_server(8);
+    let mut client = Client::connect(server.addr()).unwrap();
+    let (s, t) = wrap_pair();
+
+    let before = client.translate(&s, &t, "b/c").unwrap();
+    assert!(client.evict(&s, &t).unwrap());
+    // Recompiled engine, recompiled plan: identical automaton metrics,
+    // fresh per-engine counters (the one earlier miss lives on in the
+    // registry aggregate).
+    let after = client.translate(&s, &t, "b/c").unwrap();
+    assert_eq!((before.size, before.states), (after.size, after.states));
+    assert_eq!((after.plan_hits, after.plan_misses), (0, 1), "{after:?}");
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.evictions, 1, "{stats:?}");
+    assert_eq!(
+        (stats.plan_hits, stats.plan_misses, stats.plan_entries),
+        (0, 2, 1),
+        "{stats:?}"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
 
@@ -226,6 +278,36 @@ proptest! {
         };
         prop_assert_eq!(before, after);
         prop_assert_eq!(reg.stats().compiles, 2);
+    }
+
+    /// Same property for translation: dropping an engine (and with it its
+    /// plan cache) then recompiling must yield a plan with identical
+    /// metrics that selects exactly the same nodes on the same image.
+    #[test]
+    fn evict_then_retranslate_is_byte_identical(seed in 0u64..200) {
+        let (s, t) = wrap_pair();
+        let reg = test_registry(4);
+        let queries = ["b/c", "a", ".*/c", "b[c]/c"];
+        let q = xse_rxpath::parse_query(queries[(seed % 4) as usize]).unwrap();
+        let source = xse_dtd::Dtd::parse(&s).unwrap();
+        let gen = InstanceGenerator::new(
+            &source,
+            GenConfig { max_nodes: 60, ..GenConfig::default() },
+        );
+        let doc = gen.generate(seed);
+
+        let (_, e1) = reg.get_or_compile(&s, &t).unwrap();
+        let image = e1.apply(&doc).unwrap();
+        let tr1 = e1.translate(&q).unwrap();
+        let r1 = tr1.eval(&image.tree);
+        prop_assert!(reg.evict(&s, &t).unwrap());
+        let (_, e2) = reg.get_or_compile(&s, &t).unwrap();
+        let tr2 = e2.translate(&q).unwrap();
+        prop_assert_eq!(
+            (tr1.size(), tr1.state_count()),
+            (tr2.size(), tr2.state_count())
+        );
+        prop_assert_eq!(r1, tr2.eval(&image.tree));
     }
 }
 

@@ -66,6 +66,9 @@ pub struct TrafficMix {
     name: &'static str,
     /// Indexed by [`ServiceOp::ALL`] order.
     weights: [u32; 6],
+    /// Skew query choice within a pair toward its first queries
+    /// (harmonic weights, Zipf-style) instead of picking uniformly.
+    zipf_queries: bool,
 }
 
 impl TrafficMix {
@@ -75,6 +78,22 @@ impl TrafficMix {
             name: "translate-heavy",
             //        comp  appl  invr  trns  stat  evct
             weights: [0, 80, 40, 840, 40, 0],
+            zipf_queries: false,
+        }
+    }
+
+    /// Like [`TrafficMix::translate_heavy`] but with Zipf-skewed query
+    /// reuse: within each pair the i-th query is chosen with probability
+    /// ∝ 1/(i+1), modelling the few hot queries a translation tier
+    /// actually fields. Almost every translate should land on a cached
+    /// `TranslatePlan` — this is the mix the warm-plan latency and
+    /// plan-hit-rate numbers are recorded on.
+    pub fn repeated_query() -> Self {
+        TrafficMix {
+            name: "repeated-query",
+            //        comp  appl  invr  trns  stat  evct
+            weights: [0, 20, 10, 940, 30, 0],
+            zipf_queries: true,
         }
     }
 
@@ -83,6 +102,7 @@ impl TrafficMix {
         TrafficMix {
             name: "apply-heavy",
             weights: [0, 700, 180, 80, 40, 0],
+            zipf_queries: false,
         }
     }
 
@@ -91,6 +111,7 @@ impl TrafficMix {
         TrafficMix {
             name: "mixed",
             weights: [60, 280, 280, 280, 60, 40],
+            zipf_queries: false,
         }
     }
 
@@ -100,6 +121,7 @@ impl TrafficMix {
         TrafficMix {
             name: "cold-cache-adversarial",
             weights: [100, 150, 100, 300, 50, 300],
+            zipf_queries: false,
         }
     }
 
@@ -107,6 +129,7 @@ impl TrafficMix {
     pub fn all() -> Vec<TrafficMix> {
         vec![
             TrafficMix::translate_heavy(),
+            TrafficMix::repeated_query(),
             TrafficMix::apply_heavy(),
             TrafficMix::mixed(),
             TrafficMix::cold_cache_adversarial(),
@@ -121,6 +144,12 @@ impl TrafficMix {
     /// The mix's stable name.
     pub fn name(&self) -> &'static str {
         self.name
+    }
+
+    /// Whether query choice within a pair is Zipf-skewed (see
+    /// [`TrafficMix::repeated_query`]).
+    pub fn zipf_queries(&self) -> bool {
+        self.zipf_queries
     }
 
     /// The weight of one op.
@@ -139,7 +168,11 @@ impl TrafficMix {
             weights.iter().any(|&w| w > 0),
             "traffic mix needs at least one positive weight"
         );
-        TrafficMix { name, weights }
+        TrafficMix {
+            name,
+            weights,
+            zipf_queries: false,
+        }
     }
 
     /// Sample one operation (deterministic per RNG state).
@@ -204,6 +237,21 @@ mod tests {
     fn adversarial_mix_evicts() {
         assert!(TrafficMix::cold_cache_adversarial().weight(ServiceOp::Evict) > 0);
         assert_eq!(TrafficMix::translate_heavy().weight(ServiceOp::Evict), 0);
+    }
+
+    #[test]
+    fn repeated_query_mix_is_zipf_and_translate_dominated() {
+        let mix = TrafficMix::repeated_query();
+        assert!(mix.zipf_queries());
+        assert_eq!(mix.weight(ServiceOp::Evict), 0);
+        let total: u32 = ServiceOp::ALL.iter().map(|&o| mix.weight(o)).sum();
+        assert!(mix.weight(ServiceOp::Translate) * 100 >= total * 90);
+        // No other named mix skews queries.
+        for other in TrafficMix::all() {
+            if other.name() != mix.name() {
+                assert!(!other.zipf_queries(), "{}", other.name());
+            }
+        }
     }
 
     #[test]

@@ -100,6 +100,51 @@
 //! }
 //! ```
 //!
+//! ## Translation
+//!
+//! [`CompiledEmbedding::translate`](crate::core::CompiledEmbedding::translate)
+//! does not re-run the `Tr` construction per call: each query is reduced
+//! to a canonical *shape key* ([`shape_key`](crate::rxpath::shape_key) —
+//! equivalent spellings like `a[true]` and `a` share one key) and the
+//! compiled [`TranslatePlan`](crate::core::TranslatePlan) — the pruned
+//! product ANFA plus tag-id transition tables — is cached per embedding
+//! (bounded, LRU). Repeat translations return the same
+//! `Arc<TranslatePlan>`; [`plan_stats`](crate::core::CompiledEmbedding::plan_stats)
+//! exposes the hit/miss counters. For hot loops,
+//! [`TranslatePlan::eval_with`](crate::core::TranslatePlan::eval_with)
+//! reuses caller-owned scratch buffers so evaluation allocates nothing
+//! per call:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use xse::prelude::*;
+//!
+//! let source = Dtd::parse(
+//!     "<!ELEMENT r (a, b)><!ELEMENT a (#PCDATA)>\
+//!      <!ELEMENT b (c)*><!ELEMENT c (#PCDATA)>",
+//! ).unwrap();
+//! let att = SimilarityMatrix::permissive(&source, &source);
+//! let embedding =
+//!     find_embedding(&source, &source, &att, &DiscoveryConfig::default()).unwrap();
+//! let doc = parse_xml("<r><a>hi</a><b><c>1</c><c>2</c></b></r>").unwrap();
+//! let out = embedding.apply(&doc).unwrap();
+//!
+//! // First call compiles the plan; an equivalent spelling reuses it.
+//! let q = parse_query("b/c").unwrap();
+//! let plan = embedding.translate(&q).unwrap();
+//! let again = embedding.translate(&parse_query("./b[true]/c").unwrap()).unwrap();
+//! assert!(Arc::ptr_eq(&plan, &again));
+//! let stats: PlanCacheStats = embedding.plan_stats();
+//! assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+//!
+//! // Warm-path evaluation with pooled scratch: no per-call allocations.
+//! let mut scratch = EvalScratch::new();
+//! let mut matches = Vec::new();
+//! plan.eval_with(&out.tree, &mut scratch, &mut matches);
+//! let mapped: Vec<_> = out.idmap.map_result(matches).collect();
+//! assert_eq!(mapped, q.eval(&doc));
+//! ```
+//!
 //! ## Serving
 //!
 //! Compilation (discovery) is the expensive step; everything derived from
@@ -152,9 +197,10 @@ pub use xse_xslt as xslt;
 /// deprecated lifetime-bound `Embedding` shim is intentionally *not* here;
 /// reach it as `xse::core::Embedding` during migration.)
 pub mod prelude {
+    pub use xse_anfa::EvalScratch;
     pub use xse_core::{
-        CompiledEmbedding, EmbeddingBuilder, EmbeddingError, MappingOutput, SimilarityMatrix,
-        TypeMapping,
+        CompiledEmbedding, EmbeddingBuilder, EmbeddingError, MappingOutput, PlanCacheStats,
+        SimilarityMatrix, TranslatePlan, TypeMapping,
     };
     pub use xse_discovery::{
         find_embedding, find_embedding_with_stats, DiscoveryConfig, DiscoveryStats, Strategy,

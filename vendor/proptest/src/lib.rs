@@ -5,10 +5,11 @@
 //! attribute), range strategies over integers and floats, and the
 //! `prop_assert!` / `prop_assert_eq!` assertion macros.
 //!
-//! Unlike the real crate there is **no shrinking**: a failing case reports
-//! its generated inputs (via the panic message prefix added by the runner)
-//! and stops. Generation is deterministic per test function name, so
-//! failures reproduce exactly on re-run.
+//! Failing cases **shrink**: each generated argument is repeatedly halved
+//! toward its range's lower bound while the failure reproduces (naive
+//! greedy halving — no binary search back up, no persistence file). The
+//! final panic reports the shrunken inputs. Generation is deterministic
+//! per test function name, so failures reproduce exactly on re-run.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -21,7 +22,8 @@ pub mod test_runner {
         pub cases: u32,
         /// Accepted for source compatibility; unused (no rejection sampling).
         pub max_global_rejects: u32,
-        /// Accepted for source compatibility; unused (no shrinking).
+        /// Maximum shrink probes (re-runs of the body) per failing case;
+        /// `0` disables shrinking.
         pub max_shrink_iters: u32,
     }
 
@@ -30,7 +32,7 @@ pub mod test_runner {
             Config {
                 cases: 64,
                 max_global_rejects: 1024,
-                max_shrink_iters: 0,
+                max_shrink_iters: 1024,
             }
         }
     }
@@ -40,16 +42,25 @@ pub use test_runner::Config as ProptestConfig;
 
 /// A source of generated values; implemented for primitive ranges.
 pub trait Strategy {
-    type Value: core::fmt::Debug;
+    type Value: core::fmt::Debug + Clone;
     fn generate(&self, rng: &mut StdRng) -> Self::Value;
+    /// Propose a simpler value, or `None` when `value` is already minimal.
+    /// The default never shrinks.
+    fn shrink(&self, _value: &Self::Value) -> Option<Self::Value> {
+        None
+    }
 }
 
 macro_rules! impl_range_strategy {
-    ($($t:ty),*) => {$(
+    ($two:expr => $($t:ty),*) => {$(
         impl Strategy for core::ops::Range<$t> {
             type Value = $t;
             fn generate(&self, rng: &mut StdRng) -> $t {
                 rand::Rng::random_range(rng, self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Option<$t> {
+                let mid = self.start + (*value - self.start) / $two;
+                (mid != *value).then_some(mid)
             }
         }
         impl Strategy for core::ops::RangeInclusive<$t> {
@@ -57,10 +68,16 @@ macro_rules! impl_range_strategy {
             fn generate(&self, rng: &mut StdRng) -> $t {
                 rand::Rng::random_range(rng, self.clone())
             }
+            fn shrink(&self, value: &$t) -> Option<$t> {
+                let lo = *self.start();
+                let mid = lo + (*value - lo) / $two;
+                (mid != *value).then_some(mid)
+            }
         }
     )*};
 }
-impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+impl_range_strategy!(2 => u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+impl_range_strategy!(2.0 => f32, f64);
 
 /// Runs one property: `cases` iterations of sampled inputs.
 ///
@@ -79,6 +96,20 @@ pub fn run_property(name: &str, config: &ProptestConfig, mut case: impl FnMut(&m
     for i in 0..config.cases {
         case(&mut rng, i);
     }
+}
+
+/// Runs `f` with the global panic hook swapped for a no-op, so shrink
+/// probes don't spray expected panic messages. The previous hook is
+/// restored afterwards. (The hook is process-global; a concurrent test
+/// that panics inside this window loses its message but still fails.)
+#[doc(hidden)]
+pub fn __silence_panics<R>(f: impl FnOnce() -> R) -> R {
+    let saved = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let result = f();
+    let _ = std::panic::take_hook();
+    std::panic::set_hook(saved);
+    result
 }
 
 /// The proptest entry macro: a block of `#[test]` functions whose arguments
@@ -106,7 +137,44 @@ macro_rules! __proptest_items {
         fn $name() {
             let config: $crate::ProptestConfig = $config;
             $crate::run_property(stringify!($name), &config, |rng, case| {
-                $(let $arg = $crate::Strategy::generate(&($strat), rng);)*
+                $(let mut $arg = $crate::Strategy::generate(&($strat), rng);)*
+                // The body as a pure function of the argument tuple, so
+                // shrink probes can re-run it on candidate inputs. The
+                // destructuring clone shadows the outer bindings — the
+                // body never touches them directly.
+                let __body = |__tuple: &_| {
+                    let ($($arg,)*) = ::core::clone::Clone::clone(__tuple);
+                    $body
+                };
+                let __fails = |__tuple: &_| {
+                    ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| __body(__tuple)),
+                    )
+                    .is_err()
+                };
+                let __failed = $crate::__silence_panics(|| {
+                    if !__fails(&($($arg.clone(),)*)) {
+                        return false;
+                    }
+                    // Greedy halving: shrink each argument toward its
+                    // strategy's minimum while the failure reproduces,
+                    // looping until a whole round makes no progress.
+                    let mut __iters = config.max_shrink_iters;
+                    let mut __progress = true;
+                    while __progress && __iters > 0 {
+                        __progress = false;
+                        $crate::__shrink_each!(
+                            __iters, __progress, __fails,
+                            [$($arg),*], $(($arg, $strat,)),*
+                        );
+                    }
+                    true
+                });
+                if !__failed {
+                    return;
+                }
+                // Re-run the minimized case outside the catch so the
+                // original panic surfaces, prefixed with the inputs.
                 let inputs = format!(
                     concat!("case {}: ", $(stringify!($arg), " = {:?} "),*),
                     case $(, $arg)*
@@ -116,6 +184,40 @@ macro_rules! __proptest_items {
             });
         }
         $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+/// One greedy-halving pass over the argument list: each step shrinks the
+/// head argument as far as the failure keeps reproducing, then recurses on
+/// the tail. `$all` is the *full* argument list, used to rebuild the input
+/// tuple for every probe.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __shrink_each {
+    ($iters:ident, $progress:ident, $fails:ident, [$($all:ident),*] $(,)?) => {};
+    ($iters:ident, $progress:ident, $fails:ident, [$($all:ident),*],
+     ($arg:ident, $strat:expr,) $(, ($rarg:ident, $rstrat:expr,))* $(,)?) => {
+        loop {
+            if $iters == 0 {
+                break;
+            }
+            let __candidate = match $crate::Strategy::shrink(&($strat), &$arg) {
+                Some(c) => c,
+                None => break,
+            };
+            $iters -= 1;
+            let __previous = ::core::mem::replace(&mut $arg, __candidate);
+            if $fails(&($($all.clone(),)*)) {
+                $progress = true;
+            } else {
+                $arg = __previous;
+                break;
+            }
+        }
+        $crate::__shrink_each!(
+            $iters, $progress, $fails,
+            [$($all),*] $(, ($rarg, $rstrat,))*
+        );
     };
 }
 
@@ -162,6 +264,7 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use crate::prelude::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     proptest! {
         #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
@@ -192,5 +295,71 @@ mod tests {
             |_, _| n += 1,
         );
         assert_eq!(n, 24);
+    }
+
+    #[test]
+    fn range_shrink_halves_toward_the_low_bound() {
+        let s = 10u64..100;
+        assert_eq!(Strategy::shrink(&s, &90), Some(50));
+        assert_eq!(Strategy::shrink(&s, &50), Some(30));
+        assert_eq!(Strategy::shrink(&s, &11), Some(10));
+        assert_eq!(Strategy::shrink(&s, &10), None, "minimum is terminal");
+
+        let inc = -8i32..=8;
+        assert_eq!(Strategy::shrink(&inc, &8), Some(0));
+        assert_eq!(Strategy::shrink(&inc, &-8), None);
+
+        let f = 0.0f64..1.0;
+        assert_eq!(Strategy::shrink(&f, &0.5), Some(0.25));
+        assert_eq!(Strategy::shrink(&f, &0.0), None);
+    }
+
+    static SHRUNK_TO: AtomicU64 = AtomicU64::new(u64::MAX);
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+        // Deliberately failing property (not a #[test]; driven below): every
+        // probe records its input, so after the run SHRUNK_TO holds the
+        // minimized counterexample the final panic reported.
+        fn fails_at_ten_or_more(n in 0u64..1000) {
+            SHRUNK_TO.store(n, Ordering::SeqCst);
+            prop_assert!(n < 10);
+        }
+    }
+
+    #[test]
+    fn failing_case_shrinks_near_the_minimum() {
+        let result = std::panic::catch_unwind(fails_at_ten_or_more);
+        assert!(result.is_err(), "property must fail");
+        let shrunk = SHRUNK_TO.load(Ordering::SeqCst);
+        // Greedy halving stops once the half-step passes, so the reported
+        // value k still fails (k >= 10) but its half passes (k/2 < 10).
+        assert!(
+            (10..20).contains(&shrunk),
+            "expected a near-minimal counterexample, got {shrunk}"
+        );
+    }
+
+    #[test]
+    fn zero_shrink_iters_disables_shrinking() {
+        // With shrinking off the failing input is reported as generated;
+        // the property still fails.
+        proptest! {
+            #![proptest_config(ProptestConfig {
+                cases: 4,
+                max_shrink_iters: 0,
+                ..ProptestConfig::default()
+            })]
+            fn inner(n in 500u64..1000) {
+                SHRUNK_TO.store(n, Ordering::SeqCst);
+                prop_assert!(n < 500);
+            }
+        }
+        assert!(std::panic::catch_unwind(inner).is_err());
+        assert!(
+            SHRUNK_TO.load(Ordering::SeqCst) >= 500,
+            "no shrink probes may run when max_shrink_iters is 0"
+        );
     }
 }
