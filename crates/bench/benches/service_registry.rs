@@ -69,8 +69,36 @@ fn assert_warm_hit_beats_recompile() {
     );
 }
 
+/// Regression gate for the negative cache: once a DTD pair has failed
+/// discovery, repeating the request within the TTL must be answered from
+/// the negative cache — no re-parse, no re-discovery — making the repeat
+/// at least 10× faster than the initial failure and bumping the
+/// `negative_hits` counter.
+fn assert_negative_cache_absorbs_repeat_failures() {
+    let (s, t) = (
+        "<!ELEMENT r (a, b)>\n<!ELEMENT a (#PCDATA)>\n<!ELEMENT b (#PCDATA)>",
+        "<!ELEMENT r (#PCDATA)>",
+    );
+    let reg = registry();
+    let t0 = std::time::Instant::now();
+    assert!(reg.get_or_compile(s, t).is_err(), "pair must not embed");
+    let t_fail = t0.elapsed();
+    let t0 = std::time::Instant::now();
+    for _ in 0..32 {
+        assert!(reg.get_or_compile(s, t).is_err());
+    }
+    let t_cached = t0.elapsed();
+    assert_eq!(reg.stats().negative_hits, 32, "repeats must hit the cache");
+    assert!(
+        t_cached * 10 <= t_fail * 32,
+        "negative-cache hit ({t_cached:?}/32 ops) not 10x faster than the \
+         initial failed discovery ({t_fail:?}/op)"
+    );
+}
+
 fn bench(c: &mut Criterion) {
     assert_warm_hit_beats_recompile();
+    assert_negative_cache_absorbs_repeat_failures();
 
     let smoke = std::env::var_os("XSE_SCALE_SMOKE").is_some();
     let (s, t) = wrap_pair();

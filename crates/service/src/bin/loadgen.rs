@@ -4,6 +4,7 @@
 //! xse-loadgen [--mix NAME] [--ops N] [--pairs N] [--seed N]
 //!             [--capacity N] [--workers N] [--cold]
 //!             [--addr HOST:PORT | --spawn-server | --in-process]
+//!             [--chaos] [--fault-seed N]
 //!             [--check]
 //! ```
 //!
@@ -12,17 +13,29 @@
 //! * `--addr` targets a running server; `--spawn-server` starts one on an
 //!   ephemeral port and drives it over TCP; the default is in-process.
 //! * `--cold` evicts (untimed) before every timed op.
-//! * `--check` exits non-zero unless the replay had positive QPS and zero
-//!   protocol errors — the CI smoke gate. On the `repeated-query` mix
-//!   (warm) it additionally requires a ≥ 95% translation-plan hit rate.
+//! * `--chaos` (requires `--spawn-server`) interposes a [`FaultProxy`]
+//!   running [`FaultPlan::standard`]`(--fault-seed)` between a retrying
+//!   client and the server: frames are delayed, reset, truncated and
+//!   corrupted, and the summary reports shed/retry counts plus an error
+//!   taxonomy. The injected fault sequence is deterministic per seed.
+//! * `--check` exits non-zero unless the replay had positive QPS, issued
+//!   ops, and — always — zero misinterpretations. Without `--chaos` it
+//!   also requires zero protocol errors (under chaos, transport failures
+//!   are the point), and on the `repeated-query` mix (warm) a ≥ 95%
+//!   translation-plan hit rate.
 //!
 //! The summary is printed to stdout as a single JSON line.
 
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
+use xse_service::fault::{FaultPlan, FaultProxy};
 use xse_service::loadgen::{self, Endpoint, LoadConfig};
-use xse_service::{Client, EmbeddingRegistry, RegistryConfig, Server, ServerConfig};
+use xse_service::{
+    Client, ClientConfig, EmbeddingRegistry, RegistryConfig, RetryPolicy, RetryingClient, Server,
+    ServerConfig,
+};
 use xse_workloads::traffic::TrafficMix;
 
 struct Args {
@@ -35,6 +48,8 @@ struct Args {
     cold: bool,
     addr: Option<String>,
     spawn_server: bool,
+    chaos: bool,
+    fault_seed: u64,
     check: bool,
 }
 
@@ -49,6 +64,8 @@ fn parse_args() -> Result<Args, String> {
         cold: false,
         addr: None,
         spawn_server: false,
+        chaos: false,
+        fault_seed: 7,
         check: false,
     };
     let mut it = std::env::args().skip(1);
@@ -69,12 +86,17 @@ fn parse_args() -> Result<Args, String> {
             "--addr" => args.addr = Some(value("--addr")?),
             "--spawn-server" => args.spawn_server = true,
             "--in-process" => {}
+            "--chaos" => args.chaos = true,
+            "--fault-seed" => args.fault_seed = parse_num(&value("--fault-seed")?)? as u64,
             "--check" => args.check = true,
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
     if args.addr.is_some() && args.spawn_server {
         return Err("--addr and --spawn-server are mutually exclusive".into());
+    }
+    if args.chaos && !args.spawn_server {
+        return Err("--chaos requires --spawn-server (the proxy needs an upstream)".into());
     }
     Ok(args)
 }
@@ -105,9 +127,22 @@ fn main() -> ExitCode {
             ..RegistryConfig::default()
         }))
     };
+    let server_config = || ServerConfig {
+        workers: args.workers,
+        // Chaos runs stall connections on purpose; shorter deadlines keep
+        // workers circulating through the injected faults.
+        read_timeout: Some(if args.chaos {
+            Duration::from_secs(2)
+        } else {
+            Duration::from_secs(5)
+        }),
+        ..ServerConfig::default()
+    };
 
-    // `_server` must outlive the endpoint; dropping it joins the pool.
+    // `_server` / `_proxy` must outlive the endpoint; dropping them joins
+    // their threads.
     let mut _server = None;
+    let mut _proxy = None;
     let mut endpoint = if let Some(addr) = &args.addr {
         match Client::connect(addr.as_str()) {
             Ok(c) => Endpoint::Tcp(c),
@@ -117,27 +152,57 @@ fn main() -> ExitCode {
             }
         }
     } else if args.spawn_server {
-        let handle = match Server::bind(
-            ("127.0.0.1", 0),
-            registry(),
-            ServerConfig {
-                workers: args.workers,
-            },
-        ) {
+        let handle = match Server::bind(("127.0.0.1", 0), registry(), server_config()) {
             Ok(h) => h,
             Err(e) => {
                 eprintln!("xse-loadgen: bind: {e}");
                 return ExitCode::from(2);
             }
         };
-        let addr = handle.addr();
-        eprintln!("xse-loadgen: spawned server on {addr}");
+        let server_addr = handle.addr();
+        eprintln!("xse-loadgen: spawned server on {server_addr}");
         _server = Some(handle);
-        match Client::connect(addr) {
-            Ok(c) => Endpoint::Tcp(c),
-            Err(e) => {
-                eprintln!("xse-loadgen: connect {addr}: {e}");
-                return ExitCode::from(2);
+        if args.chaos {
+            let plan = FaultPlan::standard(args.fault_seed);
+            let proxy = match FaultProxy::spawn(server_addr, plan) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("xse-loadgen: fault proxy: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let proxy_addr = proxy.addr();
+            eprintln!(
+                "xse-loadgen: chaos proxy on {proxy_addr} (fault seed {})",
+                args.fault_seed
+            );
+            _proxy = Some(proxy);
+            let client = RetryingClient::new(
+                proxy_addr,
+                ClientConfig {
+                    connect_timeout: Some(Duration::from_secs(1)),
+                    read_timeout: Some(Duration::from_secs(5)),
+                    write_timeout: Some(Duration::from_secs(2)),
+                },
+                RetryPolicy {
+                    seed: args.fault_seed,
+                    ..RetryPolicy::default()
+                },
+            );
+            match client {
+                Ok(c) => Endpoint::Retry(c),
+                Err(e) => {
+                    eprintln!("xse-loadgen: retry client: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            match Client::connect(server_addr) {
+                Ok(c) => Endpoint::Tcp(c),
+                Err(e) => {
+                    eprintln!("xse-loadgen: connect {server_addr}: {e}");
+                    return ExitCode::from(2);
+                }
             }
         }
     } else {
@@ -155,22 +220,48 @@ fn main() -> ExitCode {
         },
     );
     println!("{}", summary.to_json());
-
-    if args.check && (summary.qps <= 0.0 || summary.protocol_errors > 0 || summary.ops == 0) {
+    if let Some(proxy) = &_proxy {
+        let counts = proxy.fault_counts();
         eprintln!(
-            "xse-loadgen: check FAILED (qps {:.2}, protocol_errors {}, ops {})",
-            summary.qps, summary.protocol_errors, summary.ops
+            "xse-loadgen: injected faults: {} resets, {} truncations, {} corruptions, {} delays; \
+             server shed {} connections",
+            counts.resets,
+            counts.truncations,
+            counts.corruptions,
+            counts.delays,
+            _server.as_ref().map_or(0, |s| s.shed_count()),
         );
-        return ExitCode::from(1);
     }
-    // The repeated-query mix exists to exercise plan reuse; a warm replay
-    // that misses the plan cache is a regression even if it stays fast.
-    if args.check && args.mix.zipf_queries() && !args.cold && summary.plan_hit_rate < 0.95 {
-        eprintln!(
-            "xse-loadgen: check FAILED (plan hit rate {:.4} below 0.95)",
-            summary.plan_hit_rate
-        );
-        return ExitCode::from(1);
+
+    if args.check {
+        let mut failures = Vec::new();
+        if summary.qps <= 0.0 {
+            failures.push(format!("qps {:.2} not positive", summary.qps));
+        }
+        if summary.ops == 0 {
+            failures.push("no ops completed".into());
+        }
+        if summary.misinterpretations > 0 {
+            failures.push(format!(
+                "{} misinterpreted responses (corruption must never decode as success)",
+                summary.misinterpretations
+            ));
+        }
+        if !args.chaos && summary.protocol_errors > 0 {
+            failures.push(format!("{} protocol errors", summary.protocol_errors));
+        }
+        // The repeated-query mix exists to exercise plan reuse; a warm
+        // replay that misses the plan cache is a regression even if fast.
+        if !args.chaos && args.mix.zipf_queries() && !args.cold && summary.plan_hit_rate < 0.95 {
+            failures.push(format!(
+                "plan hit rate {:.4} below 0.95",
+                summary.plan_hit_rate
+            ));
+        }
+        if !failures.is_empty() {
+            eprintln!("xse-loadgen: check FAILED ({})", failures.join("; "));
+            return ExitCode::from(1);
+        }
     }
     ExitCode::SUCCESS
 }

@@ -15,7 +15,13 @@
 //! * [`loadgen`] — replays [`TrafficMix`](xse_workloads::traffic) request
 //!   mixes built from the workloads corpora against an in-process registry
 //!   or a TCP endpoint, and reports per-op latency percentiles, QPS and
-//!   hit rates.
+//!   hit rates. Its `--chaos` mode routes the replay through the fault
+//!   proxy with a retrying client and reports shed/retry counts plus an
+//!   error taxonomy.
+//! * [`fault`] — [`FaultProxy`], an in-process chaos TCP proxy driven by a
+//!   seeded, deterministic [`FaultPlan`] (delay, reset, truncate
+//!   mid-frame, corrupt a byte), for exercising every failure path above
+//!   without leaving the test process.
 //!
 //! # Wire format
 //!
@@ -53,15 +59,55 @@
 //! | `0x81` | `compiled`   | `source_hash`, `target_hash`, `size: u64`     |
 //! | `0x82` | `document`   | `xml`                                         |
 //! | `0x83` | `translated` | `size`, `states`, `plan_hits`, `plan_misses` (`u64` each) |
-//! | `0x84` | `stats`      | 10 × `u64` (see [`proto::StatsWire`])         |
+//! | `0x84` | `stats`      | 11 × `u64` (see [`proto::StatsWire`])         |
 //! | `0x85` | `evicted`    | `existed: u8`                                 |
 //! | `0xFF` | `error`      | `code: u8`, `message`                         |
 //!
 //! Error codes ([`proto::ErrorCode`]): `1` frame too large (connection
 //! closes), `2` malformed payload, `3` unknown opcode, `4` bad DTD, `5`
 //! bad document, `6` bad query, `7` no embedding found, `8` engine error,
-//! `9` not found (reserved). Every error except `1` leaves the connection
-//! open for further requests, and none of them poison the registry.
+//! `9` not found (reserved), `10` overloaded (shed before execution —
+//! always safe to retry), `11` timeout (a server-side deadline expired).
+//! Every error except `1` leaves the connection open for further
+//! requests, and none of them poison the registry. Unassigned code bytes
+//! decode to [`ErrorCode::Unknown`] — clients
+//! must treat them as fatal application errors, not protocol violations,
+//! so new codes can be introduced server-first.
+//!
+//! # Deadlines, overload, and retry semantics
+//!
+//! The serving layer never waits unboundedly on a peer:
+//!
+//! * **Server read/write deadlines** ([`ServerConfig::read_timeout`] /
+//!   [`ServerConfig::write_timeout`]) bound every socket operation. A
+//!   connection that is *idle* at its read deadline is closed silently
+//!   (keep-alive expiry); one that stalls **mid-frame** is answered with a
+//!   best-effort `timeout` (`11`) error frame and closed, releasing its
+//!   worker back to the pool.
+//! * **Per-request budget** ([`ServerConfig::request_budget`]): a request
+//!   whose handling exceeds the budget is answered with `timeout` instead
+//!   of its (late) result. Blocking engine calls cannot be interrupted
+//!   mid-flight, so the budget is enforced when the response is produced —
+//!   it bounds what the server *returns*, while the client's own read
+//!   deadline bounds what the client *waits for*.
+//! * **Load shedding** ([`ServerConfig::max_queued`]): when the accept
+//!   queue is full, new connections are answered immediately with an
+//!   `overloaded` (`10`) error frame and closed instead of queueing
+//!   unboundedly. Shedding happens *before* any request is read, so an
+//!   `overloaded` answer guarantees the request was never executed.
+//! * **Graceful drain**: shutdown stops accepting, sheds the queued
+//!   backlog (`overloaded`), lets in-flight requests finish up to
+//!   [`ServerConfig::drain_deadline`], then force-closes whatever remains.
+//! * **Client deadlines** ([`ClientConfig`]): `connect`, reads and writes
+//!   all carry timeouts, surfaced as the typed
+//!   [`ServiceError::Timeout`] (distinct from [`ServiceError::Io`]).
+//! * **Retries** ([`RetryPolicy`] / [`RetryingClient`]): exponential
+//!   backoff with deterministic seeded jitter. A failed attempt is
+//!   retried only when it is provably safe: connect-phase failures and
+//!   `overloaded`/pre-execution rejections (`2`, `3`) retry any request;
+//!   post-send transport failures retry only **idempotent** requests
+//!   ([`Request::is_idempotent`] — everything except `evict`); structured
+//!   application errors (bad DTD, no embedding, …) never retry.
 //!
 //! The `translate` response deliberately returns automaton *metrics*
 //! (`|Tr(Q)|` and state count) rather than a rendered query: translation
@@ -74,12 +120,14 @@
 //! [`TranslatePlan`](xse_core::TranslatePlan) without a second round-trip.
 
 pub mod client;
+pub mod fault;
 pub mod loadgen;
 pub mod proto;
 pub mod registry;
 pub mod server;
 
-pub use client::{Client, TranslateReply};
+pub use client::{Client, ClientConfig, RetryPolicy, RetryStats, RetryingClient, TranslateReply};
+pub use fault::{FaultAction, FaultPlan, FaultProxy, FaultProxyHandle};
 pub use proto::{ErrorCode, Request, Response, MAX_FRAME_LEN};
 pub use registry::{EmbeddingRegistry, PairKey, RegistryConfig, RegistryStats};
 pub use server::{Server, ServerConfig, ServerHandle};
@@ -102,6 +150,15 @@ pub enum ServiceError {
     Engine(String),
     /// Client side: socket-level failure.
     Io(String),
+    /// Client side: a deadline expired — connecting, writing the request,
+    /// or waiting for the response took longer than the configured bound.
+    /// Distinct from [`ServiceError::Io`] so retry policies can treat
+    /// slowness differently from broken sockets.
+    Timeout(String),
+    /// Client side: the peer closed the connection cleanly at a frame
+    /// boundary (e.g. the server drained for shutdown or dropped an idle
+    /// connection at its read deadline).
+    Closed,
     /// Client side: the peer broke the framing/encoding rules.
     Protocol(String),
     /// Client side: the server answered with an error frame.
@@ -122,6 +179,8 @@ impl std::fmt::Display for ServiceError {
             ServiceError::NoEmbedding => write!(f, "no information-preserving embedding found"),
             ServiceError::Engine(m) => write!(f, "engine error: {m}"),
             ServiceError::Io(m) => write!(f, "i/o error: {m}"),
+            ServiceError::Timeout(m) => write!(f, "deadline expired: {m}"),
+            ServiceError::Closed => write!(f, "peer closed the connection at a frame boundary"),
             ServiceError::Protocol(m) => write!(f, "protocol error: {m}"),
             ServiceError::Remote { code, message } => {
                 write!(f, "server error ({code:?}): {message}")
@@ -140,8 +199,10 @@ impl ServiceError {
             ServiceError::BadDocument(_) => ErrorCode::BadDocument,
             ServiceError::BadQuery(_) => ErrorCode::BadQuery,
             ServiceError::NoEmbedding => ErrorCode::NoEmbedding,
+            ServiceError::Timeout(_) => ErrorCode::Timeout,
             ServiceError::Engine(_)
             | ServiceError::Io(_)
+            | ServiceError::Closed
             | ServiceError::Protocol(_)
             | ServiceError::Remote { .. } => ErrorCode::EngineError,
         }
@@ -231,6 +292,7 @@ fn try_handle(registry: &EmbeddingRegistry, req: &Request) -> Result<Response, S
                 plan_hits: s.plan_hits,
                 plan_misses: s.plan_misses,
                 plan_entries: s.plan_entries,
+                negative_hits: s.negative_hits,
             }))
         }
         Request::Evict {

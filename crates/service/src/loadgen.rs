@@ -29,9 +29,9 @@ use xse_workloads::querygen::{random_queries, QueryConfig};
 use xse_workloads::scale;
 use xse_workloads::traffic::{ServiceOp, TrafficMix};
 
-use crate::proto::{Request, Response, StatsWire};
+use crate::proto::{ErrorCode, Request, Response, StatsWire};
 use crate::registry::{default_similarity, EmbeddingRegistry};
-use crate::{Client, ServiceError};
+use crate::{Client, RetryStats, RetryingClient, ServiceError};
 
 /// One source/target schema pair with pre-generated request payloads.
 pub struct SchemaPair {
@@ -169,6 +169,9 @@ pub enum Endpoint {
     InProcess(Arc<EmbeddingRegistry>),
     /// A connected client — measures the full wire path.
     Tcp(Client),
+    /// A reconnecting, retrying client — the endpoint for chaos replays
+    /// (transport failures don't end the run; the client re-dials).
+    Retry(RetryingClient),
 }
 
 impl Endpoint {
@@ -176,6 +179,21 @@ impl Endpoint {
         match self {
             Endpoint::InProcess(reg) => Ok(crate::handle_request(reg, req)),
             Endpoint::Tcp(client) => client.call(req),
+            Endpoint::Retry(client) => client.call(req),
+        }
+    }
+
+    /// A broken plain TCP connection cannot carry further requests; the
+    /// retrying endpoint re-dials per call and the in-process one cannot
+    /// fail at transport level.
+    fn survives_transport_errors(&self) -> bool {
+        !matches!(self, Endpoint::Tcp(_))
+    }
+
+    fn retry_stats(&self) -> Option<RetryStats> {
+        match self {
+            Endpoint::Retry(client) => Some(client.stats()),
+            _ => None,
         }
     }
 }
@@ -205,6 +223,56 @@ pub struct OpDigest {
     pub p99_nanos: u64,
 }
 
+/// Failures bucketed by kind, for the chaos report. Structured error
+/// frames and transport errors are disjoint buckets: a request counts in
+/// exactly one.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct ErrorTaxonomy {
+    /// `overloaded` error frames (the server shed the connection).
+    pub overloaded: u64,
+    /// Timeouts: `timeout` error frames plus client-side deadline expiry.
+    pub timeout: u64,
+    /// Wire-shape rejections: frame-too-large, malformed payload, unknown
+    /// opcode (under chaos, mostly corrupted request frames).
+    pub malformed: u64,
+    /// Other structured application errors (bad DTD, no embedding, …).
+    pub app: u64,
+    /// Transport gone: socket errors and connection closures.
+    pub io: u64,
+    /// Protocol violations observed client-side: truncated or
+    /// undecodable response frames.
+    pub protocol: u64,
+}
+
+impl ErrorTaxonomy {
+    fn note_response(&mut self, code: ErrorCode) {
+        match code {
+            ErrorCode::Overloaded => self.overloaded += 1,
+            ErrorCode::Timeout => self.timeout += 1,
+            ErrorCode::FrameTooLarge | ErrorCode::Malformed | ErrorCode::UnknownOpcode => {
+                self.malformed += 1;
+            }
+            _ => self.app += 1,
+        }
+    }
+
+    fn note_transport(&mut self, err: &ServiceError) {
+        match err {
+            ServiceError::Timeout(_) => self.timeout += 1,
+            ServiceError::Protocol(_) => self.protocol += 1,
+            _ => self.io += 1,
+        }
+    }
+
+    fn to_json(self) -> String {
+        format!(
+            "{{\"overloaded\":{},\"timeout\":{},\"malformed\":{},\"app\":{},\
+             \"io\":{},\"protocol\":{}}}",
+            self.overloaded, self.timeout, self.malformed, self.app, self.io, self.protocol
+        )
+    }
+}
+
 /// Machine-readable result of one replay.
 pub struct LoadSummary {
     /// Mix name.
@@ -226,6 +294,17 @@ pub struct LoadSummary {
     /// Structured error responses (the request reached the server and was
     /// answered with an error frame).
     pub op_errors: u64,
+    /// Failures bucketed by kind (see [`ErrorTaxonomy`]).
+    pub errors: ErrorTaxonomy,
+    /// `overloaded` error frames observed — requests the server shed.
+    pub shed: u64,
+    /// Successful responses of the *wrong kind* for their request (e.g. a
+    /// `document` answer to a `translate`). Must be zero on any run, chaos
+    /// included: corruption is designed to be undecodable, never silently
+    /// misread.
+    pub misinterpretations: u64,
+    /// Retry counters, when the endpoint was [`Endpoint::Retry`].
+    pub retry: Option<RetryStats>,
     /// Per-op latency digests, in [`ServiceOp::ALL`] order, `None` when
     /// the op never ran.
     pub per_op: Vec<(ServiceOp, Option<OpDigest>)>,
@@ -262,15 +341,25 @@ impl LoadSummary {
                 )
             })
             .unwrap_or_else(|| "null".into());
+        let retry = self
+            .retry
+            .map(|r| {
+                format!(
+                    "{{\"attempts\":{},\"retries\":{},\"reconnects\":{}}}",
+                    r.attempts, r.retries, r.reconnects
+                )
+            })
+            .unwrap_or_else(|| "null".into());
         format!(
             "{{\"mix\":\"{}\",\"ops\":{},\"elapsed_nanos\":{},\"qps\":{:.2},\
              \"hit_rate\":{:.4},\"plan_hit_rate\":{:.4},\
-             \"protocol_errors\":{},\"op_errors\":{},\
+             \"protocol_errors\":{},\"op_errors\":{},\"shed\":{},\
+             \"misinterpretations\":{},\"errors\":{},\"retry\":{retry},\
              \"overall\":{overall},\"per_op\":{{{per_op}}},\
              \"registry\":{{\"hits\":{},\"misses\":{},\"compiles\":{},\
              \"single_flight_waits\":{},\"evictions\":{},\"entries\":{},\
              \"compile_nanos\":{},\"plan_hits\":{},\"plan_misses\":{},\
-             \"plan_entries\":{}}}}}",
+             \"plan_entries\":{},\"negative_hits\":{}}}}}",
             self.mix,
             self.ops,
             self.elapsed_nanos,
@@ -279,6 +368,9 @@ impl LoadSummary {
             self.plan_hit_rate,
             self.protocol_errors,
             self.op_errors,
+            self.shed,
+            self.misinterpretations,
+            self.errors.to_json(),
             self.registry.hits,
             self.registry.misses,
             self.registry.compiles,
@@ -289,21 +381,43 @@ impl LoadSummary {
             self.registry.plan_hits,
             self.registry.plan_misses,
             self.registry.plan_entries,
+            self.registry.negative_hits,
         )
     }
 }
 
+/// Whether a *successful* response is of the kind `req` calls for. Error
+/// frames and transport failures are judged elsewhere; this catches the
+/// one thing that must never happen — a wrong-kind success (a frame
+/// misread as an answer it isn't).
+pub fn response_matches(req: &Request, resp: &Response) -> bool {
+    matches!(
+        (req, resp),
+        (Request::Compile { .. }, Response::Compiled { .. })
+            | (Request::Apply { .. }, Response::Document { .. })
+            | (Request::Invert { .. }, Response::Document { .. })
+            | (Request::Translate { .. }, Response::Translated { .. })
+            | (Request::Stats, Response::Stats(_))
+            | (Request::Evict { .. }, Response::Evicted { .. })
+            | (_, Response::Error { .. })
+    )
+}
+
 /// Replay `cfg.ops` sampled operations against `endpoint`.
 ///
-/// Transport failures are counted and abort the replay early (a broken
-/// TCP connection cannot carry further requests); structured error
-/// responses are counted and the replay continues.
+/// Transport failures are counted; on a plain [`Endpoint::Tcp`] they also
+/// abort the replay early (a broken TCP connection cannot carry further
+/// requests), while the retrying and in-process endpoints press on.
+/// Structured error responses are counted and the replay continues.
 pub fn run(endpoint: &mut Endpoint, pairs: &[SchemaPair], cfg: &LoadConfig) -> LoadSummary {
     assert!(!pairs.is_empty(), "load generation needs at least one pair");
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut latencies: Vec<Vec<u64>> = vec![Vec::new(); ServiceOp::ALL.len()];
     let mut protocol_errors = 0u64;
     let mut op_errors = 0u64;
+    let mut errors = ErrorTaxonomy::default();
+    let mut shed = 0u64;
+    let mut misinterpretations = 0u64;
     let mut issued = 0u64;
 
     let t0 = Instant::now();
@@ -325,20 +439,38 @@ pub fn run(endpoint: &mut Endpoint, pairs: &[SchemaPair], cfg: &LoadConfig) -> L
                 source_dtd: pair.source_text.clone(),
                 target_dtd: pair.target_text.clone(),
             };
-            if endpoint.exec(&evict).is_err() {
+            if let Err(e) = endpoint.exec(&evict) {
                 protocol_errors += 1;
-                break;
+                errors.note_transport(&e);
+                if !endpoint.survives_transport_errors() {
+                    break;
+                }
+                continue;
             }
         }
         let start = Instant::now();
         let result = endpoint.exec(&req);
         let nanos = start.elapsed().as_nanos() as u64;
         match result {
-            Ok(Response::Error { .. }) => op_errors += 1,
-            Ok(_) => {}
-            Err(_) => {
+            Ok(Response::Error { code, message: _ }) => {
+                op_errors += 1;
+                errors.note_response(code);
+                if code == ErrorCode::Overloaded {
+                    shed += 1;
+                }
+            }
+            Ok(resp) => {
+                if !response_matches(&req, &resp) {
+                    misinterpretations += 1;
+                }
+            }
+            Err(e) => {
                 protocol_errors += 1;
-                break;
+                errors.note_transport(&e);
+                if !endpoint.survives_transport_errors() {
+                    break;
+                }
+                continue;
             }
         }
         issued += 1;
@@ -386,6 +518,10 @@ pub fn run(endpoint: &mut Endpoint, pairs: &[SchemaPair], cfg: &LoadConfig) -> L
         plan_hit_rate,
         protocol_errors,
         op_errors,
+        errors,
+        shed,
+        misinterpretations,
+        retry: endpoint.retry_stats(),
         per_op,
         registry,
         overall_digest: digest(&mut all),
@@ -514,10 +650,41 @@ mod tests {
         assert_eq!(summary.protocol_errors, 0);
         assert_eq!(summary.op_errors, 0, "{}", summary.to_json());
         assert!(summary.qps > 0.0);
+        assert_eq!(summary.misinterpretations, 0);
+        assert_eq!(summary.shed, 0);
+        assert!(summary.retry.is_none(), "in-process endpoint never retries");
         let json = summary.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
         assert!(json.contains("\"mix\":\"mixed\""), "{json}");
         assert!(json.contains("\"plan_hit_rate\""), "{json}");
+        assert!(json.contains("\"errors\":{\"overloaded\":0"), "{json}");
+        assert!(json.contains("\"retry\":null"), "{json}");
+        assert!(json.contains("\"negative_hits\":0"), "{json}");
+    }
+
+    #[test]
+    fn response_matching_rejects_wrong_kind_successes() {
+        let compile = Request::Compile {
+            source_dtd: "s".into(),
+            target_dtd: "t".into(),
+        };
+        let compiled = Response::Compiled {
+            source_hash: "a".into(),
+            target_hash: "b".into(),
+            size: 1,
+        };
+        let doc = Response::Document { xml: "<r/>".into() };
+        assert!(response_matches(&compile, &compiled));
+        assert!(!response_matches(&compile, &doc));
+        assert!(!response_matches(&Request::Stats, &compiled));
+        // Error frames are never misinterpretations — they are counted in
+        // the taxonomy instead.
+        let err = Response::Error {
+            code: ErrorCode::Overloaded,
+            message: String::new(),
+        };
+        assert!(response_matches(&compile, &err));
+        assert!(response_matches(&Request::Stats, &err));
     }
 
     #[test]

@@ -47,34 +47,80 @@ pub mod resp {
 }
 
 /// Structured error codes carried by [`Response::Error`].
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-#[repr(u8)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum ErrorCode {
     /// Declared frame length exceeds [`MAX_FRAME_LEN`]; connection closes.
-    FrameTooLarge = 1,
+    FrameTooLarge,
     /// Payload too short / length fields inconsistent / invalid UTF-8.
-    Malformed = 2,
+    Malformed,
     /// First payload byte is not a known request opcode.
-    UnknownOpcode = 3,
+    UnknownOpcode,
     /// A DTD field failed to parse or reduce.
-    BadDtd = 4,
+    BadDtd,
     /// A document field failed to parse or validate.
-    BadDocument = 5,
+    BadDocument,
     /// A query field failed to parse.
-    BadQuery = 6,
+    BadQuery,
     /// Discovery found no information-preserving embedding for the pair.
-    NoEmbedding = 7,
+    NoEmbedding,
     /// The engine rejected an otherwise well-formed request (apply/invert
     /// failure, internal error).
-    EngineError = 8,
+    EngineError,
     /// Evict targeted a pair that was not cached.
-    NotFound = 9,
+    NotFound,
+    /// The server is shedding load (accept queue over its bound, or the
+    /// server is draining for shutdown); the request was **not** executed
+    /// and is always safe to retry elsewhere or later.
+    Overloaded,
+    /// A deadline expired: the server's per-request time budget ran out,
+    /// or its read deadline fired while a frame was partially received.
+    Timeout,
+    /// A code byte this build does not know. Preserved verbatim so old
+    /// clients stay able to log (and classify as fatal) errors introduced
+    /// by newer servers instead of treating them as protocol violations.
+    Unknown(u8),
 }
 
 impl ErrorCode {
-    /// Decode a wire byte.
-    pub fn from_u8(b: u8) -> Option<ErrorCode> {
-        Some(match b {
+    /// Every code this build knows, in wire-byte order (used by the
+    /// taxonomy round-trip tests).
+    pub const KNOWN: [ErrorCode; 11] = [
+        ErrorCode::FrameTooLarge,
+        ErrorCode::Malformed,
+        ErrorCode::UnknownOpcode,
+        ErrorCode::BadDtd,
+        ErrorCode::BadDocument,
+        ErrorCode::BadQuery,
+        ErrorCode::NoEmbedding,
+        ErrorCode::EngineError,
+        ErrorCode::NotFound,
+        ErrorCode::Overloaded,
+        ErrorCode::Timeout,
+    ];
+
+    /// The wire byte. `Unknown` round-trips its original byte (it is a
+    /// caller bug to construct `Unknown` with one of the assigned bytes).
+    pub fn to_u8(self) -> u8 {
+        match self {
+            ErrorCode::FrameTooLarge => 1,
+            ErrorCode::Malformed => 2,
+            ErrorCode::UnknownOpcode => 3,
+            ErrorCode::BadDtd => 4,
+            ErrorCode::BadDocument => 5,
+            ErrorCode::BadQuery => 6,
+            ErrorCode::NoEmbedding => 7,
+            ErrorCode::EngineError => 8,
+            ErrorCode::NotFound => 9,
+            ErrorCode::Overloaded => 10,
+            ErrorCode::Timeout => 11,
+            ErrorCode::Unknown(b) => b,
+        }
+    }
+
+    /// Decode a wire byte; total — unassigned bytes stay distinguished as
+    /// [`ErrorCode::Unknown`].
+    pub fn from_u8(b: u8) -> ErrorCode {
+        match b {
             1 => ErrorCode::FrameTooLarge,
             2 => ErrorCode::Malformed,
             3 => ErrorCode::UnknownOpcode,
@@ -84,8 +130,10 @@ impl ErrorCode {
             7 => ErrorCode::NoEmbedding,
             8 => ErrorCode::EngineError,
             9 => ErrorCode::NotFound,
-            _ => return None,
-        })
+            10 => ErrorCode::Overloaded,
+            11 => ErrorCode::Timeout,
+            other => ErrorCode::Unknown(other),
+        }
     }
 }
 
@@ -124,7 +172,7 @@ pub enum Request {
     },
 }
 
-/// Registry counters as they travel on the wire (ten `u64`s, BE).
+/// Registry counters as they travel on the wire (eleven `u64`s, BE).
 #[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
 pub struct StatsWire {
     /// Cache hits.
@@ -148,6 +196,9 @@ pub struct StatsWire {
     pub plan_misses: u64,
     /// Plans currently cached across live engines.
     pub plan_entries: u64,
+    /// Requests short-circuited by the negative cache (a recent discovery
+    /// failure for the same pair answered without re-running discovery).
+    pub negative_hits: u64,
 }
 
 /// A decoded server response.
@@ -178,16 +229,33 @@ pub enum Response {
     Error { code: ErrorCode, message: String },
 }
 
-/// Why a frame could not be read.
+/// Why a frame could not be read. Clean closes, truncations and expired
+/// deadlines are distinguished so callers (the server's per-connection
+/// loop, the client's retry policy) can react differently: a `Closed`
+/// peer simply went away between requests, a `Truncated` one died (or was
+/// cut) mid-message, and `TimedOut` means the socket's read deadline
+/// expired — the peer may still be alive but is too slow.
 #[derive(Debug)]
 pub enum FrameError {
-    /// Underlying socket/file error.
+    /// Underlying socket/file error (deadline expiries are reported as
+    /// [`FrameError::TimedOut`], not here).
     Io(io::Error),
     /// Peer announced a payload over [`MAX_FRAME_LEN`] bytes long.
     TooLarge(usize),
-    /// Clean end-of-stream before a full frame arrived (0 bytes read means
-    /// the peer simply closed; mid-frame EOF is also reported here).
-    Eof,
+    /// Clean close: end-of-stream at a frame boundary, before any byte of
+    /// the next frame arrived.
+    Closed,
+    /// End-of-stream in the middle of a frame (header or payload arrived
+    /// incomplete) — the peer disconnected mid-message.
+    Truncated,
+    /// The socket's read deadline expired before a full frame arrived.
+    /// `mid_frame` reports whether any byte of the frame had been
+    /// received: `false` is an *idle* peer (normal keep-alive expiry),
+    /// `true` a *stalled* one (it started a frame and went quiet).
+    TimedOut {
+        /// Whether part of a frame had already arrived.
+        mid_frame: bool,
+    },
 }
 
 impl std::fmt::Display for FrameError {
@@ -197,21 +265,25 @@ impl std::fmt::Display for FrameError {
             FrameError::TooLarge(n) => {
                 write!(f, "frame of {n} bytes exceeds the {MAX_FRAME_LEN}-byte cap")
             }
-            FrameError::Eof => write!(f, "connection closed before a full frame"),
+            FrameError::Closed => write!(f, "connection closed at a frame boundary"),
+            FrameError::Truncated => write!(f, "connection closed mid-frame"),
+            FrameError::TimedOut { mid_frame: true } => {
+                write!(f, "read deadline expired mid-frame (stalled peer)")
+            }
+            FrameError::TimedOut { mid_frame: false } => {
+                write!(f, "read deadline expired waiting for a frame (idle peer)")
+            }
         }
     }
 }
 
 impl std::error::Error for FrameError {}
 
-impl From<io::Error> for FrameError {
-    fn from(e: io::Error) -> Self {
-        if e.kind() == io::ErrorKind::UnexpectedEof {
-            FrameError::Eof
-        } else {
-            FrameError::Io(e)
-        }
-    }
+/// Whether an i/o error kind is a socket deadline expiry. Unix reports
+/// `SO_RCVTIMEO`/`SO_SNDTIMEO` expiry as `WouldBlock`, Windows as
+/// `TimedOut`; both mean the same thing here.
+pub fn is_timeout(kind: io::ErrorKind) -> bool {
+    matches!(kind, io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
 }
 
 /// Write one frame: `u32`-BE payload length, then the payload.
@@ -236,17 +308,46 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
 }
 
 /// Read one frame's payload, enforcing [`MAX_FRAME_LEN`] *before* reading
-/// the body.
+/// the body and distinguishing clean closes ([`FrameError::Closed`]) from
+/// mid-frame disconnects ([`FrameError::Truncated`]) and read-deadline
+/// expiries ([`FrameError::TimedOut`]).
 pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, FrameError> {
     let mut len = [0u8; 4];
-    r.read_exact(&mut len)?;
+    fill(r, &mut len, true)?;
     let n = u32::from_be_bytes(len) as usize;
     if n > MAX_FRAME_LEN {
         return Err(FrameError::TooLarge(n));
     }
     let mut payload = vec![0u8; n];
-    r.read_exact(&mut payload)?;
+    fill(r, &mut payload, false)?;
     Ok(payload)
+}
+
+/// `read_exact` with typed outcomes. `at_boundary` is true for the length
+/// header — EOF or a deadline before its **first** byte means the peer is
+/// cleanly gone or merely idle, not truncated or stalled.
+fn fill(r: &mut impl Read, buf: &mut [u8], at_boundary: bool) -> Result<(), FrameError> {
+    let mut got = 0;
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => {
+                return Err(if at_boundary && got == 0 {
+                    FrameError::Closed
+                } else {
+                    FrameError::Truncated
+                });
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) if is_timeout(e.kind()) => {
+                return Err(FrameError::TimedOut {
+                    mid_frame: !(at_boundary && got == 0),
+                });
+            }
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(())
 }
 
 fn put_str(buf: &mut Vec<u8>, s: &str) {
@@ -297,6 +398,17 @@ impl<'a> Cursor<'a> {
 }
 
 impl Request {
+    /// Whether re-executing this request cannot change its observable
+    /// outcome. `compile`/`apply`/`invert`/`translate` are pure functions
+    /// of their payload (compilation is cached, but a duplicate compile is
+    /// invisible to callers) and `stats` is a read; `evict` is **not**
+    /// idempotent — replaying it can flip the `existed` answer and drop an
+    /// entry recompiled in between. The retry policy only replays
+    /// idempotent requests after a post-send failure.
+    pub fn is_idempotent(&self) -> bool {
+        !matches!(self, Request::Evict { .. })
+    }
+
     /// Encode into a frame payload.
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = Vec::new();
@@ -435,6 +547,7 @@ impl Response {
                     s.plan_hits,
                     s.plan_misses,
                     s.plan_entries,
+                    s.negative_hits,
                 ] {
                     put_u64(&mut buf, v);
                 }
@@ -445,7 +558,7 @@ impl Response {
             }
             Response::Error { code, message } => {
                 buf.push(resp::ERROR);
-                buf.push(*code as u8);
+                buf.push(code.to_u8());
                 put_str(&mut buf, message);
             }
         }
@@ -480,12 +593,13 @@ impl Response {
                 plan_hits: c.u64()?,
                 plan_misses: c.u64()?,
                 plan_entries: c.u64()?,
+                negative_hits: c.u64()?,
             }),
             resp::EVICTED => Response::Evicted {
                 existed: c.u8()? != 0,
             },
             resp::ERROR => Response::Error {
-                code: ErrorCode::from_u8(c.u8()?)?,
+                code: ErrorCode::from_u8(c.u8()?),
                 message: c.str()?,
             },
             _ => return None,
@@ -563,6 +677,7 @@ mod tests {
             plan_hits: 8,
             plan_misses: 9,
             plan_entries: 10,
+            negative_hits: 11,
         }));
         roundtrip_resp(Response::Evicted { existed: true });
         roundtrip_resp(Response::Error {
@@ -618,11 +733,99 @@ mod tests {
         assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
         assert!(sink.is_empty());
 
-        // Clean close and mid-frame close both map to Eof.
+        // Clean close at a frame boundary vs. close mid-frame are
+        // distinguished: the retry policy treats them differently.
         let mut r: &[u8] = &[];
-        assert!(matches!(read_frame(&mut r), Err(FrameError::Eof)));
+        assert!(matches!(read_frame(&mut r), Err(FrameError::Closed)));
+        // Partial header: the peer died while announcing a frame.
+        let mut r: &[u8] = &[0, 0];
+        assert!(matches!(read_frame(&mut r), Err(FrameError::Truncated)));
+        // Full header, partial payload: same verdict.
         let mut r: &[u8] = &[0, 0, 0, 9, b'x'];
-        assert!(matches!(read_frame(&mut r), Err(FrameError::Eof)));
+        assert!(matches!(read_frame(&mut r), Err(FrameError::Truncated)));
+    }
+
+    /// A reader that yields some bytes, then reports a socket deadline
+    /// expiry (as `WouldBlock`, the Unix spelling).
+    struct StallAfter {
+        bytes: Vec<u8>,
+        at: usize,
+    }
+
+    impl Read for StallAfter {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.at == self.bytes.len() {
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "stalled"));
+            }
+            let n = (self.bytes.len() - self.at).min(buf.len());
+            buf[..n].copy_from_slice(&self.bytes[self.at..self.at + n]);
+            self.at += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn deadline_expiry_distinguishes_idle_from_stalled() {
+        // No bytes at all: the peer is idle, not stalled.
+        let mut idle = StallAfter {
+            bytes: vec![],
+            at: 0,
+        };
+        assert!(matches!(
+            read_frame(&mut idle),
+            Err(FrameError::TimedOut { mid_frame: false })
+        ));
+        // Half a header: stalled mid-frame.
+        let mut header = StallAfter {
+            bytes: vec![0, 0],
+            at: 0,
+        };
+        assert!(matches!(
+            read_frame(&mut header),
+            Err(FrameError::TimedOut { mid_frame: true })
+        ));
+        // Full header, partial payload: stalled mid-frame.
+        let mut body = StallAfter {
+            bytes: vec![0, 0, 0, 4, b'x'],
+            at: 0,
+        };
+        assert!(matches!(
+            read_frame(&mut body),
+            Err(FrameError::TimedOut { mid_frame: true })
+        ));
+    }
+
+    #[test]
+    fn error_code_taxonomy_roundtrips() {
+        // Every known code survives encode→decode inside an error frame,
+        // and the wire bytes are pairwise distinct.
+        let mut seen = std::collections::HashSet::new();
+        for code in ErrorCode::KNOWN {
+            assert!(seen.insert(code.to_u8()), "duplicate byte for {code:?}");
+            assert_eq!(ErrorCode::from_u8(code.to_u8()), code);
+            let resp = Response::Error {
+                code,
+                message: format!("{code:?}"),
+            };
+            assert_eq!(Response::decode(&resp.encode()), Some(resp));
+        }
+        // The new robustness codes are part of the taxonomy.
+        assert!(ErrorCode::KNOWN.contains(&ErrorCode::Overloaded));
+        assert!(ErrorCode::KNOWN.contains(&ErrorCode::Timeout));
+
+        // Unassigned bytes stay distinguished — and distinguishable from
+        // each other — instead of collapsing into a decode failure.
+        for b in [0u8, 12, 57, 200, 255] {
+            let code = ErrorCode::from_u8(b);
+            assert_eq!(code, ErrorCode::Unknown(b));
+            assert_eq!(code.to_u8(), b);
+            let resp = Response::Error {
+                code,
+                message: "from the future".into(),
+            };
+            assert_eq!(Response::decode(&resp.encode()), Some(resp));
+        }
+        assert_ne!(ErrorCode::from_u8(200), ErrorCode::from_u8(201));
     }
 
     #[test]

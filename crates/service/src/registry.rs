@@ -16,8 +16,21 @@
 //! request installs a `Pending` slot and compiles outside the lock; the
 //! rest block on a condvar and are counted as
 //! [`RegistryStats::single_flight_waits`]. A failed or panicked compile
-//! removes the `Pending` slot (no negative caching) and wakes all waiters,
-//! so a transient failure never wedges the key.
+//! removes the `Pending` slot and wakes all waiters, so a transient
+//! failure never wedges the key.
+//!
+//! # Negative cache
+//!
+//! Discovery failing is as expensive as discovery succeeding — the search
+//! exhausts its restarts either way — so a pair that found no embedding is
+//! remembered in a TTL-bounded *negative cache*
+//! ([`RegistryConfig::negative_ttl`]): until the entry expires, identical
+//! requests fail fast with `NoEmbedding` (counted as
+//! [`RegistryStats::negative_hits`]) instead of re-running the search.
+//! The TTL keeps the verdict honest under config changes and similarity
+//! tweaks; explicit eviction also clears the pair's negative entry, and
+//! `negative_ttl: None` disables the cache entirely (every request
+//! re-runs discovery).
 //!
 //! # Eviction
 //!
@@ -29,7 +42,7 @@
 
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use xse_core::{CompiledEmbedding, PlanCacheStats, SimilarityMatrix};
 use xse_discovery::{find_embedding, DiscoveryConfig};
@@ -66,6 +79,10 @@ pub struct RegistryConfig {
     /// Builds the similarity matrix `att` for each compile (default:
     /// [`default_similarity`]).
     pub sim: fn(&Dtd, &Dtd) -> SimilarityMatrix,
+    /// How long a failed discovery verdict is remembered: until it
+    /// expires, identical requests return `NoEmbedding` without re-running
+    /// the search. `None` disables negative caching.
+    pub negative_ttl: Option<Duration>,
 }
 
 impl Default for RegistryConfig {
@@ -74,6 +91,7 @@ impl Default for RegistryConfig {
             capacity: 64,
             discovery: DiscoveryConfig::default(),
             sim: default_similarity,
+            negative_ttl: Some(Duration::from_secs(30)),
         }
     }
 }
@@ -106,6 +124,9 @@ pub struct RegistryStats {
     /// Plans currently cached across live engines (evicting an engine
     /// drops its plans, so this *does* shrink on eviction).
     pub plan_entries: u64,
+    /// Requests answered `NoEmbedding` from an unexpired negative-cache
+    /// entry (the full discovery search was skipped).
+    pub negative_hits: u64,
 }
 
 impl RegistryStats {
@@ -163,9 +184,17 @@ enum Slot {
 /// bounding memory against clients that stream never-repeating DTD texts.
 const TEXT_KEY_CAP: usize = 1024;
 
+/// Cap on the negative cache ([`Inner::negative`]); when full, expired
+/// entries are purged and, if still full, the entry expiring soonest is
+/// dropped — failing discovery again is correct, just slower.
+const NEGATIVE_CAP: usize = 256;
+
 #[derive(Default)]
 struct Inner {
     map: HashMap<PairKey, Slot>,
+    /// Pairs whose discovery failed, mapped to the verdict's expiry.
+    negative: HashMap<PairKey, Instant>,
+    negative_hits: u64,
     /// Memo: exact DTD text → canonical hash. The warm path resolves both
     /// texts here with two string lookups, skipping the parse + reduce +
     /// canonical-serialization work entirely; only texts never seen before
@@ -203,6 +232,26 @@ impl Inner {
             self.retired_plan_misses += plan.misses;
         }
         self.evictions += 1;
+    }
+
+    /// Record a failed-discovery verdict, bounding the negative cache at
+    /// [`NEGATIVE_CAP`].
+    fn note_failure(&mut self, key: PairKey, expiry: Instant) {
+        if self.negative.len() >= NEGATIVE_CAP && !self.negative.contains_key(&key) {
+            let now = Instant::now();
+            self.negative.retain(|_, e| *e > now);
+            if self.negative.len() >= NEGATIVE_CAP {
+                let soonest = self
+                    .negative
+                    .iter()
+                    .min_by_key(|&(_, e)| *e)
+                    .map(|(k, _)| *k);
+                if let Some(k) = soonest {
+                    self.negative.remove(&k);
+                }
+            }
+        }
+        self.negative.insert(key, expiry);
     }
 
     /// Evict `Ready` entries (never `keep`) until at most `capacity` remain.
@@ -290,8 +339,9 @@ impl EmbeddingRegistry {
     /// # Errors
     /// [`ServiceError::BadDtd`] when either text fails to parse,
     /// [`ServiceError::NoEmbedding`] when discovery exhausts its restarts
-    /// without finding an information-preserving embedding (not cached —
-    /// a later identical request retries).
+    /// without finding an information-preserving embedding — remembered in
+    /// the negative cache for [`RegistryConfig::negative_ttl`], after
+    /// which an identical request re-runs the search.
     pub fn get_or_compile(
         &self,
         source_dtd: &str,
@@ -370,6 +420,15 @@ impl EmbeddingRegistry {
                     }
                     inner = self.compiled.wait(inner).unwrap();
                 } else {
+                    // Absent: consult the negative cache before paying for
+                    // a doomed search.
+                    if let Some(&expiry) = inner.negative.get(&key) {
+                        if Instant::now() < expiry {
+                            inner.negative_hits += 1;
+                            return Err(ServiceError::NoEmbedding);
+                        }
+                        inner.negative.remove(&key);
+                    }
                     inner.misses += 1;
                     inner.map.insert(key, Slot::Pending);
                     break;
@@ -398,7 +457,13 @@ impl EmbeddingRegistry {
         let nanos = t0.elapsed().as_nanos() as u64;
 
         let Some(embedding) = found else {
-            // Guard's Drop removes the Pending slot and wakes waiters.
+            // Record the verdict *before* the guard's Drop removes the
+            // Pending slot and wakes waiters, so woken threads observe the
+            // negative entry instead of racing into their own searches.
+            if let Some(ttl) = self.config.negative_ttl {
+                let mut inner = self.inner.lock().unwrap();
+                inner.note_failure(key, Instant::now() + ttl);
+            }
             return Err(ServiceError::NoEmbedding);
         };
         guard.armed = false;
@@ -424,8 +489,10 @@ impl EmbeddingRegistry {
         Ok((key, engine))
     }
 
-    /// Drop the pair's cached embedding. Returns whether an entry existed
-    /// (`Pending` slots are left alone and reported as absent).
+    /// Drop the pair's cached embedding — and its negative-cache entry, so
+    /// eviction always forces a fresh discovery run. Returns whether a
+    /// *compiled* entry existed (`Pending` slots are left alone and
+    /// reported as absent, as is a purely negative entry).
     ///
     /// # Errors
     /// [`ServiceError::BadDtd`] when either text fails to parse.
@@ -437,6 +504,7 @@ impl EmbeddingRegistry {
     /// [`EmbeddingRegistry::evict`] by precomputed key.
     pub fn evict_key(&self, key: PairKey) -> bool {
         let mut inner = self.inner.lock().unwrap();
+        inner.negative.remove(&key);
         if matches!(inner.map.get(&key), Some(Slot::Ready(_))) {
             inner.retire(key);
             true
@@ -471,6 +539,7 @@ impl EmbeddingRegistry {
             plan_hits,
             plan_misses,
             plan_entries,
+            negative_hits: inner.negative_hits,
         }
     }
 
@@ -513,15 +582,30 @@ mod tests {
         (s1.to_string(), s2.to_string())
     }
 
-    fn small_registry(capacity: usize) -> EmbeddingRegistry {
+    fn small_registry_ttl(capacity: usize, negative_ttl: Option<Duration>) -> EmbeddingRegistry {
         EmbeddingRegistry::new(RegistryConfig {
             capacity,
             discovery: DiscoveryConfig {
                 threads: 1,
                 ..DiscoveryConfig::default()
             },
+            negative_ttl,
             ..RegistryConfig::default()
         })
+    }
+
+    fn small_registry(capacity: usize) -> EmbeddingRegistry {
+        small_registry_ttl(capacity, RegistryConfig::default().negative_ttl)
+    }
+
+    /// A pair with no information-preserving embedding: the source demands
+    /// two distinct #PCDATA children; a single-type target has nowhere
+    /// injective to put them.
+    fn impossible_pair() -> (&'static str, &'static str) {
+        (
+            "<!ELEMENT r (a, b)>\n<!ELEMENT a (#PCDATA)>\n<!ELEMENT b (#PCDATA)>",
+            "<!ELEMENT r (#PCDATA)>",
+        )
     }
 
     #[test]
@@ -564,21 +648,61 @@ mod tests {
     }
 
     #[test]
-    fn no_embedding_is_not_negatively_cached() {
+    fn failed_discovery_is_negatively_cached_until_ttl() {
         let reg = small_registry(4);
-        // Source demands two distinct #PCDATA children; a single-type
-        // target has nowhere injective to put them.
-        let s = "<!ELEMENT r (a, b)>\n<!ELEMENT a (#PCDATA)>\n<!ELEMENT b (#PCDATA)>";
-        let t = "<!ELEMENT r (#PCDATA)>";
+        let (s, t) = impossible_pair();
+        for _ in 0..3 {
+            let err = reg.get_or_compile(s, t).unwrap_err();
+            assert!(matches!(err, ServiceError::NoEmbedding), "{err:?}");
+        }
+        let st = reg.stats();
+        // Only the first attempt searched; the rest hit the negative cache.
+        assert_eq!(st.misses, 1, "{st:?}");
+        assert_eq!(st.negative_hits, 2, "{st:?}");
+        assert_eq!(st.entries, 0);
+        assert_eq!(st.compiles, 0);
+    }
+
+    #[test]
+    fn negative_entry_expires_after_its_ttl() {
+        let reg = small_registry_ttl(4, Some(Duration::from_millis(40)));
+        let (s, t) = impossible_pair();
+        reg.get_or_compile(s, t).unwrap_err();
+        std::thread::sleep(Duration::from_millis(60));
+        reg.get_or_compile(s, t).unwrap_err();
+        let st = reg.stats();
+        // The verdict expired, so the second attempt re-ran the search.
+        assert_eq!(st.misses, 2, "{st:?}");
+        assert_eq!(st.negative_hits, 0, "{st:?}");
+    }
+
+    #[test]
+    fn disabling_the_negative_ttl_retries_every_request() {
+        let reg = small_registry_ttl(4, None);
+        let (s, t) = impossible_pair();
         for _ in 0..2 {
             let err = reg.get_or_compile(s, t).unwrap_err();
             assert!(matches!(err, ServiceError::NoEmbedding), "{err:?}");
         }
         let st = reg.stats();
-        // Both attempts were misses (no Pending/Ready left behind).
         assert_eq!(st.misses, 2);
+        assert_eq!(st.negative_hits, 0);
         assert_eq!(st.entries, 0);
         assert_eq!(st.compiles, 0);
+    }
+
+    #[test]
+    fn evict_clears_the_negative_entry() {
+        let reg = small_registry(4);
+        let (s, t) = impossible_pair();
+        reg.get_or_compile(s, t).unwrap_err();
+        // No compiled entry existed, so evict reports false — but it still
+        // clears the negative verdict, forcing a fresh search.
+        assert!(!reg.evict(s, t).unwrap());
+        reg.get_or_compile(s, t).unwrap_err();
+        let st = reg.stats();
+        assert_eq!(st.misses, 2, "{st:?}");
+        assert_eq!(st.negative_hits, 0, "{st:?}");
     }
 
     #[test]

@@ -1,20 +1,38 @@
-//! `std`-only TCP server: one accept thread plus a bounded worker pool.
+//! `std`-only TCP server: one accept thread plus a bounded worker pool,
+//! hardened against hostile and slow peers.
 //!
 //! Connections are accepted on a dedicated thread and pushed onto a
 //! `Mutex<VecDeque<TcpStream>>`; `workers` pool threads pop connections
 //! and run each one to completion (connection-per-worker, not
 //! request-per-worker — the protocol is strictly request/response per
-//! connection, so interleaving buys nothing). Shutdown flips an
-//! `AtomicBool` and unblocks the accept loop with a loopback connect, then
-//! joins every thread; in-flight requests finish before their worker
-//! exits.
+//! connection, so interleaving buys nothing).
+//!
+//! # Robustness
+//!
+//! * Every connection carries **read/write deadlines**
+//!   ([`ServerConfig::read_timeout`] / [`ServerConfig::write_timeout`]),
+//!   so a stalled client can pin a worker for at most one read deadline:
+//!   an idle peer is closed silently, one that went quiet mid-frame gets a
+//!   best-effort `Timeout` error frame first.
+//! * Each request has a **time budget**
+//!   ([`ServerConfig::request_budget`]); a response produced after the
+//!   budget is replaced by a `Timeout` error (a blocking engine call
+//!   cannot be interrupted, so the budget is enforced at response time).
+//! * The accept queue is **bounded** ([`ServerConfig::max_queued`]):
+//!   excess connections are answered immediately with an `Overloaded`
+//!   error frame and closed — shed, not queued. Sheds are counted on
+//!   [`ServerHandle::shed_count`].
+//! * **Shutdown drains**: stop accepting, shed the queued backlog, let
+//!   in-flight requests finish up to [`ServerConfig::drain_deadline`],
+//!   then force-close the remaining sockets and join every thread.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufReader, BufWriter, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use crate::proto::{read_frame, write_frame, ErrorCode, FrameError, Request, Response};
 use crate::registry::EmbeddingRegistry;
@@ -24,11 +42,38 @@ use crate::registry::EmbeddingRegistry;
 pub struct ServerConfig {
     /// Worker threads serving connections (minimum 1).
     pub workers: usize,
+    /// Per-connection read deadline. A peer that sends nothing for this
+    /// long is disconnected (silently when idle between requests, with a
+    /// `Timeout` error frame when it stalled mid-frame). `None` disables
+    /// the deadline — a stalled client then pins its worker indefinitely,
+    /// and drain can only finish by force-closing the socket.
+    pub read_timeout: Option<Duration>,
+    /// Per-connection write deadline; bounds how long a non-reading peer
+    /// can block a response (or shed notice) being written.
+    pub write_timeout: Option<Duration>,
+    /// Per-request time budget. A request whose handling exceeds it is
+    /// answered with a `Timeout` error instead of the late result.
+    /// `None` disables the budget.
+    pub request_budget: Option<Duration>,
+    /// Accept-queue bound: when this many connections are already queued
+    /// waiting for a worker, new connections are shed (answered with an
+    /// `Overloaded` error frame and closed) instead of queued.
+    pub max_queued: usize,
+    /// How long shutdown waits for in-flight connections to finish before
+    /// force-closing their sockets.
+    pub drain_deadline: Duration,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        ServerConfig { workers: 4 }
+        ServerConfig {
+            workers: 4,
+            read_timeout: Some(Duration::from_secs(5)),
+            write_timeout: Some(Duration::from_secs(5)),
+            request_budget: Some(Duration::from_secs(10)),
+            max_queued: 64,
+            drain_deadline: Duration::from_secs(2),
+        }
     }
 }
 
@@ -41,6 +86,9 @@ pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     queue: Arc<ConnQueue>,
+    tracker: Arc<ConnTracker>,
+    shed: Arc<AtomicU64>,
+    drain_deadline: Duration,
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
@@ -48,6 +96,46 @@ pub struct ServerHandle {
 struct ConnQueue {
     deque: Mutex<VecDeque<TcpStream>>,
     ready: Condvar,
+}
+
+/// Clones of the sockets workers are currently serving, so shutdown can
+/// force-close stragglers once the drain deadline passes.
+struct ConnTracker {
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next: AtomicU64,
+}
+
+impl ConnTracker {
+    fn register(&self, conn: &TcpStream) -> Option<u64> {
+        let clone = conn.try_clone().ok()?;
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        self.conns.lock().unwrap().insert(id, clone);
+        Some(id)
+    }
+
+    fn unregister(&self, id: Option<u64>) {
+        if let Some(id) = id {
+            self.conns.lock().unwrap().remove(&id);
+        }
+    }
+
+    fn active(&self) -> usize {
+        self.conns.lock().unwrap().len()
+    }
+
+    fn force_close_all(&self) {
+        for conn in self.conns.lock().unwrap().values() {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+/// Everything a worker needs to serve connections.
+struct WorkerCtx {
+    registry: Arc<EmbeddingRegistry>,
+    config: ServerConfig,
+    shutdown: Arc<AtomicBool>,
+    tracker: Arc<ConnTracker>,
 }
 
 impl Server {
@@ -68,44 +156,71 @@ impl Server {
             deque: Mutex::new(VecDeque::new()),
             ready: Condvar::new(),
         });
+        let tracker = Arc::new(ConnTracker {
+            conns: Mutex::new(HashMap::new()),
+            next: AtomicU64::new(0),
+        });
+        let shed = Arc::new(AtomicU64::new(0));
 
         let accept = {
             let shutdown = Arc::clone(&shutdown);
             let queue = Arc::clone(&queue);
+            let shed = Arc::clone(&shed);
+            let max_queued = config.max_queued;
+            let write_timeout = config.write_timeout;
             std::thread::spawn(move || {
                 for conn in listener.incoming() {
                     if shutdown.load(Ordering::SeqCst) {
                         break;
                     }
                     let Ok(conn) = conn else { continue };
-                    let mut q = queue.deque.lock().unwrap();
-                    q.push_back(conn);
-                    drop(q);
-                    queue.ready.notify_one();
+                    let backlog = {
+                        let mut q = queue.deque.lock().unwrap();
+                        if q.len() < max_queued {
+                            q.push_back(conn);
+                            None
+                        } else {
+                            Some(conn)
+                        }
+                    };
+                    match backlog {
+                        None => queue.ready.notify_one(),
+                        Some(conn) => {
+                            // Queue full: shed. Answered outside the queue
+                            // lock; the write deadline bounds how long a
+                            // non-reading peer can stall the accept loop.
+                            shed.fetch_add(1, Ordering::Relaxed);
+                            shed_connection(conn, write_timeout, "accept queue full");
+                        }
+                    }
                 }
             })
         };
 
         let workers = (0..config.workers.max(1))
             .map(|_| {
-                let shutdown = Arc::clone(&shutdown);
                 let queue = Arc::clone(&queue);
-                let registry = Arc::clone(&registry);
+                let ctx = WorkerCtx {
+                    registry: Arc::clone(&registry),
+                    config: config.clone(),
+                    shutdown: Arc::clone(&shutdown),
+                    tracker: Arc::clone(&tracker),
+                };
                 std::thread::spawn(move || loop {
                     let conn = {
                         let mut q = queue.deque.lock().unwrap();
                         loop {
+                            if ctx.shutdown.load(Ordering::SeqCst) {
+                                break None;
+                            }
                             if let Some(conn) = q.pop_front() {
                                 break Some(conn);
-                            }
-                            if shutdown.load(Ordering::SeqCst) {
-                                break None;
                             }
                             q = queue.ready.wait(q).unwrap();
                         }
                     };
                     match conn {
-                        Some(conn) => serve_connection(conn, &registry),
+                        Some(conn) => serve_connection(conn, &ctx),
                         None => return,
                     }
                 })
@@ -116,6 +231,9 @@ impl Server {
             addr,
             shutdown,
             queue,
+            tracker,
+            shed,
+            drain_deadline: config.drain_deadline,
             accept: Some(accept),
             workers,
         })
@@ -128,8 +246,16 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Stop accepting, finish in-flight connections, join all threads.
-    /// Idempotent; also invoked by `Drop`.
+    /// Connections shed so far (answered `Overloaded` because the accept
+    /// queue was full, plus any backlog shed during shutdown).
+    pub fn shed_count(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Graceful drain: stop accepting, shed the queued backlog, let
+    /// in-flight requests finish up to the drain deadline, force-close
+    /// whatever remains, then join all threads. Idempotent; also invoked
+    /// by `Drop`.
     pub fn shutdown(&mut self) {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
@@ -140,12 +266,29 @@ impl ServerHandle {
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
+        // Nobody will serve the queued backlog anymore — shed it rather
+        // than leaving the peers to hit their own read deadlines.
+        let backlog: Vec<TcpStream> = self.queue.deque.lock().unwrap().drain(..).collect();
+        for conn in backlog {
+            self.shed.fetch_add(1, Ordering::Relaxed);
+            shed_connection(conn, Some(Duration::from_millis(200)), "server draining");
+        }
         // Take and release the queue lock before notifying: a worker that
         // loaded shutdown==false is either still holding the lock (it will
         // reach wait() before we can acquire, so the notify lands) or
         // already waiting — either way no wakeup is missed.
         drop(self.queue.deque.lock().unwrap());
         self.queue.ready.notify_all();
+        // Drain: in-flight connections close themselves after their current
+        // request (workers re-check the flag per request, and read
+        // deadlines bound the wait for a next request that never comes).
+        let deadline = Instant::now() + self.drain_deadline;
+        while self.tracker.active() > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // Past the deadline: force-close the stragglers' sockets so their
+        // workers' blocking reads/writes fail and the threads exit.
+        self.tracker.force_close_all();
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
@@ -158,18 +301,62 @@ impl Drop for ServerHandle {
     }
 }
 
-/// Run one connection to completion: strict request/response frames.
-fn serve_connection(conn: TcpStream, registry: &EmbeddingRegistry) {
+/// Best-effort `Overloaded` answer on a connection that will not be
+/// served, then close. Runs on a short-lived detached thread so the
+/// accept loop never blocks on a shed peer; the thread half-closes and
+/// then drains briefly so the close doesn't turn into an RST that
+/// destroys the error frame before the peer reads it (closing a socket
+/// with unread inbound data resets the connection).
+fn shed_connection(conn: TcpStream, write_timeout: Option<Duration>, why: &'static str) {
+    std::thread::spawn(move || {
+        let _ = conn.set_write_timeout(write_timeout.or(Some(Duration::from_secs(1))));
+        let resp = Response::Error {
+            code: ErrorCode::Overloaded,
+            message: why.to_string(),
+        };
+        let mut writer = &conn;
+        if write_frame(&mut writer, &resp.encode()).is_err() {
+            return;
+        }
+        let _ = conn.shutdown(Shutdown::Write);
+        let _ = conn.set_read_timeout(Some(Duration::from_millis(250)));
+        let mut sink = [0u8; 4096];
+        let mut reader = &conn;
+        while matches!(io::Read::read(&mut reader, &mut sink), Ok(n) if n > 0) {}
+    });
+}
+
+/// Run one connection to completion: strict request/response frames,
+/// bounded by the configured deadlines and the drain flag.
+fn serve_connection(conn: TcpStream, ctx: &WorkerCtx) {
+    if conn.set_read_timeout(ctx.config.read_timeout).is_err()
+        || conn.set_write_timeout(ctx.config.write_timeout).is_err()
+    {
+        return;
+    }
     let Ok(read_half) = conn.try_clone() else {
         return;
     };
+    let id = ctx.tracker.register(&conn);
     let mut reader = BufReader::new(read_half);
     let mut writer = BufWriter::new(conn);
     loop {
         let payload = match read_frame(&mut reader) {
             Ok(p) => p,
-            Err(FrameError::Eof) => return,
-            Err(FrameError::Io(_)) => return,
+            Err(FrameError::Closed | FrameError::Truncated | FrameError::Io(_)) => break,
+            Err(FrameError::TimedOut { mid_frame }) => {
+                // Disconnect either way — the deadline is how a stalled
+                // client's worker returns to the pool. A peer that went
+                // quiet mid-frame can still be reading, so tell it why.
+                if mid_frame {
+                    let resp = Response::Error {
+                        code: ErrorCode::Timeout,
+                        message: "read deadline expired mid-frame".into(),
+                    };
+                    let _ = write_frame(&mut writer, &resp.encode());
+                }
+                break;
+            }
             Err(FrameError::TooLarge(n)) => {
                 // The announced body was never read, so the stream is out
                 // of sync: answer with a structured error, then close.
@@ -178,12 +365,12 @@ fn serve_connection(conn: TcpStream, registry: &EmbeddingRegistry) {
                     message: format!("declared frame of {n} bytes exceeds the cap"),
                 };
                 let _ = write_frame(&mut writer, &resp.encode());
-                let _ = writer.flush();
-                return;
+                break;
             }
         };
-        let resp = match Request::decode(&payload) {
-            Ok(req) => crate::handle_request(registry, &req),
+        let started = Instant::now();
+        let mut resp = match Request::decode(&payload) {
+            Ok(req) => crate::handle_request(&ctx.registry, &req),
             // Framing stays intact on a malformed *payload* — only this
             // request is poisoned — so answer and keep the connection.
             Err(code) => Response::Error {
@@ -194,8 +381,28 @@ fn serve_connection(conn: TcpStream, registry: &EmbeddingRegistry) {
                 },
             },
         };
+        if let Some(budget) = ctx.config.request_budget {
+            let spent = started.elapsed();
+            if spent > budget {
+                resp = Response::Error {
+                    code: ErrorCode::Timeout,
+                    message: format!(
+                        "request exceeded its {}ms budget (took {}ms)",
+                        budget.as_millis(),
+                        spent.as_millis()
+                    ),
+                };
+            }
+        }
         if write_frame(&mut writer, &resp.encode()).is_err() {
-            return;
+            break;
+        }
+        // Draining: finish the in-flight request (just answered), then
+        // close instead of waiting for another.
+        if ctx.shutdown.load(Ordering::SeqCst) {
+            break;
         }
     }
+    let _ = writer.flush();
+    ctx.tracker.unregister(id);
 }

@@ -35,7 +35,10 @@ fn spawn_server(capacity: usize) -> xse_service::ServerHandle {
     Server::bind(
         ("127.0.0.1", 0),
         test_registry(capacity),
-        ServerConfig { workers: 2 },
+        ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        },
     )
     .expect("bind ephemeral port")
 }

@@ -40,7 +40,7 @@
 //! | [`xslt`] | the §4.3 XSLT processing model + stylesheet generation |
 //! | [`discovery`] | computing embeddings (prefix-free paths, heuristics) |
 //! | [`workloads`] | schema corpus, noise, similarity, query and traffic generators |
-//! | [`service`] | embedding registry, TCP wire protocol, load generator |
+//! | [`service`] | embedding registry, TCP wire protocol, retrying client, fault injection, load generator |
 //!
 //! ## Quickstart
 //!
@@ -178,6 +178,70 @@
 //! assert_eq!(registry.stats().compiles, 1);
 //! assert!(engine.apply(&parse_xml("<r><a>x</a></r>").unwrap()).is_ok());
 //! ```
+//!
+//! ## Robustness
+//!
+//! The serving layer is built to degrade predictably rather than wedge:
+//! the server enforces per-connection read/write deadlines and a
+//! per-request time budget, sheds connections with a structured
+//! `Overloaded` error frame when its accept queue is full, and drains
+//! gracefully on shutdown
+//! ([`ServerConfig`](crate::service::ServerConfig)). The client side
+//! bounds every phase (`connect_timeout`, read/write deadlines on
+//! [`ClientConfig`](crate::service::ClientConfig)) and classifies
+//! failures: connect-phase errors and pre-execution rejections
+//! (`Overloaded`, `Malformed`, `UnknownOpcode`) are always safe to
+//! retry, post-send transport failures are retried only for idempotent
+//! requests, and structured application errors are never retried.
+//! [`RetryingClient`](crate::service::RetryingClient) packages that
+//! policy with exponential backoff and deterministic seeded jitter
+//! ([`RetryPolicy`](crate::service::RetryPolicy)); registries remember
+//! repeatedly failing DTD pairs in a TTL-bounded negative cache
+//! ([`RegistryConfig::negative_ttl`](crate::service::RegistryConfig));
+//! and a deterministic in-process chaos proxy
+//! ([`service::fault::FaultProxy`])
+//! injects delays, resets, truncations and opcode corruption on a seeded
+//! schedule for tests and the `xse-loadgen --chaos` soak:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use std::time::Duration;
+//! use xse::prelude::*;
+//! use xse::service::Request;
+//!
+//! let registry = Arc::new(EmbeddingRegistry::new(RegistryConfig::default()));
+//! let server = Server::bind(
+//!     ("127.0.0.1", 0),
+//!     registry,
+//!     ServerConfig {
+//!         read_timeout: Some(Duration::from_secs(2)),
+//!         request_budget: Some(Duration::from_secs(5)),
+//!         ..ServerConfig::default()
+//!     },
+//! )
+//! .unwrap();
+//!
+//! // Retries are bounded, backoff is jittered deterministically per seed,
+//! // and only safe-to-retry failures are retried at all.
+//! let mut client = RetryingClient::new(
+//!     server.addr(),
+//!     ClientConfig {
+//!         connect_timeout: Some(Duration::from_millis(500)),
+//!         ..ClientConfig::default()
+//!     },
+//!     RetryPolicy { max_attempts: 3, seed: 42, ..RetryPolicy::default() },
+//! )
+//! .unwrap();
+//! let source = "<!ELEMENT r (a)>\n<!ELEMENT a (#PCDATA)>";
+//! let reply = client
+//!     .call(&Request::Compile {
+//!         source_dtd: source.into(),
+//!         target_dtd: source.into(),
+//!     })
+//!     .unwrap();
+//! assert!(matches!(reply, xse::service::Response::Compiled { .. }));
+//! assert_eq!(client.stats().retries, 0); // healthy server: first try lands
+//! ```
 
 pub use xse_anfa as anfa;
 pub use xse_core as core;
@@ -207,7 +271,10 @@ pub mod prelude {
     };
     pub use xse_dtd::{Dtd, Production, TypeId};
     pub use xse_rxpath::{parse_query, XrQuery};
-    pub use xse_service::{EmbeddingRegistry, RegistryConfig};
+    pub use xse_service::{
+        Client, ClientConfig, EmbeddingRegistry, RegistryConfig, RetryPolicy, RetryingClient,
+        Server, ServerConfig,
+    };
     pub use xse_xmltree::{parse_xml, IdMap, NodeId, TreeBuilder, XmlTree};
     pub use xse_xslt::{generate_forward, generate_inverse, Stylesheet, StylesheetGen};
 }
