@@ -26,6 +26,14 @@ fn registry() -> Arc<EmbeddingRegistry> {
     }))
 }
 
+fn registry_with_shards(shards: usize) -> Arc<EmbeddingRegistry> {
+    Arc::new(EmbeddingRegistry::new(RegistryConfig {
+        shards,
+        discovery: loadgen_discovery(),
+        ..RegistryConfig::default()
+    }))
+}
+
 /// Regression gate for the serving claim: resolving an already-compiled
 /// pair (hash-memoized text lookup + `Arc` clone) must be at least 10×
 /// faster than evicting and recompiling it. The real margin is orders of
@@ -96,9 +104,49 @@ fn assert_negative_cache_absorbs_repeat_failures() {
     );
 }
 
+/// Regression gate for sharding: routing a warm hit through the 8-shard
+/// registry (hash-mix + stripe pick + read-locked table) must stay within
+/// 3× of the single-shard lookup. The two paths share all code except the
+/// stripe pick, so a real regression here means the fast path started
+/// taking a shard mutex or re-hashing.
+fn assert_sharded_warm_hit_not_regressed() {
+    let (s, t) = wrap_pair();
+    let one = registry_with_shards(1);
+    let eight = registry_with_shards(8);
+    one.get_or_compile(&s, &t).unwrap();
+    eight.get_or_compile(&s, &t).unwrap();
+    let median = |f: &dyn Fn()| {
+        let mut samples: Vec<std::time::Duration> = (0..5)
+            .map(|_| {
+                let t0 = std::time::Instant::now();
+                f();
+                t0.elapsed()
+            })
+            .collect();
+        samples.sort();
+        samples[2]
+    };
+    let t_one = median(&|| {
+        for _ in 0..256 {
+            std::hint::black_box(one.get_or_compile(&s, &t).unwrap());
+        }
+    });
+    let t_eight = median(&|| {
+        for _ in 0..256 {
+            std::hint::black_box(eight.get_or_compile(&s, &t).unwrap());
+        }
+    });
+    assert!(
+        t_eight <= t_one * 3,
+        "8-shard warm hit ({t_eight:?}/256 ops) regressed past 3x the \
+         single-shard lookup ({t_one:?}/256 ops)"
+    );
+}
+
 fn bench(c: &mut Criterion) {
     assert_warm_hit_beats_recompile();
     assert_negative_cache_absorbs_repeat_failures();
+    assert_sharded_warm_hit_not_regressed();
 
     let smoke = std::env::var_os("XSE_SCALE_SMOKE").is_some();
     let (s, t) = wrap_pair();
@@ -109,6 +157,12 @@ fn bench(c: &mut Criterion) {
     warm.get_or_compile(&s, &t).unwrap();
     g.bench_function("get_or_compile/warm", |b| {
         b.iter(|| warm.get_or_compile(&s, &t).unwrap().1.size())
+    });
+
+    let warm_one = registry_with_shards(1);
+    warm_one.get_or_compile(&s, &t).unwrap();
+    g.bench_function("get_or_compile/warm_1shard", |b| {
+        b.iter(|| warm_one.get_or_compile(&s, &t).unwrap().1.size())
     });
 
     g.bench_function("get_or_compile/cold", |b| {

@@ -2,17 +2,27 @@
 //!
 //! ```text
 //! xse-loadgen [--mix NAME] [--ops N] [--pairs N] [--seed N]
-//!             [--capacity N] [--workers N] [--cold]
+//!             [--capacity N] [--workers N] [--shards N] [--cold]
 //!             [--addr HOST:PORT | --spawn-server | --in-process]
+//!             [--connections N] [--inflight K]
 //!             [--chaos] [--fault-seed N]
-//!             [--check]
+//!             [--check] [--min-hit-rate X]
 //! ```
 //!
 //! * `--mix` — `translate-heavy` (default), `repeated-query`,
 //!   `apply-heavy`, `mixed`, or `cold-cache-adversarial`.
 //! * `--addr` targets a running server; `--spawn-server` starts one on an
 //!   ephemeral port and drives it over TCP; the default is in-process.
+//! * `--shards` — registry shard count for the spawned/in-process
+//!   registry (default 8).
 //! * `--cold` evicts (untimed) before every timed op.
+//! * `--connections N --inflight K` — contended mode: N concurrent
+//!   pipelined connections each keeping K requests in flight (`--ops` is
+//!   per connection). Pairs are prewarmed untimed, so the digests are
+//!   warm-path latency under contention. Requires a TCP endpoint
+//!   (`--spawn-server` or `--addr`); incompatible with `--chaos` and
+//!   `--cold`. A spawned server gets `max(--workers, N)` workers so every
+//!   connection is served concurrently.
 //! * `--chaos` (requires `--spawn-server`) interposes a [`FaultProxy`]
 //!   running [`FaultPlan::standard`]`(--fault-seed)` between a retrying
 //!   client and the server: frames are delayed, reset, truncated and
@@ -22,7 +32,8 @@
 //!   ops, and — always — zero misinterpretations. Without `--chaos` it
 //!   also requires zero protocol errors (under chaos, transport failures
 //!   are the point), and on the `repeated-query` mix (warm) a ≥ 95%
-//!   translation-plan hit rate.
+//!   translation-plan hit rate. `--min-hit-rate X` additionally requires
+//!   a registry hit rate ≥ X.
 //!
 //! The summary is printed to stdout as a single JSON line.
 
@@ -31,7 +42,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use xse_service::fault::{FaultPlan, FaultProxy};
-use xse_service::loadgen::{self, Endpoint, LoadConfig};
+use xse_service::loadgen::{self, ContendedConfig, Endpoint, LoadConfig};
 use xse_service::{
     Client, ClientConfig, EmbeddingRegistry, RegistryConfig, RetryPolicy, RetryingClient, Server,
     ServerConfig,
@@ -45,12 +56,16 @@ struct Args {
     seed: u64,
     capacity: usize,
     workers: usize,
+    shards: usize,
     cold: bool,
     addr: Option<String>,
     spawn_server: bool,
+    connections: usize,
+    inflight: usize,
     chaos: bool,
     fault_seed: u64,
     check: bool,
+    min_hit_rate: Option<f64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -61,12 +76,16 @@ fn parse_args() -> Result<Args, String> {
         seed: 42,
         capacity: 64,
         workers: 4,
+        shards: RegistryConfig::default().shards,
         cold: false,
         addr: None,
         spawn_server: false,
+        connections: 1,
+        inflight: 1,
         chaos: false,
         fault_seed: 7,
         check: false,
+        min_hit_rate: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -82,13 +101,21 @@ fn parse_args() -> Result<Args, String> {
             "--seed" => args.seed = parse_num(&value("--seed")?)? as u64,
             "--capacity" => args.capacity = parse_num(&value("--capacity")?)?,
             "--workers" => args.workers = parse_num(&value("--workers")?)?,
+            "--shards" => args.shards = parse_num(&value("--shards")?)?,
             "--cold" => args.cold = true,
             "--addr" => args.addr = Some(value("--addr")?),
             "--spawn-server" => args.spawn_server = true,
+            "--connections" => args.connections = parse_num(&value("--connections")?)?,
+            "--inflight" => args.inflight = parse_num(&value("--inflight")?)?,
             "--in-process" => {}
             "--chaos" => args.chaos = true,
             "--fault-seed" => args.fault_seed = parse_num(&value("--fault-seed")?)? as u64,
             "--check" => args.check = true,
+            "--min-hit-rate" => {
+                let raw = value("--min-hit-rate")?;
+                let rate: f64 = raw.parse().map_err(|_| format!("not a number: '{raw}'"))?;
+                args.min_hit_rate = Some(rate);
+            }
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
@@ -97,6 +124,24 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.chaos && !args.spawn_server {
         return Err("--chaos requires --spawn-server (the proxy needs an upstream)".into());
+    }
+    if args.connections == 0 || args.inflight == 0 {
+        return Err("--connections and --inflight must be at least 1".into());
+    }
+    if args.shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    let contended = args.connections > 1 || args.inflight > 1;
+    if contended && !args.spawn_server && args.addr.is_none() {
+        return Err(
+            "--connections/--inflight need a TCP endpoint (--spawn-server or --addr)".into(),
+        );
+    }
+    if contended && args.chaos {
+        return Err("--connections/--inflight and --chaos are mutually exclusive".into());
+    }
+    if contended && args.cold {
+        return Err("--connections/--inflight prewarm the cache; --cold conflicts".into());
     }
     Ok(args)
 }
@@ -120,15 +165,23 @@ fn main() -> ExitCode {
     );
     let pairs = loadgen::build_pairs(args.pairs, args.seed);
 
+    let contended = args.connections > 1 || args.inflight > 1;
     let registry = || {
         Arc::new(EmbeddingRegistry::new(RegistryConfig {
             capacity: args.capacity,
+            shards: args.shards,
             discovery: loadgen::loadgen_discovery(),
             ..RegistryConfig::default()
         }))
     };
     let server_config = || ServerConfig {
-        workers: args.workers,
+        // Contended runs hold one worker per connection for the whole
+        // replay; anything less serializes whole connections.
+        workers: if contended {
+            args.workers.max(args.connections)
+        } else {
+            args.workers
+        },
         // Chaos runs stall connections on purpose; shorter deadlines keep
         // workers circulating through the injected faults.
         read_timeout: Some(if args.chaos {
@@ -143,6 +196,54 @@ fn main() -> ExitCode {
     // their threads.
     let mut _server = None;
     let mut _proxy = None;
+
+    if contended {
+        let target = if let Some(addr) = &args.addr {
+            use std::net::ToSocketAddrs;
+            match addr.to_socket_addrs().ok().and_then(|mut it| it.next()) {
+                Some(a) => a,
+                None => {
+                    eprintln!("xse-loadgen: cannot resolve {addr}");
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            let handle = match Server::bind(("127.0.0.1", 0), registry(), server_config()) {
+                Ok(h) => h,
+                Err(e) => {
+                    eprintln!("xse-loadgen: bind: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let a = handle.addr();
+            eprintln!(
+                "xse-loadgen: spawned server on {a} ({} shards, {} connections x {} in flight)",
+                args.shards, args.connections, args.inflight
+            );
+            _server = Some(handle);
+            a
+        };
+        let summary = match loadgen::run_contended(
+            target,
+            &pairs,
+            &ContendedConfig {
+                mix: args.mix.clone(),
+                ops_per_connection: args.ops,
+                seed: args.seed,
+                connections: args.connections,
+                inflight: args.inflight,
+            },
+        ) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("xse-loadgen: contended run: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        println!("{}", summary.to_json());
+        return check_summary(&args, &summary);
+    }
+
     let mut endpoint = if let Some(addr) = &args.addr {
         match Client::connect(addr.as_str()) {
             Ok(c) => Endpoint::Tcp(c),
@@ -233,35 +334,48 @@ fn main() -> ExitCode {
         );
     }
 
-    if args.check {
-        let mut failures = Vec::new();
-        if summary.qps <= 0.0 {
-            failures.push(format!("qps {:.2} not positive", summary.qps));
-        }
-        if summary.ops == 0 {
-            failures.push("no ops completed".into());
-        }
-        if summary.misinterpretations > 0 {
+    check_summary(&args, &summary)
+}
+
+fn check_summary(args: &Args, summary: &loadgen::LoadSummary) -> ExitCode {
+    if !args.check {
+        return ExitCode::SUCCESS;
+    }
+    let mut failures = Vec::new();
+    if summary.qps <= 0.0 {
+        failures.push(format!("qps {:.2} not positive", summary.qps));
+    }
+    if summary.ops == 0 {
+        failures.push("no ops completed".into());
+    }
+    if summary.misinterpretations > 0 {
+        failures.push(format!(
+            "{} misinterpreted responses (corruption must never decode as success)",
+            summary.misinterpretations
+        ));
+    }
+    if !args.chaos && summary.protocol_errors > 0 {
+        failures.push(format!("{} protocol errors", summary.protocol_errors));
+    }
+    // The repeated-query mix exists to exercise plan reuse; a warm
+    // replay that misses the plan cache is a regression even if fast.
+    if !args.chaos && args.mix.zipf_queries() && !args.cold && summary.plan_hit_rate < 0.95 {
+        failures.push(format!(
+            "plan hit rate {:.4} below 0.95",
+            summary.plan_hit_rate
+        ));
+    }
+    if let Some(min) = args.min_hit_rate {
+        if summary.hit_rate < min {
             failures.push(format!(
-                "{} misinterpreted responses (corruption must never decode as success)",
-                summary.misinterpretations
+                "registry hit rate {:.4} below {min:.4}",
+                summary.hit_rate
             ));
         }
-        if !args.chaos && summary.protocol_errors > 0 {
-            failures.push(format!("{} protocol errors", summary.protocol_errors));
-        }
-        // The repeated-query mix exists to exercise plan reuse; a warm
-        // replay that misses the plan cache is a regression even if fast.
-        if !args.chaos && args.mix.zipf_queries() && !args.cold && summary.plan_hit_rate < 0.95 {
-            failures.push(format!(
-                "plan hit rate {:.4} below 0.95",
-                summary.plan_hit_rate
-            ));
-        }
-        if !failures.is_empty() {
-            eprintln!("xse-loadgen: check FAILED ({})", failures.join("; "));
-            return ExitCode::from(1);
-        }
+    }
+    if !failures.is_empty() {
+        eprintln!("xse-loadgen: check FAILED ({})", failures.join("; "));
+        return ExitCode::from(1);
     }
     ExitCode::SUCCESS
 }

@@ -1,7 +1,10 @@
-//! Blocking TCP client for the embedding service: a deadline-bounded
-//! [`Client`] plus a [`RetryingClient`] wrapper that reconnects and
+//! Blocking TCP clients for the embedding service: a deadline-bounded
+//! [`Client`] (one request at a time, the legacy id-0 lane), a
+//! [`PipelinedClient`] that keeps several tagged requests in flight on
+//! one connection, and a [`RetryingClient`] wrapper that reconnects and
 //! retries with exponential backoff and deterministic seeded jitter.
 
+use std::collections::HashSet;
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -52,8 +55,11 @@ impl Default for ClientConfig {
 }
 
 /// One connection to a running [`Server`](crate::Server). Requests are
-/// strictly sequential per connection (the protocol has no request ids);
-/// open one client per concurrent caller.
+/// strictly sequential per connection: every frame is sent with request
+/// id 0, the wire protocol's legacy unpipelined marker, so the server
+/// answers in order, one at a time. For several requests in flight per
+/// connection use [`PipelinedClient`]; for several concurrent callers,
+/// open one client each.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
@@ -117,7 +123,17 @@ impl Client {
     /// [`ServiceError::Timeout`] when the write deadline expires,
     /// [`ServiceError::Io`] on any other socket failure.
     pub fn send_request(&mut self, req: &Request) -> Result<(), ServiceError> {
-        write_frame(&mut self.writer, &req.encode()).map_err(|e| {
+        self.send_tagged(0, req)
+    }
+
+    /// Send one request frame tagged with `request_id` (the pipelined
+    /// lane; [`PipelinedClient`] assigns nonzero ids and matches
+    /// responses back by id).
+    ///
+    /// # Errors
+    /// As in [`Client::send_request`].
+    pub fn send_tagged(&mut self, request_id: u32, req: &Request) -> Result<(), ServiceError> {
+        write_frame(&mut self.writer, request_id, &req.encode()).map_err(|e| {
             if proto::is_timeout(e.kind()) {
                 ServiceError::Timeout("write deadline expired sending the request".into())
             } else {
@@ -132,9 +148,26 @@ impl Client {
     /// [`ServiceError::Timeout`] when the read deadline expires,
     /// [`ServiceError::Closed`] when the server closed cleanly between
     /// frames, [`ServiceError::Protocol`] for truncated or undecodable
-    /// responses, [`ServiceError::Io`] otherwise.
+    /// responses — including a response carrying a nonzero request id,
+    /// which an unpipelined connection must never see —
+    /// [`ServiceError::Io`] otherwise.
     pub fn read_response(&mut self) -> Result<Response, ServiceError> {
-        let payload = read_frame(&mut self.reader).map_err(|e| match e {
+        let (id, resp) = self.read_tagged()?;
+        if id != 0 {
+            return Err(ServiceError::Protocol(format!(
+                "unpipelined connection received response id {id}"
+            )));
+        }
+        Ok(resp)
+    }
+
+    /// Wait for one response frame and its echoed request id (the
+    /// pipelined lane — responses may arrive out of request order).
+    ///
+    /// # Errors
+    /// As in [`Client::read_response`], minus the id-0 check.
+    pub fn read_tagged(&mut self) -> Result<(u32, Response), ServiceError> {
+        let (id, payload) = read_frame(&mut self.reader).map_err(|e| match e {
             FrameError::TooLarge(n) => {
                 ServiceError::Protocol(format!("server announced a {n}-byte frame"))
             }
@@ -145,8 +178,9 @@ impl Client {
             }
             FrameError::Io(e) => ServiceError::Io(e.to_string()),
         })?;
-        Response::decode(&payload)
-            .ok_or_else(|| ServiceError::Protocol("undecodable response payload".into()))
+        let resp = Response::decode(&payload)
+            .ok_or_else(|| ServiceError::Protocol("undecodable response payload".into()))?;
+        Ok((id, resp))
     }
 
     /// Send one request and wait for its response frame.
@@ -277,6 +311,131 @@ impl Client {
             Response::Evicted { existed } => Ok(existed),
             other => Err(unexpected(other)),
         }
+    }
+}
+
+/// A client that keeps up to K requests in flight on one connection.
+///
+/// Every submitted request gets a fresh nonzero id; the server may answer
+/// **out of order**, and [`PipelinedClient::recv`] returns whichever
+/// response arrives next together with its id — correlation is the
+/// caller's choice of bookkeeping (or use
+/// [`PipelinedClient::call_pipelined`], which windows a whole batch and
+/// restores request order). A structured error frame fails only the
+/// request whose id it carries; the connection — and every other
+/// in-flight request — stays live. The exception is an error frame with
+/// id 0: the server could not attribute it to a request (oversized frame,
+/// read-deadline expiry), so it is connection-fatal and surfaces as
+/// [`ServiceError::Remote`].
+pub struct PipelinedClient {
+    conn: Client,
+    next_id: u32,
+    inflight: HashSet<u32>,
+}
+
+impl PipelinedClient {
+    /// Connect with the default [`ClientConfig`] deadlines.
+    ///
+    /// # Errors
+    /// As in [`Client::connect`].
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<PipelinedClient, ServiceError> {
+        PipelinedClient::connect_with(addr, &ClientConfig::default())
+    }
+
+    /// Connect with explicit deadlines.
+    ///
+    /// # Errors
+    /// As in [`Client::connect`].
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        config: &ClientConfig,
+    ) -> Result<PipelinedClient, ServiceError> {
+        Ok(PipelinedClient {
+            conn: Client::connect_with(addr, config)?,
+            next_id: 1,
+            inflight: HashSet::new(),
+        })
+    }
+
+    /// Number of submitted requests whose responses are still outstanding.
+    pub fn in_flight(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Send `req` without waiting, returning the id its response will
+    /// echo. Ids are assigned 1, 2, 3, … (wrapping past `u32::MAX` back
+    /// to 1 — 0 is the legacy unpipelined marker and is never assigned).
+    ///
+    /// # Errors
+    /// As in [`Client::send_request`].
+    pub fn submit(&mut self, req: &Request) -> Result<u32, ServiceError> {
+        let id = self.next_id;
+        self.next_id = self.next_id.checked_add(1).unwrap_or(1);
+        self.conn.send_tagged(id, req)?;
+        self.inflight.insert(id);
+        Ok(id)
+    }
+
+    /// Wait for the next response (whatever request it answers) and
+    /// return it with its id.
+    ///
+    /// # Errors
+    /// Transport errors as in [`Client::read_response`];
+    /// [`ServiceError::Protocol`] when the id matches no in-flight
+    /// request; [`ServiceError::Remote`] for an id-0 error frame
+    /// (connection-fatal, not attributable to any one request).
+    pub fn recv(&mut self) -> Result<(u32, Response), ServiceError> {
+        let (id, resp) = self.conn.read_tagged()?;
+        if id == 0 {
+            return Err(match resp {
+                Response::Error { code, message } => ServiceError::Remote { code, message },
+                other => ServiceError::Protocol(format!(
+                    "id-0 frame on a pipelined connection: {other:?}"
+                )),
+            });
+        }
+        if !self.inflight.remove(&id) {
+            return Err(ServiceError::Protocol(format!(
+                "response id {id} matches no in-flight request"
+            )));
+        }
+        Ok((id, resp))
+    }
+
+    /// Run `reqs` through the connection keeping at most `window` in
+    /// flight, and return the responses **in request order** regardless
+    /// of the order the server completed them.
+    ///
+    /// # Errors
+    /// The first transport error aborts the batch (per-request failures
+    /// arrive as `Ok(Response::Error { .. })` entries instead).
+    pub fn call_pipelined(
+        &mut self,
+        reqs: &[Request],
+        window: usize,
+    ) -> Result<Vec<Response>, ServiceError> {
+        let window = window.max(1);
+        let mut ordered: Vec<Option<Response>> = vec![None; reqs.len()];
+        let mut id_to_index = std::collections::HashMap::new();
+        let mut next = 0usize;
+        let mut done = 0usize;
+        while done < reqs.len() {
+            while next < reqs.len() && self.in_flight() < window {
+                let id = self.submit(&reqs[next])?;
+                id_to_index.insert(id, next);
+                next += 1;
+            }
+            let (id, resp) = self.recv()?;
+            let index = id_to_index.remove(&id).ok_or_else(|| {
+                ServiceError::Protocol(format!("response id {id} not part of this batch"))
+            })?;
+            ordered[index] = Some(resp);
+            done += 1;
+        }
+        Ok(ordered
+            .into_iter()
+            .map(|r| r.expect("all filled"))
+            .collect())
     }
 }
 

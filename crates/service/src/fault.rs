@@ -349,11 +349,14 @@ fn pump(shared: &Shared, dir: Direction, conn: u64, ends: PumpEnds) {
     let Some(mut dst) = dst else { return };
     let mut frame = 0u64;
     loop {
-        let mut header = [0u8; 4];
+        // 8-byte header: u32-BE payload length, then the u32 request id
+        // (forwarded untouched — faults target the payload, so request-id
+        // correlation survives corruption).
+        let mut header = [0u8; 8];
         if read_exactly(&mut src, &mut header).is_err() {
             break;
         }
-        let len = u32::from_be_bytes(header) as usize;
+        let len = u32::from_be_bytes(header[..4].try_into().unwrap()) as usize;
         let mut payload = vec![0u8; len];
         if read_exactly(&mut src, &mut payload).is_err() {
             break;

@@ -8,10 +8,15 @@
 //! and constant. This crate packages the workspace's engine accordingly:
 //!
 //! * [`EmbeddingRegistry`] — a concurrent cache keyed by the canonical
-//!   content hashes of the (source, target) DTD pair, with single-flight
-//!   compilation and LRU eviction ([`registry`] docs).
+//!   content hashes of the (source, target) DTD pair, lock-striped into
+//!   shards with per-shard single-flight compilation, a read-lock warm
+//!   fast path, and weighted (compile-cost × recency) eviction
+//!   ([`registry`] docs).
 //! * [`Server`] / [`Client`] — a length-prefixed binary protocol over
 //!   `std::net::TcpStream` with a bounded worker pool. No async runtime.
+//!   Nonzero request ids opt a connection into pipelining
+//!   ([`PipelinedClient`]): up to K requests in flight, responses matched
+//!   by id and possibly out of order (see *Wire format*).
 //! * [`loadgen`] — replays [`TrafficMix`](xse_workloads::traffic) request
 //!   mixes built from the workloads corpora against an in-process registry
 //!   or a TCP endpoint, and reports per-op latency percentiles, QPS and
@@ -25,20 +30,33 @@
 //!
 //! # Wire format
 //!
-//! Every message is one **frame**:
+//! Every message is one **frame** with an 8-byte header:
 //!
 //! ```text
-//! +----------------+---------------------------+
-//! | len: u32 (BE)  | payload: `len` bytes      |
-//! +----------------+---------------------------+
+//! +----------------+----------------+---------------------------+
+//! | len: u32 (BE)  | id: u32 (BE)   | payload: `len` bytes      |
+//! +----------------+----------------+---------------------------+
 //! ```
 //!
 //! `len` counts payload bytes only and must not exceed
 //! [`MAX_FRAME_LEN`] (16 MiB); a larger announcement is answered with an
-//! error frame (code `FrameTooLarge`) and the connection is closed without
-//! reading the body. The payload's first byte is the **opcode**; all
-//! variable-length fields are `u32`-BE length-prefixed UTF-8 strings and
-//! all integers are big-endian.
+//! error frame (code `FrameTooLarge`, id `0`) and the connection is
+//! closed without reading the body. The payload's first byte is the
+//! **opcode**; all variable-length fields are `u32`-BE length-prefixed
+//! UTF-8 strings and all integers are big-endian.
+//!
+//! `id` is the **request id**, echoed verbatim in the response frame that
+//! answers the request. The compatibility rule: id `0` marks the legacy
+//! unpipelined lane — the server answers strictly in order and a
+//! connection using it behaves exactly like the pre-pipelining protocol.
+//! A **nonzero** id opts the connection into pipelined mode: the client
+//! may keep many requests in flight ([`PipelinedClient`]) and responses
+//! may arrive **out of order**; the id is the only correlation between a
+//! response and its request. A connection must not mix the two lanes —
+//! after the first nonzero id the server routes the connection through
+//! its out-of-order completion path, and any id-`0` *error* frame it
+//! subsequently emits (frame-too-large, mid-frame timeout) is
+//! connection-fatal because it cannot be attributed to one request.
 //!
 //! Request opcodes (client → server; `s`/`t` abbreviate the source and
 //! target DTD texts):
@@ -126,7 +144,9 @@ pub mod proto;
 pub mod registry;
 pub mod server;
 
-pub use client::{Client, ClientConfig, RetryPolicy, RetryStats, RetryingClient, TranslateReply};
+pub use client::{
+    Client, ClientConfig, PipelinedClient, RetryPolicy, RetryStats, RetryingClient, TranslateReply,
+};
 pub use fault::{FaultAction, FaultPlan, FaultProxy, FaultProxyHandle};
 pub use proto::{ErrorCode, Request, Response, MAX_FRAME_LEN};
 pub use registry::{EmbeddingRegistry, PairKey, RegistryConfig, RegistryStats};

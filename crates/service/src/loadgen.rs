@@ -16,6 +16,8 @@
 //! before every timed op, forcing each request to pay the compile path —
 //! the baseline against which the warm cache's speedup is measured.
 
+use std::collections::HashMap;
+use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -31,7 +33,7 @@ use xse_workloads::traffic::{ServiceOp, TrafficMix};
 
 use crate::proto::{ErrorCode, Request, Response, StatsWire};
 use crate::registry::{default_similarity, EmbeddingRegistry};
-use crate::{Client, RetryStats, RetryingClient, ServiceError};
+use crate::{Client, PipelinedClient, RetryStats, RetryingClient, ServiceError};
 
 /// One source/target schema pair with pre-generated request payloads.
 pub struct SchemaPair {
@@ -245,6 +247,15 @@ pub struct ErrorTaxonomy {
 }
 
 impl ErrorTaxonomy {
+    fn merge(&mut self, other: &ErrorTaxonomy) {
+        self.overloaded += other.overloaded;
+        self.timeout += other.timeout;
+        self.malformed += other.malformed;
+        self.app += other.app;
+        self.io += other.io;
+        self.protocol += other.protocol;
+    }
+
     fn note_response(&mut self, code: ErrorCode) {
         match code {
             ErrorCode::Overloaded => self.overloaded += 1,
@@ -526,6 +537,238 @@ pub fn run(endpoint: &mut Endpoint, pairs: &[SchemaPair], cfg: &LoadConfig) -> L
         registry,
         overall_digest: digest(&mut all),
     }
+}
+
+/// Parameters for the contended replay: `connections` pipelined TCP
+/// connections, each keeping up to `inflight` requests in flight.
+#[derive(Clone, Debug)]
+pub struct ContendedConfig {
+    /// The traffic mix every connection samples (independently seeded).
+    pub mix: TrafficMix,
+    /// Timed operations issued *per connection*.
+    pub ops_per_connection: usize,
+    /// Base RNG seed; connection `i` derives its own stream from it.
+    pub seed: u64,
+    /// Concurrent TCP connections.
+    pub connections: usize,
+    /// Per-connection pipelining window (1 = lockstep, still pipelined
+    /// framing).
+    pub inflight: usize,
+}
+
+/// What one connection's replay produced, merged by [`run_contended`].
+#[derive(Default)]
+struct ConnOutcome {
+    latencies: Vec<Vec<u64>>,
+    issued: u64,
+    op_errors: u64,
+    protocol_errors: u64,
+    errors: ErrorTaxonomy,
+    shed: u64,
+    misinterpretations: u64,
+}
+
+/// Replay the mix over `cfg.connections` concurrent [`PipelinedClient`]s,
+/// each holding up to `cfg.inflight` requests in flight.
+///
+/// Every pair is compiled once (untimed) before the timed section, so the
+/// digests measure the *warm* path under contention — registry fast-path
+/// reads racing across connections plus wire queueing — rather than
+/// compile storms. Latency is submit→receive per request, which under a
+/// deep window deliberately includes time spent queued behind the
+/// connection's other in-flight requests: that is the latency a pipelined
+/// caller observes.
+///
+/// Fails only if the prewarm client cannot be set up; per-connection
+/// transport failures end that connection's stream and are counted in the
+/// merged taxonomy.
+pub fn run_contended(
+    addr: SocketAddr,
+    pairs: &[SchemaPair],
+    cfg: &ContendedConfig,
+) -> Result<LoadSummary, ServiceError> {
+    assert!(!pairs.is_empty(), "load generation needs at least one pair");
+    assert!(cfg.connections >= 1, "need at least one connection");
+    assert!(cfg.inflight >= 1, "need a window of at least one");
+
+    // Prewarm (untimed): every pair compiles exactly once up front.
+    let mut control = Client::connect(addr)?;
+    for p in pairs {
+        control.call(&Request::Compile {
+            source_dtd: p.source_text.clone(),
+            target_dtd: p.target_text.clone(),
+        })?;
+    }
+
+    let t0 = Instant::now();
+    let outcomes: Vec<ConnOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.connections)
+            .map(|conn| scope.spawn(move || drive_connection(addr, pairs, cfg, conn as u64)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("connection thread panicked"))
+            .collect()
+    });
+    let elapsed_nanos = t0.elapsed().as_nanos() as u64;
+
+    let mut latencies: Vec<Vec<u64>> = vec![Vec::new(); ServiceOp::ALL.len()];
+    let mut issued = 0u64;
+    let mut op_errors = 0u64;
+    let mut protocol_errors = 0u64;
+    let mut errors = ErrorTaxonomy::default();
+    let mut shed = 0u64;
+    let mut misinterpretations = 0u64;
+    for out in outcomes {
+        for (slot, lat) in out.latencies.into_iter().enumerate() {
+            latencies[slot].extend(lat);
+        }
+        issued += out.issued;
+        op_errors += out.op_errors;
+        protocol_errors += out.protocol_errors;
+        errors.merge(&out.errors);
+        shed += out.shed;
+        misinterpretations += out.misinterpretations;
+    }
+
+    let registry = match control.call(&Request::Stats) {
+        Ok(Response::Stats(s)) => s,
+        _ => StatsWire::default(),
+    };
+    let resolutions = registry.hits + registry.misses + registry.single_flight_waits;
+    let hit_rate = if resolutions == 0 {
+        0.0
+    } else {
+        registry.hits as f64 / resolutions as f64
+    };
+    let translations = registry.plan_hits + registry.plan_misses;
+    let plan_hit_rate = if translations == 0 {
+        0.0
+    } else {
+        registry.plan_hits as f64 / translations as f64
+    };
+
+    let mut all: Vec<u64> = latencies.iter().flatten().copied().collect();
+    let per_op = ServiceOp::ALL
+        .iter()
+        .zip(latencies.iter_mut())
+        .map(|(&op, lat)| (op, digest(lat)))
+        .collect();
+    Ok(LoadSummary {
+        mix: cfg.mix.name().to_string(),
+        ops: issued,
+        elapsed_nanos,
+        qps: if elapsed_nanos == 0 {
+            0.0
+        } else {
+            issued as f64 * 1e9 / elapsed_nanos as f64
+        },
+        hit_rate,
+        plan_hit_rate,
+        protocol_errors,
+        op_errors,
+        errors,
+        shed,
+        misinterpretations,
+        retry: None,
+        per_op,
+        registry,
+        overall_digest: digest(&mut all),
+    })
+}
+
+fn drive_connection(
+    addr: SocketAddr,
+    pairs: &[SchemaPair],
+    cfg: &ContendedConfig,
+    conn: u64,
+) -> ConnOutcome {
+    let mut out = ConnOutcome {
+        latencies: vec![Vec::new(); ServiceOp::ALL.len()],
+        ..ConnOutcome::default()
+    };
+    let mut client = match PipelinedClient::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            out.protocol_errors += 1;
+            out.errors.note_transport(&e);
+            return out;
+        }
+    };
+    // Pre-sample the whole stream so the timed loop does no generation
+    // work; each connection gets an independent deterministic stream.
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ conn.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let reqs: Vec<(ServiceOp, Request)> = (0..cfg.ops_per_connection)
+        .map(|_| {
+            let pair = &pairs[rng.random_range(0..pairs.len())];
+            let op = cfg.mix.sample(&mut rng);
+            let req =
+                build_request(pair, op, &mut rng, cfg.mix.zipf_queries()).unwrap_or_else(|| {
+                    Request::Compile {
+                        source_dtd: pair.source_text.clone(),
+                        target_dtd: pair.target_text.clone(),
+                    }
+                });
+            (op, req)
+        })
+        .collect();
+
+    let mut pending: HashMap<u32, (usize, Instant)> = HashMap::new();
+    let mut next = 0usize;
+    loop {
+        // Fill the window first, then block on one completion.
+        if next < reqs.len() && pending.len() < cfg.inflight {
+            let started = Instant::now();
+            match client.submit(&reqs[next].1) {
+                Ok(id) => {
+                    pending.insert(id, (next, started));
+                    next += 1;
+                    continue;
+                }
+                Err(e) => {
+                    out.protocol_errors += 1;
+                    out.errors.note_transport(&e);
+                    break;
+                }
+            }
+        }
+        if pending.is_empty() {
+            break;
+        }
+        match client.recv() {
+            Ok((id, resp)) => {
+                let (idx, started) = pending.remove(&id).expect("recv validated the id");
+                let nanos = started.elapsed().as_nanos() as u64;
+                let (op, req) = &reqs[idx];
+                match resp {
+                    Response::Error { code, message: _ } => {
+                        out.op_errors += 1;
+                        out.errors.note_response(code);
+                        if code == ErrorCode::Overloaded {
+                            out.shed += 1;
+                        }
+                    }
+                    resp => {
+                        if !response_matches(req, &resp) {
+                            out.misinterpretations += 1;
+                        }
+                    }
+                }
+                out.issued += 1;
+                let slot = ServiceOp::ALL
+                    .iter()
+                    .position(|&o| o == *op)
+                    .expect("in ALL");
+                out.latencies[slot].push(nanos);
+            }
+            Err(e) => {
+                out.protocol_errors += 1;
+                out.errors.note_transport(&e);
+                break;
+            }
+        }
+    }
+    out
 }
 
 fn digest(lat: &mut [u64]) -> Option<OpDigest> {

@@ -2,9 +2,20 @@
 //!
 //! Everything here is plain `std` byte-pushing — the format is fully
 //! described in the crate-level docs ([`crate`]). In short: every message
-//! is one *frame* (`u32` big-endian payload length, then the payload), the
-//! payload's first byte is the opcode, and all variable-length fields are
-//! `u32`-BE length-prefixed UTF-8 strings.
+//! is one *frame* (`u32` big-endian payload length, then a `u32`-BE
+//! **request id**, then the payload), the payload's first byte is the
+//! opcode, and all variable-length fields are `u32`-BE length-prefixed
+//! UTF-8 strings.
+//!
+//! # Request ids and pipelining
+//!
+//! The request id lets a client keep several requests in flight on one
+//! connection: the server echoes each request's id on its response frame,
+//! and pipelined responses may arrive **out of order** — the id is the
+//! only correlation. Id `0` is reserved for legacy unpipelined traffic:
+//! a client that sends id 0 for every request is served strictly
+//! in order, one at a time, exactly like the pre-pipelining protocol.
+//! Clients must not mix id-0 and nonzero-id requests on one connection.
 
 use std::io::{self, Read, Write};
 
@@ -286,13 +297,15 @@ pub fn is_timeout(kind: io::ErrorKind) -> bool {
     matches!(kind, io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
 }
 
-/// Write one frame: `u32`-BE payload length, then the payload.
+/// Write one frame: `u32`-BE payload length, `u32`-BE request id, then
+/// the payload. Request id 0 marks legacy unpipelined traffic (see the
+/// [module docs](self)).
 ///
 /// # Errors
 /// `InvalidInput` when the payload exceeds [`MAX_FRAME_LEN`] — an
 /// oversized payload must fail loudly rather than wrap in the `u32`
 /// length cast and desynchronize the stream.
-pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+pub fn write_frame(w: &mut impl Write, request_id: u32, payload: &[u8]) -> io::Result<()> {
     if payload.len() > MAX_FRAME_LEN {
         return Err(io::Error::new(
             io::ErrorKind::InvalidInput,
@@ -303,24 +316,30 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
         ));
     }
     w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(&request_id.to_be_bytes())?;
     w.write_all(payload)?;
     w.flush()
 }
 
-/// Read one frame's payload, enforcing [`MAX_FRAME_LEN`] *before* reading
-/// the body and distinguishing clean closes ([`FrameError::Closed`]) from
-/// mid-frame disconnects ([`FrameError::Truncated`]) and read-deadline
-/// expiries ([`FrameError::TimedOut`]).
-pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, FrameError> {
-    let mut len = [0u8; 4];
-    fill(r, &mut len, true)?;
-    let n = u32::from_be_bytes(len) as usize;
+/// Read one frame, returning `(request_id, payload)`. The
+/// [`MAX_FRAME_LEN`] cap is enforced *before* reading the body (the full
+/// 8-byte header is consumed first). An oversized announcement is
+/// answered by the server with an **id-0** error frame — the connection
+/// is closing, and id 0 on a pipelined connection marks exactly such
+/// connection-fatal errors. Clean closes ([`FrameError::Closed`]) are
+/// distinguished from mid-frame disconnects ([`FrameError::Truncated`])
+/// and read-deadline expiries ([`FrameError::TimedOut`]).
+pub fn read_frame(r: &mut impl Read) -> Result<(u32, Vec<u8>), FrameError> {
+    let mut header = [0u8; 8];
+    fill(r, &mut header, true)?;
+    let n = u32::from_be_bytes(header[..4].try_into().unwrap()) as usize;
+    let request_id = u32::from_be_bytes(header[4..].try_into().unwrap());
     if n > MAX_FRAME_LEN {
         return Err(FrameError::TooLarge(n));
     }
     let mut payload = vec![0u8; n];
     fill(r, &mut payload, false)?;
-    Ok(payload)
+    Ok((request_id, payload))
 }
 
 /// `read_exact` with typed outcomes. `at_boundary` is true for the length
@@ -715,13 +734,20 @@ mod tests {
     #[test]
     fn frame_layer_roundtrips_and_caps() {
         let mut buf = Vec::new();
-        write_frame(&mut buf, b"hello").unwrap();
-        assert_eq!(buf, [&[0, 0, 0, 5][..], b"hello"].concat());
+        write_frame(&mut buf, 7, b"hello").unwrap();
+        assert_eq!(buf, [&[0, 0, 0, 5, 0, 0, 0, 7][..], b"hello"].concat());
         let mut r = &buf[..];
-        assert_eq!(read_frame(&mut r).unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap(), (7, b"hello".to_vec()));
+
+        // Id 0 (the legacy marker) round-trips like any other.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 0, b"x").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap(), (0, b"x".to_vec()));
 
         // Oversized header: rejected before any body bytes are read.
-        let huge = ((MAX_FRAME_LEN + 1) as u32).to_be_bytes();
+        let mut huge = ((MAX_FRAME_LEN + 1) as u32).to_be_bytes().to_vec();
+        huge.extend_from_slice(&9u32.to_be_bytes());
         let mut r = &huge[..];
         assert!(matches!(read_frame(&mut r), Err(FrameError::TooLarge(_))));
 
@@ -729,7 +755,7 @@ mod tests {
         // with nothing written, instead of wrapping the u32 length cast.
         let mut sink = Vec::new();
         let big = vec![0u8; MAX_FRAME_LEN + 1];
-        let err = write_frame(&mut sink, &big).unwrap_err();
+        let err = write_frame(&mut sink, 0, &big).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
         assert!(sink.is_empty());
 
@@ -740,8 +766,11 @@ mod tests {
         // Partial header: the peer died while announcing a frame.
         let mut r: &[u8] = &[0, 0];
         assert!(matches!(read_frame(&mut r), Err(FrameError::Truncated)));
+        // Length but no id: still a truncated header.
+        let mut r: &[u8] = &[0, 0, 0, 9, 0, 0];
+        assert!(matches!(read_frame(&mut r), Err(FrameError::Truncated)));
         // Full header, partial payload: same verdict.
-        let mut r: &[u8] = &[0, 0, 0, 9, b'x'];
+        let mut r: &[u8] = &[0, 0, 0, 9, 0, 0, 0, 1, b'x'];
         assert!(matches!(read_frame(&mut r), Err(FrameError::Truncated)));
     }
 
@@ -786,7 +815,7 @@ mod tests {
         ));
         // Full header, partial payload: stalled mid-frame.
         let mut body = StallAfter {
-            bytes: vec![0, 0, 0, 4, b'x'],
+            bytes: vec![0, 0, 0, 4, 0, 0, 0, 1, b'x'],
             at: 0,
         };
         assert!(matches!(

@@ -8,15 +8,34 @@
 //! sending the same schemas with reordered declarations or permuted
 //! disjunction alternatives share one cache entry.
 //!
+//! # Sharding
+//!
+//! The registry is **lock-striped**: entries are distributed over
+//! [`RegistryConfig::shards`] independent shards by a stable mix of the
+//! pair's two content hashes. Each shard owns its own mutex, condvar,
+//! single-flight set, and negative cache, so a compile or eviction on one
+//! shard never blocks requests routed to another. `shards: 1` restores
+//! the seed's single-lock behavior exactly.
+//!
+//! # The warm fast path
+//!
+//! A warm hit never takes a shard mutex at all. Each shard keeps its
+//! `Ready` entries in a reader-writer table whose writers only touch it
+//! for the brief map insert/remove (never during a compile), so a warm
+//! lookup is: one shared read-lock acquisition, an `Arc` clone, and a few
+//! relaxed atomic counter bumps. A warm hit therefore cannot block behind
+//! an in-flight compile — not even one for another pair on the same
+//! shard.
+//!
 //! # Single-flight compilation
 //!
 //! Discovery is the expensive operation the cache exists to amortize, so
-//! the registry guarantees that N concurrent requests for the same
-//! uncached pair trigger exactly **one** `find_embedding` run: the first
-//! request installs a `Pending` slot and compiles outside the lock; the
-//! rest block on a condvar and are counted as
+//! each shard guarantees that N concurrent requests for the same uncached
+//! pair trigger exactly **one** `find_embedding` run: the first request
+//! installs the key in the shard's pending set and compiles outside the
+//! lock; the rest block on the shard condvar and are counted as
 //! [`RegistryStats::single_flight_waits`]. A failed or panicked compile
-//! removes the `Pending` slot and wakes all waiters, so a transient
+//! removes the pending mark and wakes all waiters, so a transient
 //! failure never wedges the key.
 //!
 //! # Negative cache
@@ -32,16 +51,33 @@
 //! `negative_ttl: None` disables the cache entirely (every request
 //! re-runs discovery).
 //!
-//! # Eviction
+//! # Weighted eviction
 //!
-//! When a completed compile pushes the cache over
-//! [`RegistryConfig::capacity`], the `Ready` entry with the oldest
-//! `last_used` tick is dropped (`Pending` slots are never evicted — someone
-//! is waiting on them). Explicit [`EmbeddingRegistry::evict`] uses the same
-//! accounting.
+//! Capacity is striped: each shard holds at most
+//! `⌈capacity / shards⌉` `Ready` entries. When a completed compile pushes
+//! a shard over that bound, the victim is chosen by **compile-cost ×
+//! recency**: entries are grouped into recency generations (the power-of-
+//! two bucket of their age in shard ticks), the stalest generation loses
+//! first, and within a generation the entry that was *cheapest to
+//! compile* is dropped — recompiling it costs the least. Pending
+//! (in-flight) keys live outside the `Ready` table and are structurally
+//! impossible to evict. Explicit [`EmbeddingRegistry::evict`] uses the
+//! same accounting.
+//!
+//! # Stats
+//!
+//! [`EmbeddingRegistry::stats`] merges per-shard snapshots (each taken
+//! under that shard's mutex) into one [`RegistryStats`]. Every counter is
+//! per-shard monotone — eviction folds an engine's plan counters into the
+//! shard's retired accumulators *under the shard lock, in the same
+//! critical section that removes the entry* — so the merged aggregate
+//! never goes backwards even when two shards evict concurrently.
+//! [`EmbeddingRegistry::shard_stats`] exposes the unmerged per-shard
+//! snapshots.
 
-use std::collections::HashMap;
-use std::sync::{Arc, Condvar, Mutex};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 use xse_core::{CompiledEmbedding, PlanCacheStats, SimilarityMatrix};
@@ -71,9 +107,15 @@ pub fn default_similarity(source: &Dtd, target: &Dtd) -> SimilarityMatrix {
 /// Registry construction knobs.
 #[derive(Clone, Debug)]
 pub struct RegistryConfig {
-    /// Maximum number of cached (`Ready`) embeddings; the least recently
-    /// used entry is evicted when a compile exceeds it. Minimum 1.
+    /// Maximum number of cached (`Ready`) embeddings. The bound is
+    /// striped: each shard holds at most `⌈capacity / shards⌉` entries,
+    /// so the effective total is `capacity` rounded up to a multiple of
+    /// the shard count. Minimum 1.
     pub capacity: usize,
+    /// Number of lock stripes. Requests for different pairs on different
+    /// shards never contend on a mutex; `1` restores the seed's
+    /// single-lock behavior exactly. Minimum 1, default 8.
+    pub shards: usize,
     /// Discovery configuration used for every compile.
     pub discovery: DiscoveryConfig,
     /// Builds the similarity matrix `att` for each compile (default:
@@ -89,6 +131,7 @@ impl Default for RegistryConfig {
     fn default() -> Self {
         RegistryConfig {
             capacity: 64,
+            shards: 8,
             discovery: DiscoveryConfig::default(),
             sim: default_similarity,
             negative_ttl: Some(Duration::from_secs(30)),
@@ -108,7 +151,7 @@ pub struct RegistryStats {
     /// Requests that blocked on another request's in-flight compile
     /// (neither a hit nor a miss).
     pub single_flight_waits: u64,
-    /// Entries dropped (LRU pressure + explicit evictions).
+    /// Entries dropped (capacity pressure + explicit evictions).
     pub evictions: u64,
     /// `Ready` entries currently cached.
     pub entries: u64,
@@ -153,6 +196,28 @@ impl RegistryStats {
     }
 }
 
+/// Field-wise sum, so `shard_stats()` snapshots fold into the aggregate
+/// `stats()` view.
+impl std::ops::Add for RegistryStats {
+    type Output = RegistryStats;
+
+    fn add(self, rhs: RegistryStats) -> RegistryStats {
+        RegistryStats {
+            hits: self.hits + rhs.hits,
+            misses: self.misses + rhs.misses,
+            compiles: self.compiles + rhs.compiles,
+            single_flight_waits: self.single_flight_waits + rhs.single_flight_waits,
+            evictions: self.evictions + rhs.evictions,
+            entries: self.entries + rhs.entries,
+            compile_nanos: self.compile_nanos + rhs.compile_nanos,
+            plan_hits: self.plan_hits + rhs.plan_hits,
+            plan_misses: self.plan_misses + rhs.plan_misses,
+            plan_entries: self.plan_entries + rhs.plan_entries,
+            negative_hits: self.negative_hits + rhs.negative_hits,
+        }
+    }
+}
+
 /// Per-entry counters, exposed by [`EmbeddingRegistry::entry_stats`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct EntryStats {
@@ -160,80 +225,56 @@ pub struct EntryStats {
     pub hits: u64,
     /// Wall-clock nanoseconds its compile took.
     pub compile_nanos: u64,
-    /// LRU tick of the most recent use (higher = more recent).
+    /// Shard tick of the most recent use (higher = more recent).
     pub last_used: u64,
     /// The engine's translation-plan cache counters.
     pub plan: PlanCacheStats,
 }
 
-struct Entry {
+/// A `Ready` entry in a shard's reader-writer table. Usage counters are
+/// relaxed atomics so the warm path can bump them under a shared read
+/// lock.
+struct FastEntry {
     engine: Arc<CompiledEmbedding>,
-    hits: u64,
+    hits: AtomicU64,
+    last_used: AtomicU64,
     compile_nanos: u64,
-    last_used: u64,
 }
 
-enum Slot {
-    /// A compile for this key is in flight; waiters sleep on the condvar.
-    Pending,
-    Ready(Entry),
-}
-
-/// Cap on the text → hash memo ([`Inner::text_keys`]); the memo is
-/// cleared wholesale when full (texts re-canonicalize on their next use),
-/// bounding memory against clients that stream never-repeating DTD texts.
+/// Cap on the text → hash memo; the memo is cleared wholesale when full
+/// (texts re-canonicalize on their next use), bounding memory against
+/// clients that stream never-repeating DTD texts.
 const TEXT_KEY_CAP: usize = 1024;
 
-/// Cap on the negative cache ([`Inner::negative`]); when full, expired
-/// entries are purged and, if still full, the entry expiring soonest is
-/// dropped — failing discovery again is correct, just slower.
+/// Per-shard cap on the negative cache; when full, expired entries are
+/// purged and, if still full, the entry expiring soonest is dropped —
+/// failing discovery again is correct, just slower.
 const NEGATIVE_CAP: usize = 256;
 
+/// Shard state that needs the mutex: single-flight bookkeeping, the
+/// negative cache, and the monotone counters that aren't hot enough to
+/// justify atomics.
 #[derive(Default)]
-struct Inner {
-    map: HashMap<PairKey, Slot>,
+struct ShardInner {
+    /// Keys with a compile in flight; waiters sleep on the shard condvar.
+    /// Pending keys are *not* in the `Ready` table, so eviction can never
+    /// select one.
+    pending: HashSet<PairKey>,
     /// Pairs whose discovery failed, mapped to the verdict's expiry.
     negative: HashMap<PairKey, Instant>,
     negative_hits: u64,
-    /// Memo: exact DTD text → canonical hash. The warm path resolves both
-    /// texts here with two string lookups, skipping the parse + reduce +
-    /// canonical-serialization work entirely; only texts never seen before
-    /// (or evicted from the memo) pay it.
-    text_keys: HashMap<String, DtdHash>,
-    tick: u64,
-    hits: u64,
     misses: u64,
     compiles: u64,
     single_flight_waits: u64,
     evictions: u64,
     compile_nanos: u64,
     /// Plan-cache hit/miss totals of engines already evicted; folded in by
-    /// [`Inner::retire`] so aggregate plan stats survive eviction.
+    /// [`Shard::retire_locked`] so aggregate plan stats survive eviction.
     retired_plan_hits: u64,
     retired_plan_misses: u64,
 }
 
-impl Inner {
-    fn ready_count(&self) -> usize {
-        self.map
-            .values()
-            .filter(|s| matches!(s, Slot::Ready(_)))
-            .count()
-    }
-
-    /// Remove `key`, folding the entry's plan counters into the retired
-    /// accumulators. Evicting the engine drops its `Arc` (and with it the
-    /// plan cache, once outstanding clones go away) — the counters are the
-    /// only thing that outlives it.
-    fn retire(&mut self, key: PairKey) {
-        if let Some(Slot::Ready(e)) = self.map.remove(&key) {
-            let plan = e.engine.plan_stats();
-            self.retired_plan_hits += plan.hits;
-            self.retired_plan_misses += plan.misses;
-        }
-        self.evictions += 1;
-    }
-
+impl ShardInner {
     /// Record a failed-discovery verdict, bounding the negative cache at
     /// [`NEGATIVE_CAP`].
     fn note_failure(&mut self, key: PairKey, expiry: Instant) {
@@ -253,41 +294,174 @@ impl Inner {
         }
         self.negative.insert(key, expiry);
     }
+}
 
-    /// Evict `Ready` entries (never `keep`) until at most `capacity` remain.
-    fn enforce_capacity(&mut self, capacity: usize, keep: PairKey) {
-        while self.ready_count() > capacity {
-            let victim = self
-                .map
-                .iter()
-                .filter_map(|(k, s)| match s {
-                    Slot::Ready(e) if *k != keep => Some((*k, e.last_used)),
-                    _ => None,
-                })
-                .min_by_key(|&(_, used)| used)
-                .map(|(k, _)| k);
-            match victim {
-                Some(k) => self.retire(k),
-                // Only `keep` and pendings are left; nothing evictable.
-                None => break,
+struct Shard {
+    /// The `Ready` table: the only state the warm path touches.
+    fast: RwLock<HashMap<PairKey, Arc<FastEntry>>>,
+    inner: Mutex<ShardInner>,
+    compiled: Condvar,
+    /// Recency clock, bumped on every touch. Atomic so the lock-free warm
+    /// path can advance it.
+    tick: AtomicU64,
+    /// Warm hits (atomic: bumped without the mutex on the fast path).
+    hits: AtomicU64,
+}
+
+impl Shard {
+    fn new() -> Shard {
+        Shard {
+            fast: RwLock::new(HashMap::new()),
+            inner: Mutex::new(ShardInner::default()),
+            compiled: Condvar::new(),
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+        }
+    }
+
+    /// Mark `entry` used now. `count_hit` is false for single-flight
+    /// waiters: they were already counted as waits, and counting the hit
+    /// too would double-count the request and inflate `hit_rate()`.
+    fn touch(&self, entry: &FastEntry, count_hit: bool) {
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        entry.last_used.store(tick, Ordering::Relaxed);
+        entry.hits.fetch_add(1, Ordering::Relaxed);
+        if count_hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Remove `key` from the `Ready` table, folding the entry's plan
+    /// counters into the retired accumulators. Returns whether an entry
+    /// was actually removed — the eviction counter moves **only** in that
+    /// case, and the fold happens in the same `inner`-locked critical
+    /// section as the removal, so a concurrent `stats()` (which also
+    /// holds `inner`) can never observe the engine both live in the table
+    /// and already folded. That ordering is what keeps merged plan totals
+    /// monotone when two shards evict at the same time.
+    fn retire_locked(&self, inner: &mut ShardInner, key: PairKey) -> bool {
+        let removed = self.fast.write().unwrap().remove(&key);
+        match removed {
+            Some(e) => {
+                let plan = e.engine.plan_stats();
+                inner.retired_plan_hits += plan.hits;
+                inner.retired_plan_misses += plan.misses;
+                inner.evictions += 1;
+                true
             }
+            None => false,
+        }
+    }
+
+    /// Evict entries (never `keep`) until at most `capacity` remain,
+    /// choosing victims by compile-cost × recency (see [`more_evictable`]).
+    /// Caller holds `inner`.
+    fn enforce_capacity(&self, inner: &mut ShardInner, capacity: usize, keep: PairKey) {
+        loop {
+            let victim = {
+                let fast = self.fast.read().unwrap();
+                if fast.len() <= capacity {
+                    return;
+                }
+                let now = self.tick.load(Ordering::Relaxed);
+                let mut best: Option<(PairKey, u64, u64)> = None;
+                for (k, e) in fast.iter() {
+                    if *k == keep {
+                        continue;
+                    }
+                    let age = now.saturating_sub(e.last_used.load(Ordering::Relaxed));
+                    let cost = e.compile_nanos.max(1);
+                    let cand = (*k, age, cost);
+                    best = Some(match best {
+                        Some(b) if !more_evictable((cand.1, cand.2, cand.0), (b.1, b.2, b.0)) => b,
+                        _ => cand,
+                    });
+                }
+                best.map(|(k, _, _)| k)
+            };
+            match victim {
+                Some(k) => {
+                    self.retire_locked(inner, k);
+                }
+                // Only `keep` is left; nothing evictable.
+                None => return,
+            }
+        }
+    }
+
+    /// One shard's snapshot, taken under its mutex so retire folds can't
+    /// be half-observed.
+    fn stats(&self) -> RegistryStats {
+        let inner = self.inner.lock().unwrap();
+        let fast = self.fast.read().unwrap();
+        let mut plan_hits = inner.retired_plan_hits;
+        let mut plan_misses = inner.retired_plan_misses;
+        let mut plan_entries = 0;
+        for e in fast.values() {
+            let plan = e.engine.plan_stats();
+            plan_hits += plan.hits;
+            plan_misses += plan.misses;
+            plan_entries += plan.entries;
+        }
+        RegistryStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: inner.misses,
+            compiles: inner.compiles,
+            single_flight_waits: inner.single_flight_waits,
+            evictions: inner.evictions,
+            entries: fast.len() as u64,
+            compile_nanos: inner.compile_nanos,
+            plan_hits,
+            plan_misses,
+            plan_entries,
+            negative_hits: inner.negative_hits,
         }
     }
 }
 
-/// Concurrent map from DTD pairs to compiled embeddings, with
-/// single-flight compilation and LRU eviction. See the [module
+/// The eviction order: is candidate `a` a better victim than `b`?
+///
+/// Both are `(age_in_ticks, compile_cost_nanos, key)`. Ages are grouped
+/// into power-of-two *recency generations*; a staler generation always
+/// loses first, and within a generation the entry that was cheapest to
+/// compile goes (its loss costs the least to undo). The key is a final
+/// deterministic tiebreak so eviction is a pure function of observable
+/// entry state.
+fn more_evictable(a: (u64, u64, PairKey), b: (u64, u64, PairKey)) -> bool {
+    fn generation(age: u64) -> u32 {
+        // floor(log2(age + 1)): 0 is "just used", each generation doubles.
+        63 - age.saturating_add(1).leading_zeros().min(63)
+    }
+    fn key_bits(k: PairKey) -> (u128, u128) {
+        (k.source.as_u128(), k.target.as_u128())
+    }
+    let ga = generation(a.0);
+    let gb = generation(b.0);
+    (ga, std::cmp::Reverse(a.1), key_bits(a.2)) > (gb, std::cmp::Reverse(b.1), key_bits(b.2))
+}
+
+/// Concurrent map from DTD pairs to compiled embeddings, with lock-striped
+/// shards, single-flight compilation, a mutex-free warm path, and
+/// weighted (compile-cost × recency) eviction. See the [module
 /// docs](self) for the design.
 pub struct EmbeddingRegistry {
-    inner: Mutex<Inner>,
-    compiled: Condvar,
+    shards: Vec<Shard>,
+    /// Memo: exact DTD text → canonical hash. The warm path resolves both
+    /// texts here with two string lookups under a shared read lock,
+    /// skipping the parse + reduce + canonical-serialization work
+    /// entirely; only texts never seen before (or dropped from the memo)
+    /// pay it. Registry-level because the shard index *derives from* the
+    /// resolved key.
+    text_keys: RwLock<HashMap<String, DtdHash>>,
+    /// Per-shard `Ready` capacity: `⌈capacity / shards⌉`.
+    shard_capacity: usize,
     config: RegistryConfig,
 }
 
-/// Removes the `Pending` slot if the compile unwinds or fails, so waiters
+/// Removes the pending mark if the compile unwinds or fails, so waiters
 /// are never left sleeping on a key nobody is working on.
 struct PendingGuard<'a> {
-    registry: &'a EmbeddingRegistry,
+    shard: &'a Shard,
     key: PairKey,
     armed: bool,
 }
@@ -295,24 +469,24 @@ struct PendingGuard<'a> {
 impl Drop for PendingGuard<'_> {
     fn drop(&mut self) {
         if self.armed {
-            let mut inner = self.registry.inner.lock().unwrap();
-            if matches!(inner.map.get(&self.key), Some(Slot::Pending)) {
-                inner.map.remove(&self.key);
-            }
+            let mut inner = self.shard.inner.lock().unwrap();
+            inner.pending.remove(&self.key);
             drop(inner);
-            self.registry.compiled.notify_all();
+            self.shard.compiled.notify_all();
         }
     }
 }
 
 impl EmbeddingRegistry {
-    /// An empty registry with the given configuration (`capacity` is
-    /// clamped to at least 1).
+    /// An empty registry with the given configuration (`capacity` and
+    /// `shards` are clamped to at least 1).
     pub fn new(mut config: RegistryConfig) -> Self {
         config.capacity = config.capacity.max(1);
+        config.shards = config.shards.max(1);
         EmbeddingRegistry {
-            inner: Mutex::new(Inner::default()),
-            compiled: Condvar::new(),
+            shards: (0..config.shards).map(|_| Shard::new()).collect(),
+            text_keys: RwLock::new(HashMap::new()),
+            shard_capacity: config.capacity.div_ceil(config.shards),
             config,
         }
     }
@@ -320,6 +494,32 @@ impl EmbeddingRegistry {
     /// The registry's configuration.
     pub fn config(&self) -> &RegistryConfig {
         &self.config
+    }
+
+    /// Number of lock stripes.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which shard `key` is routed to — a stable (process-independent)
+    /// mix of the pair's content hashes, so tests can reason about
+    /// placement.
+    pub fn shard_of(&self, key: PairKey) -> usize {
+        let mixed = key
+            .source
+            .as_u128()
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15_F39C_C060_5CED_C835)
+            ^ key
+                .target
+                .as_u128()
+                .rotate_left(64)
+                .wrapping_mul(0xC2B2_AE3D_27D4_EB4F_1656_67B1_E3DB_A8A5);
+        let folded = (mixed ^ (mixed >> 64)) as u64;
+        (folded % self.shards.len() as u64) as usize
+    }
+
+    fn shard(&self, key: PairKey) -> &Shard {
+        &self.shards[self.shard_of(key)]
     }
 
     /// Parse both DTD texts and return the pair's cache key without
@@ -351,11 +551,8 @@ impl EmbeddingRegistry {
         // `parsed` stays None on the memoized path and is only needed if
         // this request ends up compiling.
         let memo_key = {
-            let inner = self.inner.lock().unwrap();
-            match (
-                inner.text_keys.get(source_dtd),
-                inner.text_keys.get(target_dtd),
-            ) {
+            let memo = self.text_keys.read().unwrap();
+            match (memo.get(source_dtd), memo.get(target_dtd)) {
                 (Some(&s), Some(&t)) => Some(PairKey {
                     source: s,
                     target: t,
@@ -372,53 +569,43 @@ impl EmbeddingRegistry {
                     source: source.content_hash(),
                     target: target.content_hash(),
                 };
-                let mut inner = self.inner.lock().unwrap();
-                if inner.text_keys.len() + 2 > TEXT_KEY_CAP {
-                    inner.text_keys.clear();
+                let mut memo = self.text_keys.write().unwrap();
+                if memo.len() + 2 > TEXT_KEY_CAP {
+                    memo.clear();
                 }
-                inner.text_keys.insert(source_dtd.to_string(), key.source);
-                inner.text_keys.insert(target_dtd.to_string(), key.target);
+                memo.insert(source_dtd.to_string(), key.source);
+                memo.insert(target_dtd.to_string(), key.target);
+                drop(memo);
                 (key, Some((source, target)))
             }
         };
+        let shard = self.shard(key);
+
+        // The warm fast path: a shared read lock, an Arc clone, and a few
+        // relaxed counter bumps. No mutex — an in-flight compile on this
+        // shard (necessarily for another pair) cannot delay us.
+        if let Some(e) = shard.fast.read().unwrap().get(&key) {
+            shard.touch(e, true);
+            return Ok((key, Arc::clone(&e.engine)));
+        }
 
         let mut waited = false;
         {
-            enum SlotState {
-                Ready,
-                Pending,
-                Absent,
-            }
-            let mut inner = self.inner.lock().unwrap();
+            let mut inner = shard.inner.lock().unwrap();
             loop {
-                let state = match inner.map.get(&key) {
-                    Some(Slot::Ready(_)) => SlotState::Ready,
-                    Some(Slot::Pending) => SlotState::Pending,
-                    None => SlotState::Absent,
-                };
-                if matches!(state, SlotState::Ready) {
-                    inner.tick += 1;
-                    // A thread that slept on the in-flight compile was
-                    // already counted as a single-flight wait — counting
-                    // the aggregate hit too would double-count the request
-                    // and inflate hit_rate(). Per-entry usage still ticks.
-                    if !waited {
-                        inner.hits += 1;
-                    }
-                    let tick = inner.tick;
-                    let Some(Slot::Ready(e)) = inner.map.get_mut(&key) else {
-                        unreachable!("slot changed under the lock");
-                    };
-                    e.hits += 1;
-                    e.last_used = tick;
+                // Re-check under the mutex: inserts happen with `inner`
+                // held, so this read is race-free against them.
+                let ready = shard.fast.read().unwrap().get(&key).map(Arc::clone);
+                if let Some(e) = ready {
+                    shard.touch(&e, !waited);
                     return Ok((key, Arc::clone(&e.engine)));
                 }
-                if matches!(state, SlotState::Pending) {
+                if inner.pending.contains(&key) {
                     if !waited {
                         waited = true;
                         inner.single_flight_waits += 1;
                     }
-                    inner = self.compiled.wait(inner).unwrap();
+                    inner = shard.compiled.wait(inner).unwrap();
                 } else {
                     // Absent: consult the negative cache before paying for
                     // a doomed search.
@@ -430,17 +617,18 @@ impl EmbeddingRegistry {
                         inner.negative.remove(&key);
                     }
                     inner.misses += 1;
-                    inner.map.insert(key, Slot::Pending);
+                    inner.pending.insert(key);
                     break;
                 }
             }
         }
 
-        // We own the Pending slot; compile outside the lock. The memoized
-        // path skipped parsing — do it now (both texts parsed successfully
-        // when they entered the memo, but propagate errors regardless).
+        // We own the pending mark; compile outside every lock. The
+        // memoized path skipped parsing — do it now (both texts parsed
+        // successfully when they entered the memo, but propagate errors
+        // regardless).
         let mut guard = PendingGuard {
-            registry: self,
+            shard,
             key,
             armed: true,
         };
@@ -458,10 +646,10 @@ impl EmbeddingRegistry {
 
         let Some(embedding) = found else {
             // Record the verdict *before* the guard's Drop removes the
-            // Pending slot and wakes waiters, so woken threads observe the
+            // pending mark and wakes waiters, so woken threads observe the
             // negative entry instead of racing into their own searches.
             if let Some(ttl) = self.config.negative_ttl {
-                let mut inner = self.inner.lock().unwrap();
+                let mut inner = shard.inner.lock().unwrap();
                 inner.note_failure(key, Instant::now() + ttl);
             }
             return Err(ServiceError::NoEmbedding);
@@ -469,29 +657,29 @@ impl EmbeddingRegistry {
         guard.armed = false;
 
         let engine = Arc::new(embedding);
-        let mut inner = self.inner.lock().unwrap();
-        inner.tick += 1;
-        let tick = inner.tick;
+        let mut inner = shard.inner.lock().unwrap();
+        let tick = shard.tick.fetch_add(1, Ordering::Relaxed) + 1;
         inner.compiles += 1;
         inner.compile_nanos += nanos;
-        inner.map.insert(
+        inner.pending.remove(&key);
+        shard.fast.write().unwrap().insert(
             key,
-            Slot::Ready(Entry {
+            Arc::new(FastEntry {
                 engine: Arc::clone(&engine),
-                hits: 0,
+                hits: AtomicU64::new(0),
+                last_used: AtomicU64::new(tick),
                 compile_nanos: nanos,
-                last_used: tick,
             }),
         );
-        inner.enforce_capacity(self.config.capacity, key);
+        shard.enforce_capacity(&mut inner, self.shard_capacity, key);
         drop(inner);
-        self.compiled.notify_all();
+        shard.compiled.notify_all();
         Ok((key, engine))
     }
 
     /// Drop the pair's cached embedding — and its negative-cache entry, so
     /// eviction always forces a fresh discovery run. Returns whether a
-    /// *compiled* entry existed (`Pending` slots are left alone and
+    /// *compiled* entry existed (in-flight compiles are left alone and
     /// reported as absent, as is a purely negative entry).
     ///
     /// # Errors
@@ -503,65 +691,46 @@ impl EmbeddingRegistry {
 
     /// [`EmbeddingRegistry::evict`] by precomputed key.
     pub fn evict_key(&self, key: PairKey) -> bool {
-        let mut inner = self.inner.lock().unwrap();
+        let shard = self.shard(key);
+        let mut inner = shard.inner.lock().unwrap();
         inner.negative.remove(&key);
-        if matches!(inner.map.get(&key), Some(Slot::Ready(_))) {
-            inner.retire(key);
-            true
-        } else {
-            false
-        }
+        shard.retire_locked(&mut inner, key)
     }
 
-    /// Point-in-time aggregate counters. Plan counters sum the live
-    /// engines' caches plus the retired totals of evicted engines.
+    /// Point-in-time aggregate counters: the field-wise sum of every
+    /// shard's snapshot. Plan counters sum the live engines' caches plus
+    /// the retired totals of evicted engines.
     pub fn stats(&self) -> RegistryStats {
-        let inner = self.inner.lock().unwrap();
-        let mut plan_hits = inner.retired_plan_hits;
-        let mut plan_misses = inner.retired_plan_misses;
-        let mut plan_entries = 0;
-        for slot in inner.map.values() {
-            if let Slot::Ready(e) = slot {
-                let plan = e.engine.plan_stats();
-                plan_hits += plan.hits;
-                plan_misses += plan.misses;
-                plan_entries += plan.entries;
-            }
-        }
-        RegistryStats {
-            hits: inner.hits,
-            misses: inner.misses,
-            compiles: inner.compiles,
-            single_flight_waits: inner.single_flight_waits,
-            evictions: inner.evictions,
-            entries: inner.ready_count() as u64,
-            compile_nanos: inner.compile_nanos,
-            plan_hits,
-            plan_misses,
-            plan_entries,
-            negative_hits: inner.negative_hits,
-        }
+        self.shard_stats()
+            .into_iter()
+            .fold(RegistryStats::default(), |acc, s| acc + s)
+    }
+
+    /// Per-shard snapshots, indexed by shard. [`EmbeddingRegistry::stats`]
+    /// is exactly the field-wise sum of this vector.
+    pub fn shard_stats(&self) -> Vec<RegistryStats> {
+        self.shards.iter().map(Shard::stats).collect()
     }
 
     /// Per-entry counters for every cached embedding (unordered).
     pub fn entry_stats(&self) -> Vec<(PairKey, EntryStats)> {
-        let inner = self.inner.lock().unwrap();
-        inner
-            .map
-            .iter()
-            .filter_map(|(k, s)| match s {
-                Slot::Ready(e) => Some((
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let _inner = shard.inner.lock().unwrap();
+            let fast = shard.fast.read().unwrap();
+            out.extend(fast.iter().map(|(k, e)| {
+                (
                     *k,
                     EntryStats {
-                        hits: e.hits,
+                        hits: e.hits.load(Ordering::Relaxed),
                         compile_nanos: e.compile_nanos,
-                        last_used: e.last_used,
+                        last_used: e.last_used.load(Ordering::Relaxed),
                         plan: e.engine.plan_stats(),
                     },
-                )),
-                Slot::Pending => None,
-            })
-            .collect()
+                )
+            }));
+        }
+        out
     }
 }
 
@@ -582,9 +751,14 @@ mod tests {
         (s1.to_string(), s2.to_string())
     }
 
-    fn small_registry_ttl(capacity: usize, negative_ttl: Option<Duration>) -> EmbeddingRegistry {
+    fn registry_with(
+        capacity: usize,
+        shards: usize,
+        negative_ttl: Option<Duration>,
+    ) -> EmbeddingRegistry {
         EmbeddingRegistry::new(RegistryConfig {
             capacity,
+            shards,
             discovery: DiscoveryConfig {
                 threads: 1,
                 ..DiscoveryConfig::default()
@@ -592,6 +766,12 @@ mod tests {
             negative_ttl,
             ..RegistryConfig::default()
         })
+    }
+
+    fn small_registry_ttl(capacity: usize, negative_ttl: Option<Duration>) -> EmbeddingRegistry {
+        // Single shard: the seed's exact single-lock semantics, which the
+        // legacy behavior tests below assert.
+        registry_with(capacity, 1, negative_ttl)
     }
 
     fn small_registry(capacity: usize) -> EmbeddingRegistry {
@@ -706,7 +886,7 @@ mod tests {
     }
 
     #[test]
-    fn lru_evicts_the_oldest_entry() {
+    fn eviction_prefers_stale_entries() {
         let reg = small_registry(2);
         // Three distinct identity pairs (a schema always embeds into
         // itself), so each compiles under its own key.
@@ -718,8 +898,12 @@ mod tests {
         let k0 = reg.get_or_compile(schemas[0], schemas[0]).unwrap().0;
         let k1 = reg.get_or_compile(schemas[1], schemas[1]).unwrap().0;
         assert_ne!(k0, k1);
-        // Touch k0 so k1 becomes the LRU victim.
-        reg.get_or_compile(schemas[0], schemas[0]).unwrap();
+        // Touch k0 repeatedly so k1 falls a whole recency generation
+        // behind — then the weighted policy must pick k1 regardless of
+        // the two entries' compile costs.
+        for _ in 0..3 {
+            reg.get_or_compile(schemas[0], schemas[0]).unwrap();
+        }
         let k2 = reg.get_or_compile(schemas[2], schemas[2]).unwrap().0;
         assert_ne!(k2, k0);
         assert_ne!(k2, k1);
@@ -729,6 +913,31 @@ mod tests {
         // k0 (recently touched) and k2 (new) survive; k1 is gone.
         let keys: Vec<PairKey> = reg.entry_stats().into_iter().map(|(k, _)| k).collect();
         assert!(keys.contains(&k0) && keys.contains(&k2) && !keys.contains(&k1));
+    }
+
+    #[test]
+    fn eviction_order_is_generation_first_then_cost() {
+        // The policy itself is a pure function; pin its shape directly.
+        let ka = EmbeddingRegistry::key_for(
+            "<!ELEMENT r (a)>\n<!ELEMENT a (#PCDATA)>",
+            "<!ELEMENT r (a)>\n<!ELEMENT a (#PCDATA)>",
+        )
+        .unwrap();
+        let kb = EmbeddingRegistry::key_for(
+            "<!ELEMENT r (b)>\n<!ELEMENT b (#PCDATA)>",
+            "<!ELEMENT r (b)>\n<!ELEMENT b (#PCDATA)>",
+        )
+        .unwrap();
+        // A whole generation staler always loses, even when far costlier.
+        assert!(more_evictable((7, 1_000_000, ka), (2, 10, kb)));
+        assert!(!more_evictable((2, 10, kb), (7, 1_000_000, ka)));
+        // Same generation (ages 4..=6 share floor(log2(age+1)) == 2):
+        // the cheaper compile is the better victim.
+        assert!(more_evictable((4, 10, ka), (6, 1_000_000, kb)));
+        assert!(!more_evictable((6, 1_000_000, kb), (4, 10, ka)));
+        // Full tie: broken deterministically by key bits, antisymmetric.
+        let by_key = more_evictable((3, 50, ka), (3, 50, kb));
+        assert_ne!(by_key, more_evictable((3, 50, kb), (3, 50, ka)));
     }
 
     #[test]
@@ -812,7 +1021,7 @@ mod tests {
     #[test]
     fn failed_compile_wakes_waiters() {
         // All 8 threads race an impossible pair; every one must return
-        // NoEmbedding (none may hang on a dropped Pending slot).
+        // NoEmbedding (none may hang on a dropped pending mark).
         let reg = Arc::new(small_registry(4));
         let s = "<!ELEMENT r (a, b)>\n<!ELEMENT a (#PCDATA)>\n<!ELEMENT b (#PCDATA)>";
         let t = "<!ELEMENT r (#PCDATA)>";
@@ -830,5 +1039,43 @@ mod tests {
         });
         assert_eq!(failures.load(Ordering::Relaxed), 8);
         assert_eq!(reg.stats().entries, 0);
+    }
+
+    #[test]
+    fn sharded_registry_spreads_keys_and_merges_stats() {
+        let reg = registry_with(64, 8, None);
+        assert_eq!(reg.shard_count(), 8);
+        let schemas: Vec<String> = (0..12)
+            .map(|i| format!("<!ELEMENT r (e{i})>\n<!ELEMENT e{i} (#PCDATA)>"))
+            .collect();
+        let mut shards_touched = std::collections::HashSet::new();
+        for s in &schemas {
+            let (k, _) = reg.get_or_compile(s, s).unwrap();
+            shards_touched.insert(reg.shard_of(k));
+            reg.get_or_compile(s, s).unwrap(); // warm hit via fast path
+        }
+        assert!(
+            shards_touched.len() > 1,
+            "12 distinct pairs all routed to one shard"
+        );
+        let merged = reg.stats();
+        let summed = reg
+            .shard_stats()
+            .into_iter()
+            .fold(RegistryStats::default(), |a, b| a + b);
+        assert_eq!(merged, summed);
+        assert_eq!(merged.misses, 12);
+        assert_eq!(merged.hits, 12);
+        assert_eq!(merged.entries, 12);
+    }
+
+    #[test]
+    fn single_shard_routes_everything_to_shard_zero() {
+        let reg = registry_with(4, 1, None);
+        let (s, t) = wrap_pair();
+        let (k, _) = reg.get_or_compile(&s, &t).unwrap();
+        assert_eq!(reg.shard_of(k), 0);
+        assert_eq!(reg.shard_stats().len(), 1);
+        assert_eq!(reg.shard_stats()[0], reg.stats());
     }
 }

@@ -3,9 +3,17 @@
 //!
 //! Connections are accepted on a dedicated thread and pushed onto a
 //! `Mutex<VecDeque<TcpStream>>`; `workers` pool threads pop connections
-//! and run each one to completion (connection-per-worker, not
-//! request-per-worker — the protocol is strictly request/response per
-//! connection, so interleaving buys nothing).
+//! and run each one to completion (connection-per-worker). A connection
+//! that only ever sends request id 0 is served in the legacy strict
+//! request/response lockstep. The first nonzero request id switches the
+//! connection into **pipelined mode**: the worker becomes a frame reader
+//! feeding a bounded in-connection task queue, a small scoped executor
+//! pool ([`ServerConfig::pipeline_executors`]) handles requests
+//! concurrently, and responses are written — each tagged with its
+//! request's id — in **completion order**, not arrival order. The task
+//! queue is bounded at [`ServerConfig::max_inflight`]; when a client
+//! overruns it, the reader simply stops reading and TCP backpressure does
+//! the rest.
 //!
 //! # Robustness
 //!
@@ -62,6 +70,14 @@ pub struct ServerConfig {
     /// How long shutdown waits for in-flight connections to finish before
     /// force-closing their sockets.
     pub drain_deadline: Duration,
+    /// Executor threads spawned for a connection once it enters pipelined
+    /// mode (first nonzero request id). At least 2 are needed for
+    /// out-of-order completion to be observable; minimum 1.
+    pub pipeline_executors: usize,
+    /// Bound on a pipelined connection's queued-but-unstarted requests.
+    /// When full, the reader stops pulling frames until an executor
+    /// drains one — backpressure via TCP, never an unbounded buffer.
+    pub max_inflight: usize,
 }
 
 impl Default for ServerConfig {
@@ -73,6 +89,8 @@ impl Default for ServerConfig {
             request_budget: Some(Duration::from_secs(10)),
             max_queued: 64,
             drain_deadline: Duration::from_secs(2),
+            pipeline_executors: 4,
+            max_inflight: 32,
         }
     }
 }
@@ -315,7 +333,7 @@ fn shed_connection(conn: TcpStream, write_timeout: Option<Duration>, why: &'stat
             message: why.to_string(),
         };
         let mut writer = &conn;
-        if write_frame(&mut writer, &resp.encode()).is_err() {
+        if write_frame(&mut writer, 0, &resp.encode()).is_err() {
             return;
         }
         let _ = conn.shutdown(Shutdown::Write);
@@ -326,8 +344,73 @@ fn shed_connection(conn: TcpStream, write_timeout: Option<Duration>, why: &'stat
     });
 }
 
-/// Run one connection to completion: strict request/response frames,
-/// bounded by the configured deadlines and the drain flag.
+/// Decode, dispatch, and budget-check one request. `started` is the frame
+/// arrival time, so a pipelined request's queueing delay counts against
+/// its budget too.
+fn process_request(payload: &[u8], started: Instant, ctx: &WorkerCtx) -> Response {
+    let mut resp = match Request::decode(payload) {
+        Ok(req) => crate::handle_request(&ctx.registry, &req),
+        // Framing stays intact on a malformed *payload* — only this
+        // request is poisoned — so answer and keep the connection.
+        Err(code) => Response::Error {
+            code,
+            message: match code {
+                ErrorCode::UnknownOpcode => "unknown request opcode".into(),
+                _ => "malformed request payload".into(),
+            },
+        },
+    };
+    if let Some(budget) = ctx.config.request_budget {
+        let spent = started.elapsed();
+        if spent > budget {
+            resp = Response::Error {
+                code: ErrorCode::Timeout,
+                message: format!(
+                    "request exceeded its {}ms budget (took {}ms)",
+                    budget.as_millis(),
+                    spent.as_millis()
+                ),
+            };
+        }
+    }
+    resp
+}
+
+/// Answer a frame-read failure (best effort) and report whether the
+/// connection is over. Connection-level failures are tagged with id 0 —
+/// on a pipelined connection that marks them as fatal to the whole
+/// connection rather than to any one request.
+fn answer_read_error(err: FrameError, writer: &mut impl Write) {
+    match err {
+        FrameError::Closed | FrameError::Truncated | FrameError::Io(_) => {}
+        FrameError::TimedOut { mid_frame } => {
+            // Disconnect either way — the deadline is how a stalled
+            // client's worker returns to the pool. A peer that went
+            // quiet mid-frame can still be reading, so tell it why.
+            if mid_frame {
+                let resp = Response::Error {
+                    code: ErrorCode::Timeout,
+                    message: "read deadline expired mid-frame".into(),
+                };
+                let _ = write_frame(writer, 0, &resp.encode());
+            }
+        }
+        FrameError::TooLarge(n) => {
+            // The announced body was never read, so the stream is out
+            // of sync: answer with a structured error, then close.
+            let resp = Response::Error {
+                code: ErrorCode::FrameTooLarge,
+                message: format!("declared frame of {n} bytes exceeds the cap"),
+            };
+            let _ = write_frame(writer, 0, &resp.encode());
+        }
+    }
+}
+
+/// Run one connection to completion, bounded by the configured deadlines
+/// and the drain flag. Starts in the legacy strict request/response loop;
+/// the first nonzero request id hands the connection to
+/// [`serve_pipelined`] for out-of-order completion.
 fn serve_connection(conn: TcpStream, ctx: &WorkerCtx) {
     if conn.set_read_timeout(ctx.config.read_timeout).is_err()
         || conn.set_write_timeout(ctx.config.write_timeout).is_err()
@@ -341,60 +424,23 @@ fn serve_connection(conn: TcpStream, ctx: &WorkerCtx) {
     let mut reader = BufReader::new(read_half);
     let mut writer = BufWriter::new(conn);
     loop {
-        let payload = match read_frame(&mut reader) {
-            Ok(p) => p,
-            Err(FrameError::Closed | FrameError::Truncated | FrameError::Io(_)) => break,
-            Err(FrameError::TimedOut { mid_frame }) => {
-                // Disconnect either way — the deadline is how a stalled
-                // client's worker returns to the pool. A peer that went
-                // quiet mid-frame can still be reading, so tell it why.
-                if mid_frame {
-                    let resp = Response::Error {
-                        code: ErrorCode::Timeout,
-                        message: "read deadline expired mid-frame".into(),
-                    };
-                    let _ = write_frame(&mut writer, &resp.encode());
-                }
-                break;
-            }
-            Err(FrameError::TooLarge(n)) => {
-                // The announced body was never read, so the stream is out
-                // of sync: answer with a structured error, then close.
-                let resp = Response::Error {
-                    code: ErrorCode::FrameTooLarge,
-                    message: format!("declared frame of {n} bytes exceeds the cap"),
-                };
-                let _ = write_frame(&mut writer, &resp.encode());
+        let (req_id, payload) = match read_frame(&mut reader) {
+            Ok(frame) => frame,
+            Err(e) => {
+                answer_read_error(e, &mut writer);
                 break;
             }
         };
         let started = Instant::now();
-        let mut resp = match Request::decode(&payload) {
-            Ok(req) => crate::handle_request(&ctx.registry, &req),
-            // Framing stays intact on a malformed *payload* — only this
-            // request is poisoned — so answer and keep the connection.
-            Err(code) => Response::Error {
-                code,
-                message: match code {
-                    ErrorCode::UnknownOpcode => "unknown request opcode".into(),
-                    _ => "malformed request payload".into(),
-                },
-            },
-        };
-        if let Some(budget) = ctx.config.request_budget {
-            let spent = started.elapsed();
-            if spent > budget {
-                resp = Response::Error {
-                    code: ErrorCode::Timeout,
-                    message: format!(
-                        "request exceeded its {}ms budget (took {}ms)",
-                        budget.as_millis(),
-                        spent.as_millis()
-                    ),
-                };
-            }
+        if req_id != 0 {
+            // The peer pipelines. Hand the whole connection over, first
+            // frame included; serve_pipelined runs it to completion.
+            serve_pipelined((req_id, payload, started), reader, writer, ctx);
+            ctx.tracker.unregister(id);
+            return;
         }
-        if write_frame(&mut writer, &resp.encode()).is_err() {
+        let resp = process_request(&payload, started, ctx);
+        if write_frame(&mut writer, 0, &resp.encode()).is_err() {
             break;
         }
         // Draining: finish the in-flight request (just answered), then
@@ -405,4 +451,92 @@ fn serve_connection(conn: TcpStream, ctx: &WorkerCtx) {
     }
     let _ = writer.flush();
     ctx.tracker.unregister(id);
+}
+
+/// One queued pipelined frame: request id, payload, arrival instant
+/// (queue time counts against the request budget).
+type PipeTask = (u32, Vec<u8>, Instant);
+
+/// A pipelined connection's task queue: frames in arrival order, a done
+/// flag set when the reader stops, and two condvars — `ready` wakes
+/// executors, `space` wakes the reader when the bounded queue drains.
+struct PipeQueue {
+    tasks: Mutex<(VecDeque<PipeTask>, bool)>,
+    ready: Condvar,
+    space: Condvar,
+}
+
+/// Pipelined mode: this thread keeps reading frames into a bounded queue
+/// while scoped executors dispatch them and write responses — tagged with
+/// their request ids — in completion order. An executor failing to write
+/// (peer gone) flips `dead` so the reader stops promptly.
+fn serve_pipelined(
+    first: PipeTask,
+    mut reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    ctx: &WorkerCtx,
+) {
+    let queue = PipeQueue {
+        tasks: Mutex::new((VecDeque::from([first]), false)),
+        ready: Condvar::new(),
+        space: Condvar::new(),
+    };
+    let writer = Mutex::new(writer);
+    let dead = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for _ in 0..ctx.config.pipeline_executors.max(1) {
+            scope.spawn(|| loop {
+                let task = {
+                    let mut guard = queue.tasks.lock().unwrap();
+                    loop {
+                        if let Some(task) = guard.0.pop_front() {
+                            queue.space.notify_one();
+                            break Some(task);
+                        }
+                        if guard.1 {
+                            break None;
+                        }
+                        guard = queue.ready.wait(guard).unwrap();
+                    }
+                };
+                let Some((req_id, payload, started)) = task else {
+                    return;
+                };
+                let resp = process_request(&payload, started, ctx);
+                let mut w = writer.lock().unwrap();
+                if write_frame(&mut *w, req_id, &resp.encode()).is_err() {
+                    dead.store(true, Ordering::SeqCst);
+                    return;
+                }
+            });
+        }
+        // Reader loop (this thread). The first frame is already queued.
+        loop {
+            if dead.load(Ordering::SeqCst) || ctx.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let frame = read_frame(&mut reader);
+            match frame {
+                Ok((req_id, payload)) => {
+                    let started = Instant::now();
+                    let mut guard = queue.tasks.lock().unwrap();
+                    while guard.0.len() >= ctx.config.max_inflight.max(1) {
+                        guard = queue.space.wait(guard).unwrap();
+                    }
+                    guard.0.push_back((req_id, payload, started));
+                    drop(guard);
+                    queue.ready.notify_one();
+                }
+                Err(e) => {
+                    let mut w = writer.lock().unwrap();
+                    answer_read_error(e, &mut *w);
+                    break;
+                }
+            }
+        }
+        // No more frames: let executors drain the queue and exit.
+        queue.tasks.lock().unwrap().1 = true;
+        queue.ready.notify_all();
+    });
+    let _ = writer.lock().unwrap().flush();
 }

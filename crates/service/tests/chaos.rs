@@ -9,8 +9,8 @@ use std::time::Duration;
 use xse_service::fault::{Direction, FaultAction, FaultPlan, FaultProxy};
 use xse_service::loadgen::{self, Endpoint, LoadConfig};
 use xse_service::{
-    Client, ClientConfig, EmbeddingRegistry, RegistryConfig, Request, Response, RetryPolicy,
-    RetryingClient, Server, ServerConfig, ServerHandle,
+    Client, ClientConfig, EmbeddingRegistry, PipelinedClient, RegistryConfig, Request, Response,
+    RetryPolicy, RetryingClient, Server, ServerConfig, ServerHandle,
 };
 use xse_workloads::traffic::TrafficMix;
 
@@ -248,4 +248,95 @@ fn chaos_soak_is_deterministic_and_never_misdecodes() {
         schedules[0], schedules[1],
         "same seed must produce the same fault schedule"
     );
+}
+
+/// Pipelined soak through the fault proxy: windows of in-flight requests
+/// cross a link that delays, resets, truncates and corrupts frames. A
+/// transport fault kills at most the current connection — the driver
+/// re-dials — and no response is ever matched to the wrong request or
+/// misdecoded as a wrong-kind success.
+#[test]
+fn pipelined_chaos_soak_never_misdecodes() {
+    let server = spawn_server();
+    let proxy = FaultProxy::spawn(server.addr(), FaultPlan::standard(29)).unwrap();
+    let (s, t) = wrap_pair();
+    let reqs = [
+        Request::Compile {
+            source_dtd: s.clone(),
+            target_dtd: t.clone(),
+        },
+        Request::Stats,
+        Request::Translate {
+            source_dtd: s.clone(),
+            target_dtd: t.clone(),
+            query: "b/c".into(),
+        },
+        Request::Stats,
+    ];
+
+    let mut completed = 0u64;
+    let mut transport_failures = 0u64;
+    let mut client: Option<PipelinedClient> = None;
+    for round in 0..30 {
+        let conn = match client.take() {
+            Some(c) => c,
+            None => match PipelinedClient::connect_with(proxy.addr(), &chaos_client_config()) {
+                Ok(c) => c,
+                Err(_) => {
+                    transport_failures += 1;
+                    continue;
+                }
+            },
+        };
+        let mut conn = conn;
+        // Window of 4 in flight; any transport error abandons the whole
+        // connection (ids in flight are unrecoverable once framing dies).
+        let mut ids = Vec::new();
+        let mut broken = false;
+        for req in &reqs {
+            match conn.submit(req) {
+                Ok(id) => ids.push((id, req)),
+                Err(_) => {
+                    broken = true;
+                    break;
+                }
+            }
+        }
+        for _ in 0..ids.len() {
+            if broken {
+                break;
+            }
+            match conn.recv() {
+                Ok((id, resp)) => {
+                    let req = ids
+                        .iter()
+                        .find(|(i, _)| *i == id)
+                        .map(|(_, r)| *r)
+                        .expect("recv only yields submitted ids");
+                    assert!(
+                        loadgen::response_matches(req, &resp),
+                        "round {round}: id {id} answered with wrong-kind {resp:?}"
+                    );
+                    completed += 1;
+                }
+                Err(_) => broken = true,
+            }
+        }
+        if broken {
+            transport_failures += 1;
+        } else {
+            client = Some(conn);
+        }
+    }
+    assert!(
+        completed > 0,
+        "nothing completed under pipelined chaos ({transport_failures} broken connections)"
+    );
+
+    // The server survived the soak: a direct pipelined connection works.
+    let mut direct = PipelinedClient::connect(server.addr()).unwrap();
+    let responses = direct
+        .call_pipelined(&[Request::Stats, Request::Stats], 2)
+        .unwrap();
+    assert!(responses.iter().all(|r| matches!(r, Response::Stats(_))));
 }

@@ -1,0 +1,385 @@
+//! Pipelining end-to-end: request-id correlation under shuffled response
+//! ordering, per-request error isolation mid-pipeline, out-of-order
+//! completion on the real server, and legacy/pipelined coexistence.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::time::Duration;
+
+use xse_service::loadgen::{self, loadgen_discovery};
+use xse_service::proto::{read_frame, write_frame};
+use xse_service::{
+    Client, EmbeddingRegistry, ErrorCode, PipelinedClient, RegistryConfig, Request, Response,
+    Server, ServerConfig, ServerHandle,
+};
+
+fn wrap_pair() -> (String, String) {
+    let s1 =
+        "<!ELEMENT r (a, b)>\n<!ELEMENT a (#PCDATA)>\n<!ELEMENT b (c*)>\n<!ELEMENT c (#PCDATA)>";
+    let s2 = "<!ELEMENT r (x, y)>\n<!ELEMENT x (a)>\n<!ELEMENT a (#PCDATA)>\n<!ELEMENT y (w)>\n<!ELEMENT w (c2*)>\n<!ELEMENT c2 (c)>\n<!ELEMENT c (#PCDATA)>";
+    (s1.to_string(), s2.to_string())
+}
+
+fn spawn_server(workers: usize, executors: usize) -> ServerHandle {
+    Server::bind(
+        ("127.0.0.1", 0),
+        Arc::new(EmbeddingRegistry::new(RegistryConfig {
+            capacity: 16,
+            discovery: loadgen_discovery(),
+            ..RegistryConfig::default()
+        })),
+        ServerConfig {
+            workers,
+            pipeline_executors: executors,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind ephemeral port")
+}
+
+/// A similarity hook that sleeps before delegating, making every compile
+/// take ≥ 150 ms of *blocked* (not compute-bound) time — so on any
+/// machine, however loaded, a concurrent executor gets the core and the
+/// fast requests provably finish inside the window.
+fn slow_sim(s: &xse_dtd::Dtd, t: &xse_dtd::Dtd) -> xse_core::SimilarityMatrix {
+    std::thread::sleep(Duration::from_millis(150));
+    xse_service::registry::default_similarity(s, t)
+}
+
+fn spawn_slow_compile_server(config: ServerConfig) -> ServerHandle {
+    Server::bind(
+        ("127.0.0.1", 0),
+        Arc::new(EmbeddingRegistry::new(RegistryConfig {
+            capacity: 16,
+            discovery: loadgen_discovery(),
+            sim: slow_sim,
+            ..RegistryConfig::default()
+        })),
+        config,
+    )
+    .expect("bind ephemeral port")
+}
+
+/// A scripted stand-in server: accepts one connection, reads `n` request
+/// frames, then answers them in an arbitrary caller-chosen order with
+/// caller-chosen payloads. This pins the *client-side* pipelining
+/// contract without depending on real scheduling.
+fn scripted_peer(
+    n: usize,
+    respond: impl FnOnce(Vec<(u32, Vec<u8>)>) -> Vec<(u32, Response)> + Send + 'static,
+) -> std::net::SocketAddr {
+    let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        let (stream, _) = listener.accept().unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+        let mut seen = Vec::new();
+        for _ in 0..n {
+            seen.push(read_frame(&mut reader).unwrap());
+        }
+        for (id, resp) in respond(seen) {
+            write_frame(&mut writer, id, &resp.encode()).unwrap();
+        }
+        writer.flush().unwrap();
+    });
+    addr
+}
+
+/// Shuffled response ordering round-trips correctly: the scripted peer
+/// answers (3, 1, 2) for submissions (1, 2, 3), and a mid-pipeline
+/// `Timeout` error frame fails only its own request.
+#[test]
+fn shuffled_responses_match_by_id_and_timeout_isolates() {
+    let addr = scripted_peer(3, |seen| {
+        assert_eq!(
+            seen.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
+            vec![1, 2, 3],
+            "client must number requests 1, 2, 3"
+        );
+        vec![
+            (3, Response::Stats(xse_service::proto::StatsWire::default())),
+            (1, Response::Evicted { existed: false }),
+            (
+                2,
+                Response::Error {
+                    code: ErrorCode::Timeout,
+                    message: "budget exceeded".into(),
+                },
+            ),
+        ]
+    });
+
+    let mut client = PipelinedClient::connect(addr).unwrap();
+    let (s, t) = wrap_pair();
+    let reqs = [
+        Request::Evict {
+            source_dtd: s.clone(),
+            target_dtd: t.clone(),
+        },
+        Request::Stats,
+        Request::Stats,
+    ];
+    let ids: Vec<u32> = reqs.iter().map(|r| client.submit(r).unwrap()).collect();
+    assert_eq!(ids, vec![1, 2, 3]);
+    assert_eq!(client.in_flight(), 3);
+
+    // Completion order is the peer's (3, 1, 2); each response lands on
+    // its own request, and the Timeout poisons only id 2.
+    let (id, resp) = client.recv().unwrap();
+    assert_eq!(id, 3);
+    assert!(matches!(resp, Response::Stats(_)), "{resp:?}");
+    let (id, resp) = client.recv().unwrap();
+    assert_eq!(id, 1);
+    assert!(
+        matches!(resp, Response::Evicted { existed: false }),
+        "{resp:?}"
+    );
+    let (id, resp) = client.recv().unwrap();
+    assert_eq!(id, 2);
+    assert!(
+        matches!(
+            resp,
+            Response::Error {
+                code: ErrorCode::Timeout,
+                ..
+            }
+        ),
+        "{resp:?}"
+    );
+    assert_eq!(client.in_flight(), 0);
+}
+
+/// An unknown response id is a protocol violation, surfaced as a typed
+/// error instead of being silently dropped or misattributed.
+#[test]
+fn unknown_response_id_is_a_protocol_error() {
+    let addr = scripted_peer(1, |_| vec![(77, Response::Evicted { existed: true })]);
+    let mut client = PipelinedClient::connect(addr).unwrap();
+    client.submit(&Request::Stats).unwrap();
+    let err = client.recv().unwrap_err();
+    assert!(
+        format!("{err}").contains("77"),
+        "error should name the bogus id: {err}"
+    );
+}
+
+/// Against the real server: eight requests in flight on one connection,
+/// every response matched to its request by id — and because the first
+/// request is a compile whose similarity hook *sleeps* 150 ms, the seven
+/// stats calls deterministically complete first: completion is
+/// out-of-order by construction, not by scheduling luck.
+#[test]
+fn eight_in_flight_complete_out_of_order_on_the_real_server() {
+    let server = spawn_slow_compile_server(ServerConfig {
+        workers: 1,
+        pipeline_executors: 4,
+        ..ServerConfig::default()
+    });
+    let (s, t) = wrap_pair();
+    let mut client = PipelinedClient::connect(server.addr()).unwrap();
+    let compile_id = client
+        .submit(&Request::Compile {
+            source_dtd: s.clone(),
+            target_dtd: t.clone(),
+        })
+        .unwrap();
+    let stats_ids: Vec<u32> = (0..7)
+        .map(|_| client.submit(&Request::Stats).unwrap())
+        .collect();
+    assert_eq!(client.in_flight(), 8);
+
+    let mut order = Vec::new();
+    for _ in 0..8 {
+        let (id, resp) = client.recv().unwrap();
+        if id == compile_id {
+            assert!(matches!(resp, Response::Compiled { .. }), "{resp:?}");
+        } else {
+            assert!(stats_ids.contains(&id), "unexpected id {id}");
+            assert!(matches!(resp, Response::Stats(_)), "{resp:?}");
+        }
+        order.push(id);
+    }
+    assert_eq!(client.in_flight(), 0);
+    assert_eq!(
+        *order.last().unwrap(),
+        compile_id,
+        "the sleeping compile must finish after every stats call: {order:?}"
+    );
+    assert_ne!(
+        order[0], compile_id,
+        "completion stayed in submission order"
+    );
+}
+
+/// Real-server Timeout isolation: with a 40 ms request budget, the
+/// sleeping compile (150 ms) is answered with a `Timeout` error frame on
+/// its own id while the stats calls sharing the pipeline all succeed,
+/// and the connection remains usable afterwards.
+#[test]
+fn mid_pipeline_timeout_fails_only_the_slow_request() {
+    let server = spawn_slow_compile_server(ServerConfig {
+        workers: 1,
+        pipeline_executors: 2,
+        request_budget: Some(Duration::from_millis(40)),
+        ..ServerConfig::default()
+    });
+    let (s, t) = wrap_pair();
+    let mut client = PipelinedClient::connect(server.addr()).unwrap();
+    let compile_id = client
+        .submit(&Request::Compile {
+            source_dtd: s.clone(),
+            target_dtd: t.clone(),
+        })
+        .unwrap();
+    let stats_ids: Vec<u32> = (0..3)
+        .map(|_| client.submit(&Request::Stats).unwrap())
+        .collect();
+
+    for _ in 0..4 {
+        let (id, resp) = client.recv().unwrap();
+        if id == compile_id {
+            assert!(
+                matches!(
+                    resp,
+                    Response::Error {
+                        code: ErrorCode::Timeout,
+                        ..
+                    }
+                ),
+                "the over-budget compile must time out: {resp:?}"
+            );
+        } else {
+            assert!(stats_ids.contains(&id), "unexpected id {id}");
+            assert!(
+                matches!(resp, Response::Stats(_)),
+                "a neighbor of the timed-out request failed: {resp:?}"
+            );
+        }
+    }
+
+    // The timeout poisoned neither the connection nor the server.
+    let more = client.call_pipelined(&[Request::Stats], 1).unwrap();
+    assert!(matches!(more[0], Response::Stats(_)));
+}
+
+/// A deterministic mid-pipeline application error (bad query) is answered
+/// on its own id; the requests around it succeed and the connection
+/// stays usable.
+#[test]
+fn mid_pipeline_bad_query_fails_only_its_own_request() {
+    let server = spawn_server(1, 2);
+    let (s, t) = wrap_pair();
+    let mut client = PipelinedClient::connect(server.addr()).unwrap();
+
+    let reqs = vec![
+        Request::Compile {
+            source_dtd: s.clone(),
+            target_dtd: t.clone(),
+        },
+        Request::Translate {
+            source_dtd: s.clone(),
+            target_dtd: t.clone(),
+            query: "](((".into(),
+        },
+        Request::Translate {
+            source_dtd: s.clone(),
+            target_dtd: t.clone(),
+            query: "b/c".into(),
+        },
+        Request::Stats,
+    ];
+    let responses = client.call_pipelined(&reqs, 4).unwrap();
+    assert_eq!(responses.len(), 4);
+    assert!(
+        matches!(responses[0], Response::Compiled { .. }),
+        "{:?}",
+        responses[0]
+    );
+    assert!(
+        matches!(
+            responses[1],
+            Response::Error {
+                code: ErrorCode::BadQuery,
+                ..
+            }
+        ),
+        "{:?}",
+        responses[1]
+    );
+    assert!(
+        matches!(responses[2], Response::Translated { .. }),
+        "{:?}",
+        responses[2]
+    );
+    assert!(
+        matches!(responses[3], Response::Stats(_)),
+        "{:?}",
+        responses[3]
+    );
+
+    // The connection survived the mid-pipeline error.
+    let more = client.call_pipelined(&[Request::Stats], 1).unwrap();
+    assert!(matches!(more[0], Response::Stats(_)));
+}
+
+/// Compatibility: a legacy id-0 client and a pipelined client share the
+/// same server concurrently; each lane keeps its own semantics.
+#[test]
+fn legacy_and_pipelined_connections_coexist() {
+    let server = spawn_server(2, 2);
+    let (s, t) = wrap_pair();
+
+    let mut legacy = Client::connect(server.addr()).unwrap();
+    let mut piped = PipelinedClient::connect(server.addr()).unwrap();
+
+    let (sh, th, _) = legacy.compile(&s, &t).unwrap();
+    assert_ne!(sh, th);
+
+    let responses = piped
+        .call_pipelined(&[Request::Stats, Request::Stats], 2)
+        .unwrap();
+    assert!(responses.iter().all(|r| matches!(r, Response::Stats(_))));
+
+    // Legacy lane still strictly in-order after the pipelined traffic.
+    let stats = legacy.stats().unwrap();
+    assert_eq!(stats.compiles, 1);
+}
+
+/// Windowed pipelining against the real server round-trips a full
+/// traffic slice in request order, whatever the completion order was.
+#[test]
+fn call_pipelined_preserves_request_order_across_windows() {
+    let server = spawn_server(1, 4);
+    let pairs = loadgen::build_pairs(2, 11);
+    let mut client = PipelinedClient::connect(server.addr()).unwrap();
+
+    let mut reqs = Vec::new();
+    for p in &pairs {
+        reqs.push(Request::Compile {
+            source_dtd: p.source_text.clone(),
+            target_dtd: p.target_text.clone(),
+        });
+        if let Some(doc) = p.docs.first() {
+            reqs.push(Request::Apply {
+                source_dtd: p.source_text.clone(),
+                target_dtd: p.target_text.clone(),
+                xml: doc.clone(),
+            });
+        }
+        reqs.push(Request::Stats);
+    }
+    let responses = client.call_pipelined(&reqs, 3).unwrap();
+    assert_eq!(responses.len(), reqs.len());
+    for (req, resp) in reqs.iter().zip(&responses) {
+        assert!(
+            loadgen::response_matches(req, resp),
+            "request {req:?} answered by wrong-kind {resp:?}"
+        );
+        assert!(
+            !matches!(resp, Response::Error { .. }),
+            "clean traffic must not error: {resp:?}"
+        );
+    }
+}

@@ -103,8 +103,10 @@ fn oversized_frame_gets_error_then_close_and_server_survives() {
     // Announce a payload over the 16 MiB cap; send no body.
     raw.write_all(&(xse_service::MAX_FRAME_LEN as u32 + 1).to_be_bytes())
         .unwrap();
+    raw.write_all(&0u32.to_be_bytes()).unwrap(); // request id
     raw.flush().unwrap();
-    let payload = read_frame(&mut raw).expect("structured error response");
+    let (id, payload) = read_frame(&mut raw).expect("structured error response");
+    assert_eq!(id, 0, "connection-level errors carry id 0");
     let resp = Response::decode(&payload).expect("decodable error");
     assert!(
         matches!(
@@ -135,8 +137,8 @@ fn truncated_payload_gets_malformed_and_connection_stays_usable() {
     let mut payload = vec![op::COMPILE];
     payload.extend_from_slice(&100u32.to_be_bytes());
     payload.extend_from_slice(b"abc");
-    write_frame(&mut raw, &payload).unwrap();
-    let resp = Response::decode(&read_frame(&mut raw).unwrap()).unwrap();
+    write_frame(&mut raw, 0, &payload).unwrap();
+    let resp = Response::decode(&read_frame(&mut raw).unwrap().1).unwrap();
     assert!(
         matches!(
             resp,
@@ -153,8 +155,8 @@ fn truncated_payload_gets_malformed_and_connection_stays_usable() {
         source_dtd: s,
         target_dtd: t,
     };
-    write_frame(&mut raw, &req.encode()).unwrap();
-    let resp = Response::decode(&read_frame(&mut raw).unwrap()).unwrap();
+    write_frame(&mut raw, 0, &req.encode()).unwrap();
+    let resp = Response::decode(&read_frame(&mut raw).unwrap().1).unwrap();
     assert!(matches!(resp, Response::Compiled { .. }), "{resp:?}");
 }
 
@@ -162,8 +164,8 @@ fn truncated_payload_gets_malformed_and_connection_stays_usable() {
 fn unknown_opcode_and_bad_dtd_are_structured_errors() {
     let server = spawn_server(8);
     let mut raw = TcpStream::connect(server.addr()).unwrap();
-    write_frame(&mut raw, &[0x7E]).unwrap();
-    let resp = Response::decode(&read_frame(&mut raw).unwrap()).unwrap();
+    write_frame(&mut raw, 0, &[0x7E]).unwrap();
+    let resp = Response::decode(&read_frame(&mut raw).unwrap().1).unwrap();
     assert!(
         matches!(
             resp,

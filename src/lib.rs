@@ -155,7 +155,16 @@
 //! ([`DtdHash`](crate::dtd::DtdHash)) of the reduced DTD pair — permuted
 //! but equivalent DTD texts share one entry — with single-flight
 //! compilation (N concurrent requests for an uncached pair compile once)
-//! and LRU eviction. A `std`-only TCP server and client
+//! and weighted (compile-cost × recency) eviction. The registry is
+//! lock-striped across
+//! [`RegistryConfig::shards`](crate::service::RegistryConfig) independent shards
+//! (default 8) keyed by the pair hash: each shard has its own mutex,
+//! single-flight table and negative cache, and warm hits resolve through
+//! a read-locked fast table without ever touching a shard mutex — a hot
+//! `Arc` clone never blocks behind another pair's compile. `shards: 1`
+//! reproduces single-mutex behavior exactly; aggregate
+//! [`stats`](crate::service::EmbeddingRegistry::stats) are a monotone
+//! merge over shards. A `std`-only TCP server and client
 //! ([`service::Server`] / [`service::Client`]) expose `compile`,
 //! `apply`, `invert`, `translate`, `stats` and `evict` over a
 //! length-prefixed binary protocol (documented in [`service`]), and the
@@ -177,6 +186,43 @@
 //! assert_eq!(key, key2);
 //! assert_eq!(registry.stats().compiles, 1);
 //! assert!(engine.apply(&parse_xml("<r><a>x</a></r>").unwrap()).is_ok());
+//! ```
+//!
+//! Every frame carries a u32 *request id*: id 0 is the legacy strictly
+//! in-order lane ([`Client`](crate::service::Client)), while a nonzero
+//! id opts the connection into pipelining —
+//! [`PipelinedClient`](crate::service::PipelinedClient) keeps a window
+//! of requests in flight and the server completes them out of order,
+//! matching responses to requests by id alone. `xse-loadgen
+//! --connections N --inflight K` measures the contended path
+//! (see `EXPERIMENTS.md`):
+//!
+//! ```
+//! use std::sync::Arc;
+//! use xse::prelude::*;
+//! use xse::service::{Request, Response};
+//!
+//! let registry = Arc::new(EmbeddingRegistry::new(RegistryConfig::default()));
+//! let server = Server::bind(("127.0.0.1", 0), registry, ServerConfig::default()).unwrap();
+//!
+//! let mut client = PipelinedClient::connect(server.addr()).unwrap();
+//! let source = "<!ELEMENT r (a)>\n<!ELEMENT a (#PCDATA)>";
+//! // Two requests on the wire before either response is read.
+//! let first = client
+//!     .submit(&Request::Compile { source_dtd: source.into(), target_dtd: source.into() })
+//!     .unwrap();
+//! let second = client.submit(&Request::Stats).unwrap();
+//! assert_eq!(client.in_flight(), 2);
+//! // Responses are matched to requests by id, whatever order they land in.
+//! for _ in 0..2 {
+//!     let (id, resp) = client.recv().unwrap();
+//!     match resp {
+//!         Response::Compiled { .. } => assert_eq!(id, first),
+//!         Response::Stats(_) => assert_eq!(id, second),
+//!         other => panic!("unexpected {other:?}"),
+//!     }
+//! }
+//! assert_eq!(client.in_flight(), 0);
 //! ```
 //!
 //! ## Robustness
@@ -272,8 +318,8 @@ pub mod prelude {
     pub use xse_dtd::{Dtd, Production, TypeId};
     pub use xse_rxpath::{parse_query, XrQuery};
     pub use xse_service::{
-        Client, ClientConfig, EmbeddingRegistry, RegistryConfig, RetryPolicy, RetryingClient,
-        Server, ServerConfig,
+        Client, ClientConfig, EmbeddingRegistry, PipelinedClient, RegistryConfig, RetryPolicy,
+        RetryingClient, Server, ServerConfig,
     };
     pub use xse_xmltree::{parse_xml, IdMap, NodeId, TreeBuilder, XmlTree};
     pub use xse_xslt::{generate_forward, generate_inverse, Stylesheet, StylesheetGen};
